@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks: grounding throughput, bottom-up vs
+//! top-down (the engines behind Table 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tuffy_grounder::{ground_bottom_up, ground_top_down, GroundingMode};
+use tuffy_rdbms::OptimizerConfig;
+
+fn bench_grounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grounding");
+    group.sample_size(10);
+    let rc = tuffy_datagen::rc_with_labels(60, 8, 0.8, 7).program;
+    let ie = tuffy_datagen::ie(150, 120, 7).program;
+
+    group.bench_function("rc_bottom_up", |b| {
+        b.iter(|| {
+            ground_bottom_up(&rc, GroundingMode::LazyClosure, &OptimizerConfig::default())
+                .unwrap()
+                .stats
+                .clauses
+        });
+    });
+    group.bench_function("rc_top_down", |b| {
+        b.iter(|| {
+            ground_top_down(&rc, GroundingMode::LazyClosure)
+                .unwrap()
+                .stats
+                .clauses
+        });
+    });
+    group.bench_function("ie_bottom_up", |b| {
+        b.iter(|| {
+            ground_bottom_up(&ie, GroundingMode::LazyClosure, &OptimizerConfig::default())
+                .unwrap()
+                .stats
+                .clauses
+        });
+    });
+    group.bench_function("ie_top_down", |b| {
+        b.iter(|| {
+            ground_top_down(&ie, GroundingMode::LazyClosure)
+                .unwrap()
+                .stats
+                .clauses
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grounding);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks: the three join algorithms of the lesion
+//! study (Table 6) on equal inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tuffy_rdbms::exec::join::{hash_join, nested_loop_join, sort_merge_join};
+use tuffy_rdbms::exec::Batch;
+
+fn random_batch(rows: usize, keys: u32, seed: u64) -> Batch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Batch::new(2);
+    for i in 0..rows {
+        b.push(&[rng.gen_range(0..keys), i as u32]);
+    }
+    b
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_algorithms");
+    for &rows in &[1_000usize, 10_000] {
+        let left = random_batch(rows, (rows / 4) as u32, 1);
+        let right = random_batch(rows, (rows / 4) as u32, 2);
+        let keys = [(0usize, 0usize)];
+        group.bench_with_input(BenchmarkId::new("hash", rows), &rows, |b, _| {
+            b.iter(|| hash_join(&left, &right, &keys).len());
+        });
+        group.bench_with_input(BenchmarkId::new("sort_merge", rows), &rows, |b, _| {
+            b.iter(|| sort_merge_join(&left, &right, &keys).len());
+        });
+        // Nested loop only at the small size (it is quadratic).
+        if rows <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("nested_loop", rows), &rows, |b, _| {
+                b.iter(|| nested_loop_join(&left, &right, &keys).len());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

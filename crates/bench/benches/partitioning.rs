@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks: component detection (union-find over the
+//! clause table), Algorithm 3 partitioning, and FFD bin packing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tuffy_grounder::{ground_bottom_up, GroundingMode};
+use tuffy_mrf::binpack::first_fit_decreasing;
+use tuffy_mrf::{ComponentSet, Partitioning};
+use tuffy_rdbms::OptimizerConfig;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let program = tuffy_datagen::ie(500, 200, 7).program;
+    let g = ground_bottom_up(
+        &program,
+        GroundingMode::LazyClosure,
+        &OptimizerConfig::default(),
+    )
+    .expect("grounding");
+
+    c.bench_function("component_detection_ie", |b| {
+        b.iter(|| ComponentSet::detect(&g.mrf).count());
+    });
+
+    c.bench_function("algorithm3_partitioning_ie", |b| {
+        b.iter(|| Partitioning::compute(&g.mrf, 64).count());
+    });
+
+    let cs = ComponentSet::detect(&g.mrf);
+    let sizes: Vec<u64> = (0..cs.count())
+        .filter(|&i| !cs.clauses[i].is_empty())
+        .map(|i| cs.size_metric(&g.mrf, i) as u64)
+        .collect();
+    let capacity = (sizes.iter().sum::<u64>() / 10).max(1);
+    c.bench_function("ffd_binpack_ie", |b| {
+        b.iter(|| first_fit_decreasing(&sizes, capacity).len());
+    });
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks: WalkSAT flip throughput (the quantity
+//! behind Table 3's in-memory rates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tuffy_grounder::{ground_bottom_up, GroundingMode};
+use tuffy_rdbms::OptimizerConfig;
+use tuffy_search::WalkSat;
+
+fn bench_flips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walksat_flips");
+    for (name, program) in [
+        ("example1_200", tuffy_datagen::example1(200).program),
+        ("rc_small", tuffy_datagen::rc(20, 6, 7).program),
+        ("er_small", tuffy_datagen::er(8, 40, 7).program),
+    ] {
+        let g = ground_bottom_up(
+            &program,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .expect("grounding");
+        let flips = 10_000u64;
+        group.throughput(Throughput::Elements(flips));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g.mrf, |b, mrf| {
+            b.iter(|| {
+                let mut ws = WalkSat::new(mrf, 42);
+                for _ in 0..flips {
+                    if !ws.step(0.5) {
+                        break;
+                    }
+                }
+                ws.best_cost()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flips);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Runs every experiment in sequence, writing all reports to
+//! `bench_results/`.
+use std::time::Instant;
+
+type Experiment = (&'static str, fn() -> String);
+
+fn main() {
+    let experiments: Vec<Experiment> = vec![
+        ("table1", tuffy_bench::experiments::table1::report),
+        ("table2", tuffy_bench::experiments::table2::report),
+        ("table3", tuffy_bench::experiments::table3::report),
+        ("table4", tuffy_bench::experiments::table4::report),
+        ("table5", tuffy_bench::experiments::table5::report),
+        ("table6", tuffy_bench::experiments::table6::report),
+        ("table7", tuffy_bench::experiments::table7::report),
+        ("fig3", tuffy_bench::experiments::fig3::report),
+        ("fig4", tuffy_bench::experiments::fig4::report),
+        ("fig5", tuffy_bench::experiments::fig5::report),
+        ("fig6", tuffy_bench::experiments::fig6::report),
+        ("fig8", tuffy_bench::experiments::fig8::report),
+    ];
+    for (name, f) in experiments {
+        eprintln!("=== running {name} ===");
+        let t0 = Instant::now();
+        let body = f();
+        eprintln!("=== {name} done in {:?} ===\n", t0.elapsed());
+        tuffy_bench::emit(name, &body);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 (see tuffy_bench::experiments::fig3).
+fn main() {
+    tuffy_bench::emit("fig3", &tuffy_bench::experiments::fig3::report());
+}

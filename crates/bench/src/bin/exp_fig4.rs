@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4 (see tuffy_bench::experiments::fig4).
+fn main() {
+    tuffy_bench::emit("fig4", &tuffy_bench::experiments::fig4::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5 (see tuffy_bench::experiments::fig5).
+fn main() {
+    tuffy_bench::emit("fig5", &tuffy_bench::experiments::fig5::report());
+}

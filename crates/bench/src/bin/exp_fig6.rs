@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6 (see tuffy_bench::experiments::fig6).
+fn main() {
+    tuffy_bench::emit("fig6", &tuffy_bench::experiments::fig6::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8 (see tuffy_bench::experiments::fig8).
+fn main() {
+    tuffy_bench::emit("fig8", &tuffy_bench::experiments::fig8::report());
+}

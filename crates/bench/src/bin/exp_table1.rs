@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 (see tuffy_bench::experiments::table1).
+fn main() {
+    tuffy_bench::emit("table1", &tuffy_bench::experiments::table1::report());
+}

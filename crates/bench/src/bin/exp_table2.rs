@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 (see tuffy_bench::experiments::table2).
+fn main() {
+    tuffy_bench::emit("table2", &tuffy_bench::experiments::table2::report());
+}

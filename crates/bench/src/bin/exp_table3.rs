@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 (see tuffy_bench::experiments::table3).
+fn main() {
+    tuffy_bench::emit("table3", &tuffy_bench::experiments::table3::report());
+}

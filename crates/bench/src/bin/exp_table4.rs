@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 (see tuffy_bench::experiments::table4).
+fn main() {
+    tuffy_bench::emit("table4", &tuffy_bench::experiments::table4::report());
+}

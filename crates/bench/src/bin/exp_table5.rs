@@ -1,0 +1,4 @@
+//! Regenerates the paper's table5 (see tuffy_bench::experiments::table5).
+fn main() {
+    tuffy_bench::emit("table5", &tuffy_bench::experiments::table5::report());
+}

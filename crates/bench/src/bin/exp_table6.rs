@@ -1,0 +1,4 @@
+//! Regenerates the paper's table6 (see tuffy_bench::experiments::table6).
+fn main() {
+    tuffy_bench::emit("table6", &tuffy_bench::experiments::table6::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table7 (see tuffy_bench::experiments::table7).
+fn main() {
+    tuffy_bench::emit("table7", &tuffy_bench::experiments::table7::report());
+}

@@ -1,0 +1,59 @@
+//! Table 2 — grounding time: Alchemy (top-down) vs Tuffy (bottom-up).
+
+use crate::datasets::all_four_ground;
+use crate::format::TextTable;
+use tuffy_grounder::{ground_bottom_up, ground_top_down, GroundingMode};
+use tuffy_rdbms::OptimizerConfig;
+
+/// Paper's Table 2 rows (seconds): Alchemy then Tuffy, LP/IE/RC/ER.
+pub const PAPER: [(&str, f64, f64); 4] = [
+    ("LP", 48.0, 6.0),
+    ("IE", 13.0, 13.0),
+    ("RC", 3913.0, 40.0),
+    ("ER", 23891.0, 106.0),
+];
+
+/// Builds the Table 2 report.
+pub fn report() -> String {
+    let mut out = String::from(
+        "Table 2: grounding time (seconds)\n\
+         paper: Alchemy 48/13/3913/23891 vs Tuffy 6/13/40/106 (LP/IE/RC/ER)\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "dataset",
+        "alchemy-style (top-down)",
+        "tuffy (bottom-up RDBMS)",
+        "speedup",
+        "paper speedup",
+    ]);
+    for (ds, paper) in all_four_ground().into_iter().zip(PAPER.iter()) {
+        let td = ground_top_down(&ds.program, GroundingMode::LazyClosure).expect("top-down");
+        let bu = ground_bottom_up(
+            &ds.program,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .expect("bottom-up");
+        assert_eq!(td.stats.clauses, bu.stats.clauses, "grounders must agree");
+        let speedup = td.stats.wall.as_secs_f64() / bu.stats.wall.as_secs_f64().max(1e-9);
+        t.row(vec![
+            ds.name.clone(),
+            crate::secs(td.stats.wall),
+            crate::secs(bu.stats.wall),
+            format!("{speedup:.1}x"),
+            format!("{:.1}x", paper.1 / paper.2),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nNote: our top-down baseline shares Tuffy's emission machinery\n\
+         and keeps Alchemy-style single-column hash indexes, so it is a\n\
+         *stronger* baseline than the paper's Alchemy (whose C++\n\
+         implementation pays large per-tuple overheads we chose not to\n\
+         simulate). The structural advantages the paper credits the RDBMS\n\
+         with reproduce where they bind: set-at-a-time anti-join pruning\n\
+         (IE: evidence prunes most candidate groundings) and join\n\
+         algorithm choice (Table 6's nested-loop lesion).\n",
+    );
+    out
+}

@@ -1,0 +1,71 @@
+//! Table 4 — space efficiency: clause table vs Alchemy RAM vs Tuffy-p RAM.
+
+use crate::alchemy_model::{human, modeled_alchemy_ram};
+use crate::datasets::{all_four, er_plus_bench};
+use crate::format::TextTable;
+use tuffy_grounder::{ground_bottom_up, GroundingMode};
+use tuffy_mrf::memory::{human_bytes, MemoryFootprint};
+use tuffy_rdbms::OptimizerConfig;
+
+/// Paper's Table 4: clause table, Alchemy RAM, Tuffy-p RAM.
+pub const PAPER: [(&str, &str, &str, &str); 4] = [
+    ("LP", "5.2 MB", "411 MB", "9 MB"),
+    ("IE", "0.6 MB", "206 MB", "8 MB"),
+    ("RC", "4.8 MB", "2.8 GB", "19 MB"),
+    ("ER", "164 MB", "3.5 GB", "184 MB"),
+];
+
+/// Builds the Table 4 report.
+pub fn report() -> String {
+    let mut out = String::from(
+        "Table 4: space efficiency\n\
+         'alchemy RAM (modeled)' instantiates the full open-predicate atom\n\
+         space with per-object overhead (see crate::alchemy_model); Tuffy-p\n\
+         RAM is the measured in-memory search state. The paper's point —\n\
+         Alchemy RAM >> clause table, Tuffy RAM ~ clause table — should\n\
+         reproduce at any scale.\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "dataset",
+        "clause table",
+        "alchemy RAM (modeled)",
+        "tuffy-p RAM",
+        "paper (table/alchemy/tuffy)",
+    ]);
+    for (ds, paper) in all_four().into_iter().zip(PAPER.iter()) {
+        let g = ground_bottom_up(
+            &ds.program,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .expect("grounding");
+        let clause_table = g.mrf.clause_bytes();
+        let alchemy = modeled_alchemy_ram(&ds.program, &g.mrf);
+        let tuffy_p = MemoryFootprint::of(&g.mrf).total();
+        t.row(vec![
+            ds.name.clone(),
+            human_bytes(clause_table),
+            human(alchemy),
+            human_bytes(tuffy_p),
+            format!("{} / {} / {}", paper.1, paper.2, paper.3),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // The §4.3 "ER+" scale-up: Alchemy's modeled RAM explodes past any
+    // reasonable machine while Tuffy's stays proportional to the MRF.
+    let erp = er_plus_bench();
+    let g = ground_bottom_up(
+        &erp.program,
+        GroundingMode::LazyClosure,
+        &OptimizerConfig::default(),
+    )
+    .expect("grounding");
+    out.push_str(&format!(
+        "\nER+ (2x ER, cf. §4.3): modeled alchemy RAM {}, tuffy-p RAM {}\n\
+         (the paper: Alchemy exhausts 4 GB and crashes; Tuffy peaks at ~2 GB)\n",
+        human(modeled_alchemy_ram(&erp.program, &g.mrf)),
+        human_bytes(MemoryFootprint::of(&g.mrf).total()),
+    ));
+    out
+}

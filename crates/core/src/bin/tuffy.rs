@@ -1,0 +1,164 @@
+//! The Tuffy command-line interface.
+//!
+//! Mirrors the original system's usage: a program file, an evidence
+//! file, and an output file of inferred atoms.
+//!
+//! ```text
+//! tuffy -i prog.mln -e evidence.db [-r result.out] [--marginal] \
+//!       [--flips N] [--threads N] [--no-partition] [--budget BYTES] \
+//!       [--seed N] [--arch hybrid|inmemory|rdbms]
+//! ```
+
+use std::process::ExitCode;
+use tuffy::{
+    Architecture, McSatParams, PartitionStrategy, Tuffy, TuffyConfig, WalkSatParams,
+};
+
+struct Args {
+    program: String,
+    evidence: Option<String>,
+    result: Option<String>,
+    marginal: bool,
+    flips: u64,
+    threads: usize,
+    partition: PartitionStrategy,
+    seed: u64,
+    arch: Architecture,
+}
+
+fn usage() -> &'static str {
+    "usage: tuffy -i <prog.mln> [-e <evidence.db>] [-r <result.out>]\n\
+     \x20       [--marginal] [--flips N] [--threads N] [--no-partition]\n\
+     \x20       [--budget BYTES] [--seed N] [--arch hybrid|inmemory|rdbms]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        program: String::new(),
+        evidence: None,
+        result: None,
+        marginal: false,
+        flips: 1_000_000,
+        threads: 1,
+        partition: PartitionStrategy::Components,
+        seed: 42,
+        arch: Architecture::Hybrid,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "-i" => args.program = value("-i")?,
+            "-e" => args.evidence = Some(value("-e")?),
+            "-r" => args.result = Some(value("-r")?),
+            "--marginal" => args.marginal = true,
+            "--no-partition" => args.partition = PartitionStrategy::None,
+            "--budget" => {
+                let v = value("--budget")?;
+                let bytes: usize = v.parse().map_err(|e| format!("--budget: {e}"))?;
+                args.partition = PartitionStrategy::Budget(bytes);
+            }
+            "--flips" => {
+                args.flips = value("--flips")?
+                    .parse()
+                    .map_err(|e| format!("--flips: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--arch" => {
+                args.arch = match value("--arch")?.as_str() {
+                    "hybrid" => Architecture::Hybrid,
+                    "inmemory" => Architecture::InMemory,
+                    "rdbms" => Architecture::RdbmsOnly,
+                    other => return Err(format!("unknown architecture `{other}`")),
+                };
+            }
+            "-h" | "--help" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if args.program.is_empty() {
+        return Err(format!("missing -i <prog.mln>\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let program_src =
+        std::fs::read_to_string(&args.program).map_err(|e| format!("{}: {e}", args.program))?;
+    let evidence_src = match &args.evidence {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => String::new(),
+    };
+    let config = TuffyConfig {
+        architecture: args.arch,
+        partitioning: args.partition,
+        threads: args.threads,
+        search: WalkSatParams {
+            max_flips: args.flips,
+            seed: args.seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let tuffy = Tuffy::from_sources(&program_src, &evidence_src)
+        .map_err(|e| e.to_string())?
+        .with_config(config);
+
+    let output = if args.marginal {
+        let r = tuffy
+            .marginal_inference(&McSatParams {
+                seed: args.seed,
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "grounded {} clauses over {} atoms in {:?}",
+            r.report.clauses, r.report.atoms, r.report.grounding.wall
+        );
+        let mut out = String::new();
+        for (name, (_, p)) in r.names.iter().zip(r.marginals.iter()) {
+            out.push_str(&format!("{p:.4}\t{name}\n"));
+        }
+        out
+    } else {
+        let r = tuffy.map_inference().map_err(|e| e.to_string())?;
+        eprintln!(
+            "grounded {} clauses over {} atoms ({} components) in {:?}",
+            r.report.clauses, r.report.atoms, r.report.components, r.report.grounding.wall
+        );
+        eprintln!(
+            "search: {} flips in {:?} ({:.0} flips/sec), solution cost {}",
+            r.report.flips, r.report.search_time, r.report.flips_per_sec, r.cost
+        );
+        r.to_text()
+    };
+
+    match &args.result {
+        Some(path) => std::fs::write(path, &output).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

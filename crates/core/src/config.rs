@@ -1,0 +1,110 @@
+//! Inference configuration.
+
+use tuffy_grounder::GroundingMode;
+use tuffy_rdbms::{DiskModel, OptimizerConfig};
+use tuffy_search::WalkSatParams;
+
+/// Which of the paper's three architectures to run (Appendix B.3,
+/// Figure 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Architecture {
+    /// Tuffy's hybrid: RDBMS grounding + in-memory search (§3.2).
+    #[default]
+    Hybrid,
+    /// The Alchemy baseline: top-down in-memory grounding + monolithic
+    /// in-memory WalkSAT, unaware of components.
+    InMemory,
+    /// `Tuffy-mm`: RDBMS grounding *and* RDBMS-resident search
+    /// (Appendix B.2).
+    RdbmsOnly,
+}
+
+/// How the in-memory search is decomposed (§3.3–3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Monolithic WalkSAT over the whole MRF (`Tuffy-p` in the paper).
+    None,
+    /// Component-aware search: one WalkSAT per connected component with
+    /// weighted round-robin budgets (the paper's default `Tuffy`).
+    #[default]
+    Components,
+    /// Component-aware, and components whose search state exceeds the
+    /// given byte budget are further split with Algorithm 3 and searched
+    /// by Gauss-Seidel iteration (§3.4, Figure 6).
+    Budget(usize),
+}
+
+/// Full configuration of a [`crate::Tuffy`] instance.
+#[derive(Clone, Copy, Debug)]
+pub struct TuffyConfig {
+    /// Grounding strategy (lazy closure by default).
+    pub grounding: GroundingMode,
+    /// RDBMS optimizer knobs (all enabled by default; the lesion study of
+    /// Table 6 disables them one at a time).
+    pub optimizer: OptimizerConfig,
+    /// Architecture selection.
+    pub architecture: Architecture,
+    /// Search decomposition.
+    pub partitioning: PartitionStrategy,
+    /// Worker threads for per-component search (1 = sequential).
+    pub threads: usize,
+    /// WalkSAT parameters.
+    pub search: WalkSatParams,
+    /// Gauss-Seidel sweeps when `PartitionStrategy::Budget` splits a
+    /// component.
+    pub gauss_seidel_rounds: usize,
+    /// Disk model for the RDBMS-resident search (`RdbmsOnly`).
+    pub disk: DiskModel,
+    /// Buffer-pool pages for the RDBMS-resident search.
+    pub pool_pages: usize,
+}
+
+impl Default for TuffyConfig {
+    fn default() -> Self {
+        TuffyConfig {
+            grounding: GroundingMode::LazyClosure,
+            optimizer: OptimizerConfig::default(),
+            architecture: Architecture::Hybrid,
+            partitioning: PartitionStrategy::Components,
+            threads: 1,
+            search: WalkSatParams::default(),
+            gauss_seidel_rounds: 3,
+            disk: DiskModel::in_memory(),
+            pool_pages: 64,
+        }
+    }
+}
+
+/// Approximate bytes of search state per unit of the partitioner's size
+/// metric (atoms + literals); used to translate a byte budget into
+/// Algorithm 3's β bound. Calibrated against
+/// [`tuffy_mrf::memory::MemoryFootprint`]: atoms cost ~26 B (state +
+/// adjacency headers), literals ~8 B plus ~15 B/literal of amortized
+/// clause overhead.
+pub const BYTES_PER_SIZE_UNIT: usize = 24;
+
+impl TuffyConfig {
+    /// Translates a byte budget into the partitioner's β size bound.
+    pub fn beta_for_budget(budget_bytes: usize) -> usize {
+        (budget_bytes / BYTES_PER_SIZE_UNIT).max(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_tuffy() {
+        let c = TuffyConfig::default();
+        assert_eq!(c.architecture, Architecture::Hybrid);
+        assert_eq!(c.partitioning, PartitionStrategy::Components);
+        assert_eq!(c.grounding, GroundingMode::LazyClosure);
+    }
+
+    #[test]
+    fn beta_scales_with_budget() {
+        assert!(TuffyConfig::beta_for_budget(48_000) > TuffyConfig::beta_for_budget(4_800));
+        assert!(TuffyConfig::beta_for_budget(0) >= 8);
+    }
+}

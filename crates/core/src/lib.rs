@@ -1,0 +1,60 @@
+//! # Tuffy — scalable Markov Logic Network inference over an embedded RDBMS
+//!
+//! A Rust reproduction of *Tuffy: Scaling up Statistical Inference in
+//! Markov Logic Networks using an RDBMS* (Niu, Ré, Doan, Shavlik,
+//! VLDB 2011). Tuffy performs MAP and marginal inference on Markov Logic
+//! Networks with three ideas the paper introduces:
+//!
+//! 1. **bottom-up grounding** inside an RDBMS, letting a relational
+//!    optimizer (join ordering, hash/sort-merge joins, predicate
+//!    pushdown) build the ground network orders of magnitude faster than
+//!    top-down grounders (§3.1);
+//! 2. a **hybrid architecture**: ground in the database, search in
+//!    memory, falling back to RDBMS-resident search only when the ground
+//!    network exceeds RAM (§3.2);
+//! 3. **partitioning**: solve connected components independently —
+//!    provably exponentially faster for multi-component networks
+//!    (Theorem 3.1) — and split oversized components further, searching
+//!    them with a Gauss-Seidel scheme (§3.3–3.4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tuffy::Tuffy;
+//!
+//! let program = r#"
+//!     *wrote(person, paper)
+//!     *refers(paper, paper)
+//!     cat(paper, category)
+//!     5 cat(p, c1), cat(p, c2) => c1 = c2
+//!     1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)
+//!     2 cat(p1, c), refers(p1, p2) => cat(p2, c)
+//! "#;
+//! let evidence = r#"
+//!     wrote(Joe, P1)
+//!     wrote(Joe, P2)
+//!     refers(P1, P3)
+//!     cat(P2, DB)
+//! "#;
+//! let tuffy = Tuffy::from_sources(program, evidence).unwrap();
+//! let result = tuffy.map_inference().unwrap();
+//! // P1 and P3 inherit Joe's / the citation's DB label:
+//! let labels = result.true_atoms_of("cat").unwrap();
+//! assert_eq!(labels.len(), 2);
+//! ```
+
+pub mod config;
+pub mod pipeline;
+pub mod result;
+
+pub use config::{Architecture, PartitionStrategy, TuffyConfig};
+pub use pipeline::Tuffy;
+pub use result::{InferenceReport, MapResult, MarginalResult};
+
+// Re-exports so downstream users need only this crate.
+pub use tuffy_grounder::GroundingMode;
+pub use tuffy_mln::{MlnError, MlnProgram, Weight};
+pub use tuffy_mrf::Cost;
+pub use tuffy_rdbms::{DiskModel, JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig};
+pub use tuffy_search::mcsat::McSatParams;
+pub use tuffy_search::{TimeCostTrace, WalkSatParams};

@@ -1,0 +1,357 @@
+//! The end-to-end inference pipeline (Appendix B.3, Figure 7).
+
+use crate::config::{Architecture, PartitionStrategy, TuffyConfig};
+use crate::result::{InferenceReport, MapResult, MarginalResult};
+use std::time::Instant;
+use tuffy_grounder::{ground_bottom_up, ground_top_down, GroundingResult};
+use tuffy_mln::parser::{parse_evidence, parse_program};
+use tuffy_mln::program::MlnProgram;
+use tuffy_mln::MlnError;
+use tuffy_mrf::memory::MemoryFootprint;
+use tuffy_mrf::{ComponentSet, Partitioning};
+use tuffy_search::component::ComponentSearch;
+use tuffy_search::gauss_seidel::GaussSeidel;
+use tuffy_search::mcsat::{McSat, McSatParams};
+use tuffy_search::parallel::solve_components_parallel;
+use tuffy_search::rdbms_search::RdbmsSearch;
+use tuffy_search::{TimeCostTrace, WalkSat};
+
+/// A configured Tuffy instance: program + evidence + configuration.
+pub struct Tuffy {
+    program: MlnProgram,
+    config: TuffyConfig,
+}
+
+impl Tuffy {
+    /// Parses a program and evidence from source text with the default
+    /// configuration.
+    pub fn from_sources(program_src: &str, evidence_src: &str) -> Result<Tuffy, MlnError> {
+        let mut program = parse_program(program_src)?;
+        parse_evidence(&mut program, evidence_src)?;
+        Ok(Tuffy {
+            program,
+            config: TuffyConfig::default(),
+        })
+    }
+
+    /// Wraps an already-built program.
+    pub fn from_program(program: MlnProgram) -> Tuffy {
+        Tuffy {
+            program,
+            config: TuffyConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: TuffyConfig) -> Tuffy {
+        self.config = config;
+        self
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &MlnProgram {
+        &self.program
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TuffyConfig {
+        &self.config
+    }
+
+    /// Grounds the program according to the configured architecture.
+    pub fn ground(&self) -> Result<GroundingResult, MlnError> {
+        match self.config.architecture {
+            Architecture::InMemory => ground_top_down(&self.program, self.config.grounding),
+            Architecture::Hybrid | Architecture::RdbmsOnly => ground_bottom_up(
+                &self.program,
+                self.config.grounding,
+                &self.config.optimizer,
+            ),
+        }
+    }
+
+    /// Runs MAP inference: grounding, then search per the configured
+    /// architecture and partitioning strategy.
+    pub fn map_inference(&self) -> Result<MapResult, MlnError> {
+        let grounding = self.ground()?;
+        let mrf = &grounding.mrf;
+        let mut report = InferenceReport {
+            grounding: grounding.stats.clone(),
+            clauses: mrf.clauses().len(),
+            atoms: grounding.registry.len(),
+            clause_table_bytes: mrf.clause_bytes(),
+            ..Default::default()
+        };
+        // The paper's time axis includes grounding (Figure 3's curves
+        // begin when grounding completes).
+        let mut trace = TimeCostTrace::with_offset(grounding.stats.wall);
+        let search_started = Instant::now();
+
+        let (truth, cost) = match self.config.architecture {
+            Architecture::RdbmsOnly => {
+                let mut search = RdbmsSearch::new(
+                    mrf,
+                    self.config.pool_pages,
+                    self.config.disk,
+                    self.config.search.seed,
+                );
+                let r = search.run(
+                    self.config.search.max_flips,
+                    self.config.search.noise,
+                    None,
+                    Some(&mut trace),
+                );
+                report.flips = r.flips;
+                report.search_time = r.wall + r.simulated_io;
+                report.flips_per_sec = r.flips_per_sec;
+                report.search_ram = mrf.num_atoms() * 2; // truth arrays only
+                report.components = ComponentSet::detect(mrf).nontrivial_count();
+                (r.truth, r.cost)
+            }
+            Architecture::InMemory => {
+                // Alchemy-style: monolithic WalkSAT, not component-aware.
+                let components = ComponentSet::detect(mrf);
+                report.components = components.nontrivial_count();
+                report.search_ram = MemoryFootprint::of(mrf).total();
+                let mut ws = WalkSat::new(mrf, self.config.search.seed);
+                ws.run(&self.config.search, Some(&mut trace));
+                report.flips = ws.flips();
+                (ws.best_truth().to_vec(), ws.best_cost())
+            }
+            Architecture::Hybrid => {
+                let components = ComponentSet::detect(mrf);
+                report.components = components.nontrivial_count();
+                match self.config.partitioning {
+                    PartitionStrategy::None => {
+                        report.search_ram = MemoryFootprint::of(mrf).total();
+                        let mut ws = WalkSat::new(mrf, self.config.search.seed);
+                        ws.run(&self.config.search, Some(&mut trace));
+                        report.flips = ws.flips();
+                        (ws.best_truth().to_vec(), ws.best_cost())
+                    }
+                    PartitionStrategy::Components => {
+                        if self.config.threads > 1 {
+                            let r = solve_components_parallel(
+                                mrf,
+                                &components,
+                                &self.config.search,
+                                self.config.threads,
+                            );
+                            report.flips = r.flips;
+                            report.search_ram = MemoryFootprint::of(mrf).total();
+                            trace.record(r.flips, r.cost);
+                            (r.truth, r.cost)
+                        } else {
+                            let search = ComponentSearch::new(mrf, &components);
+                            let r = search.run(&self.config.search, Some(&mut trace));
+                            report.flips = r.flips;
+                            report.search_ram = r.peak_component_bytes;
+                            (r.truth, r.cost)
+                        }
+                    }
+                    PartitionStrategy::Budget(budget) => {
+                        let beta = TuffyConfig::beta_for_budget(budget);
+                        let parts = Partitioning::compute(mrf, beta);
+                        let gs = GaussSeidel::new(mrf, &parts);
+                        let r = gs.run(
+                            self.config.gauss_seidel_rounds,
+                            &self.config.search,
+                            Some(&mut trace),
+                        );
+                        report.flips = r.flips;
+                        report.search_ram = r.peak_partition_bytes;
+                        (r.truth, r.cost)
+                    }
+                }
+            }
+        };
+
+        if report.search_time.is_zero() {
+            report.search_time = search_started.elapsed();
+        }
+        if report.flips_per_sec == 0.0 {
+            let secs = report.search_time.as_secs_f64();
+            report.flips_per_sec = if secs > 0.0 {
+                report.flips as f64 / secs
+            } else {
+                f64::INFINITY
+            };
+        }
+        Ok(MapResult::new(
+            &self.program,
+            &grounding.registry,
+            &truth,
+            cost,
+            trace,
+            report,
+        ))
+    }
+
+    /// Runs marginal inference with MC-SAT (Appendix A.5).
+    pub fn marginal_inference(&self, params: &McSatParams) -> Result<MarginalResult, MlnError> {
+        let grounding = self.ground()?;
+        let mrf = &grounding.mrf;
+        let mut mcsat = McSat::new(mrf, params.seed)?;
+        let probs = mcsat.marginals(params);
+        let mut marginals = Vec::with_capacity(probs.len());
+        let mut names = Vec::with_capacity(probs.len());
+        for (i, p) in probs.into_iter().enumerate() {
+            let ga = grounding.registry.ground_atom(i as u32);
+            let rendered = format!(
+                "{}({})",
+                self.program.predicate_name(ga.predicate),
+                ga.args
+                    .iter()
+                    .map(|s| self.program.symbols.resolve(*s))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            names.push(rendered);
+            marginals.push((ga, p));
+        }
+        let report = InferenceReport {
+            grounding: grounding.stats.clone(),
+            clauses: mrf.clauses().len(),
+            atoms: grounding.registry.len(),
+            clause_table_bytes: mrf.clause_bytes(),
+            ..Default::default()
+        };
+        Ok(MarginalResult {
+            marginals,
+            names,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuffy_search::WalkSatParams;
+
+    const PROGRAM: &str = r#"
+        *wrote(person, paper)
+        *refers(paper, paper)
+        cat(paper, category)
+        5 cat(p, c1), cat(p, c2) => c1 = c2
+        1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)
+        2 cat(p1, c), refers(p1, p2) => cat(p2, c)
+    "#;
+    const EVIDENCE: &str = r#"
+        wrote(Joe, P1)
+        wrote(Joe, P2)
+        refers(P1, P3)
+        cat(P2, DB)
+    "#;
+
+    #[test]
+    fn map_inference_classifies_papers() {
+        let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
+        let r = t.map_inference().unwrap();
+        // The most likely world labels P1 and P3 as DB (cost 0).
+        assert!(r.cost.is_zero(), "cost = {}", r.cost);
+        let mut rows = r.true_atoms_of("cat").unwrap();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec!["P1".to_string(), "DB".to_string()],
+                vec!["P3".to_string(), "DB".to_string()]
+            ]
+        );
+        assert!(r.true_atoms_of("unknown_pred").is_none());
+    }
+
+    #[test]
+    fn architectures_agree_on_quality() {
+        let mk = |arch| {
+            let mut cfg = TuffyConfig {
+                architecture: arch,
+                search: WalkSatParams {
+                    max_flips: 20_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            if arch == Architecture::RdbmsOnly {
+                cfg.search.max_flips = 2_000; // scans are expensive
+            }
+            Tuffy::from_sources(PROGRAM, EVIDENCE)
+                .unwrap()
+                .with_config(cfg)
+                .map_inference()
+                .unwrap()
+        };
+        let hybrid = mk(Architecture::Hybrid);
+        let in_mem = mk(Architecture::InMemory);
+        let rdbms = mk(Architecture::RdbmsOnly);
+        assert!(hybrid.cost.is_zero());
+        assert!(in_mem.cost.is_zero());
+        assert!(rdbms.cost.is_zero());
+    }
+
+    #[test]
+    fn partition_strategies_agree_on_quality() {
+        for strategy in [
+            PartitionStrategy::None,
+            PartitionStrategy::Components,
+            PartitionStrategy::Budget(1 << 12),
+        ] {
+            let cfg = TuffyConfig {
+                partitioning: strategy,
+                search: WalkSatParams {
+                    max_flips: 30_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let r = Tuffy::from_sources(PROGRAM, EVIDENCE)
+                .unwrap()
+                .with_config(cfg)
+                .map_inference()
+                .unwrap();
+            assert!(r.cost.is_zero(), "{strategy:?} ended at {}", r.cost);
+        }
+    }
+
+    #[test]
+    fn parallel_components_work() {
+        let cfg = TuffyConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let r = Tuffy::from_sources(PROGRAM, EVIDENCE)
+            .unwrap()
+            .with_config(cfg)
+            .map_inference()
+            .unwrap();
+        assert!(r.cost.is_zero());
+    }
+
+    #[test]
+    fn marginal_inference_runs() {
+        let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
+        let r = t
+            .marginal_inference(&McSatParams {
+                samples: 100,
+                burn_in: 10,
+                sample_sat_steps: 200,
+                ..Default::default()
+            })
+            .unwrap();
+        // cat(P1, DB) should be likely true.
+        let p = r.probability_of("cat", &["P1", "DB"]).unwrap();
+        assert!(p > 0.5, "P(cat(P1,DB)) = {p}");
+    }
+
+    #[test]
+    fn report_is_populated() {
+        let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
+        let r = t.map_inference().unwrap();
+        assert!(r.report.clauses > 0);
+        assert!(r.report.atoms > 0);
+        assert!(r.report.components >= 1);
+        assert!(r.report.clause_table_bytes > 0);
+        assert!(!r.trace.points().is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Inference results and reports.
+
+use std::time::Duration;
+use tuffy_grounder::{AtomRegistry, GroundingStats};
+use tuffy_mln::ground::GroundAtom;
+use tuffy_mln::program::MlnProgram;
+use tuffy_mrf::Cost;
+use tuffy_search::TimeCostTrace;
+
+/// Everything measured during one inference run (feeds the experiment
+/// harness).
+#[derive(Clone, Debug, Default)]
+pub struct InferenceReport {
+    /// Grounding statistics.
+    pub grounding: GroundingStats,
+    /// Ground clauses in the MRF.
+    pub clauses: usize,
+    /// Unknown atoms in the MRF.
+    pub atoms: usize,
+    /// Connected components containing at least one clause (Table 1's
+    /// "#components").
+    pub components: usize,
+    /// Total search flips.
+    pub flips: u64,
+    /// Search wall time (plus simulated I/O for `RdbmsOnly`).
+    pub search_time: Duration,
+    /// Peak bytes of in-memory search state.
+    pub search_ram: usize,
+    /// Bytes of the ground clause table (Table 4's "clause table").
+    pub clause_table_bytes: usize,
+    /// Effective flips per second (Table 3).
+    pub flips_per_sec: f64,
+}
+
+/// The result of MAP inference: a most-likely world.
+#[derive(Debug)]
+pub struct MapResult {
+    pub(crate) program_true_atoms: Vec<GroundAtom>,
+    pub(crate) name_of: Vec<(String, Vec<String>)>,
+    pub(crate) known_predicates: Vec<String>,
+    /// The cost of the returned world (§2.2, Equation 1).
+    pub cost: Cost,
+    /// The best-cost-over-time trace (Figures 3–6).
+    pub trace: TimeCostTrace,
+    /// Run measurements.
+    pub report: InferenceReport,
+}
+
+impl MapResult {
+    pub(crate) fn new(
+        program: &MlnProgram,
+        registry: &AtomRegistry,
+        truth: &[bool],
+        cost: Cost,
+        trace: TimeCostTrace,
+        report: InferenceReport,
+    ) -> MapResult {
+        let mut atoms = Vec::new();
+        let mut names = Vec::new();
+        for (i, &t) in truth.iter().enumerate() {
+            if !t {
+                continue;
+            }
+            let ga = registry.ground_atom(i as u32);
+            names.push((
+                program.predicate_name(ga.predicate).to_string(),
+                ga.args
+                    .iter()
+                    .map(|s| program.symbols.resolve(*s).to_string())
+                    .collect(),
+            ));
+            atoms.push(ga);
+        }
+        MapResult {
+            program_true_atoms: atoms,
+            name_of: names,
+            known_predicates: program
+                .predicates
+                .iter()
+                .map(|p| program.symbols.resolve(p.name).to_string())
+                .collect(),
+            cost,
+            trace,
+            report,
+        }
+    }
+
+    /// All query atoms inferred true, as ground atoms.
+    pub fn true_atoms(&self) -> &[GroundAtom] {
+        &self.program_true_atoms
+    }
+
+    /// The inferred-true tuples of one predicate, as argument string
+    /// vectors (the paper's query model: the system fills in the missing
+    /// relation). Returns `None` for a predicate the program never
+    /// declared.
+    pub fn true_atoms_of(&self, predicate: &str) -> Option<Vec<Vec<String>>> {
+        if !self.known_predicates.iter().any(|p| p == predicate) {
+            return None;
+        }
+        Some(
+            self.name_of
+                .iter()
+                .filter(|(name, _)| name == predicate)
+                .map(|(_, args)| args.clone())
+                .collect(),
+        )
+    }
+
+    /// Renders the inferred world as evidence-format lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, args) in &self.name_of {
+            out.push_str(name);
+            out.push('(');
+            out.push_str(&args.join(", "));
+            out.push_str(")\n");
+        }
+        out
+    }
+}
+
+/// The result of marginal inference.
+#[derive(Debug)]
+pub struct MarginalResult {
+    /// `(atom, P(atom = true))` pairs for every query atom.
+    pub marginals: Vec<(GroundAtom, f64)>,
+    /// Rendered atom names aligned with `marginals`.
+    pub names: Vec<String>,
+    /// Run measurements.
+    pub report: InferenceReport,
+}
+
+impl MarginalResult {
+    /// The marginal probability of a specific atom, if it was a query atom.
+    pub fn probability_of(&self, predicate: &str, args: &[&str]) -> Option<f64> {
+        let rendered = format!("{predicate}({})", args.join(", "));
+        self.names
+            .iter()
+            .position(|n| *n == rendered)
+            .map(|i| self.marginals[i].1)
+    }
+}

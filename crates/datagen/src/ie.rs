@@ -1,0 +1,125 @@
+//! IE — Information Extraction (segmenting Citeseer citation strings into
+//! structured fields).
+//!
+//! Structure that matters: the MLN is dominated by token-specific lexicon
+//! rules (~1K rules in Table 1), and the MRF fragments into *thousands*
+//! of tiny components — "the MRF of the Information Extraction (IE)
+//! dataset contains thousands of 2-cliques and 3-cliques" (§3.3). Each
+//! citation yields one short chain of position-label atoms; nothing links
+//! citations to each other.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// The extraction fields.
+const FIELDS: [&str; 3] = ["FAuthor", "FTitle", "FVenue"];
+
+/// Generates an IE instance with `citations` citation strings and a
+/// lexicon of `vocab` token types.
+///
+/// Citations are 2–4 tokens long, so components are 2–4 atom cliques —
+/// the shape §3.3 describes.
+pub fn ie(citations: usize, vocab: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = vocab.max(6);
+    let mut program = String::new();
+    // 18 relations as in Table 1 (the real MLN has many helper
+    // predicates; the ones beyond the core four are schema-only here).
+    program.push_str("*token(word, position, citation)\n");
+    program.push_str("*next(position, position, citation)\n");
+    program.push_str("*first(position, citation)\n");
+    program.push_str("*last(position, citation)\n");
+    program.push_str("field(citation, position, fieldtype)\n");
+    for aux in [
+        "*isDigit(word)",
+        "*isInitial(word)",
+        "*isDate(word)",
+        "*hasComma(position, citation)",
+        "*hasPeriod(position, citation)",
+        "*followsComma(position, citation)",
+        "*capitalized(word)",
+        "*quoted(position, citation)",
+        "*inParens(position, citation)",
+        "*isPageNo(word)",
+        "*isEditor(word)",
+        "*isProceedings(word)",
+        "*centerPos(position, citation)",
+    ] {
+        program.push_str(aux);
+        program.push('\n');
+    }
+
+    // Structural rules.
+    program.push_str("3 field(c, p, f1), field(c, p, f2) => f1 = f2\n");
+    program.push_str("1 field(c, p1, f), next(p1, p2, c) => field(c, p2, f)\n");
+    program.push_str("0.6 first(p, c) => field(c, p, FAuthor)\n");
+    program.push_str("0.6 last(p, c) => field(c, p, FVenue)\n");
+    // The lexicon: one rule per (token type, field) with a learned-looking
+    // weight — this is where the paper's ~1K rules come from.
+    for w in 0..vocab {
+        let f = FIELDS[w % FIELDS.len()];
+        let weight = 0.4 + 1.2 * (w % 7) as f64 / 7.0;
+        let _ = writeln!(program, "{weight:.2} token(W{w}, p, c) => field(c, p, {f})");
+    }
+
+    // Evidence: short token chains, one per citation.
+    let mut evidence = String::new();
+    for c in 0..citations {
+        let len = 2 + rng.gen_range(0..3); // 2..=4 tokens
+        for p in 0..len {
+            let w = rng.gen_range(0..vocab);
+            let _ = writeln!(evidence, "token(W{w}, Pos{p}, C{c})");
+            if p + 1 < len {
+                let _ = writeln!(evidence, "next(Pos{p}, Pos{}, C{c})", p + 1);
+            }
+        }
+        let _ = writeln!(evidence, "first(Pos0, C{c})");
+        let _ = writeln!(evidence, "last(Pos{}, C{c})", len - 1);
+        // A sprinkle of auxiliary evidence for schema realism.
+        if rng.gen_bool(0.3) {
+            let _ = writeln!(evidence, "hasComma(Pos{}, C{c})", rng.gen_range(0..len));
+        }
+    }
+    crate::parse("IE", &program, &evidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuffy_grounder::{ground_bottom_up, GroundingMode};
+    use tuffy_mrf::ComponentSet;
+    use tuffy_rdbms::OptimizerConfig;
+
+    #[test]
+    fn matches_table1_shape() {
+        let d = ie(30, 120, 1);
+        assert_eq!(d.program.predicates.len(), 18); // Table 1: 18 relations
+        assert!(
+            d.program.rules.len() > 100,
+            "token rules dominate: {}",
+            d.program.rules.len()
+        );
+    }
+
+    #[test]
+    fn one_small_component_per_citation() {
+        let n = 40;
+        let d = ie(n, 30, 2);
+        let g = ground_bottom_up(
+            &d.program,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let cs = ComponentSet::detect(&g.mrf);
+        // One component per citation (a citation whose tokens produce no
+        // rules could drop out, but the lexicon covers every token).
+        assert_eq!(cs.nontrivial_count(), n);
+        // Components are small: positions × fields atoms each.
+        for i in 0..cs.count() {
+            assert!(cs.atoms[i].len() <= 4 * FIELDS.len());
+        }
+    }
+}

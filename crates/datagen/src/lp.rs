@@ -1,0 +1,244 @@
+//! LP — Link Prediction (student–adviser relationships from an
+//! administrative CS-department database; the UW-CSE testbed).
+//!
+//! Structure that matters: a rich schema (22 relations in Table 1), ~94
+//! rules most of which are per-value instantiations of a few templates,
+//! and a *single* MRF component — advisers, students, papers, and courses
+//! are all transitively connected, so component-aware partitioning buys
+//! nothing here (Tables 2/5 report `#components = 1`).
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Academic phases used to instantiate per-phase rules.
+const PHASES: [&str; 6] = [
+    "PreQuals",
+    "PostQuals",
+    "PostGenerals",
+    "Year1",
+    "Year2",
+    "Year3plus",
+];
+
+/// Positions used to instantiate per-position rules.
+const POSITIONS: [&str; 4] = ["Faculty", "Affiliate", "Emeritus", "Visiting"];
+
+/// Generates an LP instance with `professors` advisers and
+/// `students_per_prof` students each.
+pub fn lp(professors: usize, students_per_prof: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut program = String::new();
+    // 22 relations, mirroring the UW-CSE schema (query: advisedBy,
+    // tempAdvisedBy).
+    let decls = [
+        "*professor(person)",
+        "*student(person)",
+        "*hasPosition(person, position)",
+        "*inPhase(person, phase)",
+        "*yearsInProgram(person, year)",
+        "*taughtBy(course, person, quarter)",
+        "*ta(course, person, quarter)",
+        "*courseLevel(course, level)",
+        "*publication(paperid, person)",
+        "*projectMember(project, person)",
+        "*sameProject(project, project)",
+        "*sameCourse(course, course)",
+        "*samePerson(person, person)",
+        "*introCourse(course)",
+        "*gradCourse(course)",
+        "*postQuals(person)",
+        "*multiplePubs(person)",
+        "*seniorStudent(person)",
+        "*juniorFaculty(person)",
+        "*longProgram(person)",
+        "advisedBy(person, person)",
+        "tempAdvisedBy(person, person)",
+    ];
+    for d in decls {
+        program.push_str(d);
+        program.push('\n');
+    }
+
+    // Core templates.
+    program.push_str("2.5 publication(p, s), publication(p, a), student(s), professor(a) => advisedBy(s, a)\n");
+    program.push_str("0.8 ta(c, s, q), taughtBy(c, a, q), student(s), professor(a) => advisedBy(s, a)\n");
+    program.push_str("1.5 advisedBy(s, a), advisedBy(s, b) => a = b\n");
+    program.push_str("1.0 tempAdvisedBy(s, a), advisedBy(s, b) => a = b\n");
+    program.push_str("0.7 projectMember(j, s), projectMember(j, a), student(s), professor(a) => advisedBy(s, a)\n");
+    program.push_str("-0.4 advisedBy(s, a)\n");
+    program.push_str("-0.6 tempAdvisedBy(s, a)\n");
+    program.push_str("1.2 advisedBy(s, a) => student(s)\n");
+    program.push_str("1.2 advisedBy(s, a) => professor(a)\n");
+    program.push_str("0.5 tempAdvisedBy(s, a), publication(p, s), publication(p, a) => advisedBy(s, a)\n");
+    // Per-phase and per-position instantiations (the bulk of the 94 rules).
+    for (i, phase) in PHASES.iter().enumerate() {
+        let w = 0.3 + 0.1 * i as f64;
+        let _ = writeln!(
+            program,
+            "{w:.2} inPhase(s, {phase}), publication(p, s), publication(p, a), professor(a) => advisedBy(s, a)"
+        );
+        let _ = writeln!(
+            program,
+            "{:.2} inPhase(s, {phase}), student(s) => EXIST a advisedBy(s, a) v tempAdvisedBy(s, a)",
+            0.2 + 0.05 * i as f64
+        );
+        let _ = writeln!(
+            program,
+            "0.1 inPhase(s, {phase}), tempAdvisedBy(s, a) => advisedBy(s, a)"
+        );
+    }
+    for (i, pos) in POSITIONS.iter().enumerate() {
+        let w = 0.4 + 0.1 * i as f64;
+        let _ = writeln!(
+            program,
+            "{w:.2} hasPosition(a, {pos}), publication(p, a), publication(p, s), student(s) => advisedBy(s, a)"
+        );
+        let _ = writeln!(
+            program,
+            "{:.2} hasPosition(a, {pos}), taughtBy(c, a, q), ta(c, s, q) => advisedBy(s, a)",
+            0.3 + 0.05 * i as f64
+        );
+    }
+    for y in 1..=8 {
+        let _ = writeln!(
+            program,
+            "{:.2} yearsInProgram(s, Y{y}), publication(p, s), publication(p, a), professor(a) => advisedBy(s, a)",
+            0.1 * y as f64
+        );
+    }
+    // Per-(phase, position) interaction rules to round the set out.
+    for phase in PHASES.iter() {
+        for pos in POSITIONS.iter() {
+            let _ = writeln!(
+                program,
+                "0.05 inPhase(s, {phase}), hasPosition(a, {pos}), tempAdvisedBy(s, a) => advisedBy(s, a)"
+            );
+        }
+    }
+    // Per-quarter co-teaching rules.
+    for q in 1..=4 {
+        let _ = writeln!(
+            program,
+            "0.45 taughtBy(c, a, Q{q}), ta(c, s, Q{q}), professor(a) => advisedBy(s, a)"
+        );
+    }
+    // Per-year temporary-advising rules.
+    for y in 1..=8 {
+        let _ = writeln!(
+            program,
+            "{:.2} yearsInProgram(s, Y{y}), ta(c, s, q), taughtBy(c, a, q) => tempAdvisedBy(s, a)",
+            0.25 - 0.02 * y as f64
+        );
+    }
+    // Miscellaneous schema rules over the remaining relations.
+    for rule in [
+        "0.4 sameProject(j1, j2), projectMember(j1, s), projectMember(j2, a), professor(a) => advisedBy(s, a)",
+        "0.4 sameCourse(c1, c2), ta(c1, s, q1), taughtBy(c2, a, q2) => advisedBy(s, a)",
+        "1.0 samePerson(p1, p2), advisedBy(p1, a) => advisedBy(p2, a)",
+        "0.3 introCourse(c), ta(c, s, q), taughtBy(c, a, q) => tempAdvisedBy(s, a)",
+        "0.5 gradCourse(c), ta(c, s, q), taughtBy(c, a, q) => advisedBy(s, a)",
+        "0.6 postQuals(s), publication(p, s), publication(p, a), professor(a) => advisedBy(s, a)",
+        "0.7 multiplePubs(s), publication(p, s), publication(p, a), professor(a) => advisedBy(s, a)",
+        "0.5 seniorStudent(s), tempAdvisedBy(s, a) => advisedBy(s, a)",
+        "-0.2 juniorFaculty(a) => advisedBy(s, a)",
+        "0.2 longProgram(s), publication(p, s), publication(p, a), professor(a) => advisedBy(s, a)",
+        "0.3 courseLevel(c, Level500), ta(c, s, q), taughtBy(c, a, q) => advisedBy(s, a)",
+    ] {
+        program.push_str(rule);
+        program.push('\n');
+    }
+    // Soft anti-co-advising: connects advisedBy atoms of different
+    // students through their shared professor, making the MRF one
+    // component (Table 1: LP has a single component).
+    program.push_str("0.3 advisedBy(s1, a), advisedBy(s2, a) => s1 = s2\n");
+
+    // Evidence: a single connected department.
+    let mut evidence = String::new();
+    let mut paper = 0usize;
+    let mut course = 0usize;
+    for a in 0..professors {
+        let _ = writeln!(evidence, "professor(Prof{a})");
+        let _ = writeln!(
+            evidence,
+            "hasPosition(Prof{a}, {})",
+            POSITIONS[a % POSITIONS.len()]
+        );
+        for si in 0..students_per_prof {
+            let s = a * students_per_prof + si;
+            let _ = writeln!(evidence, "student(Stu{s})");
+            let _ = writeln!(evidence, "inPhase(Stu{s}, {})", PHASES[s % PHASES.len()]);
+            let _ = writeln!(evidence, "yearsInProgram(Stu{s}, Y{})", 1 + s % 8);
+            // Publications with the "true" adviser, plus cross-prof noise
+            // that keeps the whole department one component.
+            let n_pubs = 1 + rng.gen_range(0..3);
+            for _ in 0..n_pubs {
+                let _ = writeln!(evidence, "publication(Pub{paper}, Stu{s})");
+                let _ = writeln!(evidence, "publication(Pub{paper}, Prof{a})");
+                paper += 1;
+            }
+            if rng.gen_bool(0.5) {
+                let other = rng.gen_range(0..professors);
+                let _ = writeln!(evidence, "publication(Pub{paper}, Stu{s})");
+                let _ = writeln!(evidence, "publication(Pub{paper}, Prof{other})");
+                paper += 1;
+            }
+            // TA a course taught by some professor.
+            if rng.gen_bool(0.6) {
+                let teacher = rng.gen_range(0..professors);
+                let q = 1 + rng.gen_range(0..4);
+                let _ = writeln!(evidence, "taughtBy(Course{course}, Prof{teacher}, Q{q})");
+                let _ = writeln!(evidence, "ta(Course{course}, Stu{s}, Q{q})");
+                let _ = writeln!(
+                    evidence,
+                    "courseLevel(Course{course}, Level{})",
+                    400 + 100 * (course % 2)
+                );
+                course += 1;
+            }
+        }
+    }
+    crate::parse("LP", &program, &evidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuffy_grounder::{ground_bottom_up, GroundingMode};
+    use tuffy_mrf::ComponentSet;
+    use tuffy_rdbms::OptimizerConfig;
+
+    #[test]
+    fn matches_table1_shape() {
+        let d = lp(4, 3, 1);
+        assert_eq!(d.program.predicates.len(), 22); // Table 1: 22 relations
+        assert!(
+            (60..=110).contains(&d.program.rules.len()),
+            "rules = {}",
+            d.program.rules.len()
+        );
+    }
+
+    #[test]
+    fn grounds_into_one_big_component() {
+        let d = lp(4, 3, 2);
+        let g = ground_bottom_up(
+            &d.program,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let cs = ComponentSet::detect(&g.mrf);
+        // Dominated by one large component (a few stray atoms allowed).
+        let biggest = (0..cs.count())
+            .map(|i| cs.atoms[i].len())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            biggest * 10 >= g.mrf.num_atoms() * 8,
+            "biggest component {biggest} of {}",
+            g.mrf.num_atoms()
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Bulk-loading a program's evidence into the RDBMS.
+//!
+//! §3.1: "These tables form the input to grounding, and Tuffy constructs
+//! them using standard bulk-loading techniques." Per predicate `P` we load
+//! `evt_P` (positive evidence tuples), `evf_P` (explicit negative
+//! evidence), and — for open-world predicates — `reach_P`, which starts as
+//! a copy of `evt_P` and grows with *active* unknown atoms during the lazy
+//! closure (Appendix A.3). Per type `T` we load the constant domain
+//! `dom_T`.
+
+use crate::registry::EvidenceIndex;
+use tuffy_mln::program::MlnProgram;
+use tuffy_mln::MlnError;
+use tuffy_rdbms::{Database, TableId, TableSchema};
+
+/// The grounding database: the engine instance plus table handles.
+pub struct GroundingDb {
+    /// The embedded database holding all grounding inputs.
+    pub db: Database,
+    /// Positive-evidence table per predicate.
+    pub evt: Vec<TableId>,
+    /// Negative-evidence table per predicate.
+    pub evf: Vec<TableId>,
+    /// Reachable-atom table per predicate (evt ∪ active unknown atoms).
+    pub reach: Vec<TableId>,
+    /// Per-predicate delta of `reach`: the atoms activated in the
+    /// previous closure round. Drives semi-naive re-grounding — each
+    /// round joins against the (small) delta instead of the full
+    /// reachable set, the standard Datalog evaluation the SQL formulation
+    /// gets for free.
+    pub reach_delta: Vec<TableId>,
+    /// Constant-domain table per type.
+    pub dom: Vec<TableId>,
+}
+
+impl GroundingDb {
+    /// Builds and bulk-loads all grounding tables.
+    pub fn build(program: &MlnProgram, ev: &EvidenceIndex) -> Result<GroundingDb, MlnError> {
+        let mut db = Database::in_memory();
+        let mut evt = Vec::with_capacity(program.predicates.len());
+        let mut evf = Vec::with_capacity(program.predicates.len());
+        let mut reach = Vec::with_capacity(program.predicates.len());
+        let mut reach_delta = Vec::with_capacity(program.predicates.len());
+        let to_db = |e: tuffy_rdbms::DbError| MlnError::general(e.to_string());
+
+        for (pi, decl) in program.predicates.iter().enumerate() {
+            let name = program.symbols.resolve(decl.name);
+            let cols: Vec<String> = (0..decl.arity()).map(|i| format!("a{i}")).collect();
+            let t = db
+                .create_table(format!("evt_{name}"), TableSchema::new(cols.clone()))
+                .map_err(to_db)?;
+            let f = db
+                .create_table(format!("evf_{name}"), TableSchema::new(cols.clone()))
+                .map_err(to_db)?;
+            let r = db
+                .create_table(format!("reach_{name}"), TableSchema::new(cols.clone()))
+                .map_err(to_db)?;
+            let d = db
+                .create_table(format!("reach_delta_{name}"), TableSchema::new(cols))
+                .map_err(to_db)?;
+            let pred = tuffy_mln::schema::PredicateId(pi as u32);
+            for (args, truth) in ev.iter_pred(pred) {
+                db.insert(if truth { t } else { f }, args).map_err(to_db)?;
+                if truth {
+                    db.insert(r, args).map_err(to_db)?;
+                }
+            }
+            evt.push(t);
+            evf.push(f);
+            reach.push(r);
+            reach_delta.push(d);
+        }
+
+        let mut dom = Vec::with_capacity(program.types.len());
+        for (ti, &tname) in program.types.iter().enumerate() {
+            let name = program.symbols.resolve(tname);
+            let t = db
+                .create_table(format!("dom_{name}"), TableSchema::new(vec!["value"]))
+                .map_err(to_db)?;
+            for c in &program.domains[ti] {
+                db.insert(t, &[c.0]).map_err(to_db)?;
+            }
+            dom.push(t);
+        }
+
+        Ok(GroundingDb {
+            db,
+            evt,
+            evf,
+            reach,
+            reach_delta,
+            dom,
+        })
+    }
+
+    /// Adds a newly activated unknown atom to its predicate's reachable
+    /// table (lazy-closure iteration). The atom is *not* added to the
+    /// delta until [`GroundingDb::promote_deltas`] runs at round end.
+    pub fn activate(&mut self, pred: tuffy_mln::schema::PredicateId, args: &[u32]) {
+        let t = self.reach[pred.index()];
+        self.db
+            .insert(t, args)
+            .expect("reachable table arity mismatch");
+    }
+
+    /// Replaces every delta table's contents with this round's
+    /// activations, readying the next semi-naive round.
+    pub fn promote_deltas(
+        &mut self,
+        activations: &[(tuffy_mln::schema::PredicateId, Vec<u32>)],
+    ) {
+        for &t in &self.reach_delta {
+            self.db.truncate(t);
+        }
+        for (pred, args) in activations {
+            let t = self.reach_delta[pred.index()];
+            self.db.insert(t, args).expect("delta table arity mismatch");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuffy_mln::parser::{parse_evidence, parse_program};
+
+    fn program() -> MlnProgram {
+        let mut p = parse_program(
+            "*wrote(person, paper)\ncat(paper, topic)\n1 wrote(x, p) => cat(p, Db)\n",
+        )
+        .unwrap();
+        parse_evidence(&mut p, "wrote(Joe, P1)\nwrote(Ann, P2)\n!cat(P1, Db)\ncat(P2, Ai)\n")
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn tables_loaded() {
+        let p = program();
+        let ev = EvidenceIndex::build(&p).unwrap();
+        let g = GroundingDb::build(&p, &ev).unwrap();
+        let wrote = p.predicate_by_name("wrote").unwrap();
+        let cat = p.predicate_by_name("cat").unwrap();
+        assert_eq!(g.db.table(g.evt[wrote.index()]).len(), 2);
+        assert_eq!(g.db.table(g.evf[wrote.index()]).len(), 0);
+        assert_eq!(g.db.table(g.evt[cat.index()]).len(), 1);
+        assert_eq!(g.db.table(g.evf[cat.index()]).len(), 1);
+        // reach starts as a copy of evt.
+        assert_eq!(g.db.table(g.reach[cat.index()]).len(), 1);
+        // Domains: person {Joe, Ann}, paper {P1, P2}, topic {Db, Ai}.
+        let person = p.symbols.get("person").unwrap();
+        let ti = p.types.iter().position(|&t| t == person).unwrap();
+        assert_eq!(g.db.table(g.dom[ti]).len(), 2);
+    }
+
+    #[test]
+    fn activation_grows_reachable() {
+        let p = program();
+        let ev = EvidenceIndex::build(&p).unwrap();
+        let mut g = GroundingDb::build(&p, &ev).unwrap();
+        let cat = p.predicate_by_name("cat").unwrap();
+        let before = g.db.table(g.reach[cat.index()]).len();
+        g.activate(cat, &[77, 78]);
+        assert_eq!(g.db.table(g.reach[cat.index()]).len(), before + 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Atom identity and evidence lookup.
+
+use tuffy_mln::fxhash::FxHashMap;
+use tuffy_mln::ground::GroundAtom;
+use tuffy_mln::program::MlnProgram;
+use tuffy_mln::schema::PredicateId;
+use tuffy_mln::symbols::Symbol;
+use tuffy_mln::MlnError;
+use tuffy_mrf::AtomId;
+
+/// Assigns dense [`AtomId`]s to unknown (query) ground atoms.
+///
+/// This is the in-memory face of Tuffy's atom relations `R_P(aid, args,
+/// truth)` (§3.1): evidence atoms never enter the registry — only atoms
+/// whose truth value search must decide.
+#[derive(Clone, Debug, Default)]
+pub struct AtomRegistry {
+    map: FxHashMap<(u32, Box<[u32]>), AtomId>,
+    atoms: Vec<(PredicateId, Box<[u32]>)>,
+}
+
+impl AtomRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether no atoms are registered.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Returns the id for `(pred, args)`, registering it if new.
+    pub fn intern(&mut self, pred: PredicateId, args: &[u32]) -> AtomId {
+        if let Some(&id) = self.map.get(&(pred.0, args.into())) {
+            return id;
+        }
+        let id = self.atoms.len() as AtomId;
+        self.atoms.push((pred, args.into()));
+        self.map.insert((pred.0, args.into()), id);
+        id
+    }
+
+    /// Looks up an atom id without registering.
+    pub fn get(&self, pred: PredicateId, args: &[u32]) -> Option<AtomId> {
+        self.map.get(&(pred.0, args.into())).copied()
+    }
+
+    /// The predicate and arguments of atom `id`.
+    pub fn atom(&self, id: AtomId) -> (PredicateId, &[u32]) {
+        let (p, args) = &self.atoms[id as usize];
+        (*p, args)
+    }
+
+    /// Reconstructs the [`GroundAtom`] for `id`.
+    pub fn ground_atom(&self, id: AtomId) -> GroundAtom {
+        let (p, args) = self.atom(id);
+        GroundAtom::new(p, args.iter().map(|&a| Symbol(a)).collect())
+    }
+
+    /// Approximate heap bytes held by the registry.
+    pub fn bytes(&self) -> usize {
+        let per_atom = std::mem::size_of::<(PredicateId, Box<[u32]>)>();
+        let args: usize = self.atoms.iter().map(|(_, a)| a.len() * 4).sum();
+        // Map entries roughly double the key storage.
+        self.atoms.len() * per_atom + 2 * args + self.atoms.len() * 16
+    }
+}
+
+/// Immutable evidence lookup: per-predicate maps from argument tuples to
+/// asserted truth.
+#[derive(Clone, Debug, Default)]
+pub struct EvidenceIndex {
+    by_pred: Vec<FxHashMap<Box<[u32]>, bool>>,
+}
+
+impl EvidenceIndex {
+    /// Builds the index from a program's evidence list. Errors on
+    /// contradictory assertions.
+    pub fn build(program: &MlnProgram) -> Result<EvidenceIndex, MlnError> {
+        let mut by_pred: Vec<FxHashMap<Box<[u32]>, bool>> =
+            vec![FxHashMap::default(); program.predicates.len()];
+        for ev in &program.evidence {
+            let args: Box<[u32]> = ev.atom.args.iter().map(|s| s.0).collect();
+            let map = &mut by_pred[ev.atom.predicate.index()];
+            if let Some(&prev) = map.get(&args) {
+                if prev != ev.positive {
+                    return Err(MlnError::general(format!(
+                        "contradictory evidence for `{}`",
+                        program.predicate_name(ev.atom.predicate)
+                    )));
+                }
+            } else {
+                map.insert(args, ev.positive);
+            }
+        }
+        Ok(EvidenceIndex { by_pred })
+    }
+
+    /// The asserted truth of `(pred, args)`, if any.
+    #[inline]
+    pub fn truth(&self, pred: PredicateId, args: &[u32]) -> Option<bool> {
+        self.by_pred[pred.index()].get(args).copied()
+    }
+
+    /// Truth under the closed-world assumption: unlisted atoms are false.
+    #[inline]
+    pub fn truth_cwa(&self, pred: PredicateId, args: &[u32]) -> bool {
+        self.truth(pred, args) == Some(true)
+    }
+
+    /// Number of positive-evidence tuples for `pred`.
+    pub fn positive_count(&self, pred: PredicateId) -> usize {
+        self.by_pred[pred.index()]
+            .values()
+            .filter(|&&v| v)
+            .count()
+    }
+
+    /// Iterates the evidence tuples for `pred` as `(args, truth)`.
+    pub fn iter_pred(&self, pred: PredicateId) -> impl Iterator<Item = (&[u32], bool)> + '_ {
+        self.by_pred[pred.index()]
+            .iter()
+            .map(|(k, &v)| (k.as_ref(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuffy_mln::parser::{parse_evidence, parse_program};
+
+    fn program() -> MlnProgram {
+        let mut p = parse_program("*wrote(person, paper)\ncat(paper, c)\n1 wrote(x, p) => cat(p, Db)\n").unwrap();
+        parse_evidence(&mut p, "wrote(Joe, P1)\n!cat(P1, Db)\n").unwrap();
+        p
+    }
+
+    #[test]
+    fn registry_interns_densely() {
+        let mut r = AtomRegistry::new();
+        let p = PredicateId(0);
+        let a = r.intern(p, &[1, 2]);
+        let b = r.intern(p, &[1, 3]);
+        let a2 = r.intern(p, &[1, 2]);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.atom(a), (p, &[1u32, 2][..]));
+        assert_eq!(r.get(p, &[1, 3]), Some(b));
+        assert_eq!(r.get(p, &[9, 9]), None);
+    }
+
+    #[test]
+    fn evidence_lookup() {
+        let p = program();
+        let ev = EvidenceIndex::build(&p).unwrap();
+        let wrote = p.predicate_by_name("wrote").unwrap();
+        let cat = p.predicate_by_name("cat").unwrap();
+        let joe = p.symbols.get("Joe").unwrap().0;
+        let p1 = p.symbols.get("P1").unwrap().0;
+        let db = p.symbols.get("Db").unwrap().0;
+        assert_eq!(ev.truth(wrote, &[joe, p1]), Some(true));
+        assert!(ev.truth_cwa(wrote, &[joe, p1]));
+        assert!(!ev.truth_cwa(wrote, &[p1, joe]));
+        assert_eq!(ev.truth(cat, &[p1, db]), Some(false));
+        assert_eq!(ev.truth(cat, &[p1, joe]), None);
+        assert_eq!(ev.positive_count(wrote), 1);
+    }
+
+    #[test]
+    fn contradictory_evidence_rejected() {
+        let mut p = program();
+        let cat = p.predicate_by_name("cat").unwrap();
+        let p1 = p.symbols.get("P1").unwrap();
+        let db = p.symbols.get("Db").unwrap();
+        p.add_evidence(GroundAtom::new(cat, vec![p1, db]), true); // conflicts with !cat(P1,Db)
+        assert!(EvidenceIndex::build(&p).is_err());
+    }
+}

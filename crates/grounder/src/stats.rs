@@ -1,0 +1,26 @@
+//! Grounding statistics (feeds Tables 1, 2, 4, 6).
+
+use std::time::Duration;
+use tuffy_rdbms::IoStats;
+
+/// Counters collected during one grounding run.
+#[derive(Clone, Debug, Default)]
+pub struct GroundingStats {
+    /// Wall-clock grounding time.
+    pub wall: Duration,
+    /// Lazy-closure rounds executed (1 for eager mode).
+    pub rounds: usize,
+    /// Ground clauses retained (after merging duplicates).
+    pub clauses: usize,
+    /// Unknown (query) atoms registered.
+    pub atoms: usize,
+    /// Candidate bindings inspected by emission.
+    pub bindings_considered: u64,
+    /// RDBMS I/O counters (bottom-up only; zero for top-down).
+    pub io: IoStats,
+    /// Peak bytes of grounding-time state: for the top-down grounder this
+    /// is the in-memory tuple stores + registry + clause store it must
+    /// hold throughout; for bottom-up it is the registry plus the largest
+    /// single query result (intermediate state lives in the RDBMS).
+    pub peak_bytes: usize,
+}

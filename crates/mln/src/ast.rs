@@ -1,0 +1,223 @@
+//! Abstract syntax of MLN rules.
+//!
+//! A rule is a weighted first-order formula (Figure 1 of the paper). The
+//! parser produces [`Formula`]s in a restricted shape — an optional
+//! conjunction body implying a disjunction head — which [`crate::clausify`]
+//! turns into weighted clauses (disjunctions of literals, possibly with
+//! existentially quantified variables and variable-(in)equality guards).
+
+use crate::schema::PredicateId;
+use crate::symbols::Symbol;
+use crate::weight::Weight;
+use std::fmt;
+
+/// A variable, scoped to a single rule, identified by its interned name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub Symbol);
+
+/// A term: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A universally (or existentially) quantified variable.
+    Var(Var),
+    /// An interned constant.
+    Const(Symbol),
+}
+
+impl Term {
+    /// Returns the variable if this term is one.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// An atom: a predicate applied to terms, e.g. `cat(p, c1)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The predicate.
+    pub predicate: PredicateId,
+    /// Argument terms; length equals the predicate's arity.
+    pub args: Vec<Term>,
+}
+
+/// A literal: an atom or its negation, or a variable (in)equality guard.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Literal {
+    /// `[!]p(t1, …, tk)`.
+    Pred {
+        /// The underlying atom.
+        atom: Atom,
+        /// `true` if the literal is negated (`!p(…)`).
+        negated: bool,
+    },
+    /// `t1 = t2` (or `t1 != t2` when `negated`). Resolved during grounding:
+    /// an equality that holds makes the clause vacuously satisfied; one that
+    /// fails is simply dropped from the ground clause.
+    Eq {
+        /// Left-hand term.
+        left: Term,
+        /// Right-hand term.
+        right: Term,
+        /// `true` for `!=`.
+        negated: bool,
+    },
+}
+
+impl Literal {
+    /// Convenience constructor for a (possibly negated) predicate literal.
+    pub fn pred(predicate: PredicateId, args: Vec<Term>, negated: bool) -> Self {
+        Literal::Pred {
+            atom: Atom { predicate, args },
+            negated,
+        }
+    }
+
+    /// The literal with its polarity flipped.
+    pub fn negate(&self) -> Literal {
+        match self {
+            Literal::Pred { atom, negated } => Literal::Pred {
+                atom: atom.clone(),
+                negated: !negated,
+            },
+            Literal::Eq {
+                left,
+                right,
+                negated,
+            } => Literal::Eq {
+                left: *left,
+                right: *right,
+                negated: !negated,
+            },
+        }
+    }
+
+    /// Iterates over all terms in the literal.
+    pub fn terms(&self) -> Vec<Term> {
+        match self {
+            Literal::Pred { atom, .. } => atom.args.clone(),
+            Literal::Eq { left, right, .. } => vec![*left, *right],
+        }
+    }
+
+    /// All distinct variables in the literal, in first-occurrence order.
+    pub fn variables(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in self.terms() {
+            if let Term::Var(v) = t {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A parsed formula in implication or disjunction shape.
+///
+/// `body` is a conjunction of literals (empty for pure disjunctions); `head`
+/// is a disjunction of literals. `exists` lists variables existentially
+/// quantified in the head (`EXIST x head`), as in rule F4 of Figure 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Formula {
+    /// Conjunction of literals to the left of `=>` (possibly empty).
+    pub body: Vec<Literal>,
+    /// Disjunction of literals to the right of `=>` (or the whole formula).
+    pub head: Vec<Literal>,
+    /// Existentially quantified head variables.
+    pub exists: Vec<Var>,
+}
+
+/// A weighted rule: a formula plus its weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// The rule weight (soft, hard, or negative).
+    pub weight: Weight,
+    /// The formula.
+    pub formula: Formula,
+    /// 1-based source line for diagnostics.
+    pub line: usize,
+}
+
+impl Formula {
+    /// All distinct variables appearing anywhere in the formula, in
+    /// first-occurrence order.
+    pub fn variables(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for lit in self.body.iter().chain(self.head.iter()) {
+            for v in lit.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Variables that are universally quantified (all variables minus the
+    /// existential ones).
+    pub fn universal_variables(&self) -> Vec<Var> {
+        self.variables()
+            .into_iter()
+            .filter(|v| !self.exists.contains(v))
+            .collect()
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "?{}", v.0 .0),
+            Term::Const(c) => write!(f, "#{}", c.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(p: u32, vars: &[u32], negated: bool) -> Literal {
+        Literal::pred(
+            PredicateId(p),
+            vars.iter().map(|&v| Term::Var(Var(Symbol(v)))).collect(),
+            negated,
+        )
+    }
+
+    #[test]
+    fn variables_in_order_without_duplicates() {
+        let f = Formula {
+            body: vec![lit(0, &[1, 2], false), lit(0, &[2, 3], false)],
+            head: vec![lit(1, &[3, 4], false)],
+            exists: vec![],
+        };
+        let vars: Vec<u32> = f.variables().iter().map(|v| v.0 .0).collect();
+        assert_eq!(vars, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn universal_excludes_existential() {
+        let f = Formula {
+            body: vec![],
+            head: vec![lit(0, &[1, 2], false)],
+            exists: vec![Var(Symbol(2))],
+        };
+        let vars: Vec<u32> = f.universal_variables().iter().map(|v| v.0 .0).collect();
+        assert_eq!(vars, vec![1]);
+    }
+
+    #[test]
+    fn negate_flips_polarity() {
+        let l = lit(0, &[1], false);
+        let n = l.negate();
+        match &n {
+            Literal::Pred { negated, .. } => assert!(*negated),
+            _ => panic!("expected predicate literal"),
+        }
+        assert_eq!(n.negate(), l);
+    }
+}

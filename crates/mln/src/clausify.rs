@@ -1,0 +1,205 @@
+//! Conversion of rules to weighted clausal form (§2.2, footnote 3).
+//!
+//! Every rule `body => head` becomes the clause `¬b1 ∨ … ∨ ¬bm ∨ h1 ∨ … ∨ hn`
+//! with the rule's weight. Clauses are simplified: duplicate literals are
+//! removed, tautologies (a literal and its negation, or a trivially true
+//! equality) are dropped entirely, and trivially false literals are deleted.
+
+use crate::ast::{Literal, Rule, Term, Var};
+use crate::program::MlnProgram;
+use crate::weight::Weight;
+
+/// A rule in clausal form: a weighted disjunction of literals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClausalRule {
+    /// The clause weight (every grounding of this clause gets this weight).
+    pub weight: Weight,
+    /// Disjuncts. Equality literals are resolved at grounding time.
+    pub literals: Vec<Literal>,
+    /// Existentially quantified variables (ground clauses will contain one
+    /// disjunct per constant for each such variable).
+    pub exists: Vec<Var>,
+    /// Index of the originating rule in [`MlnProgram::rules`].
+    pub rule_index: usize,
+    /// Source line of the originating rule.
+    pub line: usize,
+}
+
+impl ClausalRule {
+    /// Universally quantified variables of the clause.
+    pub fn universal_variables(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for lit in &self.literals {
+            for v in lit.variables() {
+                if !self.exists.contains(&v) && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Converts every rule of `program` to clausal form, dropping rules whose
+/// clause is a tautology or has zero weight.
+pub fn clausify_program(program: &MlnProgram) -> Vec<ClausalRule> {
+    program
+        .rules
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| clausify_rule(r, i))
+        .collect()
+}
+
+/// Converts a single rule. Returns `None` for tautologies and zero weights.
+pub fn clausify_rule(rule: &Rule, rule_index: usize) -> Option<ClausalRule> {
+    if rule.weight == Weight::Soft(0.0) {
+        return None;
+    }
+    let mut literals: Vec<Literal> = Vec::with_capacity(
+        rule.formula.body.len() + rule.formula.head.len(),
+    );
+    for lit in &rule.formula.body {
+        literals.push(lit.negate());
+    }
+    literals.extend(rule.formula.head.iter().cloned());
+    let literals = simplify(literals)?;
+    Some(ClausalRule {
+        weight: rule.weight,
+        literals,
+        exists: rule.formula.exists.clone(),
+        rule_index,
+        line: rule.line,
+    })
+}
+
+/// Simplifies a disjunction. Returns `None` if it is a tautology.
+fn simplify(literals: Vec<Literal>) -> Option<Vec<Literal>> {
+    let mut out: Vec<Literal> = Vec::with_capacity(literals.len());
+    for lit in literals {
+        // Resolve statically decidable equalities.
+        if let Literal::Eq {
+            left,
+            right,
+            negated,
+        } = &lit
+        {
+            match (left, right) {
+                (Term::Var(a), Term::Var(b)) if a == b => {
+                    if *negated {
+                        continue; // x != x: trivially false literal, drop it.
+                    }
+                    return None; // x = x: tautology.
+                }
+                (Term::Const(a), Term::Const(b)) => {
+                    let holds = (a == b) != *negated;
+                    if holds {
+                        return None; // trivially true literal: tautology.
+                    }
+                    continue; // trivially false: drop the literal.
+                }
+                _ => {}
+            }
+        }
+        // Tautology: the complementary literal is already present.
+        if out.iter().any(|l| *l == lit.negate()) {
+            return None;
+        }
+        // Duplicate literal.
+        if out.contains(&lit) {
+            continue;
+        }
+        out.push(lit);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn clauses_of(src: &str) -> (MlnProgram, Vec<ClausalRule>) {
+        let p = parse_program(src).unwrap();
+        let c = clausify_program(&p);
+        (p, c)
+    }
+
+    #[test]
+    fn implication_becomes_clause() {
+        let (_, c) = clauses_of("*e(t)\nq(t)\n1 e(x), q(x) => q(x)\n");
+        // ¬e(x) ∨ ¬q(x) ∨ q(x) is a tautology: dropped.
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn figure1_f2_clause_shape() {
+        let (_, c) =
+            clauses_of("*wrote(a, p)\ncat(p, c)\n1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)\n");
+        assert_eq!(c.len(), 1);
+        let clause = &c[0];
+        assert_eq!(clause.literals.len(), 4);
+        // First three literals negated (the body), last positive (the head).
+        let neg: Vec<bool> = clause
+            .literals
+            .iter()
+            .map(|l| match l {
+                Literal::Pred { negated, .. } => *negated,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(neg, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn trivially_false_equality_removed() {
+        let (_, c) = clauses_of("q(t)\n1 q(x) => x != x\n");
+        // Head literal x != x is trivially false and dropped; body remains.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].literals.len(), 1);
+    }
+
+    #[test]
+    fn trivially_true_equality_is_tautology() {
+        let (_, c) = clauses_of("q(t)\n1 q(x) => x = x\n");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn constant_equality_resolution() {
+        let (_, c) = clauses_of("q(t)\n1 q(x) => A = B\n");
+        // A = B with distinct constants is false: dropped literal.
+        assert_eq!(c[0].literals.len(), 1);
+        let (_, c) = clauses_of("q(t)\n1 q(x) => A != B\n");
+        // A != B holds: whole clause a tautology.
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicate_literals_deduped() {
+        let (_, c) = clauses_of("q(t)\n1 q(x) v q(x)\n");
+        assert_eq!(c[0].literals.len(), 1);
+    }
+
+    #[test]
+    fn zero_weight_dropped() {
+        let (_, c) = clauses_of("q(t)\n0 q(x)\n");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn existential_preserved() {
+        let (_, c) = clauses_of("*paper(p)\n*wrote(a, p)\npaper(p) => EXIST x wrote(x, p).\n");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].exists.len(), 1);
+        assert_eq!(c[0].universal_variables().len(), 1);
+        assert_eq!(c[0].weight, Weight::Hard);
+    }
+
+    #[test]
+    fn universal_variables_exclude_existentials() {
+        let (_, c) = clauses_of("*r(t, t)\n1 r(x, y) => EXIST z r(y, z)\n");
+        let uv = c[0].universal_variables();
+        assert_eq!(uv.len(), 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for parsing and program validation.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating an MLN program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlnError {
+    /// 1-based line where the error occurred (0 if not line-specific).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl MlnError {
+    /// Creates an error pinned to a source line.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        MlnError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error not tied to a specific line.
+    pub fn general(message: impl Into<String>) -> Self {
+        MlnError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for MlnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for MlnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = MlnError::at(3, "bad token");
+        assert_eq!(e.to_string(), "line 3: bad token");
+        let g = MlnError::general("no predicates");
+        assert_eq!(g.to_string(), "no predicates");
+    }
+}

@@ -1,0 +1,366 @@
+//! The complete MLN program: schema + rules + evidence.
+
+use crate::ast::{Literal, Rule, Term};
+use crate::error::MlnError;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ground::GroundAtom;
+use crate::schema::{PredicateDecl, PredicateId, TypeId};
+use crate::symbols::{Symbol, SymbolTable};
+
+/// A single evidence assertion: a ground atom asserted true or false.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evidence {
+    /// The asserted atom.
+    pub atom: GroundAtom,
+    /// `true` for positive evidence, `false` for `!atom` lines.
+    pub positive: bool,
+}
+
+/// An MLN program: the user's schema, weighted rules, and evidence
+/// (Figure 1: "Schema | A Markov Logic Program | Evidence").
+#[derive(Clone, Debug, Default)]
+pub struct MlnProgram {
+    /// Interned names (constants, predicates, types, variables).
+    pub symbols: SymbolTable,
+    /// Type names by [`TypeId`] index.
+    pub types: Vec<Symbol>,
+    /// Predicate declarations by [`PredicateId`] index.
+    pub predicates: Vec<PredicateDecl>,
+    /// Weighted rules.
+    pub rules: Vec<Rule>,
+    /// Evidence assertions.
+    pub evidence: Vec<Evidence>,
+    /// Per-type constant domains, built from evidence and rule constants.
+    pub domains: Vec<Vec<Symbol>>,
+}
+
+impl MlnProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a type name, creating the type if new.
+    pub fn intern_type(&mut self, name: &str) -> TypeId {
+        let sym = self.symbols.intern(name);
+        if let Some(pos) = self.types.iter().position(|&t| t == sym) {
+            return TypeId(pos as u32);
+        }
+        self.types.push(sym);
+        self.domains.push(Vec::new());
+        TypeId((self.types.len() - 1) as u32)
+    }
+
+    /// Declares a predicate. Errors if the name is already declared.
+    pub fn declare_predicate(
+        &mut self,
+        name: &str,
+        arg_types: Vec<TypeId>,
+        closed_world: bool,
+    ) -> Result<PredicateId, MlnError> {
+        let sym = self.symbols.intern(name);
+        if self.predicates.iter().any(|p| p.name == sym) {
+            return Err(MlnError::general(format!(
+                "predicate `{name}` declared twice"
+            )));
+        }
+        self.predicates.push(PredicateDecl {
+            name: sym,
+            arg_types,
+            closed_world,
+        });
+        Ok(PredicateId((self.predicates.len() - 1) as u32))
+    }
+
+    /// Looks up a predicate id by name.
+    pub fn predicate_by_name(&self, name: &str) -> Option<PredicateId> {
+        let sym = self.symbols.get(name)?;
+        self.predicates
+            .iter()
+            .position(|p| p.name == sym)
+            .map(|i| PredicateId(i as u32))
+    }
+
+    /// The declaration for `pred`.
+    pub fn predicate(&self, pred: PredicateId) -> &PredicateDecl {
+        &self.predicates[pred.index()]
+    }
+
+    /// Resolves a predicate's display name.
+    pub fn predicate_name(&self, pred: PredicateId) -> &str {
+        self.symbols.resolve(self.predicates[pred.index()].name)
+    }
+
+    /// Adds an evidence assertion (unvalidated; see [`Self::validate`]).
+    pub fn add_evidence(&mut self, atom: GroundAtom, positive: bool) {
+        self.evidence.push(Evidence { atom, positive });
+    }
+
+    /// Adds a constant to a type's domain if not already present.
+    ///
+    /// Callers that bulk-load evidence should prefer [`Self::rebuild_domains`]
+    /// which deduplicates once at the end.
+    pub fn add_domain_constant(&mut self, ty: TypeId, constant: Symbol) {
+        let dom = &mut self.domains[ty.index()];
+        if !dom.contains(&constant) {
+            dom.push(constant);
+        }
+    }
+
+    /// Recomputes every type's constant domain from evidence and rule
+    /// constants. Domains are sorted for determinism.
+    pub fn rebuild_domains(&mut self) {
+        let mut sets: Vec<FxHashSet<Symbol>> = self
+            .domains
+            .iter()
+            .map(|d| d.iter().copied().collect())
+            .collect();
+        for ev in &self.evidence {
+            let decl = &self.predicates[ev.atom.predicate.index()];
+            for (arg, &ty) in ev.atom.args.iter().zip(decl.arg_types.iter()) {
+                sets[ty.index()].insert(*arg);
+            }
+        }
+        for rule in &self.rules {
+            for lit in rule.formula.body.iter().chain(rule.formula.head.iter()) {
+                if let Literal::Pred { atom, .. } = lit {
+                    let decl = &self.predicates[atom.predicate.index()];
+                    for (term, &ty) in atom.args.iter().zip(decl.arg_types.iter()) {
+                        if let Term::Const(c) = term {
+                            sets[ty.index()].insert(*c);
+                        }
+                    }
+                }
+            }
+        }
+        self.domains = sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<Symbol> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+    }
+
+    /// Validates arities, evidence well-formedness, and rule safety.
+    ///
+    /// Safety here means: every variable of a rule appears in at least one
+    /// predicate literal (so the grounding queries of §3.1 can bind it).
+    pub fn validate(&self) -> Result<(), MlnError> {
+        for ev in &self.evidence {
+            let decl = &self.predicates[ev.atom.predicate.index()];
+            if ev.atom.args.len() != decl.arity() {
+                return Err(MlnError::general(format!(
+                    "evidence for `{}` has {} arguments, expected {}",
+                    self.symbols.resolve(decl.name),
+                    ev.atom.args.len(),
+                    decl.arity()
+                )));
+            }
+        }
+        for rule in &self.rules {
+            let mut pred_vars: FxHashSet<crate::ast::Var> = FxHashSet::default();
+            let mut all_vars: FxHashSet<crate::ast::Var> = FxHashSet::default();
+            for lit in rule.formula.body.iter().chain(rule.formula.head.iter()) {
+                match lit {
+                    Literal::Pred { atom, .. } => {
+                        let decl = &self.predicates[atom.predicate.index()];
+                        if atom.args.len() != decl.arity() {
+                            return Err(MlnError::at(
+                                rule.line,
+                                format!(
+                                    "atom of `{}` has {} arguments, expected {}",
+                                    self.symbols.resolve(decl.name),
+                                    atom.args.len(),
+                                    decl.arity()
+                                ),
+                            ));
+                        }
+                        for v in lit.variables() {
+                            pred_vars.insert(v);
+                            all_vars.insert(v);
+                        }
+                    }
+                    Literal::Eq { .. } => {
+                        for v in lit.variables() {
+                            all_vars.insert(v);
+                        }
+                    }
+                }
+            }
+            for v in &all_vars {
+                if !pred_vars.contains(v) {
+                    return Err(MlnError::at(
+                        rule.line,
+                        format!(
+                            "variable `{}` appears only in (in)equality literals",
+                            self.symbols.resolve(v.0)
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The variable→type assignment for a rule, inferred from predicate
+    /// argument positions. Errors on conflicting uses.
+    pub fn rule_variable_types(
+        &self,
+        rule: &Rule,
+    ) -> Result<FxHashMap<crate::ast::Var, TypeId>, MlnError> {
+        let mut map: FxHashMap<crate::ast::Var, TypeId> = FxHashMap::default();
+        for lit in rule.formula.body.iter().chain(rule.formula.head.iter()) {
+            if let Literal::Pred { atom, .. } = lit {
+                let decl = &self.predicates[atom.predicate.index()];
+                for (term, &ty) in atom.args.iter().zip(decl.arg_types.iter()) {
+                    if let Term::Var(v) = term {
+                        match map.get(v) {
+                            Some(&prev) if prev != ty => {
+                                return Err(MlnError::at(
+                                    rule.line,
+                                    format!(
+                                        "variable `{}` used with types `{}` and `{}`",
+                                        self.symbols.resolve(v.0),
+                                        self.symbols.resolve(self.types[prev.index()]),
+                                        self.symbols.resolve(self.types[ty.index()]),
+                                    ),
+                                ));
+                            }
+                            _ => {
+                                map.insert(*v, ty);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Summary counts used by the experiment harness (Table 1).
+    pub fn stats(&self) -> ProgramStats {
+        let entities: usize = self.domains.iter().map(Vec::len).sum();
+        ProgramStats {
+            relations: self.predicates.len(),
+            rules: self.rules.len(),
+            entities,
+            evidence_tuples: self.evidence.len(),
+        }
+    }
+}
+
+/// Static statistics of a program, matching the first rows of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Number of declared predicates ("#relations").
+    pub relations: usize,
+    /// Number of rules.
+    pub rules: usize,
+    /// Total number of distinct constants across types ("#entities").
+    pub entities: usize,
+    /// Number of evidence assertions.
+    pub evidence_tuples: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Formula, Var};
+    use crate::weight::Weight;
+
+    fn tiny_program() -> MlnProgram {
+        let mut p = MlnProgram::new();
+        let person = p.intern_type("person");
+        let paper = p.intern_type("paper");
+        p.declare_predicate("wrote", vec![person, paper], true)
+            .unwrap();
+        p.declare_predicate("good", vec![paper], false).unwrap();
+        p
+    }
+
+    #[test]
+    fn duplicate_predicate_rejected() {
+        let mut p = tiny_program();
+        let person = p.intern_type("person");
+        assert!(p.declare_predicate("wrote", vec![person], true).is_err());
+    }
+
+    #[test]
+    fn intern_type_is_idempotent() {
+        let mut p = MlnProgram::new();
+        let a = p.intern_type("paper");
+        let b = p.intern_type("paper");
+        assert_eq!(a, b);
+        assert_eq!(p.types.len(), 1);
+    }
+
+    #[test]
+    fn domains_built_from_evidence() {
+        let mut p = tiny_program();
+        let wrote = p.predicate_by_name("wrote").unwrap();
+        let joe = p.symbols.intern("Joe");
+        let p1 = p.symbols.intern("P1");
+        p.add_evidence(GroundAtom::new(wrote, vec![joe, p1]), true);
+        p.rebuild_domains();
+        assert_eq!(p.domains[0], vec![joe]);
+        assert_eq!(p.domains[1], vec![p1]);
+    }
+
+    #[test]
+    fn arity_validation() {
+        let mut p = tiny_program();
+        let wrote = p.predicate_by_name("wrote").unwrap();
+        let joe = p.symbols.intern("Joe");
+        p.add_evidence(GroundAtom::new(wrote, vec![joe]), true);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let mut p = tiny_program();
+        let x = Var(p.symbols.intern("x"));
+        let y = Var(p.symbols.intern("y"));
+        // A rule whose only literal over `y` is an equality: unsafe.
+        let good = p.predicate_by_name("good").unwrap();
+        p.rules.push(Rule {
+            weight: Weight::Soft(1.0),
+            formula: Formula {
+                body: vec![Literal::pred(good, vec![Term::Var(x)], false)],
+                head: vec![Literal::Eq {
+                    left: Term::Var(x),
+                    right: Term::Var(y),
+                    negated: false,
+                }],
+                exists: vec![],
+            },
+            line: 1,
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn variable_types_inferred() {
+        let mut p = tiny_program();
+        let wrote = p.predicate_by_name("wrote").unwrap();
+        let x = Var(p.symbols.intern("x"));
+        let y = Var(p.symbols.intern("y"));
+        let rule = Rule {
+            weight: Weight::Soft(1.0),
+            formula: Formula {
+                body: vec![],
+                head: vec![Literal::pred(
+                    wrote,
+                    vec![Term::Var(x), Term::Var(y)],
+                    false,
+                )],
+                exists: vec![],
+            },
+            line: 1,
+        };
+        let types = p.rule_variable_types(&rule).unwrap();
+        assert_eq!(types[&x], TypeId(0));
+        assert_eq!(types[&y], TypeId(1));
+    }
+}

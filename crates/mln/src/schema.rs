@@ -1,0 +1,84 @@
+//! Predicate and type declarations — the σ schema of §2.2.
+
+use crate::symbols::Symbol;
+use std::fmt;
+
+/// A dense id for a declared type (domain), e.g. `paper` or `category`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// Raw index of this type.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dense id for a declared predicate, e.g. `wrote` or `cat`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PredicateId(pub u32);
+
+impl PredicateId {
+    /// Raw index of this predicate.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A predicate declaration: name, argument types, and world assumption.
+///
+/// Following Tuffy's concrete syntax, a declaration prefixed with `*` is a
+/// **closed-world** (evidence) predicate: any atom not asserted true in the
+/// evidence is false. Undecorated predicates are **open-world** (query)
+/// predicates whose unknown atoms are filled in by inference.
+#[derive(Clone, Debug)]
+pub struct PredicateDecl {
+    /// Interned predicate name.
+    pub name: Symbol,
+    /// Argument types, in order; `arg_types.len()` is the arity.
+    pub arg_types: Vec<TypeId>,
+    /// Closed-world assumption flag (`*` prefix in the source).
+    pub closed_world: bool,
+}
+
+impl PredicateDecl {
+    /// The predicate's arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arg_types.len()
+    }
+}
+
+impl fmt::Display for PredicateDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.closed_world {
+            write!(f, "*")?;
+        }
+        write!(f, "pred#{}(", self.name.0)?;
+        for (i, t) in self.arg_types.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "type#{}", t.0)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_types() {
+        let d = PredicateDecl {
+            name: Symbol(0),
+            arg_types: vec![TypeId(0), TypeId(1)],
+            closed_world: true,
+        };
+        assert_eq!(d.arity(), 2);
+        assert!(d.closed_world);
+    }
+}

@@ -1,0 +1,126 @@
+//! Rule weights.
+//!
+//! Section 2.2 and Appendix A.1 of the paper: a rule's weight is a finite
+//! real number (soft rule, possibly negative) or ±∞ (hard rule). A ground
+//! clause with weight `w` is *violated* in a world `I` when `w > 0` and the
+//! clause is false in `I`, or `w < 0` and the clause is true in `I`; hard
+//! clauses must never be violated.
+
+use std::fmt;
+
+/// The weight of an MLN rule or ground clause.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Weight {
+    /// Finite weight. Positive rewards satisfaction; negative rewards
+    /// violation (the clause "should" be false).
+    Soft(f64),
+    /// `+∞`: the clause must hold in every possible world.
+    Hard,
+    /// `-∞`: the clause must be false in every possible world.
+    NegHard,
+}
+
+impl Weight {
+    /// Parses the textual weight forms used by the concrete syntax.
+    pub fn parse(text: &str) -> Option<Weight> {
+        match text {
+            "inf" | "+inf" | "infinity" => Some(Weight::Hard),
+            "-inf" | "-infinity" => Some(Weight::NegHard),
+            _ => text.parse::<f64>().ok().map(Weight::Soft),
+        }
+    }
+
+    /// `|w|` for cost accounting; hard weights have no finite magnitude.
+    pub fn magnitude(self) -> Option<f64> {
+        match self {
+            Weight::Soft(w) => Some(w.abs()),
+            _ => None,
+        }
+    }
+
+    /// Whether the weight is `+∞` or `-∞`.
+    pub fn is_hard(self) -> bool {
+        matches!(self, Weight::Hard | Weight::NegHard)
+    }
+
+    /// Whether a clause with this weight is counted as violated when the
+    /// clause evaluates to `satisfied`.
+    ///
+    /// Positive (and `+∞`) weights penalize *unsatisfied* clauses; negative
+    /// (and `-∞`) weights penalize *satisfied* clauses (§2.2).
+    #[inline]
+    pub fn violated_when(self, satisfied: bool) -> bool {
+        match self {
+            Weight::Soft(w) if w > 0.0 => !satisfied,
+            Weight::Soft(w) if w < 0.0 => satisfied,
+            Weight::Soft(_) => false, // zero-weight clauses never contribute
+            Weight::Hard => !satisfied,
+            Weight::NegHard => satisfied,
+        }
+    }
+
+    /// The sign of the weight: `+1`, `-1`, or `0`.
+    pub fn signum(self) -> i8 {
+        match self {
+            Weight::Soft(w) => {
+                if w > 0.0 {
+                    1
+                } else if w < 0.0 {
+                    -1
+                } else {
+                    0
+                }
+            }
+            Weight::Hard => 1,
+            Weight::NegHard => -1,
+        }
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Weight::Soft(w) => write!(f, "{w}"),
+            Weight::Hard => write!(f, "inf"),
+            Weight::NegHard => write!(f, "-inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!(Weight::parse("5"), Some(Weight::Soft(5.0)));
+        assert_eq!(Weight::parse("-1.5"), Some(Weight::Soft(-1.5)));
+        assert_eq!(Weight::parse("inf"), Some(Weight::Hard));
+        assert_eq!(Weight::parse("-inf"), Some(Weight::NegHard));
+        assert_eq!(Weight::parse("abc"), None);
+    }
+
+    #[test]
+    fn violation_semantics() {
+        // Positive weight: violated iff unsatisfied.
+        assert!(Weight::Soft(2.0).violated_when(false));
+        assert!(!Weight::Soft(2.0).violated_when(true));
+        // Negative weight: violated iff satisfied.
+        assert!(Weight::Soft(-1.0).violated_when(true));
+        assert!(!Weight::Soft(-1.0).violated_when(false));
+        // Zero weight: never violated.
+        assert!(!Weight::Soft(0.0).violated_when(true));
+        assert!(!Weight::Soft(0.0).violated_when(false));
+        // Hard clauses.
+        assert!(Weight::Hard.violated_when(false));
+        assert!(Weight::NegHard.violated_when(true));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for w in [Weight::Soft(2.5), Weight::Hard, Weight::NegHard] {
+            let text = w.to_string();
+            assert_eq!(Weight::parse(&text), Some(w));
+        }
+    }
+}

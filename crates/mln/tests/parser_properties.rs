@@ -1,0 +1,85 @@
+//! Property tests: generated programs parse, and evidence round-trips.
+
+use proptest::prelude::*;
+use tuffy_mln::parser::{parse_evidence, parse_program};
+
+proptest! {
+    /// Random weighted implication programs over a fixed schema parse and
+    /// produce structurally sane rules.
+    #[test]
+    fn random_implications_parse(
+        weight in -5.0f64..5.0,
+        body_len in 1usize..3,
+        negate_head in any::<bool>(),
+    ) {
+        let body: Vec<String> = (0..body_len)
+            .map(|i| format!("e(x{i}, x{})", i + 1))
+            .collect();
+        let head = format!("{}q(x0, x{body_len})", if negate_head { "!" } else { "" });
+        let src = format!("*e(t, t)\nq(t, t)\n{weight:.3} {} => {head}\n", body.join(", "));
+        let p = parse_program(&src).unwrap();
+        prop_assert_eq!(p.rules.len(), 1);
+        let rule = &p.rules[0];
+        prop_assert_eq!(rule.formula.body.len(), body_len);
+        prop_assert_eq!(rule.formula.head.len(), 1);
+    }
+
+    /// Evidence lines round-trip: every asserted atom is recorded with
+    /// the right polarity, and constants land in the domains.
+    #[test]
+    fn evidence_roundtrip(
+        atoms in proptest::collection::vec((0u8..20, 0u8..20, any::<bool>()), 0..30),
+    ) {
+        let mut p = parse_program("*e(t, u)\n").unwrap();
+        let mut src = String::new();
+        let mut expected = std::collections::HashMap::new();
+        for (a, b, pos) in &atoms {
+            // Skip contradictions the index would reject.
+            if let Some(&prev) = expected.get(&(*a, *b)) {
+                if prev != *pos {
+                    continue;
+                }
+            }
+            expected.insert((*a, *b), *pos);
+            src.push_str(&format!("{}e(C{a}, D{b})\n", if *pos { "" } else { "!" }));
+        }
+        parse_evidence(&mut p, &src).unwrap();
+        let e = p.predicate_by_name("e").unwrap();
+        let mut seen = std::collections::HashMap::new();
+        for ev in &p.evidence {
+            prop_assert_eq!(ev.atom.predicate, e);
+            let a = p.symbols.resolve(ev.atom.args[0]).to_string();
+            let b = p.symbols.resolve(ev.atom.args[1]).to_string();
+            seen.insert((a, b), ev.positive);
+        }
+        for ((a, b), pos) in expected {
+            prop_assert_eq!(seen.get(&(format!("C{a}"), format!("D{b}"))), Some(&pos));
+        }
+    }
+}
+
+proptest! {
+    /// Print→parse round-trips preserve rule structure for random
+    /// implication programs.
+    #[test]
+    fn print_parse_roundtrip(
+        weights in proptest::collection::vec(-4.0f64..4.0, 1..6),
+        negs in proptest::collection::vec(any::<bool>(), 1..6),
+    ) {
+        let mut src = String::from("*e(t, t)\nq(t, t)\n");
+        for (w, neg) in weights.iter().zip(negs.iter()) {
+            src.push_str(&format!(
+                "{w:.3} e(x, y), q(y, z) => {}q(x, z)\n",
+                if *neg { "!" } else { "" }
+            ));
+        }
+        let p = tuffy_mln::parser::parse_program(&src).unwrap();
+        let printed = tuffy_mln::printer::render_program(&p);
+        let p2 = tuffy_mln::parser::parse_program(&printed).unwrap();
+        prop_assert_eq!(p.rules.len(), p2.rules.len());
+        for (a, b) in p.rules.iter().zip(p2.rules.iter()) {
+            prop_assert_eq!(a.weight, b.weight);
+            prop_assert_eq!(&a.formula, &b.formula);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! First-Fit-Decreasing bin packing for component loading (§3.3).
+//!
+//! Loading thousands of small MRF components one at a time incurs an I/O
+//! round-trip per component; Tuffy instead groups components into batches
+//! no larger than the memory budget, minimizing the number of loads. This
+//! is bin packing; the paper implements First Fit Decreasing (Vazirani \[26\]), which
+//! uses at most `(11/9)·OPT + 1` bins.
+
+/// One packed bin: item indices and total size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bin {
+    /// Indices of packed items (into the input slice).
+    pub items: Vec<usize>,
+    /// Sum of packed item sizes.
+    pub total: u64,
+}
+
+/// Packs `sizes` into bins of capacity `capacity` by First Fit Decreasing.
+///
+/// Items larger than the capacity get a dedicated (over-full) bin each —
+/// the caller detects those as `bin.total > capacity` and routes them to
+/// further partitioning (§3.4) or RDBMS-backed search.
+pub fn first_fit_decreasing(sizes: &[u64], capacity: u64) -> Vec<Bin> {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+    let mut bins: Vec<Bin> = Vec::new();
+    for i in order {
+        let size = sizes[i];
+        if size > capacity {
+            bins.push(Bin {
+                items: vec![i],
+                total: size,
+            });
+            continue;
+        }
+        match bins
+            .iter_mut()
+            .find(|b| b.total <= capacity && b.total + size <= capacity)
+        {
+            Some(bin) => {
+                bin.items.push(i);
+                bin.total += size;
+            }
+            None => bins.push(Bin {
+                items: vec![i],
+                total: size,
+            }),
+        }
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_packing() {
+        // capacity 10: [7,5,3,3,2] → FFD: {7,3}, {5,3,2} = 2 bins.
+        let bins = first_fit_decreasing(&[7, 5, 3, 3, 2], 10);
+        assert_eq!(bins.len(), 2);
+        for b in &bins {
+            assert!(b.total <= 10);
+        }
+        let total_items: usize = bins.iter().map(|b| b.items.len()).sum();
+        assert_eq!(total_items, 5);
+    }
+
+    #[test]
+    fn oversized_items_get_own_bin() {
+        let bins = first_fit_decreasing(&[15, 2, 2], 10);
+        assert_eq!(bins.len(), 2);
+        let over: Vec<&Bin> = bins.iter().filter(|b| b.total > 10).collect();
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].items, vec![0]);
+    }
+
+    #[test]
+    fn every_item_packed_exactly_once() {
+        let sizes = [4u64, 4, 4, 4, 4, 4];
+        let bins = first_fit_decreasing(&sizes, 8);
+        assert_eq!(bins.len(), 3);
+        let mut seen: Vec<usize> = bins.iter().flat_map(|b| b.items.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(first_fit_decreasing(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn ffd_beats_naive_sequential_on_descending_tail() {
+        // Sequential one-bin-per-item would use 6 bins; FFD uses 3.
+        let sizes = [6u64, 6, 6, 4, 4, 4];
+        let bins = first_fit_decreasing(&sizes, 10);
+        assert_eq!(bins.len(), 3);
+    }
+}

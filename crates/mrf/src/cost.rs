@@ -1,0 +1,119 @@
+//! World cost with hard-constraint dominance.
+//!
+//! The paper's cost of a world is `Σ |w(g)|` over violated ground clauses
+//! (§2.2, Equation 1), with hard clauses (±∞ weight) never allowed to be
+//! violated (Appendix A.1). We represent this as a lexicographic pair
+//! ⟨number of violated hard clauses, soft cost⟩: any world violating fewer
+//! hard clauses is strictly better, matching the +∞ semantics without
+//! floating-point infinities polluting arithmetic.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Lexicographic world cost: hard violations dominate soft cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cost {
+    /// Number of violated hard clauses.
+    pub hard: u64,
+    /// Sum of |w| over violated soft clauses.
+    pub soft: f64,
+}
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost { hard: 0, soft: 0.0 };
+
+    /// A cost with only a soft part.
+    pub fn soft(soft: f64) -> Cost {
+        Cost { hard: 0, soft }
+    }
+
+    /// Adds another cost.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate value-style API
+    pub fn add(self, other: Cost) -> Cost {
+        Cost {
+            hard: self.hard + other.hard,
+            soft: self.soft + other.soft,
+        }
+    }
+
+    /// Whether this cost is strictly lower than `other` (with a small
+    /// tolerance on the soft component to absorb floating-point drift).
+    #[inline]
+    pub fn better_than(self, other: Cost) -> bool {
+        match self.hard.cmp(&other.hard) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => self.soft < other.soft - 1e-9,
+        }
+    }
+
+    /// Total order used for comparisons and sorting.
+    pub fn cmp_total(self, other: Cost) -> Ordering {
+        self.hard
+            .cmp(&other.hard)
+            .then(self.soft.total_cmp(&other.soft))
+    }
+
+    /// True when no clause (hard or soft) is violated.
+    pub fn is_zero(self) -> bool {
+        self.hard == 0 && self.soft.abs() < 1e-12
+    }
+}
+
+impl PartialEq for Cost {
+    fn eq(&self, other: &Self) -> bool {
+        self.hard == other.hard && (self.soft - other.soft).abs() < 1e-9
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hard > 0 {
+            write!(f, "{}×∞ + {:.4}", self.hard, self.soft)
+        } else {
+            write!(f, "{:.4}", self.soft)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_dominates_soft() {
+        let a = Cost { hard: 1, soft: 0.0 };
+        let b = Cost {
+            hard: 0,
+            soft: 1e9,
+        };
+        assert!(b.better_than(a));
+        assert!(!a.better_than(b));
+    }
+
+    #[test]
+    fn soft_comparison_with_tolerance() {
+        let a = Cost::soft(1.0);
+        let b = Cost::soft(1.0 + 1e-12);
+        assert!(!a.better_than(b)); // within tolerance: not strictly better
+        assert!(Cost::soft(0.5).better_than(a));
+    }
+
+    #[test]
+    fn add_componentwise() {
+        let a = Cost { hard: 1, soft: 2.0 };
+        let b = Cost { hard: 2, soft: 0.5 };
+        let c = a.add(b);
+        assert_eq!(c.hard, 3);
+        assert!((c.soft - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Cost::ZERO.is_zero());
+        assert!(!Cost { hard: 1, soft: 0.0 }.is_zero());
+        assert!(!Cost::soft(0.1).is_zero());
+    }
+}

@@ -1,0 +1,291 @@
+//! The MRF proper: atoms, clauses, adjacency, cost evaluation.
+
+use crate::clause::GroundClause;
+use crate::cost::Cost;
+use crate::lit::{AtomId, Lit};
+use tuffy_mln::fxhash::FxHashMap;
+use tuffy_mln::weight::Weight;
+
+/// A ground Markov Random Field over atoms `0..num_atoms`.
+#[derive(Clone, Debug, Default)]
+pub struct Mrf {
+    num_atoms: usize,
+    clauses: Vec<GroundClause>,
+    /// `occurrences[a]` = indices of clauses containing atom `a`.
+    occurrences: Vec<Vec<u32>>,
+    /// Constant cost from clauses already decided by evidence (empty
+    /// clauses after literal deletion).
+    pub base_cost: Cost,
+}
+
+impl Mrf {
+    /// Number of atoms.
+    #[inline]
+    pub fn num_atoms(&self) -> usize {
+        self.num_atoms
+    }
+
+    /// The clause list.
+    #[inline]
+    pub fn clauses(&self) -> &[GroundClause] {
+        &self.clauses
+    }
+
+    /// Clause indices containing `atom`.
+    #[inline]
+    pub fn occurrences(&self, atom: AtomId) -> &[u32] {
+        &self.occurrences[atom as usize]
+    }
+
+    /// Total number of literal occurrences.
+    pub fn total_literals(&self) -> usize {
+        self.clauses.iter().map(|c| c.lits.len()).sum()
+    }
+
+    /// Full-world cost under `assignment` (including `base_cost`).
+    pub fn cost(&self, assignment: &[bool]) -> Cost {
+        assert_eq!(assignment.len(), self.num_atoms);
+        let mut total = self.base_cost;
+        for c in &self.clauses {
+            total = total.add(c.cost(assignment));
+        }
+        total
+    }
+
+    /// The "size" of a set of atoms + assigned clauses used by the
+    /// partitioner (Appendix B.7: total number of literals and atoms).
+    pub fn size_metric(&self) -> usize {
+        self.num_atoms + self.total_literals()
+    }
+
+    /// Extracts the sub-MRF induced by `atoms` (in the given order): atom
+    /// `atoms[i]` becomes atom `i`. Returns the sub-MRF and, for each of
+    /// its clauses, the index of the originating clause. Only clauses
+    /// *fully contained* in `atoms` are included.
+    pub fn project(&self, atoms: &[AtomId]) -> (Mrf, Vec<u32>) {
+        let mut dense: FxHashMap<AtomId, AtomId> = FxHashMap::default();
+        for (i, &a) in atoms.iter().enumerate() {
+            dense.insert(a, i as AtomId);
+        }
+        let mut builder = MrfBuilder::new();
+        builder.reserve_atoms(atoms.len());
+        let mut origin = Vec::new();
+        let mut seen: Vec<bool> = vec![false; self.clauses.len()];
+        for &a in atoms {
+            for &ci in self.occurrences(a) {
+                if seen[ci as usize] {
+                    continue;
+                }
+                seen[ci as usize] = true;
+                let c = &self.clauses[ci as usize];
+                if c.lits.iter().all(|l| dense.contains_key(&l.atom())) {
+                    let lits: Vec<Lit> = c
+                        .lits
+                        .iter()
+                        .map(|l| Lit::new(dense[&l.atom()], l.is_positive()))
+                        .collect();
+                    builder.add_clause(lits, c.weight);
+                    origin.push(ci);
+                }
+            }
+        }
+        (builder.finish(), origin)
+    }
+
+    /// Sum of clause-table bytes (the paper's "clause table" row of
+    /// Table 4).
+    pub fn clause_bytes(&self) -> usize {
+        self.clauses.iter().map(GroundClause::bytes).sum()
+    }
+}
+
+/// Incremental MRF constructor with duplicate-clause merging.
+///
+/// Different rules can ground to the same clause; following Alchemy and
+/// Tuffy, duplicate soft clauses *merge by summing weights* and a clause
+/// identical to a hard clause is absorbed by it.
+#[derive(Clone, Debug, Default)]
+pub struct MrfBuilder {
+    num_atoms: usize,
+    clauses: Vec<GroundClause>,
+    index: FxHashMap<Box<[Lit]>, u32>,
+    base_cost: Cost,
+}
+
+impl MrfBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the MRF has at least `n` atoms.
+    pub fn reserve_atoms(&mut self, n: usize) {
+        self.num_atoms = self.num_atoms.max(n);
+    }
+
+    /// Number of atoms seen so far.
+    pub fn num_atoms(&self) -> usize {
+        self.num_atoms
+    }
+
+    /// Number of clauses added so far (after merging).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a ground clause. Tautologies are dropped; the empty clause
+    /// contributes constant cost (positive weight: always violated).
+    pub fn add_clause(&mut self, lits: Vec<Lit>, weight: Weight) {
+        if lits.is_empty() {
+            // An empty disjunction is false: violated iff weight > 0.
+            match weight {
+                Weight::Soft(w) if w > 0.0 => {
+                    self.base_cost = self.base_cost.add(Cost::soft(w));
+                }
+                Weight::Hard => {
+                    self.base_cost = self.base_cost.add(Cost { hard: 1, soft: 0.0 });
+                }
+                _ => {}
+            }
+            return;
+        }
+        let Some(clause) = GroundClause::new(lits, weight) else {
+            return; // tautology
+        };
+        for l in clause.lits.iter() {
+            self.num_atoms = self.num_atoms.max(l.atom() as usize + 1);
+        }
+        match self.index.get(&clause.lits) {
+            Some(&i) => {
+                let existing = &mut self.clauses[i as usize];
+                existing.weight = merge_weights(existing.weight, clause.weight);
+            }
+            None => {
+                self.index.insert(clause.lits.clone(), self.clauses.len() as u32);
+                self.clauses.push(clause);
+            }
+        }
+    }
+
+    /// Finalizes into an [`Mrf`], building the adjacency lists.
+    pub fn finish(self) -> Mrf {
+        let mut occurrences: Vec<Vec<u32>> = vec![Vec::new(); self.num_atoms];
+        let mut clauses = Vec::with_capacity(self.clauses.len());
+        for (i, c) in self
+            .clauses
+            .into_iter()
+            .filter(|c| c.weight != Weight::Soft(0.0))
+            .enumerate()
+        {
+            for l in c.lits.iter() {
+                occurrences[l.atom() as usize].push(i as u32);
+            }
+            clauses.push(c);
+        }
+        Mrf {
+            num_atoms: self.num_atoms,
+            clauses,
+            occurrences,
+            base_cost: self.base_cost,
+        }
+    }
+}
+
+/// Weight of two identical clauses merged (soft weights add; hard wins).
+fn merge_weights(a: Weight, b: Weight) -> Weight {
+    match (a, b) {
+        (Weight::Soft(x), Weight::Soft(y)) => Weight::Soft(x + y),
+        (Weight::Hard, _) | (_, Weight::Hard) => Weight::Hard,
+        (Weight::NegHard, _) | (_, Weight::NegHard) => Weight::NegHard,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_mrf() -> Mrf {
+        // Example 1 of the paper, one component:
+        //   (X, 1), (Y, 1), (X ∨ Y, -1)
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(1)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(0), Lit::pos(1)], Weight::Soft(-1.0));
+        b.finish()
+    }
+
+    #[test]
+    fn example1_costs() {
+        let m = example_mrf();
+        // Optimum X=Y=true: unit clauses satisfied; neg clause true → violated, cost 1.
+        assert_eq!(m.cost(&[true, true]), Cost::soft(1.0));
+        // X=Y=false: both units violated (cost 2), neg clause false → ok.
+        assert_eq!(m.cost(&[false, false]), Cost::soft(2.0));
+        // Mixed: one unit violated + neg violated = 2.
+        assert_eq!(m.cost(&[true, false]), Cost::soft(2.0));
+    }
+
+    #[test]
+    fn occurrences_built() {
+        let m = example_mrf();
+        assert_eq!(m.occurrences(0), &[0, 2]);
+        assert_eq!(m.occurrences(1), &[1, 2]);
+        assert_eq!(m.total_literals(), 4);
+    }
+
+    #[test]
+    fn duplicate_clauses_merge_weights() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0), Lit::neg(1)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::neg(1), Lit::pos(0)], Weight::Soft(2.5));
+        let m = b.finish();
+        assert_eq!(m.clauses().len(), 1);
+        assert_eq!(m.clauses()[0].weight, Weight::Soft(3.5));
+    }
+
+    #[test]
+    fn hard_absorbs_soft_duplicate() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(0)], Weight::Hard);
+        let m = b.finish();
+        assert_eq!(m.clauses()[0].weight, Weight::Hard);
+    }
+
+    #[test]
+    fn empty_clause_contributes_base_cost() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![], Weight::Soft(3.0));
+        b.add_clause(vec![], Weight::Soft(-2.0)); // empty & negative: satisfied-false → no cost
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(1.0));
+        let m = b.finish();
+        assert_eq!(m.base_cost, Cost::soft(3.0));
+        assert_eq!(m.cost(&[true]), Cost::soft(3.0));
+    }
+
+    #[test]
+    fn project_extracts_closed_subgraph() {
+        // Clauses: {0,1}, {1,2}, {3}
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0), Lit::pos(1)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(1), Lit::pos(2)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(3)], Weight::Soft(1.0));
+        let m = b.finish();
+        let (sub, origin) = m.project(&[0, 1]);
+        assert_eq!(sub.num_atoms(), 2);
+        assert_eq!(sub.clauses().len(), 1); // {1,2} crosses the boundary
+        assert_eq!(origin, vec![0]);
+        let (sub2, _) = m.project(&[3]);
+        assert_eq!(sub2.clauses().len(), 1);
+        assert_eq!(sub2.clauses()[0].lits[0].atom(), 0);
+    }
+
+    #[test]
+    fn zero_weight_clauses_dropped_at_finish() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(-1.0)); // merges to 0
+        let m = b.finish();
+        assert!(m.clauses().is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Packed signed literals.
+//!
+//! Ground clauses store literals as a single `u32`: the atom id in the
+//! upper 31 bits and the sign in the lowest bit (DIMACS-style). This keeps
+//! the clause table compact — the paper stores `lits` as an integer array
+//! column in the RDBMS (§3.1) — and sign tests branch-free.
+
+/// A dense ground-atom identifier (0-based).
+pub type AtomId = u32;
+
+/// A signed literal over a ground atom.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Maximum representable atom id (31 bits).
+    pub const MAX_ATOM: AtomId = (1 << 31) - 1;
+
+    /// A positive literal of `atom`.
+    #[inline]
+    pub fn pos(atom: AtomId) -> Lit {
+        debug_assert!(atom <= Self::MAX_ATOM);
+        Lit(atom << 1)
+    }
+
+    /// A negative literal of `atom`.
+    #[inline]
+    pub fn neg(atom: AtomId) -> Lit {
+        debug_assert!(atom <= Self::MAX_ATOM);
+        Lit((atom << 1) | 1)
+    }
+
+    /// Constructs from atom and polarity.
+    #[inline]
+    pub fn new(atom: AtomId, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(atom)
+        } else {
+            Lit::neg(atom)
+        }
+    }
+
+    /// The atom this literal is over.
+    #[inline]
+    pub fn atom(self) -> AtomId {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    #[inline]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Truth of this literal under an assignment to its atom.
+    #[inline]
+    pub fn eval(self, atom_value: bool) -> bool {
+        atom_value == self.is_positive()
+    }
+
+    /// Raw packed value (for storage in `u32` columns).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs from a raw packed value.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Lit {
+        Lit(raw)
+    }
+}
+
+impl std::fmt::Debug for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_positive() {
+            write!(f, "a{}", self.atom())
+        } else {
+            write!(f, "¬a{}", self.atom())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for atom in [0u32, 1, 7, Lit::MAX_ATOM] {
+            for positive in [true, false] {
+                let l = Lit::new(atom, positive);
+                assert_eq!(l.atom(), atom);
+                assert_eq!(l.is_positive(), positive);
+                assert_eq!(Lit::from_raw(l.raw()), l);
+            }
+        }
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        let l = Lit::pos(42);
+        assert_eq!(l.negated().negated(), l);
+        assert_ne!(l.negated(), l);
+        assert_eq!(l.negated().atom(), 42);
+        assert!(!l.negated().is_positive());
+    }
+
+    #[test]
+    fn eval_semantics() {
+        assert!(Lit::pos(0).eval(true));
+        assert!(!Lit::pos(0).eval(false));
+        assert!(Lit::neg(0).eval(false));
+        assert!(!Lit::neg(0).eval(true));
+    }
+}

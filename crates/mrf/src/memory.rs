@@ -1,0 +1,87 @@
+//! Analytic memory accounting.
+//!
+//! The paper's space comparisons (Tables 4–5, Figure 6) measure resident
+//! memory of the search state. We account the actual bytes of the in-memory
+//! structures the search holds — truth arrays, clause storage, adjacency
+//! lists — which is the quantity the hybrid-architecture argument (§3.2)
+//! reasons about and is machine-independent.
+
+use crate::graph::Mrf;
+
+/// Byte sizes of the in-memory search state for an MRF.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Truth assignment + best-assignment arrays (2 bytes/atom).
+    pub atom_state: usize,
+    /// Clause storage (weights + packed literal arrays).
+    pub clauses: usize,
+    /// Atom→clause adjacency lists.
+    pub adjacency: usize,
+    /// Per-clause counters kept by WalkSAT (true-literal counts and the
+    /// unsatisfied-clause index).
+    pub counters: usize,
+}
+
+impl MemoryFootprint {
+    /// Computes the footprint of holding `mrf` in memory for search.
+    pub fn of(mrf: &Mrf) -> MemoryFootprint {
+        let n_clauses = mrf.clauses().len();
+        let total_lits = mrf.total_literals();
+        MemoryFootprint {
+            atom_state: mrf.num_atoms() * 2,
+            clauses: std::mem::size_of_val(mrf.clauses())
+                + total_lits * std::mem::size_of::<crate::lit::Lit>(),
+            adjacency: mrf.num_atoms() * std::mem::size_of::<Vec<u32>>() + total_lits * 4,
+            counters: n_clauses * (4 + 4 + 4),
+        }
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.atom_state + self.clauses + self.adjacency + self.counters
+    }
+}
+
+/// Pretty-prints a byte count the way the paper's tables do.
+pub fn human_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.1} GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.1} MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::MrfBuilder;
+    use crate::lit::Lit;
+    use tuffy_mln::weight::Weight;
+
+    #[test]
+    fn footprint_scales_with_size() {
+        let mut small = MrfBuilder::new();
+        small.add_clause(vec![Lit::pos(0), Lit::pos(1)], Weight::Soft(1.0));
+        let small = small.finish();
+        let mut big = MrfBuilder::new();
+        for i in 0..100 {
+            big.add_clause(vec![Lit::pos(i), Lit::pos(i + 1)], Weight::Soft(1.0));
+        }
+        let big = big.finish();
+        assert!(MemoryFootprint::of(&big).total() > MemoryFootprint::of(&small).total());
+    }
+
+    #[test]
+    fn human_readable() {
+        assert_eq!(human_bytes(100), "100 B");
+        assert_eq!(human_bytes(2048), "2.0 KB");
+        assert_eq!(human_bytes(5 * 1024 * 1024), "5.0 MB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0 GB");
+    }
+}

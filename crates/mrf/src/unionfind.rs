@@ -1,0 +1,143 @@
+//! Union-find (disjoint set union) with path halving and union by size.
+//!
+//! §3.3: "We maintain an in-memory union-find structure over the nodes,
+//! and scan the clause table while updating this union-find structure."
+
+/// A disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    /// Size of the set, valid at roots.
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Finds the representative of `x` (path halving).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns the new root. No-op if they
+    /// are already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.sets -= 1;
+        big
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Maps every element to a dense component index `0..set_count()`,
+    /// numbered in order of first appearance.
+    pub fn dense_labels(&mut self) -> Vec<u32> {
+        let n = self.len();
+        let mut label_of_root = vec![u32::MAX; n];
+        let mut labels = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            if label_of_root[r as usize] == u32::MAX {
+                label_of_root[r as usize] = next;
+                next += 1;
+            }
+            labels.push(label_of_root[r as usize]);
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.set_size(2), 1);
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.set_size(0), 3);
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn union_idempotent() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        let before = uf.set_count();
+        uf.union(1, 0);
+        assert_eq!(uf.set_count(), before);
+    }
+
+    #[test]
+    fn dense_labels_in_first_appearance_order() {
+        let mut uf = UnionFind::new(5);
+        uf.union(3, 4);
+        uf.union(0, 2);
+        let labels = uf.dense_labels();
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[0], 0); // first appearance
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[3], 2);
+    }
+}

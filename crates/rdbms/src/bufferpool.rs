@@ -1,0 +1,263 @@
+//! Buffer pool, I/O accounting, and the simulated disk model.
+//!
+//! The paper's hybrid-architecture argument (§3.2, Appendix B.2/C.1) rests
+//! on a quantitative fact: a WalkSAT step against RDBMS-resident data pays
+//! a page access (~10 ms if it goes to a random disk location) where an
+//! in-memory step pays nanoseconds, so an RDBMS-backed search is three to
+//! five orders of magnitude slower per flip. To reproduce that behaviour
+//! deterministically on any machine, every page access in this engine runs
+//! through a [`BufferPool`]: hits are free, misses are counted, and a
+//! [`DiskModel`] converts miss counts into simulated I/O time. Experiments
+//! report wall-clock time plus simulated I/O time.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use tuffy_mln::fxhash::FxHashMap;
+
+/// Identifies a page: (table id, page index within the table).
+pub type PageKey = (u32, u32);
+
+/// Cumulative I/O counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Buffer-pool hits (no I/O charged).
+    pub hits: u64,
+    /// Page reads from "disk" (pool misses).
+    pub page_reads: u64,
+    /// Dirty-page write-backs on eviction or flush.
+    pub page_writes: u64,
+}
+
+impl IoStats {
+    /// Total simulated I/O time under `model`.
+    pub fn simulated_nanos(&self, model: &DiskModel) -> u128 {
+        self.page_reads as u128 * model.read_latency_ns as u128
+            + self.page_writes as u128 * model.write_latency_ns as u128
+    }
+}
+
+/// A simple latency-per-page disk cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiskModel {
+    /// Simulated latency of reading one page.
+    pub read_latency_ns: u64,
+    /// Simulated latency of writing one page.
+    pub write_latency_ns: u64,
+}
+
+impl DiskModel {
+    /// No simulated latency: pure in-memory operation (I/O still counted).
+    pub const fn in_memory() -> Self {
+        DiskModel {
+            read_latency_ns: 0,
+            write_latency_ns: 0,
+        }
+    }
+
+    /// A magnetic-disk-like model: ~10 ms per random page access, the
+    /// number Appendix C.1 uses to bound RDBMS-backed search at ≤100
+    /// flips/second.
+    pub const fn spinning_disk() -> Self {
+        DiskModel {
+            read_latency_ns: 10_000_000,
+            write_latency_ns: 10_000_000,
+        }
+    }
+
+    /// An SSD-like model (~100 µs per page).
+    pub const fn ssd() -> Self {
+        DiskModel {
+            read_latency_ns: 100_000,
+            write_latency_ns: 100_000,
+        }
+    }
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Pages currently resident; value is the dirty flag.
+    resident: FxHashMap<PageKey, bool>,
+    /// LRU queue of resident pages (front = oldest). May contain stale
+    /// entries for already-evicted keys; `resident` is authoritative.
+    lru: VecDeque<PageKey>,
+    stats: IoStats,
+}
+
+/// An LRU buffer pool over page keys.
+///
+/// The pool tracks *which* pages are resident, not their bytes — table data
+/// lives in process memory either way (this is a simulation of disk
+/// residency, faithful in its access pattern and counters).
+pub struct BufferPool {
+    capacity: usize,
+    state: Mutex<PoolState>,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages. A capacity of 0
+    /// disables caching entirely (every access is a miss).
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity,
+            state: Mutex::new(PoolState::default()),
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records an access to `key` for reading; returns `true` on a hit.
+    pub fn touch_read(&self, key: PageKey) -> bool {
+        self.access(key, false)
+    }
+
+    /// Records an access to `key` for writing (marks the page dirty).
+    pub fn touch_write(&self, key: PageKey) -> bool {
+        self.access(key, true)
+    }
+
+    fn access(&self, key: PageKey, write: bool) -> bool {
+        let mut st = self.state.lock();
+        if let Some(dirty) = st.resident.get_mut(&key) {
+            *dirty = *dirty || write;
+            st.stats.hits += 1;
+            // Move-to-back approximation: push a fresh entry; stale front
+            // entries are skipped during eviction.
+            st.lru.push_back(key);
+            return true;
+        }
+        st.stats.page_reads += 1;
+        if self.capacity == 0 {
+            if write {
+                st.stats.page_writes += 1;
+            }
+            return false;
+        }
+        while st.resident.len() >= self.capacity {
+            match st.lru.pop_front() {
+                Some(old) => {
+                    // Skip stale LRU entries (key re-pushed more recently).
+                    if st.lru.contains(&old) {
+                        continue;
+                    }
+                    if let Some(dirty) = st.resident.remove(&old) {
+                        if dirty {
+                            st.stats.page_writes += 1;
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        st.resident.insert(key, write);
+        st.lru.push_back(key);
+        false
+    }
+
+    /// Drops every resident page belonging to `table`, writing back dirty
+    /// ones (used when a table is truncated or dropped).
+    pub fn evict_table(&self, table: u32) {
+        let mut st = self.state.lock();
+        let keys: Vec<PageKey> = st
+            .resident
+            .keys()
+            .copied()
+            .filter(|(t, _)| *t == table)
+            .collect();
+        for k in keys {
+            if let Some(true) = st.resident.remove(&k) {
+                st.stats.page_writes += 1;
+            }
+        }
+        st.lru.retain(|k| k.0 != table);
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> IoStats {
+        self.state.lock().stats
+    }
+
+    /// Resets the counters (pool contents are kept).
+    pub fn reset_stats(&self) {
+        self.state.lock().stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss() {
+        let pool = BufferPool::new(4);
+        assert!(!pool.touch_read((0, 0)));
+        assert!(pool.touch_read((0, 0)));
+        let s = pool.stats();
+        assert_eq!(s.page_reads, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let pool = BufferPool::new(2);
+        pool.touch_read((0, 0));
+        pool.touch_read((0, 1));
+        pool.touch_read((0, 2)); // evicts (0,0)
+        assert!(!pool.touch_read((0, 0))); // miss again
+        assert_eq!(pool.stats().page_reads, 4);
+    }
+
+    #[test]
+    fn recently_used_page_survives_eviction() {
+        let pool = BufferPool::new(2);
+        pool.touch_read((0, 0));
+        pool.touch_read((0, 1));
+        pool.touch_read((0, 0)); // refresh 0
+        pool.touch_read((0, 2)); // should evict (0,1), not (0,0)
+        assert!(pool.touch_read((0, 0)));
+    }
+
+    #[test]
+    fn dirty_pages_written_back() {
+        let pool = BufferPool::new(1);
+        pool.touch_write((0, 0));
+        pool.touch_read((0, 1)); // evicts dirty (0,0)
+        assert_eq!(pool.stats().page_writes, 1);
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let pool = BufferPool::new(0);
+        pool.touch_read((0, 0));
+        pool.touch_read((0, 0));
+        assert_eq!(pool.stats().page_reads, 2);
+        assert_eq!(pool.stats().hits, 0);
+    }
+
+    #[test]
+    fn simulated_time_accounts_reads_and_writes() {
+        let s = IoStats {
+            page_reads: 3,
+            page_writes: 2,
+            ..Default::default()
+        };
+        let m = DiskModel {
+            read_latency_ns: 10,
+            write_latency_ns: 100,
+        };
+        assert_eq!(s.simulated_nanos(&m), 230);
+    }
+
+    #[test]
+    fn evict_table_writes_dirty_pages() {
+        let pool = BufferPool::new(8);
+        pool.touch_write((1, 0));
+        pool.touch_read((2, 0));
+        pool.evict_table(1);
+        assert_eq!(pool.stats().page_writes, 1);
+        // Table 2's page is still resident.
+        assert!(pool.touch_read((2, 0)));
+    }
+}

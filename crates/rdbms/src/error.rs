@@ -1,0 +1,46 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A table name was not found in the catalog.
+    UnknownTable(String),
+    /// A column index was out of range for a table's schema.
+    ColumnOutOfRange {
+        /// Offending column index.
+        column: usize,
+        /// Table arity.
+        arity: usize,
+    },
+    /// A row had the wrong width for its table.
+    ArityMismatch {
+        /// Provided width.
+        got: usize,
+        /// Expected width.
+        expected: usize,
+    },
+    /// A query referenced a variable that no atom binds.
+    UnboundVariable(usize),
+    /// The query was malformed (empty, inconsistent, …).
+    BadQuery(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            DbError::ColumnOutOfRange { column, arity } => {
+                write!(f, "column {column} out of range (arity {arity})")
+            }
+            DbError::ArityMismatch { got, expected } => {
+                write!(f, "row width {got} does not match table arity {expected}")
+            }
+            DbError::UnboundVariable(v) => write!(f, "variable v{v} is never bound by an atom"),
+            DbError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

@@ -1,0 +1,86 @@
+//! Grouping and duplicate elimination.
+//!
+//! Tuffy uses PostgreSQL's `array_agg` to ground existentially quantified
+//! clauses (Appendix B.1): one output clause per binding of the universal
+//! variables, aggregating the existential disjuncts. [`group_rows`] is the
+//! equivalent primitive here.
+
+use super::Batch;
+use tuffy_mln::fxhash::FxHashMap;
+
+/// One group: the key values and the member row indices (in input order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    /// Values of `key_cols` shared by all rows of the group.
+    pub key: Vec<u32>,
+    /// Indices into the input batch.
+    pub rows: Vec<usize>,
+}
+
+/// Groups `batch` rows by `key_cols`, preserving first-seen group order.
+///
+/// With empty `key_cols`, all rows form a single group (if any).
+pub fn group_rows(batch: &Batch, key_cols: &[usize]) -> Vec<Group> {
+    let mut order: Vec<Group> = Vec::new();
+    let mut index: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+    for (i, row) in batch.iter().enumerate() {
+        let key: Vec<u32> = key_cols.iter().map(|&c| row[c]).collect();
+        match index.get(&key) {
+            Some(&g) => order[g].rows.push(i),
+            None => {
+                index.insert(key.clone(), order.len());
+                order.push(Group { key, rows: vec![i] });
+            }
+        }
+    }
+    order
+}
+
+/// Removes duplicate rows, preserving first occurrence order.
+pub fn distinct(batch: &Batch) -> Batch {
+    let mut seen: FxHashMap<Vec<u32>, ()> = FxHashMap::default();
+    let mut out = Batch::new(batch.width());
+    for row in batch.iter() {
+        if seen.insert(row.to_vec(), ()).is_none() {
+            out.push(row);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_key() {
+        let b = Batch::from_rows(2, &[&[1, 10], &[2, 20], &[1, 30]]);
+        let gs = group_rows(&b, &[0]);
+        assert_eq!(gs.len(), 2);
+        assert_eq!(gs[0].key, vec![1]);
+        assert_eq!(gs[0].rows, vec![0, 2]);
+        assert_eq!(gs[1].rows, vec![1]);
+    }
+
+    #[test]
+    fn empty_key_single_group() {
+        let b = Batch::from_rows(1, &[&[1], &[2]]);
+        let gs = group_rows(&b, &[]);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_batch_no_groups() {
+        let b = Batch::new(2);
+        assert!(group_rows(&b, &[0]).is_empty());
+    }
+
+    #[test]
+    fn distinct_preserves_order() {
+        let b = Batch::from_rows(1, &[&[3], &[1], &[3], &[2], &[1]]);
+        let d = distinct(&b);
+        let vals: Vec<u32> = d.iter().map(|r| r[0]).collect();
+        assert_eq!(vals, vec![3, 1, 2]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Join operators: nested-loop, hash, sort-merge, semi, anti, cross.
+//!
+//! The paper's grounding lesion study (Table 6 / Appendix C.2) found that
+//! access to hash and sort-merge join algorithms — not join *order* — is
+//! what gives the RDBMS its orders-of-magnitude grounding advantage over
+//! Alchemy's nested loops. All algorithms here produce identical results
+//! (property-tested against the nested-loop reference).
+//!
+//! Inner joins output `left_row ⧺ right_row`; semi/anti joins output the
+//! left row only. `keys` pairs `(left_col, right_col)`.
+
+use super::sort::sort_batch;
+use super::Batch;
+use tuffy_mln::fxhash::FxHashMap;
+
+/// Hash key for multi-column join keys.
+#[inline]
+fn key_of(row: &[u32], cols: &[usize]) -> u64 {
+    // Fowler–Noll–Vo style fold; collisions are resolved by re-checking in
+    // the probe loop only when keys collide structurally (we store values).
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in cols {
+        h ^= row[c] as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[inline]
+fn keys_eq(l: &[u32], lk: &[usize], r: &[u32], rk: &[usize]) -> bool {
+    lk.iter().zip(rk.iter()).all(|(&a, &b)| l[a] == r[b])
+}
+
+/// Reference nested-loop inner join (O(|L|·|R|)).
+pub fn nested_loop_join(left: &Batch, right: &Batch, keys: &[(usize, usize)]) -> Batch {
+    let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
+    let mut out = Batch::new(left.width() + right.width());
+    for l in left.iter() {
+        for r in right.iter() {
+            if keys_eq(l, &lk, r, &rk) {
+                out.push_concat(l, r);
+            }
+        }
+    }
+    out
+}
+
+/// Hash inner join: builds on `right`, probes with `left`.
+pub fn hash_join(left: &Batch, right: &Batch, keys: &[(usize, usize)]) -> Batch {
+    if keys.is_empty() {
+        return cross_join(left, right);
+    }
+    let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
+    // Build side: the smaller input, per textbook practice.
+    let swap = left.len() < right.len();
+    let (build, probe, bk, pk) = if swap {
+        (left, right, &lk, &rk)
+    } else {
+        (right, left, &rk, &lk)
+    };
+    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for (i, row) in build.iter().enumerate() {
+        table.entry(key_of(row, bk)).or_default().push(i as u32);
+    }
+    let mut out = Batch::new(left.width() + right.width());
+    for p in probe.iter() {
+        if let Some(cands) = table.get(&key_of(p, pk)) {
+            for &bi in cands {
+                let b = build.row(bi as usize);
+                if keys_eq(p, pk, b, bk) {
+                    if swap {
+                        out.push_concat(b, p);
+                    } else {
+                        out.push_concat(p, b);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sort-merge inner join.
+pub fn sort_merge_join(left: &Batch, right: &Batch, keys: &[(usize, usize)]) -> Batch {
+    if keys.is_empty() {
+        return cross_join(left, right);
+    }
+    let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
+    let ls = sort_batch(left, &lk);
+    let rs = sort_batch(right, &rk);
+    let key_cmp = |a: &[u32], b: &[u32]| -> std::cmp::Ordering {
+        for (&ca, &cb) in lk.iter().zip(rk.iter()) {
+            match a[ca].cmp(&b[cb]) {
+                std::cmp::Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    let mut out = Batch::new(left.width() + right.width());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ls.len() && j < rs.len() {
+        match key_cmp(ls.row(i), rs.row(j)) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the extent of the equal-key runs on both sides.
+                let mut i2 = i + 1;
+                while i2 < ls.len() && key_cmp(ls.row(i2), rs.row(j)) == std::cmp::Ordering::Equal
+                {
+                    i2 += 1;
+                }
+                let mut j2 = j + 1;
+                while j2 < rs.len() && key_cmp(ls.row(i), rs.row(j2)) == std::cmp::Ordering::Equal
+                {
+                    j2 += 1;
+                }
+                for a in i..i2 {
+                    for b in j..j2 {
+                        out.push_concat(ls.row(a), rs.row(b));
+                    }
+                }
+                i = i2;
+                j = j2;
+            }
+        }
+    }
+    out
+}
+
+/// Cross product.
+pub fn cross_join(left: &Batch, right: &Batch) -> Batch {
+    let mut out = Batch::with_capacity(left.width() + right.width(), left.len() * right.len());
+    for l in left.iter() {
+        for r in right.iter() {
+            out.push_concat(l, r);
+        }
+    }
+    out
+}
+
+/// Hash semi-join: left rows with at least one match in `right`.
+pub fn hash_semi_join(left: &Batch, right: &Batch, keys: &[(usize, usize)]) -> Batch {
+    semi_anti(left, right, keys, true)
+}
+
+/// Hash anti-join: left rows with **no** match in `right` (`NOT EXISTS`).
+pub fn hash_anti_join(left: &Batch, right: &Batch, keys: &[(usize, usize)]) -> Batch {
+    semi_anti(left, right, keys, false)
+}
+
+fn semi_anti(left: &Batch, right: &Batch, keys: &[(usize, usize)], want_match: bool) -> Batch {
+    let (lk, rk): (Vec<usize>, Vec<usize>) = keys.iter().copied().unzip();
+    if keys.is_empty() {
+        // Degenerate: matches iff right is non-empty.
+        return if right.is_empty() != want_match {
+            left.clone()
+        } else {
+            Batch::new(left.width())
+        };
+    }
+    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for (i, row) in right.iter().enumerate() {
+        table.entry(key_of(row, &rk)).or_default().push(i as u32);
+    }
+    let mut out = Batch::new(left.width());
+    for l in left.iter() {
+        let matched = table
+            .get(&key_of(l, &lk))
+            .is_some_and(|cands| cands.iter().any(|&ri| keys_eq(l, &lk, right.row(ri as usize), &rk)));
+        if matched == want_match {
+            out.push(l);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left() -> Batch {
+        Batch::from_rows(2, &[&[1, 10], &[2, 20], &[2, 21], &[3, 30]])
+    }
+
+    fn right() -> Batch {
+        Batch::from_rows(2, &[&[2, 7], &[3, 8], &[3, 9], &[4, 6]])
+    }
+
+    fn sorted_rows(b: &Batch) -> Vec<Vec<u32>> {
+        let mut v: Vec<Vec<u32>> = b.iter().map(<[u32]>::to_vec).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn all_inner_join_algorithms_agree() {
+        let keys = [(0usize, 0usize)];
+        let nl = nested_loop_join(&left(), &right(), &keys);
+        let hj = hash_join(&left(), &right(), &keys);
+        let smj = sort_merge_join(&left(), &right(), &keys);
+        assert_eq!(sorted_rows(&nl), sorted_rows(&hj));
+        assert_eq!(sorted_rows(&nl), sorted_rows(&smj));
+        // ids 2 (two left rows × one right) + 3 (one left × two right) = 4.
+        assert_eq!(nl.len(), 4);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let l = Batch::from_rows(2, &[&[1, 2], &[1, 3]]);
+        let r = Batch::from_rows(2, &[&[1, 2], &[1, 9]]);
+        let keys = [(0, 0), (1, 1)];
+        assert_eq!(hash_join(&l, &r, &keys).len(), 1);
+        assert_eq!(sort_merge_join(&l, &r, &keys).len(), 1);
+    }
+
+    #[test]
+    fn cross_product_size() {
+        assert_eq!(cross_join(&left(), &right()).len(), 16);
+        assert_eq!(hash_join(&left(), &right(), &[]).len(), 16);
+    }
+
+    #[test]
+    fn semi_and_anti_partition_left() {
+        let keys = [(0usize, 0usize)];
+        let semi = hash_semi_join(&left(), &right(), &keys);
+        let anti = hash_anti_join(&left(), &right(), &keys);
+        assert_eq!(semi.len() + anti.len(), left().len());
+        // key 1 has no match → in anti; keys 2, 3 match → in semi.
+        assert_eq!(anti.len(), 1);
+        assert_eq!(anti.row(0), &[1, 10]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = Batch::new(2);
+        let keys = [(0usize, 0usize)];
+        assert!(hash_join(&empty, &right(), &keys).is_empty());
+        assert!(hash_join(&left(), &empty, &keys).is_empty());
+        assert!(sort_merge_join(&empty, &empty, &keys).is_empty());
+        assert_eq!(hash_anti_join(&left(), &empty, &keys).len(), left().len());
+    }
+
+    #[test]
+    fn degenerate_keyless_semi_anti() {
+        let empty = Batch::new(2);
+        assert_eq!(hash_semi_join(&left(), &right(), &[]).len(), 4);
+        assert_eq!(hash_semi_join(&left(), &empty, &[]).len(), 0);
+        assert_eq!(hash_anti_join(&left(), &empty, &[]).len(), 4);
+        assert_eq!(hash_anti_join(&left(), &right(), &[]).len(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Physical operators.
+//!
+//! All operators are materializing: they consume and produce [`Batch`]es
+//! (fixed-width `u32` row sets). At Tuffy's grounding scale this is both
+//! simpler and faster than a pull-based iterator model, and it mirrors the
+//! blocking hash/sort operators the paper's lesion study credits for the
+//! grounding speedup (Appendix C.2).
+
+pub mod agg;
+pub mod join;
+pub mod scan;
+pub mod sort;
+
+/// A materialized, fixed-width row set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Batch {
+    width: usize,
+    data: Vec<u32>,
+}
+
+impl Batch {
+    /// Creates an empty batch of the given row width.
+    pub fn new(width: usize) -> Self {
+        Batch {
+            width,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty batch with capacity for `rows` rows.
+    pub fn with_capacity(width: usize, rows: usize) -> Self {
+        Batch {
+            width,
+            data: Vec::with_capacity(width * rows),
+        }
+    }
+
+    /// Builds a batch from explicit rows (test helper and loader).
+    pub fn from_rows(width: usize, rows: &[&[u32]]) -> Self {
+        let mut b = Batch::with_capacity(width, rows.len());
+        for r in rows {
+            b.push(r);
+        }
+        b
+    }
+
+    /// Row width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.width).unwrap_or(0)
+    }
+
+    /// Whether the batch has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.width()`.
+    #[inline]
+    pub fn push(&mut self, row: &[u32]) {
+        debug_assert_eq!(row.len(), self.width);
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends the concatenation of two row fragments.
+    #[inline]
+    pub fn push_concat(&mut self, a: &[u32], b: &[u32]) {
+        debug_assert_eq!(a.len() + b.len(), self.width);
+        self.data.extend_from_slice(a);
+        self.data.extend_from_slice(b);
+    }
+
+    /// Iterates over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.data.chunks_exact(self.width.max(1))
+    }
+
+    /// Projects the batch onto `cols`.
+    pub fn project(&self, cols: &[usize]) -> Batch {
+        let mut out = Batch::with_capacity(cols.len(), self.len());
+        for row in self.iter() {
+            for &c in cols {
+                out.data.push(row[c]);
+            }
+        }
+        out
+    }
+
+    /// Retains only rows satisfying all `preds`.
+    pub fn filter(&self, preds: &[crate::pred::Pred]) -> Batch {
+        let mut out = Batch::new(self.width);
+        for row in self.iter() {
+            if preds.iter().all(|p| p.eval(row)) {
+                out.push(row);
+            }
+        }
+        out
+    }
+
+    /// Heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::Pred;
+
+    #[test]
+    fn push_and_row() {
+        let mut b = Batch::new(3);
+        b.push(&[1, 2, 3]);
+        b.push(&[4, 5, 6]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let b = Batch::from_rows(3, &[&[1, 2, 3], &[4, 5, 6]]);
+        let p = b.project(&[2, 0]);
+        assert_eq!(p.row(0), &[3, 1]);
+        assert_eq!(p.row(1), &[6, 4]);
+    }
+
+    #[test]
+    fn filter_applies_all_predicates() {
+        let b = Batch::from_rows(2, &[&[1, 1], &[1, 2], &[2, 2]]);
+        let f = b.filter(&[
+            Pred::ColEqCol { a: 0, b: 1 },
+            Pred::ColNeConst { col: 0, value: 2 },
+        ]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.row(0), &[1, 1]);
+    }
+}

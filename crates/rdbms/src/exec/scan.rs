@@ -1,0 +1,82 @@
+//! Sequential scan with predicate pushdown and projection.
+
+use super::Batch;
+use crate::bufferpool::BufferPool;
+use crate::pred::Pred;
+use crate::storage::Table;
+
+/// Scans `table`, applying `preds` to each row (pushdown) and projecting to
+/// `projection` (or all columns when `None`).
+pub fn seq_scan(
+    table: &Table,
+    pool: &BufferPool,
+    preds: &[Pred],
+    projection: Option<&[usize]>,
+) -> Batch {
+    let width = projection.map_or(table.width(), <[usize]>::len);
+    let mut out = Batch::with_capacity(width, table.len());
+    match projection {
+        None => {
+            for row in table.scan(pool) {
+                if preds.iter().all(|p| p.eval(row)) {
+                    out.push(row);
+                }
+            }
+        }
+        Some(cols) => {
+            let mut buf = Vec::with_capacity(cols.len());
+            for row in table.scan(pool) {
+                if preds.iter().all(|p| p.eval(row)) {
+                    buf.clear();
+                    buf.extend(cols.iter().map(|&c| row[c]));
+                    out.push(&buf);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    fn fixture() -> (Table, BufferPool) {
+        let pool = BufferPool::new(64);
+        let mut t = Table::new("t", TableSchema::new(vec!["a", "b", "c"]), 0);
+        t.insert(&[1, 10, 100], &pool).unwrap();
+        t.insert(&[2, 20, 200], &pool).unwrap();
+        t.insert(&[2, 30, 300], &pool).unwrap();
+        (t, pool)
+    }
+
+    #[test]
+    fn scan_all() {
+        let (t, pool) = fixture();
+        let b = seq_scan(&t, &pool, &[], None);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.width(), 3);
+    }
+
+    #[test]
+    fn pushdown_filter() {
+        let (t, pool) = fixture();
+        let b = seq_scan(&t, &pool, &[Pred::ColEqConst { col: 0, value: 2 }], None);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn projection_narrows() {
+        let (t, pool) = fixture();
+        let b = seq_scan(
+            &t,
+            &pool,
+            &[Pred::ColEqConst { col: 0, value: 2 }],
+            Some(&[2]),
+        );
+        assert_eq!(b.width(), 1);
+        assert_eq!(b.row(0), &[200]);
+        assert_eq!(b.row(1), &[300]);
+    }
+}

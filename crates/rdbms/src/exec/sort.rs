@@ -1,0 +1,73 @@
+//! Batch sorting (feeds sort-merge join and grouping).
+
+use super::Batch;
+
+/// Returns a new batch with rows sorted lexicographically by `key_cols`
+/// (ties broken by full-row comparison for determinism).
+pub fn sort_batch(batch: &Batch, key_cols: &[usize]) -> Batch {
+    let mut idx: Vec<usize> = (0..batch.len()).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        let (ra, rb) = (batch.row(a), batch.row(b));
+        for &c in key_cols {
+            match ra[c].cmp(&rb[c]) {
+                std::cmp::Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        ra.cmp(rb)
+    });
+    let mut out = Batch::with_capacity(batch.width(), batch.len());
+    for i in idx {
+        out.push(batch.row(i));
+    }
+    out
+}
+
+/// Checks whether a batch is sorted on `key_cols` (used by the optimizer to
+/// skip redundant sorts).
+pub fn is_sorted(batch: &Batch, key_cols: &[usize]) -> bool {
+    let mut prev: Option<&[u32]> = None;
+    for row in batch.iter() {
+        if let Some(p) = prev {
+            for &c in key_cols {
+                match p[c].cmp(&row[c]) {
+                    std::cmp::Ordering::Less => break,
+                    std::cmp::Ordering::Greater => return false,
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+        }
+        prev = Some(row);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_by_keys() {
+        let b = Batch::from_rows(2, &[&[3, 1], &[1, 2], &[2, 0], &[1, 1]]);
+        let s = sort_batch(&b, &[0]);
+        let firsts: Vec<u32> = s.iter().map(|r| r[0]).collect();
+        assert_eq!(firsts, vec![1, 1, 2, 3]);
+        assert!(is_sorted(&s, &[0]));
+        assert!(!is_sorted(&b, &[0]));
+    }
+
+    #[test]
+    fn deterministic_tiebreak() {
+        let b = Batch::from_rows(2, &[&[1, 9], &[1, 2]]);
+        let s = sort_batch(&b, &[0]);
+        assert_eq!(s.row(0), &[1, 2]);
+        assert_eq!(s.row(1), &[1, 9]);
+    }
+
+    #[test]
+    fn empty_is_sorted() {
+        let b = Batch::new(2);
+        assert!(is_sorted(&b, &[0, 1]));
+        assert!(sort_batch(&b, &[0]).is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! # tuffy-rdbms — the embedded relational engine
+//!
+//! Tuffy (VLDB 2011) grounds Markov Logic Networks *bottom-up* by compiling
+//! each first-order clause into a SQL query executed by an RDBMS
+//! (PostgreSQL 8.4 in the paper, §3.1 / Appendix B.1). The paper's lesion
+//! study (Table 6, Appendix C.2) shows that the relational optimizer — in
+//! particular the availability of hash and sort-merge joins and predicate
+//! pushdown — is what makes bottom-up grounding orders of magnitude faster
+//! than Alchemy's top-down strategy.
+//!
+//! This crate is the stand-in for that RDBMS: an embedded, single-process
+//! relational engine with
+//!
+//! * **storage**: fixed-width `u32` rows in pages, behind a buffer pool
+//!   with LRU eviction, I/O accounting, and an optional simulated-disk cost
+//!   model ([`storage`], [`bufferpool`]);
+//! * **executors**: sequential scans with predicate pushdown, nested-loop /
+//!   hash / sort-merge joins, semi- and anti-joins, distinct, sorting, and
+//!   grouping ([`exec`]);
+//! * **a cost-based optimizer** for the conjunctive (select-project-join +
+//!   anti-join) queries produced by the grounder, with greedy join-order
+//!   selection, join-algorithm selection, and the lesion knobs the paper
+//!   disables one at a time ([`optimizer`], [`query`]);
+//! * **statistics**: per-table row counts and per-column distinct-value
+//!   estimates driving the cost model ([`stats`]).
+//!
+//! Values are `u32`s: the MLN layer interns every constant, so the engine
+//! never sees strings (mirroring Tuffy's bulk-loading of integer-encoded
+//! tuples).
+
+pub mod bufferpool;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod optimizer;
+pub mod pred;
+pub mod query;
+pub mod schema;
+pub mod stats;
+pub mod storage;
+
+pub use bufferpool::{BufferPool, DiskModel, IoStats};
+pub use catalog::{Database, TableId};
+pub use error::DbError;
+pub use optimizer::{JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig};
+pub use pred::Pred;
+pub use query::{ConjunctiveQuery, QueryAtom, VarId};
+pub use schema::TableSchema;
+pub use storage::{Row, Table, PAGE_ROWS};

@@ -1,0 +1,833 @@
+//! Cost-based planning and execution of conjunctive queries.
+//!
+//! The planner implements exactly the three mechanisms the paper's lesion
+//! study isolates (Table 6, Appendix C.2):
+//!
+//! 1. **join order** — greedy smallest-intermediate-first ordering driven
+//!    by table statistics (disable with [`JoinOrderPolicy::Program`], which
+//!    mimics Alchemy's literal order);
+//! 2. **join algorithms** — hash join by default, sort-merge for very
+//!    large equi-joins, nested loop otherwise (restrict with
+//!    [`JoinAlgorithmPolicy::NestedLoopOnly`]);
+//! 3. **predicate pushdown** — constant filters evaluated at scan time
+//!    (disable with `pushdown: false` to defer them above the joins).
+//!
+//! Anti-joins (`NOT EXISTS` pruning) are applied as early as their
+//! correlation variables are available.
+
+use crate::catalog::Database;
+use crate::error::DbError;
+use crate::exec::agg::distinct;
+use crate::exec::join::{
+    cross_join, hash_anti_join, hash_join, nested_loop_join, sort_merge_join,
+};
+use crate::exec::scan::seq_scan;
+use crate::exec::Batch;
+use crate::pred::Pred;
+use crate::query::{ColumnBinding, ConjunctiveQuery, QueryAtom, VarId};
+use std::fmt;
+
+/// Join-order selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum JoinOrderPolicy {
+    /// Greedy cost-based ordering (the default).
+    #[default]
+    Auto,
+    /// Join atoms in the order they appear in the query — the order the
+    /// literals appear in the MLN clause, as Alchemy's nested loops do.
+    Program,
+}
+
+/// Join-algorithm selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum JoinAlgorithmPolicy {
+    /// Hash / sort-merge / nested-loop chosen by cost (the default).
+    #[default]
+    Auto,
+    /// Nested loops only — the paper's "fixed join algorithm" lesion.
+    NestedLoopOnly,
+}
+
+/// Optimizer configuration (the lesion knobs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Join-order policy.
+    pub join_order: JoinOrderPolicy,
+    /// Join-algorithm policy.
+    pub join_algorithm: JoinAlgorithmPolicy,
+    /// Whether constant predicates are pushed into scans.
+    pub pushdown: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            join_order: JoinOrderPolicy::Auto,
+            join_algorithm: JoinAlgorithmPolicy::Auto,
+            pushdown: true,
+        }
+    }
+}
+
+/// Physical join algorithm chosen for a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Build + probe hash join.
+    Hash,
+    /// Sort both sides, merge.
+    SortMerge,
+    /// Nested loops with key equality checks.
+    NestedLoop,
+    /// No shared keys: cross product.
+    Cross,
+}
+
+impl fmt::Display for JoinAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinAlgo::Hash => write!(f, "HashJoin"),
+            JoinAlgo::SortMerge => write!(f, "SortMergeJoin"),
+            JoinAlgo::NestedLoop => write!(f, "NestedLoopJoin"),
+            JoinAlgo::Cross => write!(f, "CrossProduct"),
+        }
+    }
+}
+
+/// Both sides at least this large ⇒ prefer sort-merge over hash (models
+/// PostgreSQL's preference for merge joins on very large inputs).
+const SORT_MERGE_THRESHOLD: usize = 1 << 17;
+
+/// One step of a physical plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanStep {
+    /// Scan the `atom`-th positive atom (always the first step).
+    Scan {
+        /// Index into `query.atoms`.
+        atom: usize,
+        /// Estimated output rows.
+        est_rows: f64,
+    },
+    /// Join the accumulated result with the `atom`-th positive atom.
+    Join {
+        /// Index into `query.atoms`.
+        atom: usize,
+        /// Chosen algorithm.
+        algo: JoinAlgo,
+        /// Shared variables joined on.
+        keys: Vec<VarId>,
+        /// Estimated output rows.
+        est_rows: f64,
+    },
+    /// Apply the `anti`-th anti-atom (`NOT EXISTS`).
+    Anti {
+        /// Index into `query.anti_atoms`.
+        anti: usize,
+        /// Correlation variables.
+        keys: Vec<VarId>,
+    },
+}
+
+/// A physical plan: ordered steps plus the final projection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// Ordered physical steps.
+    pub steps: Vec<PlanStep>,
+    /// Variable layout of the accumulated result after the last step.
+    pub schema: Vec<VarId>,
+    /// Estimated output rows before projection.
+    pub est_rows: f64,
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            match step {
+                PlanStep::Scan { atom, est_rows } => {
+                    writeln!(f, "SeqScan(atom {atom}) est={est_rows:.0}")?;
+                }
+                PlanStep::Join {
+                    atom,
+                    algo,
+                    keys,
+                    est_rows,
+                } => {
+                    writeln!(f, "{algo}(atom {atom}) on {keys:?} est={est_rows:.0}")?;
+                }
+                PlanStep::Anti { anti, keys } => {
+                    writeln!(f, "AntiJoin(anti {anti}) on {keys:?}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-atom planning info derived from statistics.
+struct AtomInfo {
+    /// Estimated rows after pushed-down filters.
+    est_rows: f64,
+    /// Estimated NDV per bound variable.
+    var_ndv: Vec<(VarId, f64)>,
+}
+
+fn atom_info(db: &Database, atom: &QueryAtom, pushdown: bool) -> AtomInfo {
+    let stats = db.stats(atom.table);
+    let (rows, ndv): (f64, Vec<usize>) = match stats {
+        Some(s) => (s.row_count as f64, s.ndv.clone()),
+        None => {
+            let t = db.table(atom.table);
+            (t.len() as f64, vec![t.len().max(1); t.width()])
+        }
+    };
+    let mut est = rows;
+    if pushdown {
+        for (c, b) in atom.bindings.iter().enumerate() {
+            if matches!(b, ColumnBinding::Const(_)) {
+                est /= ndv.get(c).copied().unwrap_or(1).max(1) as f64;
+            }
+        }
+    }
+    let var_ndv = atom
+        .var_columns()
+        .into_iter()
+        .map(|(v, c)| {
+            let d = ndv.get(c).copied().unwrap_or(1).max(1) as f64;
+            (v, d.min(est.max(1.0)))
+        })
+        .collect();
+    AtomInfo {
+        est_rows: est.max(0.0),
+        var_ndv,
+    }
+}
+
+/// Estimated cardinality of joining two inputs on `shared` variables.
+fn join_estimate(
+    left_rows: f64,
+    left_ndv: &[(VarId, f64)],
+    right: &AtomInfo,
+    shared: &[VarId],
+) -> f64 {
+    let mut est = left_rows * right.est_rows;
+    for v in shared {
+        let l = left_ndv
+            .iter()
+            .find(|(w, _)| w == v)
+            .map_or(1.0, |(_, d)| *d);
+        let r = right
+            .var_ndv
+            .iter()
+            .find(|(w, _)| w == v)
+            .map_or(1.0, |(_, d)| *d);
+        est /= l.max(r).max(1.0);
+    }
+    est
+}
+
+/// Plans `query` against `db` (tables should be `ANALYZE`d for best
+/// results; un-analyzed tables fall back to row counts).
+pub fn plan_query(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    config: &OptimizerConfig,
+) -> Result<Plan, DbError> {
+    if query.atoms.is_empty() {
+        return Err(DbError::BadQuery("no positive atoms".into()));
+    }
+    let bound = query.bound_variables();
+    for v in &query.output {
+        if !bound.contains(v) {
+            return Err(DbError::UnboundVariable(*v));
+        }
+    }
+    let infos: Vec<AtomInfo> = query
+        .atoms
+        .iter()
+        .map(|a| atom_info(db, a, config.pushdown))
+        .collect();
+
+    // Choose the atom order.
+    let order: Vec<usize> = match config.join_order {
+        JoinOrderPolicy::Program => (0..query.atoms.len()).collect(),
+        JoinOrderPolicy::Auto => {
+            let mut remaining: Vec<usize> = (0..query.atoms.len()).collect();
+            let mut order = Vec::with_capacity(remaining.len());
+            // Start from the smallest estimated atom.
+            remaining.sort_by(|&a, &b| {
+                infos[a]
+                    .est_rows
+                    .total_cmp(&infos[b].est_rows)
+                    .then(a.cmp(&b))
+            });
+            let first = remaining.remove(0);
+            order.push(first);
+            let mut cur_rows = infos[first].est_rows;
+            let mut cur_ndv = infos[first].var_ndv.clone();
+            let mut cur_vars: Vec<VarId> =
+                cur_ndv.iter().map(|(v, _)| *v).collect();
+            while !remaining.is_empty() {
+                // Prefer connected atoms; among them, smallest estimate.
+                let mut best: Option<(usize, f64, bool)> = None; // (pos, est, connected)
+                for (pos, &ai) in remaining.iter().enumerate() {
+                    let shared: Vec<VarId> = query.atoms[ai]
+                        .variables()
+                        .into_iter()
+                        .filter(|v| cur_vars.contains(v))
+                        .collect();
+                    let connected = !shared.is_empty();
+                    let est = join_estimate(cur_rows, &cur_ndv, &infos[ai], &shared);
+                    let better = match &best {
+                        None => true,
+                        Some((_, best_est, best_conn)) => {
+                            (connected, -est) > (*best_conn, -best_est)
+                        }
+                    };
+                    if better {
+                        best = Some((pos, est, connected));
+                    }
+                }
+                let (pos, est, _) = best.unwrap();
+                let ai = remaining.remove(pos);
+                cur_rows = est;
+                for (v, d) in &infos[ai].var_ndv {
+                    match cur_ndv.iter_mut().find(|(w, _)| w == v) {
+                        Some((_, cd)) => *cd = cd.min(*d),
+                        None => cur_ndv.push((*v, *d)),
+                    }
+                }
+                for v in query.atoms[ai].variables() {
+                    if !cur_vars.contains(&v) {
+                        cur_vars.push(v);
+                    }
+                }
+                order.push(ai);
+            }
+            order
+        }
+    };
+
+    // Build steps, weaving anti-joins in as soon as their correlation
+    // variables are bound.
+    let mut steps = Vec::new();
+    let mut schema: Vec<VarId> = Vec::new();
+    let mut anti_done = vec![false; query.anti_atoms.len()];
+    let mut est_rows = 0.0f64;
+    let mut cur_ndv: Vec<(VarId, f64)> = Vec::new();
+    for (step_idx, &ai) in order.iter().enumerate() {
+        let info = &infos[ai];
+        if step_idx == 0 {
+            est_rows = info.est_rows;
+            cur_ndv = info.var_ndv.clone();
+            steps.push(PlanStep::Scan {
+                atom: ai,
+                est_rows,
+            });
+            for v in query.atoms[ai].variables() {
+                if !schema.contains(&v) {
+                    schema.push(v);
+                }
+            }
+        } else {
+            let shared: Vec<VarId> = query.atoms[ai]
+                .variables()
+                .into_iter()
+                .filter(|v| schema.contains(v))
+                .collect();
+            let est = join_estimate(est_rows, &cur_ndv, info, &shared);
+            let algo = choose_algo(config, &shared, est_rows, info.est_rows);
+            steps.push(PlanStep::Join {
+                atom: ai,
+                algo,
+                keys: shared,
+                est_rows: est,
+            });
+            est_rows = est;
+            for (v, d) in &info.var_ndv {
+                match cur_ndv.iter_mut().find(|(w, _)| w == v) {
+                    Some((_, cd)) => *cd = cd.min(*d),
+                    None => cur_ndv.push((*v, *d)),
+                }
+            }
+            for v in query.atoms[ai].variables() {
+                if !schema.contains(&v) {
+                    schema.push(v);
+                }
+            }
+        }
+        // Anti-joins whose correlation vars are now all bound.
+        for (i, anti) in query.anti_atoms.iter().enumerate() {
+            if anti_done[i] {
+                continue;
+            }
+            let corr: Vec<VarId> = anti
+                .variables()
+                .into_iter()
+                .filter(|v| bound.contains(v))
+                .collect();
+            if corr.iter().all(|v| schema.contains(v)) {
+                steps.push(PlanStep::Anti {
+                    anti: i,
+                    keys: corr,
+                });
+                anti_done[i] = true;
+            }
+        }
+    }
+    if anti_done.iter().any(|d| !d) {
+        return Err(DbError::BadQuery(
+            "anti-join with variables never bound by positive atoms".into(),
+        ));
+    }
+    Ok(Plan {
+        steps,
+        schema,
+        est_rows,
+    })
+}
+
+fn choose_algo(
+    config: &OptimizerConfig,
+    shared: &[VarId],
+    left_rows: f64,
+    right_rows: f64,
+) -> JoinAlgo {
+    if shared.is_empty() {
+        return JoinAlgo::Cross;
+    }
+    match config.join_algorithm {
+        JoinAlgorithmPolicy::NestedLoopOnly => JoinAlgo::NestedLoop,
+        JoinAlgorithmPolicy::Auto => {
+            if left_rows >= SORT_MERGE_THRESHOLD as f64 && right_rows >= SORT_MERGE_THRESHOLD as f64
+            {
+                JoinAlgo::SortMerge
+            } else {
+                JoinAlgo::Hash
+            }
+        }
+    }
+}
+
+/// Scans one atom into a batch whose columns follow `atom.var_columns()`;
+/// when `pushdown` is false, constant filters are *not* applied (they are
+/// deferred by [`execute_plan`]) but structural repeated-variable equality
+/// is always enforced.
+fn scan_atom(db: &Database, atom: &QueryAtom, pushdown: bool) -> (Batch, Vec<VarId>) {
+    let mut preds: Vec<Pred> = Vec::new();
+    let mut first_col: Vec<(VarId, usize)> = Vec::new();
+    for (c, b) in atom.bindings.iter().enumerate() {
+        match b {
+            ColumnBinding::Const(v) => {
+                if pushdown {
+                    preds.push(Pred::ColEqConst { col: c, value: *v });
+                }
+            }
+            ColumnBinding::Var(v) => match first_col.iter().find(|(w, _)| w == v) {
+                Some(&(_, fc)) => preds.push(Pred::ColEqCol { a: fc, b: c }),
+                None => first_col.push((*v, c)),
+            },
+            ColumnBinding::Any => {}
+        }
+    }
+    let proj: Vec<usize> = first_col.iter().map(|(_, c)| *c).collect();
+    let vars: Vec<VarId> = first_col.iter().map(|(v, _)| *v).collect();
+    let batch = seq_scan(db.table(atom.table), db.pool(), &preds, Some(&proj));
+    (batch, vars)
+}
+
+/// Deferred constant filters for an atom when pushdown is disabled: the
+/// atom is scanned unfiltered, so filter the *joined* result instead.
+/// Returns per-variable required constants… except constants do not bind
+/// variables; instead we re-scan with filters and semi-join. To keep the
+/// lesion simple and honest we post-filter by semi-joining against the
+/// filtered scan on the atom's variables.
+fn post_filter_for_atom(db: &Database, atom: &QueryAtom, acc: &Batch, schema: &[VarId]) -> Batch {
+    let consts: Vec<Pred> = atom
+        .bindings
+        .iter()
+        .enumerate()
+        .filter_map(|(c, b)| match b {
+            ColumnBinding::Const(v) => Some(Pred::ColEqConst { col: c, value: *v }),
+            _ => None,
+        })
+        .collect();
+    if consts.is_empty() {
+        return acc.clone();
+    }
+    let (filtered, vars) = {
+        let mut first_col: Vec<(VarId, usize)> = Vec::new();
+        for (c, b) in atom.bindings.iter().enumerate() {
+            if let ColumnBinding::Var(v) = b {
+                if !first_col.iter().any(|(w, _)| w == v) {
+                    first_col.push((*v, c));
+                }
+            }
+        }
+        let proj: Vec<usize> = first_col.iter().map(|(_, c)| *c).collect();
+        let vars: Vec<VarId> = first_col.iter().map(|(v, _)| *v).collect();
+        (
+            seq_scan(db.table(atom.table), db.pool(), &consts, Some(&proj)),
+            vars,
+        )
+    };
+    if vars.is_empty() {
+        // Atom is fully constant: keep everything iff a matching row exists.
+        return if filtered.is_empty() {
+            Batch::new(acc.width())
+        } else {
+            acc.clone()
+        };
+    }
+    let keys: Vec<(usize, usize)> = vars
+        .iter()
+        .enumerate()
+        .map(|(rc, v)| (schema.iter().position(|s| s == v).unwrap(), rc))
+        .collect();
+    crate::exec::join::hash_semi_join(acc, &filtered, &keys)
+}
+
+/// Executes a plan. Returns the projected (and optionally deduplicated)
+/// output batch with one column per `query.output` variable.
+pub fn execute_plan(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    plan: &Plan,
+    config: &OptimizerConfig,
+) -> Result<Batch, DbError> {
+    let mut acc = Batch::new(0);
+    let mut schema: Vec<VarId> = Vec::new();
+    let mut applied_neq: Vec<bool> = vec![false; query.neq.len()];
+    let mut applied_neq_const: Vec<bool> = vec![false; query.neq_const.len()];
+
+    for step in &plan.steps {
+        match step {
+            PlanStep::Scan { atom, .. } => {
+                let (batch, vars) = scan_atom(db, &query.atoms[*atom], config.pushdown);
+                acc = batch;
+                schema = vars;
+            }
+            PlanStep::Join { atom, algo, .. } => {
+                let (batch, vars) = scan_atom(db, &query.atoms[*atom], config.pushdown);
+                // Keys: shared variables → (acc col, batch col).
+                let mut keys: Vec<(usize, usize)> = Vec::new();
+                for (bc, v) in vars.iter().enumerate() {
+                    if let Some(ac) = schema.iter().position(|s| s == v) {
+                        keys.push((ac, bc));
+                    }
+                }
+                acc = match (algo, keys.is_empty()) {
+                    (_, true) => cross_join(&acc, &batch),
+                    (JoinAlgo::Hash, _) => hash_join(&acc, &batch, &keys),
+                    (JoinAlgo::SortMerge, _) => sort_merge_join(&acc, &batch, &keys),
+                    (JoinAlgo::NestedLoop, _) => nested_loop_join(&acc, &batch, &keys),
+                    (JoinAlgo::Cross, _) => cross_join(&acc, &batch),
+                };
+                // Extend the schema; drop duplicate var columns.
+                let old_width = schema.len();
+                let mut keep: Vec<usize> = (0..old_width).collect();
+                for (bc, v) in vars.iter().enumerate() {
+                    if !schema.contains(v) {
+                        schema.push(*v);
+                        keep.push(old_width + bc);
+                    }
+                }
+                if keep.len() != acc.width() {
+                    acc = acc.project(&keep);
+                }
+            }
+            PlanStep::Anti { anti, keys } => {
+                let atom = &query.anti_atoms[*anti];
+                // Scan the anti atom with its const filters (always pushed:
+                // NOT EXISTS subqueries are not part of the pushdown lesion)
+                // projected to correlation vars.
+                let mut preds: Vec<Pred> = Vec::new();
+                let mut first_col: Vec<(VarId, usize)> = Vec::new();
+                for (c, b) in atom.bindings.iter().enumerate() {
+                    match b {
+                        ColumnBinding::Const(v) => {
+                            preds.push(Pred::ColEqConst { col: c, value: *v });
+                        }
+                        ColumnBinding::Var(v) => {
+                            match first_col.iter().find(|(w, _)| w == v) {
+                                Some(&(_, fc)) => preds.push(Pred::ColEqCol { a: fc, b: c }),
+                                None => first_col.push((*v, c)),
+                            }
+                        }
+                        ColumnBinding::Any => {}
+                    }
+                }
+                first_col.retain(|(v, _)| keys.contains(v));
+                let proj: Vec<usize> = first_col.iter().map(|(_, c)| *c).collect();
+                let sub = seq_scan(db.table(atom.table), db.pool(), &preds, Some(&proj));
+                // An empty NOT EXISTS side removes nothing: skip the pass
+                // (and the copy of the accumulated result) entirely.
+                if !sub.is_empty() && !acc.is_empty() {
+                    let jk: Vec<(usize, usize)> = first_col
+                        .iter()
+                        .enumerate()
+                        .map(|(sc, (v, _))| {
+                            (schema.iter().position(|s| s == v).unwrap(), sc)
+                        })
+                        .collect();
+                    acc = hash_anti_join(&acc, &sub, &jk);
+                }
+            }
+        }
+        // Apply any inequality filters that just became applicable.
+        for (i, (a, b)) in query.neq.iter().enumerate() {
+            if applied_neq[i] {
+                continue;
+            }
+            if let (Some(ca), Some(cb)) = (
+                schema.iter().position(|s| s == a),
+                schema.iter().position(|s| s == b),
+            ) {
+                acc = acc.filter(&[Pred::ColNeCol { a: ca, b: cb }]);
+                applied_neq[i] = true;
+            }
+        }
+        for (i, (v, value)) in query.neq_const.iter().enumerate() {
+            if applied_neq_const[i] {
+                continue;
+            }
+            if let Some(col) = schema.iter().position(|s| s == v) {
+                acc = acc.filter(&[Pred::ColNeConst { col, value: *value }]);
+                applied_neq_const[i] = true;
+            }
+        }
+    }
+
+    // Deferred constant filters (pushdown lesion).
+    if !config.pushdown {
+        for atom in &query.atoms {
+            acc = post_filter_for_atom(db, atom, &acc, &schema);
+        }
+    }
+
+    if applied_neq.iter().any(|a| !a) || applied_neq_const.iter().any(|a| !a) {
+        return Err(DbError::BadQuery(
+            "inequality over variables never bound".into(),
+        ));
+    }
+
+    // Final projection.
+    let cols: Vec<usize> = query
+        .output
+        .iter()
+        .map(|v| {
+            schema
+                .iter()
+                .position(|s| s == v)
+                .ok_or(DbError::UnboundVariable(*v))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut out = acc.project(&cols);
+    if query.distinct {
+        out = distinct(&out);
+    }
+    Ok(out)
+}
+
+/// Plans and executes in one call (the common entry point).
+pub fn run_query(
+    db: &mut Database,
+    query: &ConjunctiveQuery,
+    config: &OptimizerConfig,
+) -> Result<Batch, DbError> {
+    // Refresh statistics for every referenced table.
+    for atom in query.atoms.iter().chain(query.anti_atoms.iter()) {
+        db.analyze(atom.table);
+    }
+    let plan = plan_query(db, query, config)?;
+    execute_plan(db, query, &plan, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+    use crate::schema::TableSchema;
+
+    /// wrote(author, paper): {(a1,p1),(a1,p2),(a2,p3)}
+    /// cat_true(paper, cat): {(p1,c1)}
+    fn db() -> (Database, crate::catalog::TableId, crate::catalog::TableId) {
+        let mut db = Database::in_memory();
+        let wrote = db
+            .create_table("wrote", TableSchema::new(vec!["author", "paper"]))
+            .unwrap();
+        for r in [[1u32, 10], [1, 11], [2, 12]] {
+            db.insert(wrote, &r).unwrap();
+        }
+        let cat = db
+            .create_table("cat_true", TableSchema::new(vec!["paper", "cat"]))
+            .unwrap();
+        db.insert(cat, &[10, 100]).unwrap();
+        (db, wrote, cat)
+    }
+
+    fn q_coauthor(
+        wrote: crate::catalog::TableId,
+    ) -> ConjunctiveQuery {
+        // wrote(x, p1), wrote(x, p2), p1 != p2 → output (p1, p2)
+        ConjunctiveQuery {
+            atoms: vec![
+                QueryAtom {
+                    table: wrote,
+                    bindings: vec![ColumnBinding::Var(0), ColumnBinding::Var(1)],
+                },
+                QueryAtom {
+                    table: wrote,
+                    bindings: vec![ColumnBinding::Var(0), ColumnBinding::Var(2)],
+                },
+            ],
+            anti_atoms: vec![],
+            neq: vec![(1, 2)],
+            neq_const: vec![],
+            output: vec![1, 2],
+            distinct: false,
+        }
+    }
+
+    #[test]
+    fn self_join_with_inequality() {
+        let (mut db, wrote, _) = db();
+        let out = run_query(&mut db, &q_coauthor(wrote), &OptimizerConfig::default()).unwrap();
+        // a1 wrote p1,p2 → (10,11) and (11,10).
+        let mut rows: Vec<Vec<u32>> = out.iter().map(<[u32]>::to_vec).collect();
+        rows.sort();
+        assert_eq!(rows, vec![vec![10, 11], vec![11, 10]]);
+    }
+
+    #[test]
+    fn all_configs_agree() {
+        let (mut db, wrote, _) = db();
+        let q = q_coauthor(wrote);
+        let mut results = Vec::new();
+        for join_order in [JoinOrderPolicy::Auto, JoinOrderPolicy::Program] {
+            for join_algorithm in [JoinAlgorithmPolicy::Auto, JoinAlgorithmPolicy::NestedLoopOnly]
+            {
+                for pushdown in [true, false] {
+                    let cfg = OptimizerConfig {
+                        join_order,
+                        join_algorithm,
+                        pushdown,
+                    };
+                    let out = run_query(&mut db, &q, &cfg).unwrap();
+                    let mut rows: Vec<Vec<u32>> = out.iter().map(<[u32]>::to_vec).collect();
+                    rows.sort();
+                    results.push(rows);
+                }
+            }
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn anti_join_pruning() {
+        let (mut db, wrote, cat) = db();
+        // wrote(x, p) and NOT EXISTS cat_true(p, _): papers without a label.
+        let q = ConjunctiveQuery {
+            atoms: vec![QueryAtom {
+                table: wrote,
+                bindings: vec![ColumnBinding::Var(0), ColumnBinding::Var(1)],
+            }],
+            anti_atoms: vec![QueryAtom {
+                table: cat,
+                bindings: vec![ColumnBinding::Var(1), ColumnBinding::Any],
+            }],
+            neq: vec![],
+            neq_const: vec![],
+            output: vec![1],
+            distinct: true,
+        };
+        let out = run_query(&mut db, &q, &OptimizerConfig::default()).unwrap();
+        let mut vals: Vec<u32> = out.iter().map(|r| r[0]).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![11, 12]); // p1=10 is labeled
+    }
+
+    #[test]
+    fn constant_binding_filters() {
+        let (mut db, wrote, _) = db();
+        let q = ConjunctiveQuery {
+            atoms: vec![QueryAtom {
+                table: wrote,
+                bindings: vec![ColumnBinding::Const(1), ColumnBinding::Var(0)],
+            }],
+            anti_atoms: vec![],
+            neq: vec![],
+            neq_const: vec![],
+            output: vec![0],
+            distinct: false,
+        };
+        for pushdown in [true, false] {
+            let cfg = OptimizerConfig {
+                pushdown,
+                ..Default::default()
+            };
+            let out = run_query(&mut db, &q, &cfg).unwrap();
+            let mut vals: Vec<u32> = out.iter().map(|r| r[0]).collect();
+            vals.sort_unstable();
+            assert_eq!(vals, vec![10, 11], "pushdown={pushdown}");
+        }
+    }
+
+    #[test]
+    fn unbound_output_rejected() {
+        let (mut db, wrote, _) = db();
+        let q = ConjunctiveQuery {
+            atoms: vec![QueryAtom {
+                table: wrote,
+                bindings: vec![ColumnBinding::Var(0), ColumnBinding::Var(1)],
+            }],
+            anti_atoms: vec![],
+            neq: vec![],
+            neq_const: vec![],
+            output: vec![7],
+            distinct: false,
+        };
+        assert!(run_query(&mut db, &q, &OptimizerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn plan_prefers_connected_joins() {
+        let (mut db, wrote, cat) = db();
+        let q = ConjunctiveQuery {
+            atoms: vec![
+                QueryAtom {
+                    table: wrote,
+                    bindings: vec![ColumnBinding::Var(0), ColumnBinding::Var(1)],
+                },
+                QueryAtom {
+                    table: cat,
+                    bindings: vec![ColumnBinding::Var(1), ColumnBinding::Var(2)],
+                },
+            ],
+            anti_atoms: vec![],
+            neq: vec![],
+            neq_const: vec![],
+            output: vec![0, 2],
+            distinct: false,
+        };
+        for a in [&q.atoms[0], &q.atoms[1]] {
+            db.analyze(a.table);
+        }
+        let plan = plan_query(&db, &q, &OptimizerConfig::default()).unwrap();
+        // Smallest table (cat_true, 1 row) scanned first, then a hash join.
+        match &plan.steps[0] {
+            PlanStep::Scan { atom, .. } => assert_eq!(*atom, 1),
+            other => panic!("unexpected first step {other:?}"),
+        }
+        match &plan.steps[1] {
+            PlanStep::Join { algo, keys, .. } => {
+                assert_eq!(*algo, JoinAlgo::Hash);
+                assert_eq!(keys, &vec![1]);
+            }
+            other => panic!("unexpected second step {other:?}"),
+        }
+        let out = execute_plan(&db, &q, &plan, &OptimizerConfig::default()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0), &[1, 100]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Row-level predicates for filters and pushdown.
+
+/// A predicate over a single row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pred {
+    /// `row[col] == value`.
+    ColEqConst {
+        /// Column index.
+        col: usize,
+        /// Constant compared against.
+        value: u32,
+    },
+    /// `row[col] != value`.
+    ColNeConst {
+        /// Column index.
+        col: usize,
+        /// Constant compared against.
+        value: u32,
+    },
+    /// `row[a] == row[b]` (e.g. repeated variables within one atom).
+    ColEqCol {
+        /// First column.
+        a: usize,
+        /// Second column.
+        b: usize,
+    },
+    /// `row[a] != row[b]`.
+    ColNeCol {
+        /// First column.
+        a: usize,
+        /// Second column.
+        b: usize,
+    },
+}
+
+impl Pred {
+    /// Evaluates the predicate against a row.
+    #[inline]
+    pub fn eval(&self, row: &[u32]) -> bool {
+        match *self {
+            Pred::ColEqConst { col, value } => row[col] == value,
+            Pred::ColNeConst { col, value } => row[col] != value,
+            Pred::ColEqCol { a, b } => row[a] == row[b],
+            Pred::ColNeCol { a, b } => row[a] != row[b],
+        }
+    }
+
+    /// Estimated selectivity for the cost model, given per-column NDV.
+    pub fn selectivity(&self, ndv: &[usize]) -> f64 {
+        match *self {
+            Pred::ColEqConst { col, .. } => 1.0 / ndv.get(col).copied().unwrap_or(1).max(1) as f64,
+            Pred::ColNeConst { col, .. } => {
+                1.0 - 1.0 / ndv.get(col).copied().unwrap_or(1).max(1) as f64
+            }
+            Pred::ColEqCol { a, b } => {
+                let d = ndv
+                    .get(a)
+                    .copied()
+                    .unwrap_or(1)
+                    .max(ndv.get(b).copied().unwrap_or(1))
+                    .max(1);
+                1.0 / d as f64
+            }
+            Pred::ColNeCol { .. } => 0.9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_all_variants() {
+        let row = &[5, 5, 7][..];
+        assert!(Pred::ColEqConst { col: 0, value: 5 }.eval(row));
+        assert!(!Pred::ColEqConst { col: 2, value: 5 }.eval(row));
+        assert!(Pred::ColNeConst { col: 2, value: 5 }.eval(row));
+        assert!(Pred::ColEqCol { a: 0, b: 1 }.eval(row));
+        assert!(Pred::ColNeCol { a: 0, b: 2 }.eval(row));
+        assert!(!Pred::ColNeCol { a: 0, b: 1 }.eval(row));
+    }
+
+    #[test]
+    fn selectivity_bounds() {
+        let ndv = vec![10, 2];
+        for p in [
+            Pred::ColEqConst { col: 0, value: 1 },
+            Pred::ColNeConst { col: 1, value: 1 },
+            Pred::ColEqCol { a: 0, b: 1 },
+            Pred::ColNeCol { a: 0, b: 1 },
+        ] {
+            let s = p.selectivity(&ndv);
+            assert!((0.0..=1.0).contains(&s), "{p:?} → {s}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Conjunctive queries — the query shape produced by MLN grounding.
+//!
+//! Algorithm 2 of the paper compiles each MLN clause into a
+//! select-project-join query: one relation per literal, `WHERE` equalities
+//! for shared variables and constants, and `NOT EXISTS` anti-joins for
+//! evidence-satisfaction pruning (Appendix A.3). [`ConjunctiveQuery`] is
+//! that shape, expressed over the engine's tables; [`crate::optimizer`]
+//! plans and executes it.
+
+use crate::catalog::TableId;
+
+/// A query variable, dense within one query.
+pub type VarId = usize;
+
+/// How one column of a query atom is constrained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnBinding {
+    /// The column must equal the given query variable.
+    Var(VarId),
+    /// The column must equal a constant.
+    Const(u32),
+    /// The column is unconstrained.
+    Any,
+}
+
+/// One relation occurrence in the query body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryAtom {
+    /// The scanned table.
+    pub table: TableId,
+    /// One binding per table column.
+    pub bindings: Vec<ColumnBinding>,
+}
+
+impl QueryAtom {
+    /// Distinct variables bound by this atom, in first-occurrence order.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for b in &self.bindings {
+            if let ColumnBinding::Var(v) = b {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// First column index binding each variable.
+    pub fn var_columns(&self) -> Vec<(VarId, usize)> {
+        let mut out: Vec<(VarId, usize)> = Vec::new();
+        for (c, b) in self.bindings.iter().enumerate() {
+            if let ColumnBinding::Var(v) = b {
+                if !out.iter().any(|(w, _)| w == v) {
+                    out.push((*v, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A conjunctive query with anti-joins and variable-inequality filters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Positive body atoms (joined).
+    pub atoms: Vec<QueryAtom>,
+    /// `NOT EXISTS` atoms, correlated through shared variables; variables
+    /// appearing only inside an anti atom are existential within it.
+    pub anti_atoms: Vec<QueryAtom>,
+    /// Pairs of variables required to be unequal.
+    pub neq: Vec<(VarId, VarId)>,
+    /// Variables required to differ from a constant.
+    pub neq_const: Vec<(VarId, u32)>,
+    /// Output projection, as variable ids.
+    pub output: Vec<VarId>,
+    /// Whether to deduplicate the output.
+    pub distinct: bool,
+}
+
+impl ConjunctiveQuery {
+    /// All variables bound by positive atoms.
+    pub fn bound_variables(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for v in a.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_variables_deduplicated() {
+        let a = QueryAtom {
+            table: TableId(0),
+            bindings: vec![
+                ColumnBinding::Var(3),
+                ColumnBinding::Var(1),
+                ColumnBinding::Var(3),
+                ColumnBinding::Const(9),
+            ],
+        };
+        assert_eq!(a.variables(), vec![3, 1]);
+        assert_eq!(a.var_columns(), vec![(3, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn bound_variables_across_atoms() {
+        let q = ConjunctiveQuery {
+            atoms: vec![
+                QueryAtom {
+                    table: TableId(0),
+                    bindings: vec![ColumnBinding::Var(0), ColumnBinding::Var(1)],
+                },
+                QueryAtom {
+                    table: TableId(1),
+                    bindings: vec![ColumnBinding::Var(1), ColumnBinding::Var(2)],
+                },
+            ],
+            anti_atoms: vec![],
+            neq: vec![],
+            neq_const: vec![],
+            output: vec![0, 2],
+            distinct: false,
+        };
+        assert_eq!(q.bound_variables(), vec![0, 1, 2]);
+    }
+}

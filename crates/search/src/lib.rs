@@ -1,0 +1,39 @@
+//! # tuffy-search — stochastic local search over ground MRFs
+//!
+//! The search half of Tuffy's MAP inference (paper §2.3, §3.2–3.4):
+//!
+//! * [`walksat`] — the WalkSAT algorithm (Appendix A.4, Algorithm 1) with
+//!   incremental cost bookkeeping, an O(1)-sample violated-clause set,
+//!   negative-weight and hard-clause handling, and flip-rate
+//!   instrumentation (Table 3);
+//! * [`component`] — component-aware WalkSAT (§3.3): solve each connected
+//!   component independently with weighted round-robin step budgets and
+//!   per-component best-state tracking, the source of the exponential
+//!   speedup of Theorem 3.1;
+//! * [`gauss_seidel`] — partition-aware search (§3.4): iterate WalkSAT
+//!   over partitions, conditioning each pass's cut clauses on the frozen
+//!   state of the other partitions (the Gauss-Seidel scheme of Bertsekas
+//!   and Tsitsiklis, the paper's reference \[3\]);
+//! * [`parallel`] — multi-threaded execution of per-component searches
+//!   over FFD-packed batches with round-robin scheduling (§3.3);
+//! * [`rdbms_search`] — `Tuffy-mm`: WalkSAT executed against the clause
+//!   table in the RDBMS through its buffer pool (Appendix B.2), whose
+//!   measured flipping rate reproduces the 3–5 orders-of-magnitude gap of
+//!   Table 3;
+//! * [`mcsat`] — marginal inference by MC-SAT with a SampleSAT proposal
+//!   (Appendix A.5);
+//! * [`timecost`] — time-cost trace recording for the paper's figures.
+
+pub mod component;
+pub mod gauss_seidel;
+pub mod mcsat;
+pub mod parallel;
+pub mod rdbms_search;
+pub mod timecost;
+pub mod walksat;
+
+pub use component::ComponentSearch;
+pub use gauss_seidel::GaussSeidel;
+pub use mcsat::McSat;
+pub use timecost::{TimeCostTrace, TracePoint};
+pub use walksat::{WalkSat, WalkSatParams};

@@ -1,0 +1,259 @@
+//! Marginal inference: MC-SAT with a SampleSAT proposal (Appendix A.5).
+//!
+//! MC-SAT (Poon & Domingos) is a slice sampler: at each iteration it
+//! selects a random subset `M` of the clauses satisfied by the current
+//! state — each soft clause with probability `1 − e^{−w}`, hard clauses
+//! always — and samples a near-uniform satisfying assignment of `M` using
+//! SampleSAT, a mixture of WalkSAT moves and simulated-annealing moves
+//! ("Essentially, SampleSAT is a combination of simulated annealing and
+//! WalkSAT", Appendix A.5). Atom marginals are the fraction of samples in
+//! which the atom is true.
+//!
+//! Negative-weight clauses are not supported by the slice construction
+//! and are rejected up front (the paper's marginal appendix likewise
+//! assumes non-negative clause weights).
+
+use crate::walksat::WalkSat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tuffy_mln::weight::Weight;
+use tuffy_mln::MlnError;
+use tuffy_mrf::{GroundClause, Mrf, MrfBuilder};
+#[cfg(test)]
+use tuffy_mrf::Lit;
+
+/// MC-SAT parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct McSatParams {
+    /// Number of MC-SAT samples (after burn-in).
+    pub samples: usize,
+    /// Burn-in samples discarded up front.
+    pub burn_in: usize,
+    /// SampleSAT steps per sample.
+    pub sample_sat_steps: u64,
+    /// Probability of an annealing move (vs a WalkSAT move) in SampleSAT.
+    pub p_anneal: f64,
+    /// Annealing temperature (in units of violated-clause count).
+    pub temperature: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for McSatParams {
+    fn default() -> Self {
+        McSatParams {
+            samples: 200,
+            burn_in: 20,
+            sample_sat_steps: 2_000,
+            p_anneal: 0.5,
+            temperature: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// MC-SAT marginal-inference engine over one MRF.
+pub struct McSat<'a> {
+    mrf: &'a Mrf,
+    rng: StdRng,
+}
+
+impl<'a> McSat<'a> {
+    /// Creates the sampler. Errors if the MRF has negative-weight clauses.
+    pub fn new(mrf: &'a Mrf, seed: u64) -> Result<McSat<'a>, MlnError> {
+        for c in mrf.clauses() {
+            if c.weight.signum() < 0 {
+                return Err(MlnError::general(
+                    "MC-SAT marginal inference requires non-negative clause weights",
+                ));
+            }
+        }
+        Ok(McSat {
+            mrf,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Runs MC-SAT and returns the per-atom marginal probabilities.
+    pub fn marginals(&mut self, params: &McSatParams) -> Vec<f64> {
+        let n = self.mrf.num_atoms();
+        let mut counts = vec![0u64; n];
+        // Initial state: satisfy the hard clauses with WalkSAT.
+        let mut state = {
+            let mut ws = WalkSat::new(self.mrf, self.rng.gen());
+            ws.run(
+                &crate::walksat::WalkSatParams {
+                    max_flips: params.sample_sat_steps * 4,
+                    max_tries: 3,
+                    noise: 0.5,
+                    seed: self.rng.gen(),
+                },
+                None,
+            );
+            ws.best_truth().to_vec()
+        };
+
+        for it in 0..params.burn_in + params.samples {
+            let selected = self.select_clauses(&state);
+            state = self.sample_sat(&selected, state, params);
+            if it >= params.burn_in {
+                for (a, &t) in state.iter().enumerate() {
+                    counts[a] += u64::from(t);
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / params.samples as f64)
+            .collect()
+    }
+
+    /// The MC-SAT slice: every satisfied hard clause, plus each satisfied
+    /// soft clause with probability `1 − e^{−w}`.
+    fn select_clauses(&mut self, state: &[bool]) -> Vec<GroundClause> {
+        let mut out = Vec::new();
+        for c in self.mrf.clauses() {
+            if !c.satisfied(state) {
+                continue;
+            }
+            let take = match c.weight {
+                Weight::Hard => true,
+                Weight::Soft(w) => self.rng.gen::<f64>() < 1.0 - (-w).exp(),
+                Weight::NegHard => false, // rejected in `new`
+            };
+            if take {
+                out.push(c.clone());
+            }
+        }
+        out
+    }
+
+    /// SampleSAT: sample a near-uniform satisfying assignment of the
+    /// selected clauses, starting from a random state.
+    fn sample_sat(
+        &mut self,
+        selected: &[GroundClause],
+        fallback: Vec<bool>,
+        params: &McSatParams,
+    ) -> Vec<bool> {
+        let n = self.mrf.num_atoms();
+        // Build a hard-constraint MRF over the selected clauses.
+        let mut b = MrfBuilder::new();
+        b.reserve_atoms(n);
+        for c in selected {
+            b.add_clause(c.lits.to_vec(), Weight::Hard);
+        }
+        let hard = b.finish();
+        let mut init = vec![false; n];
+        for t in &mut init {
+            *t = self.rng.gen();
+        }
+        let mut ws = WalkSat::with_assignment(&hard, init, self.rng.gen());
+        for _ in 0..params.sample_sat_steps {
+            if ws.cost().is_zero() {
+                // Keep moving at zero cost to decorrelate (annealing moves
+                // that keep cost zero).
+                let atom = self.rng.gen_range(0..n) as u32;
+                let (dh, _) = ws.flip_delta(atom);
+                if dh <= 0 {
+                    ws.flip(atom);
+                }
+                continue;
+            }
+            if self.rng.gen::<f64>() < params.p_anneal {
+                // Simulated-annealing move on the violated-clause count.
+                let atom = self.rng.gen_range(0..n) as u32;
+                let (dh, _) = ws.flip_delta(atom);
+                if dh <= 0
+                    || self.rng.gen::<f64>() < (-(dh as f64) / params.temperature).exp()
+                {
+                    ws.flip(atom);
+                }
+            } else {
+                ws.step(0.5);
+            }
+        }
+        if ws.cost().is_zero() {
+            ws.truth().to_vec()
+        } else if ws.best_cost().is_zero() {
+            ws.best_truth().to_vec()
+        } else {
+            // SampleSAT failed to satisfy M within budget: keep the
+            // previous state (standard practical fallback).
+            fallback
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single positive unit clause (a, w): P(a) = e^w / (1 + e^w).
+    #[test]
+    fn unit_clause_marginal_matches_analytic() {
+        let w = 1.0f64;
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(w));
+        let m = b.finish();
+        let mut mc = McSat::new(&m, 7).unwrap();
+        let marg = mc.marginals(&McSatParams {
+            samples: 2000,
+            burn_in: 50,
+            sample_sat_steps: 20,
+            ..Default::default()
+        });
+        let expected = w.exp() / (1.0 + w.exp()); // ≈ 0.731
+        assert!(
+            (marg[0] - expected).abs() < 0.06,
+            "marginal {} vs analytic {}",
+            marg[0],
+            expected
+        );
+    }
+
+    /// Two atoms tied by a hard equivalence, one biased: they co-vary.
+    #[test]
+    fn hard_equivalence_ties_marginals() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::neg(0), Lit::pos(1)], Weight::Hard);
+        b.add_clause(vec![Lit::pos(0), Lit::neg(1)], Weight::Hard);
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(1.5));
+        let m = b.finish();
+        let mut mc = McSat::new(&m, 13).unwrap();
+        let marg = mc.marginals(&McSatParams {
+            samples: 1500,
+            burn_in: 50,
+            sample_sat_steps: 60,
+            ..Default::default()
+        });
+        assert!((marg[0] - marg[1]).abs() < 0.05, "{} vs {}", marg[0], marg[1]);
+        assert!(marg[0] > 0.6, "biased atom should lean true: {}", marg[0]);
+    }
+
+    #[test]
+    fn negative_weights_rejected() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(-1.0));
+        let m = b.finish();
+        assert!(McSat::new(&m, 1).is_err());
+    }
+
+    #[test]
+    fn uniform_over_satisfying_assignments_when_unconstrained() {
+        // No clauses at all: marginals ≈ 0.5.
+        let mut b = MrfBuilder::new();
+        b.reserve_atoms(2);
+        let m = b.finish();
+        let mut mc = McSat::new(&m, 3).unwrap();
+        let marg = mc.marginals(&McSatParams {
+            samples: 2000,
+            burn_in: 10,
+            sample_sat_steps: 10,
+            ..Default::default()
+        });
+        for p in marg {
+            assert!((p - 0.5).abs() < 0.06, "unconstrained marginal {p}");
+        }
+    }
+}

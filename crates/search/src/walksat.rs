@@ -1,0 +1,497 @@
+//! WalkSAT (Algorithm 1, Appendix A.4) with incremental bookkeeping.
+//!
+//! Each step samples a random *violated* clause and flips one of its atoms
+//! — a random one with probability `noise`, otherwise the atom whose flip
+//! decreases the world cost the most. Violation follows §2.2: a
+//! positive-weight clause is violated when false, a negative-weight clause
+//! when true; hard clauses dominate lexicographically.
+//!
+//! The implementation keeps per-clause true-literal counts, an O(1)-sample
+//! set of violated clauses, and an incrementally maintained cost, so a
+//! flip costs time proportional to the flipped atom's occurrence list —
+//! the "flipping rate" the paper measures in Table 3.
+
+use crate::timecost::TimeCostTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tuffy_mln::weight::Weight;
+use tuffy_mrf::{AtomId, Cost, Mrf};
+
+/// Parameters of a WalkSAT run (Algorithm 1's `MaxFlips`/`MaxTries`, the
+/// random-move probability, and the RNG seed).
+#[derive(Clone, Copy, Debug)]
+pub struct WalkSatParams {
+    /// Flips per try.
+    pub max_flips: u64,
+    /// Number of random restarts.
+    pub max_tries: u32,
+    /// Probability of a random (non-greedy) move; the paper uses 0.5.
+    pub noise: f64,
+    /// RNG seed (runs are deterministic given a seed).
+    pub seed: u64,
+}
+
+impl Default for WalkSatParams {
+    fn default() -> Self {
+        WalkSatParams {
+            max_flips: 100_000,
+            max_tries: 1,
+            noise: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// A signed cost delta, ordered like [`Cost`] (hard first).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Delta {
+    hard: i64,
+    soft: f64,
+}
+
+impl Delta {
+    const ZERO: Delta = Delta { hard: 0, soft: 0.0 };
+
+    fn less_than(self, other: Delta) -> bool {
+        match self.hard.cmp(&other.hard) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.soft < other.soft,
+        }
+    }
+}
+
+/// An O(1) insert/remove/sample set of clause indices.
+#[derive(Clone, Debug, Default)]
+struct IndexedSet {
+    members: Vec<u32>,
+    /// Position of each clause in `members`, or `u32::MAX`.
+    pos: Vec<u32>,
+}
+
+impl IndexedSet {
+    fn with_capacity(n: usize) -> Self {
+        IndexedSet {
+            members: Vec::new(),
+            pos: vec![u32::MAX; n],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, x: u32) {
+        if self.pos[x as usize] == u32::MAX {
+            self.pos[x as usize] = self.members.len() as u32;
+            self.members.push(x);
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, x: u32) {
+        let p = self.pos[x as usize];
+        if p == u32::MAX {
+            return;
+        }
+        let last = *self.members.last().unwrap();
+        self.members[p as usize] = last;
+        self.pos[last as usize] = p;
+        self.members.pop();
+        self.pos[x as usize] = u32::MAX;
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    #[inline]
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        self.members[rng.gen_range(0..self.members.len())]
+    }
+}
+
+/// In-memory WalkSAT over one MRF.
+pub struct WalkSat<'a> {
+    mrf: &'a Mrf,
+    truth: Vec<bool>,
+    num_true: Vec<u32>,
+    violated: IndexedSet,
+    cost: Cost,
+    best_cost: Cost,
+    best_truth: Vec<bool>,
+    flips: u64,
+    rng: StdRng,
+}
+
+impl<'a> WalkSat<'a> {
+    /// Creates a solver with an all-false initial assignment (the
+    /// LazySAT default state; see Appendix A.3).
+    pub fn new(mrf: &'a Mrf, seed: u64) -> WalkSat<'a> {
+        let truth = vec![false; mrf.num_atoms()];
+        Self::with_assignment(mrf, truth, seed)
+    }
+
+    /// Creates a solver starting from a given assignment.
+    pub fn with_assignment(mrf: &'a Mrf, truth: Vec<bool>, seed: u64) -> WalkSat<'a> {
+        assert_eq!(truth.len(), mrf.num_atoms());
+        let mut ws = WalkSat {
+            mrf,
+            truth,
+            num_true: vec![0; mrf.clauses().len()],
+            violated: IndexedSet::with_capacity(mrf.clauses().len()),
+            cost: Cost::ZERO,
+            best_cost: Cost::ZERO,
+            best_truth: Vec::new(),
+            flips: 0,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        ws.recompute();
+        ws.best_cost = ws.cost;
+        ws.best_truth = ws.truth.clone();
+        ws
+    }
+
+    /// Rebuilds counters and cost from the current assignment.
+    fn recompute(&mut self) {
+        self.cost = self.mrf.base_cost;
+        self.violated = IndexedSet::with_capacity(self.mrf.clauses().len());
+        for (i, c) in self.mrf.clauses().iter().enumerate() {
+            let nt = c.true_count(&self.truth) as u32;
+            self.num_true[i] = nt;
+            if c.weight.violated_when(nt > 0) {
+                self.violated.insert(i as u32);
+                self.cost = self.cost.add(clause_cost(c.weight));
+            }
+        }
+    }
+
+    /// Randomizes the assignment (a WalkSAT "try").
+    pub fn randomize(&mut self) {
+        for t in &mut self.truth {
+            *t = self.rng.gen();
+        }
+        self.recompute();
+        if self.cost.better_than(self.best_cost) || self.best_truth.is_empty() {
+            self.best_cost = self.cost;
+            self.best_truth = self.truth.clone();
+        }
+    }
+
+    /// Current cost.
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Best cost seen so far.
+    pub fn best_cost(&self) -> Cost {
+        self.best_cost
+    }
+
+    /// Best assignment seen so far.
+    pub fn best_truth(&self) -> &[bool] {
+        &self.best_truth
+    }
+
+    /// Current assignment.
+    pub fn truth(&self) -> &[bool] {
+        &self.truth
+    }
+
+    /// Flips performed so far.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Number of currently violated clauses.
+    pub fn violated_count(&self) -> usize {
+        self.violated.len()
+    }
+
+    /// The cost change that flipping `atom` would cause, as a
+    /// `(hard, soft)` pair (used by SampleSAT's annealing moves).
+    pub fn flip_delta(&self, atom: AtomId) -> (i64, f64) {
+        let d = self.delta(atom);
+        (d.hard, d.soft)
+    }
+
+    /// The cost change that flipping `atom` would cause.
+    fn delta(&self, atom: AtomId) -> Delta {
+        let mut d = Delta::ZERO;
+        for &ci in self.mrf.occurrences(atom) {
+            let c = &self.mrf.clauses()[ci as usize];
+            let lit = c.lits.iter().find(|l| l.atom() == atom).unwrap();
+            let was_true = lit.eval(self.truth[atom as usize]);
+            let nt = self.num_true[ci as usize];
+            let nt_after = if was_true { nt - 1 } else { nt + 1 };
+            let viol_before = c.weight.violated_when(nt > 0);
+            let viol_after = c.weight.violated_when(nt_after > 0);
+            if viol_before != viol_after {
+                let w = clause_cost(c.weight);
+                if viol_after {
+                    d.hard += w.hard as i64;
+                    d.soft += w.soft;
+                } else {
+                    d.hard -= w.hard as i64;
+                    d.soft -= w.soft;
+                }
+            }
+        }
+        d
+    }
+
+    /// Flips `atom`, updating all bookkeeping.
+    pub fn flip(&mut self, atom: AtomId) {
+        let new_value = !self.truth[atom as usize];
+        self.truth[atom as usize] = new_value;
+        self.flips += 1;
+        for &ci in self.mrf.occurrences(atom) {
+            let c = &self.mrf.clauses()[ci as usize];
+            let lit = c.lits.iter().find(|l| l.atom() == atom).unwrap();
+            let now_true = lit.eval(new_value);
+            let nt = self.num_true[ci as usize];
+            let nt_after = if now_true { nt + 1 } else { nt - 1 };
+            self.num_true[ci as usize] = nt_after;
+            let viol_before = c.weight.violated_when(nt > 0);
+            let viol_after = c.weight.violated_when(nt_after > 0);
+            if viol_before != viol_after {
+                let w = clause_cost(c.weight);
+                if viol_after {
+                    self.cost = self.cost.add(w);
+                    self.violated.insert(ci);
+                } else {
+                    self.cost.hard -= w.hard;
+                    self.cost.soft -= w.soft;
+                    self.violated.remove(ci);
+                }
+            }
+        }
+        if self.cost.better_than(self.best_cost) {
+            self.best_cost = self.cost;
+            self.best_truth.copy_from_slice_checked(&self.truth);
+        }
+    }
+
+    /// One WalkSAT step (Algorithm 1, lines 5–10). Returns `false` when no
+    /// clause is violated (a zero-cost optimum — nothing left to do).
+    pub fn step(&mut self, noise: f64) -> bool {
+        if self.violated.is_empty() {
+            return false;
+        }
+        let ci = self.violated.sample(&mut self.rng);
+        let clause = &self.mrf.clauses()[ci as usize];
+        let atom = if self.rng.gen::<f64>() <= noise {
+            clause.lits[self.rng.gen_range(0..clause.lits.len())].atom()
+        } else {
+            // Greedy: the atom whose flip decreases cost the most.
+            let mut best_atom = clause.lits[0].atom();
+            let mut best_delta = self.delta(best_atom);
+            for l in &clause.lits[1..] {
+                let d = self.delta(l.atom());
+                if d.less_than(best_delta) {
+                    best_delta = d;
+                    best_atom = l.atom();
+                }
+            }
+            best_atom
+        };
+        self.flip(atom);
+        true
+    }
+
+    /// Runs the full WalkSAT loop, recording the best-cost curve in
+    /// `trace` (if provided) every improvement and every 4096 flips.
+    pub fn run(&mut self, params: &WalkSatParams, mut trace: Option<&mut TimeCostTrace>) {
+        for try_idx in 0..params.max_tries.max(1) {
+            if try_idx > 0 {
+                self.randomize();
+            }
+            if let Some(t) = trace.as_mut() {
+                t.record(self.flips, self.best_cost);
+            }
+            let mut last_best = self.best_cost;
+            for i in 0..params.max_flips {
+                if !self.step(params.noise) {
+                    break; // zero-cost world found
+                }
+                if let Some(t) = trace.as_mut() {
+                    if self.best_cost.better_than(last_best) || i % 4096 == 4095 {
+                        t.record(self.flips, self.best_cost);
+                        last_best = self.best_cost;
+                    }
+                }
+            }
+            if self.best_cost.is_zero() {
+                break;
+            }
+        }
+        if let Some(t) = trace.as_mut() {
+            t.record(self.flips, self.best_cost);
+        }
+    }
+}
+
+/// The cost of violating a clause of the given weight.
+#[inline]
+fn clause_cost(w: Weight) -> Cost {
+    match w {
+        Weight::Soft(x) => Cost::soft(x.abs()),
+        Weight::Hard | Weight::NegHard => Cost { hard: 1, soft: 0.0 },
+    }
+}
+
+/// Extension: length-checked copy (avoids realloc in the hot path).
+trait CopyChecked {
+    fn copy_from_slice_checked(&mut self, src: &[bool]);
+}
+
+impl CopyChecked for Vec<bool> {
+    #[inline]
+    fn copy_from_slice_checked(&mut self, src: &[bool]) {
+        if self.len() == src.len() {
+            self.copy_from_slice(src);
+        } else {
+            self.clear();
+            self.extend_from_slice(src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuffy_mrf::{Lit, MrfBuilder};
+
+    /// Example 1 of the paper with N components.
+    pub(crate) fn example1(n: u32) -> Mrf {
+        let mut b = MrfBuilder::new();
+        for i in 0..n {
+            let (x, y) = (2 * i, 2 * i + 1);
+            b.add_clause(vec![Lit::pos(x)], Weight::Soft(1.0));
+            b.add_clause(vec![Lit::pos(y)], Weight::Soft(1.0));
+            b.add_clause(vec![Lit::pos(x), Lit::pos(y)], Weight::Soft(-1.0));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn finds_optimum_of_example1_single_component() {
+        let m = example1(1);
+        let mut ws = WalkSat::new(&m, 7);
+        ws.run(
+            &WalkSatParams {
+                max_flips: 1000,
+                ..Default::default()
+            },
+            None,
+        );
+        // Optimum is X=Y=true with cost 1 (the negative clause violated).
+        assert_eq!(ws.best_cost(), Cost::soft(1.0));
+        assert_eq!(ws.best_truth(), &[true, true]);
+    }
+
+    #[test]
+    fn incremental_cost_matches_full_recompute() {
+        let m = example1(5);
+        let mut ws = WalkSat::new(&m, 11);
+        for _ in 0..500 {
+            ws.step(0.5);
+            let full = m.cost(ws.truth());
+            assert_eq!(ws.cost(), full, "incremental cost drifted");
+        }
+    }
+
+    #[test]
+    fn hard_clauses_dominate() {
+        // Hard: a must be true. Soft weight 100: a false.
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Hard);
+        b.add_clause(vec![Lit::neg(0)], Weight::Soft(100.0));
+        let m = b.finish();
+        let mut ws = WalkSat::new(&m, 3);
+        ws.run(
+            &WalkSatParams {
+                max_flips: 200,
+                ..Default::default()
+            },
+            None,
+        );
+        assert_eq!(ws.best_cost().hard, 0);
+        assert!(ws.best_truth()[0]);
+    }
+
+    #[test]
+    fn stops_at_zero_cost() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0), Lit::pos(1)], Weight::Soft(1.0));
+        let m = b.finish();
+        let mut ws = WalkSat::new(&m, 5);
+        ws.run(
+            &WalkSatParams {
+                max_flips: 10_000,
+                ..Default::default()
+            },
+            None,
+        );
+        assert!(ws.best_cost().is_zero());
+        assert!(ws.flips() < 10_000, "should stop early at a zero-cost world");
+    }
+
+    #[test]
+    fn negative_weight_clause_avoided() {
+        // Single clause (a ∨ b) with weight -2: optimum sets both false.
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0), Lit::pos(1)], Weight::Soft(-2.0));
+        let m = b.finish();
+        let mut ws = WalkSat::with_assignment(&m, vec![true, true], 9);
+        ws.run(
+            &WalkSatParams {
+                max_flips: 1000,
+                ..Default::default()
+            },
+            None,
+        );
+        assert!(ws.best_cost().is_zero());
+        assert_eq!(ws.best_truth(), &[false, false]);
+    }
+
+    #[test]
+    fn trace_records_improvements() {
+        let m = example1(3);
+        let mut ws = WalkSat::new(&m, 1);
+        let mut trace = TimeCostTrace::new();
+        ws.run(
+            &WalkSatParams {
+                max_flips: 2000,
+                ..Default::default()
+            },
+            Some(&mut trace),
+        );
+        assert!(!trace.points().is_empty());
+        // Costs along the trace are non-increasing.
+        for w in trace.points().windows(2) {
+            assert!(!w[1].cost.better_than(w[0].cost) || w[1].cost.cmp_total(w[0].cost).is_le());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = example1(4);
+        let run = |seed| {
+            let mut ws = WalkSat::new(&m, seed);
+            ws.run(
+                &WalkSatParams {
+                    max_flips: 300,
+                    max_tries: 2,
+                    ..Default::default()
+                },
+                None,
+            );
+            (ws.best_cost(), ws.best_truth().to_vec(), ws.flips())
+        };
+        assert_eq!(run(123), run(123));
+    }
+}

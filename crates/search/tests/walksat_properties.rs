@@ -1,0 +1,112 @@
+//! Property tests: WalkSAT's incremental bookkeeping always matches a
+//! full recomputation; union-find components match a BFS reference.
+
+use proptest::prelude::*;
+use tuffy_mln::weight::Weight;
+use tuffy_mrf::{ComponentSet, Lit, Mrf, MrfBuilder};
+use tuffy_search::WalkSat;
+
+/// A random MRF from a clause soup.
+fn build_mrf(n_atoms: u32, clauses: &[(Vec<(u8, bool)>, i8)]) -> Mrf {
+    let mut b = MrfBuilder::new();
+    b.reserve_atoms(n_atoms as usize);
+    for (lits, w) in clauses {
+        let lits: Vec<Lit> = lits
+            .iter()
+            .map(|&(a, pos)| Lit::new(u32::from(a) % n_atoms, pos))
+            .collect();
+        let weight = match *w {
+            0 => Weight::Hard,
+            x => Weight::Soft(f64::from(x)),
+        };
+        b.add_clause(lits, weight);
+    }
+    b.finish()
+}
+
+proptest! {
+    #[test]
+    fn incremental_cost_equals_full_recompute(
+        clauses in proptest::collection::vec(
+            (proptest::collection::vec((0u8..10, any::<bool>()), 1..4), -3i8..4),
+            1..25,
+        ),
+        steps in 1usize..120,
+        seed in any::<u64>(),
+    ) {
+        let mrf = build_mrf(10, &clauses);
+        let mut ws = WalkSat::new(&mrf, seed);
+        for _ in 0..steps {
+            if !ws.step(0.5) {
+                break;
+            }
+            let full = mrf.cost(ws.truth());
+            prop_assert_eq!(ws.cost(), full);
+        }
+        // The best cost is never worse than the current cost's history.
+        prop_assert!(!ws.cost().better_than(ws.best_cost()) || ws.cost() == ws.best_cost());
+        // And the recorded best assignment really has the recorded cost.
+        prop_assert_eq!(mrf.cost(ws.best_truth()), ws.best_cost());
+    }
+
+    #[test]
+    fn components_match_bfs(
+        clauses in proptest::collection::vec(
+            (proptest::collection::vec((0u8..12, any::<bool>()), 1..4), 1i8..3),
+            0..20,
+        ),
+    ) {
+        let mrf = build_mrf(12, &clauses);
+        let cs = ComponentSet::detect(&mrf);
+        // BFS reference over the atom-clause incidence graph.
+        let n = mrf.num_atoms();
+        let mut label = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for start in 0..n as u32 {
+            if label[start as usize] != usize::MAX {
+                continue;
+            }
+            let mut queue = vec![start];
+            label[start as usize] = next;
+            while let Some(a) = queue.pop() {
+                for &ci in mrf.occurrences(a) {
+                    for l in mrf.clauses()[ci as usize].lits.iter() {
+                        let b = l.atom();
+                        if label[b as usize] == usize::MAX {
+                            label[b as usize] = next;
+                            queue.push(b);
+                        }
+                    }
+                }
+            }
+            next += 1;
+        }
+        prop_assert_eq!(cs.count(), next);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    label[i] == label[j],
+                    cs.label[i] == cs.label[j],
+                    "atoms {} and {}", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive_on_cost(
+        clauses in proptest::collection::vec(
+            (proptest::collection::vec((0u8..8, any::<bool>()), 1..4), -2i8..3),
+            1..15,
+        ),
+        atom in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        let mrf = build_mrf(8, &clauses);
+        let mut ws = WalkSat::new(&mrf, seed);
+        let before = ws.cost();
+        ws.flip(u32::from(atom));
+        ws.flip(u32::from(atom));
+        prop_assert_eq!(ws.cost(), before);
+    }
+}

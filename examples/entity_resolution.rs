@@ -1,0 +1,57 @@
+//! Entity resolution: deduplicating bibliography records with per-word
+//! similarity rules, symmetry, and transitivity (the ER testbed).
+//!
+//! The MRF here is a single dense component — the case where component
+//! partitioning buys nothing and aggressive splitting hurts (Figure 6,
+//! ER panel). This example resolves duplicates and prints the clusters.
+//!
+//! Run with `cargo run --release --example entity_resolution`.
+
+use tuffy::{Tuffy, TuffyConfig, WalkSatParams};
+use tuffy_datagen::er;
+
+fn main() {
+    let dataset = er(12, 60, 3);
+    println!(
+        "ER dataset: {} rules, {} evidence tuples",
+        dataset.program.rules.len(),
+        dataset.program.evidence.len()
+    );
+
+    let cfg = TuffyConfig {
+        search: WalkSatParams {
+            max_flips: 300_000,
+            seed: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let result = Tuffy::from_program(dataset.program)
+        .with_config(cfg)
+        .map_inference()
+        .expect("inference");
+
+    println!(
+        "\nground network: {} clauses over {} atoms in {} component(s)",
+        result.report.clauses, result.report.atoms, result.report.components
+    );
+    println!("solution cost: {}", result.cost);
+
+    let pairs = result.true_atoms_of("sameBib").expect("declared");
+    println!("matched pairs: {}", pairs.len());
+    for p in pairs.iter().take(10) {
+        println!("  sameBib({}, {})", p[0], p[1]);
+    }
+    if pairs.len() > 10 {
+        println!("  … and {} more", pairs.len() - 10);
+    }
+
+    // Sanity: symmetry is a hard rule, so matches come in both directions.
+    for p in &pairs {
+        assert!(
+            pairs.iter().any(|q| q[0] == p[1] && q[1] == p[0]),
+            "symmetry violated for {p:?}"
+        );
+    }
+    println!("\nsymmetry (hard rule) holds for every matched pair.");
+}

@@ -1,0 +1,64 @@
+//! Relational classification at RC scale: a synthetic Cora-like citation
+//! graph with hundreds of components, comparing monolithic WalkSAT
+//! (`Tuffy-p`) against component-aware search (`Tuffy`) — the §4.4
+//! experiment in miniature.
+//!
+//! Run with `cargo run --release --example paper_classification`.
+
+use tuffy::{PartitionStrategy, Tuffy, TuffyConfig, WalkSatParams};
+use tuffy_datagen::rc;
+
+fn main() {
+    let dataset = rc(60, 8, 7);
+    println!(
+        "RC dataset: {} rules, {} evidence tuples",
+        dataset.program.rules.len(),
+        dataset.program.evidence.len()
+    );
+
+    let budget = 200_000u64;
+    let run = |strategy: PartitionStrategy| {
+        let cfg = TuffyConfig {
+            partitioning: strategy,
+            search: WalkSatParams {
+                max_flips: budget,
+                seed: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Tuffy::from_program(rc(60, 8, 7).program)
+            .with_config(cfg)
+            .map_inference()
+            .expect("inference")
+    };
+
+    let tuffy_p = run(PartitionStrategy::None);
+    let tuffy = run(PartitionStrategy::Components);
+
+    println!(
+        "\n{:<28}{:>12}{:>14}{:>16}",
+        "system", "cost", "flips", "search RAM"
+    );
+    for (name, r) in [
+        ("Tuffy-p (monolithic)", &tuffy_p),
+        ("Tuffy (component-aware)", &tuffy),
+    ] {
+        println!(
+            "{:<28}{:>12}{:>14}{:>16}",
+            name,
+            format!("{}", r.cost),
+            r.report.flips,
+            tuffy_mrf::memory::human_bytes(r.report.search_ram),
+        );
+    }
+    println!(
+        "\ncomponents: {} — Theorem 3.1 predicts the component-aware run\n\
+         reaches equal-or-better cost with the same flip budget.",
+        tuffy.report.components
+    );
+    assert!(
+        !tuffy_p.cost.better_than(tuffy.cost),
+        "component-aware search should not lose to monolithic"
+    );
+}

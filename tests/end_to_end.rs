@@ -1,0 +1,151 @@
+//! End-to-end MAP inference on hand-analyzable programs with known optima.
+
+use tuffy::{Tuffy, TuffyConfig, WalkSatParams};
+
+/// A two-paper classification where the optimum is fully determined.
+#[test]
+fn figure1_miniature_reaches_known_optimum() {
+    let t = Tuffy::from_sources(
+        r#"
+        *wrote(person, paper)
+        *refers(paper, paper)
+        cat(paper, category)
+        5 cat(p, c1), cat(p, c2) => c1 = c2
+        1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)
+        2 cat(p1, c), refers(p1, p2) => cat(p2, c)
+        "#,
+        r#"
+        wrote(Joe, P1)
+        wrote(Joe, P2)
+        refers(P1, P3)
+        cat(P2, DB)
+        "#,
+    )
+    .unwrap();
+    let r = t.map_inference().unwrap();
+    assert!(r.cost.is_zero());
+    let mut cats = r.true_atoms_of("cat").unwrap();
+    cats.sort();
+    assert_eq!(
+        cats,
+        vec![
+            vec!["P1".to_string(), "DB".to_string()],
+            vec!["P3".to_string(), "DB".to_string()]
+        ]
+    );
+}
+
+/// Hard constraints must never be violated in the returned world, even
+/// when soft weights pull the other way.
+#[test]
+fn hard_rules_dominate_soft_rules() {
+    let t = Tuffy::from_sources(
+        r#"
+        *person(person)
+        guilty(person)
+        // Soft: everyone looks guilty.
+        3 person(x) => guilty(x)
+        // Hard: Alice is not guilty.
+        !guilty(Alice).
+        "#,
+        "person(Alice)\nperson(Bob)\n",
+    )
+    .unwrap();
+    let r = t.map_inference().unwrap();
+    assert_eq!(r.cost.hard, 0, "hard constraint must hold");
+    let guilty = r.true_atoms_of("guilty").unwrap();
+    assert!(guilty.contains(&vec!["Bob".to_string()]));
+    assert!(!guilty.contains(&vec!["Alice".to_string()]));
+}
+
+/// Negative-weight rules suppress atoms that nothing supports.
+#[test]
+fn negative_priors_keep_unsupported_atoms_false() {
+    let t = Tuffy::from_sources(
+        "*seen(thing)\nexists_(thing)\n-1 exists_(x)\n2 seen(x) => exists_(x)\n",
+        "seen(A)\n",
+    )
+    .unwrap();
+    let r = t.map_inference().unwrap();
+    let atoms = r.true_atoms_of("exists_").unwrap();
+    // A is supported (net weight 2 vs 1), everything else stays false.
+    assert_eq!(atoms, vec![vec!["A".to_string()]]);
+}
+
+/// The mutual-exclusion pattern (Figure 1's F1) enforces one label each.
+#[test]
+fn mutual_exclusion_yields_single_labels() {
+    let cfg = TuffyConfig {
+        search: WalkSatParams {
+            max_flips: 50_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let r = Tuffy::from_sources(
+        r#"
+        *item(item)
+        label(item, tag)
+        5 label(i, t1), label(i, t2) => t1 = t2
+        1.5 item(i) => label(i, TagA) v label(i, TagB)
+        "#,
+        "item(I1)\nitem(I2)\nitem(I3)\n",
+    )
+    .unwrap()
+    .with_config(cfg)
+    .map_inference()
+    .unwrap();
+    assert!(r.cost.is_zero(), "cost = {}", r.cost);
+    let labels = r.true_atoms_of("label").unwrap();
+    // Each item gets exactly one label.
+    for item in ["I1", "I2", "I3"] {
+        let count = labels.iter().filter(|l| l[0] == item).count();
+        assert_eq!(count, 1, "item {item} has {count} labels");
+    }
+}
+
+/// The full generated testbeds run end to end at small scale.
+#[test]
+fn generated_testbeds_run_end_to_end() {
+    for (name, program) in [
+        ("LP", tuffy_datagen::lp(3, 2, 1).program),
+        ("IE", tuffy_datagen::ie(20, 40, 1).program),
+        ("RC", tuffy_datagen::rc(8, 4, 1).program),
+        ("ER", tuffy_datagen::er(5, 25, 1).program),
+    ] {
+        let cfg = TuffyConfig {
+            search: WalkSatParams {
+                max_flips: 30_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = Tuffy::from_program(program)
+            .with_config(cfg)
+            .map_inference()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(r.cost.hard, 0, "{name}: hard violations");
+        assert!(r.report.clauses > 0, "{name}: nothing grounded");
+    }
+}
+
+/// Determinism: the same seed yields the same world and cost.
+#[test]
+fn inference_is_deterministic_given_seed() {
+    let run = || {
+        let cfg = TuffyConfig {
+            search: WalkSatParams {
+                max_flips: 20_000,
+                seed: 99,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = Tuffy::from_program(tuffy_datagen::rc(6, 4, 5).program)
+            .with_config(cfg)
+            .map_inference()
+            .unwrap();
+        (format!("{}", r.cost), r.to_text())
+    };
+    assert_eq!(run(), run());
+}

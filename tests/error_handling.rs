@@ -1,0 +1,87 @@
+//! Failure-path coverage: malformed programs, contradictory evidence,
+//! and unsupported feature combinations all surface as errors — never
+//! panics or silent misbehavior.
+
+use tuffy::{McSatParams, Tuffy};
+
+#[test]
+fn malformed_programs_error_with_line_numbers() {
+    for (src, expect) in [
+        ("q(t)\nq(x) v q(A)\n", "weight"),              // weightless soft rule
+        ("1 mystery(x)\n", "unknown predicate"),        // undeclared predicate
+        ("q(t)\n1 q(x), q(y) v q(z)\n", "mix"),         // mixed separators
+        ("q(t)\nq(t)\n", "twice"),                      // duplicate declaration
+        ("q(t)\n1 q(\"unterminated\n", "unterminated"), // bad string
+        ("q(t)\nabc q(x)\n", ""),                       // junk weight
+    ] {
+        let err = match Tuffy::from_sources(src, "") {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("{src:?} should not parse"),
+        };
+        assert!(
+            err.to_lowercase().contains(expect),
+            "{src:?} → {err:?} (expected mention of {expect:?})"
+        );
+    }
+}
+
+#[test]
+fn contradictory_evidence_rejected_at_grounding() {
+    let t = Tuffy::from_sources("q(t)\n1 q(x) => q(x) v q(A)\n", "q(B)\n!q(B)\n").unwrap();
+    let err = t.map_inference().unwrap_err();
+    assert!(err.to_string().contains("contradictory"), "{err}");
+}
+
+#[test]
+fn evidence_arity_mismatch_rejected() {
+    assert!(Tuffy::from_sources("*e(t, t)\nq(t)\n1 e(x, y) => q(x)\n", "e(A)\n").is_err());
+}
+
+#[test]
+fn unknown_evidence_predicate_rejected() {
+    assert!(Tuffy::from_sources("q(t)\n1 q(A)\n", "mystery(A)\n").is_err());
+}
+
+#[test]
+fn empty_program_grounds_to_nothing() {
+    // A program with rules but no evidence (and so empty domains)
+    // grounds to an empty MRF and a zero-cost world.
+    let t = Tuffy::from_sources("q(t)\n1 q(x)\n", "").unwrap();
+    let r = t.map_inference().unwrap();
+    assert!(r.cost.is_zero());
+    assert!(r.true_atoms().is_empty());
+    assert_eq!(r.report.clauses, 0);
+}
+
+#[test]
+fn unsatisfiable_hard_rules_reported_as_hard_cost() {
+    // q(A) and !q(A) both hard: every world violates one of them.
+    let t = Tuffy::from_sources("*seen(t)\nq(t)\nseen(x) => q(x).\nq(A) => A != A.\n", "seen(A)\n")
+        .unwrap();
+    let r = t.map_inference().unwrap();
+    assert!(r.cost.hard >= 1, "cost = {}", r.cost);
+}
+
+#[test]
+fn marginal_rejects_negative_weights_cleanly() {
+    let t = Tuffy::from_sources(
+        "*seen(t)\na(t)\nb(t)\n-1 a(x) v b(x)\n2 seen(x) => a(x)\n2 seen(x) => b(x)\n",
+        "seen(T)\n",
+    )
+    .unwrap();
+    let err = t.marginal_inference(&McSatParams::default()).unwrap_err();
+    assert!(err.to_string().contains("non-negative"), "{err}");
+}
+
+#[test]
+fn equality_over_existential_vars_rejected() {
+    let t = Tuffy::from_sources(
+        "*p(t)\nr(t, t)\n1 p(x) => EXIST y r(x, y) v x = y\n",
+        "p(A)\n",
+    );
+    // Rejection at parse/validate time would also be acceptable.
+    if let Ok(t) = t {
+        let err = t.map_inference().unwrap_err();
+        assert!(err.to_string().contains("existential"), "{err}");
+    }
+}

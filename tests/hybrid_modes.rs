@@ -1,0 +1,117 @@
+//! The three architectures (Hybrid, InMemory/Alchemy-style, RdbmsOnly)
+//! must agree on solution quality — they differ only in *where* the work
+//! happens (Appendix B.3, Figure 7).
+
+use tuffy::{Architecture, Tuffy, TuffyConfig, WalkSatParams};
+
+fn program() -> tuffy_mln::MlnProgram {
+    tuffy_datagen::rc(6, 4, 3).program
+}
+
+fn run(arch: Architecture, max_flips: u64) -> tuffy::MapResult {
+    let cfg = TuffyConfig {
+        architecture: arch,
+        search: WalkSatParams {
+            max_flips,
+            seed: 3,
+            ..Default::default()
+        },
+        // Tuffy-mm pays simulated disk I/O per page miss (Appendix C.1);
+        // pool capacity 0 models a clause table far larger than the pool.
+        disk: if arch == Architecture::RdbmsOnly {
+            tuffy::DiskModel::spinning_disk()
+        } else {
+            tuffy::DiskModel::in_memory()
+        },
+        pool_pages: 0,
+        ..Default::default()
+    };
+    Tuffy::from_program(program())
+        .with_config(cfg)
+        .map_inference()
+        .unwrap()
+}
+
+#[test]
+fn all_architectures_ground_identically() {
+    let hybrid = run(Architecture::Hybrid, 1_000);
+    let in_mem = run(Architecture::InMemory, 1_000);
+    let rdbms = run(Architecture::RdbmsOnly, 50);
+    assert_eq!(hybrid.report.clauses, in_mem.report.clauses);
+    assert_eq!(hybrid.report.clauses, rdbms.report.clauses);
+    assert_eq!(hybrid.report.atoms, in_mem.report.atoms);
+}
+
+#[test]
+fn hybrid_and_inmemory_reach_comparable_quality() {
+    let hybrid = run(Architecture::Hybrid, 60_000);
+    let in_mem = run(Architecture::InMemory, 60_000);
+    assert_eq!(hybrid.cost.hard, 0);
+    assert_eq!(in_mem.cost.hard, 0);
+    // Component-aware hybrid search should be at least as good (§3.3).
+    assert!(
+        !in_mem.cost.better_than(hybrid.cost),
+        "hybrid {} vs in-memory {}",
+        hybrid.cost,
+        in_mem.cost
+    );
+}
+
+#[test]
+fn rdbms_only_search_pays_io_per_flip() {
+    let rdbms = run(Architecture::RdbmsOnly, 30);
+    // Appendix C.1: with ~10 ms per page access and at least one clause
+    // table page read per flip, any disk-backed WalkSAT is capped at
+    // ≈100 flips/second — orders of magnitude below in-memory search.
+    assert!(
+        rdbms.report.flips_per_sec <= 150.0,
+        "disk-backed rate {} should be I/O-bound (≤ ~100 flips/sec)",
+        rdbms.report.flips_per_sec
+    );
+    assert!(rdbms.report.flips > 0);
+}
+
+#[test]
+fn inmemory_grounding_holds_everything_in_ram() {
+    let in_mem = run(Architecture::InMemory, 1_000);
+    let hybrid = run(Architecture::Hybrid, 1_000);
+    // The top-down grounder's peak footprint includes the tuple stores and
+    // the full clause set; the hybrid's grounding-time footprint is the
+    // registry plus one query result (intermediates live in the RDBMS).
+    assert!(
+        in_mem.report.grounding.peak_bytes > hybrid.report.grounding.peak_bytes,
+        "in-memory {} vs hybrid {} grounding bytes",
+        in_mem.report.grounding.peak_bytes,
+        hybrid.report.grounding.peak_bytes
+    );
+}
+
+#[test]
+fn search_ram_reflects_partitioning() {
+    use tuffy::PartitionStrategy;
+    let mk = |strategy| {
+        let cfg = TuffyConfig {
+            partitioning: strategy,
+            search: WalkSatParams {
+                max_flips: 5_000,
+                seed: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Tuffy::from_program(program())
+            .with_config(cfg)
+            .map_inference()
+            .unwrap()
+    };
+    let whole = mk(PartitionStrategy::None);
+    let comps = mk(PartitionStrategy::Components);
+    // Loading one component at a time needs less RAM than the whole MRF
+    // (Table 5's RAM column).
+    assert!(
+        comps.report.search_ram <= whole.report.search_ram,
+        "components {} vs whole {}",
+        comps.report.search_ram,
+        whole.report.search_ram
+    );
+}
