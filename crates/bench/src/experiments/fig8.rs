@@ -27,10 +27,7 @@ pub fn report() -> String {
     let alchemy = run(example1_bench(N), alchemy_config(FLIPS));
     out.push_str(&format!(
         "final costs: tuffy {} | tuffy-p {} | alchemy {} (optimum {})\n",
-        tuffy.cost,
-        tuffy_p.cost,
-        alchemy.cost,
-        N
+        tuffy.cost, tuffy_p.cost, alchemy.cost, N
     ));
     out.push_str(&trace_block("example1/tuffy", &tuffy.trace));
     out.push_str(&trace_block("example1/tuffy-p", &tuffy_p.trace));

@@ -51,12 +51,15 @@ pub fn report() -> String {
         let mut times = Vec::new();
         let mut clauses = Vec::new();
         for (_, cfg) in &configs {
-            let g = ground_bottom_up(&ds.program, GroundingMode::LazyClosure, cfg)
-                .expect("grounding");
+            let g =
+                ground_bottom_up(&ds.program, GroundingMode::LazyClosure, cfg).expect("grounding");
             times.push(g.stats.wall);
             clauses.push(g.stats.clauses);
         }
-        assert!(clauses.windows(2).all(|w| w[0] == w[1]), "lesions must agree");
+        assert!(
+            clauses.windows(2).all(|w| w[0] == w[1]),
+            "lesions must agree"
+        );
         let slowdown = times[2].as_secs_f64() / times[0].as_secs_f64().max(1e-9);
         t.row(vec![
             ds.name.clone(),

@@ -43,8 +43,7 @@ fn run_dataset(ds: Dataset) -> (String, [Duration; 3]) {
         .filter(|&i| !cs.clauses[i].is_empty())
         .collect();
     let total_atoms = g.mrf.num_atoms().max(1);
-    let per_comp_budget =
-        |atoms: usize| (TOTAL_FLIPS * atoms as u64 / total_atoms as u64).max(1);
+    let per_comp_budget = |atoms: usize| (TOTAL_FLIPS * atoms as u64 / total_atoms as u64).max(1);
 
     // Tuffy-batch: one load (round-trip) per component.
     let t0 = Instant::now();

@@ -6,12 +6,18 @@
 //! ```text
 //! tuffy -i prog.mln -e evidence.db [-r result.out] [--marginal] \
 //!       [--flips N] [--threads N] [--no-partition] [--budget BYTES] \
-//!       [--seed N] [--arch hybrid|inmemory|rdbms]
+//!       [--seed N] [--arch hybrid|inmemory|rdbms] [--explain] \
+//!       [--join-order auto|program] [--join-algo auto|nl] [--no-pushdown]
 //! ```
+//!
+//! `--explain` prints the physical plan (`EXPLAIN`) of every grounding
+//! query under the selected lesion knobs and exits without running
+//! inference; the three lesion flags mirror the paper's Table 6 study.
 
 use std::process::ExitCode;
 use tuffy::{
-    Architecture, McSatParams, PartitionStrategy, Tuffy, TuffyConfig, WalkSatParams,
+    Architecture, JoinAlgorithmPolicy, JoinOrderPolicy, McSatParams, PartitionStrategy, Tuffy,
+    TuffyConfig, WalkSatParams,
 };
 
 struct Args {
@@ -19,17 +25,23 @@ struct Args {
     evidence: Option<String>,
     result: Option<String>,
     marginal: bool,
+    explain: bool,
     flips: u64,
     threads: usize,
     partition: PartitionStrategy,
     seed: u64,
     arch: Architecture,
+    join_order: JoinOrderPolicy,
+    join_algorithm: JoinAlgorithmPolicy,
+    pushdown: bool,
 }
 
 fn usage() -> &'static str {
     "usage: tuffy -i <prog.mln> [-e <evidence.db>] [-r <result.out>]\n\
      \x20       [--marginal] [--flips N] [--threads N] [--no-partition]\n\
-     \x20       [--budget BYTES] [--seed N] [--arch hybrid|inmemory|rdbms]"
+     \x20       [--budget BYTES] [--seed N] [--arch hybrid|inmemory|rdbms]\n\
+     \x20       [--explain] [--join-order auto|program] [--join-algo auto|nl]\n\
+     \x20       [--no-pushdown]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,11 +50,15 @@ fn parse_args() -> Result<Args, String> {
         evidence: None,
         result: None,
         marginal: false,
+        explain: false,
         flips: 1_000_000,
         threads: 1,
         partition: PartitionStrategy::Components,
         seed: 42,
         arch: Architecture::Hybrid,
+        join_order: JoinOrderPolicy::Auto,
+        join_algorithm: JoinAlgorithmPolicy::Auto,
+        pushdown: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,6 +71,22 @@ fn parse_args() -> Result<Args, String> {
             "-e" => args.evidence = Some(value("-e")?),
             "-r" => args.result = Some(value("-r")?),
             "--marginal" => args.marginal = true,
+            "--explain" => args.explain = true,
+            "--no-pushdown" => args.pushdown = false,
+            "--join-order" => {
+                args.join_order = match value("--join-order")?.as_str() {
+                    "auto" => JoinOrderPolicy::Auto,
+                    "program" => JoinOrderPolicy::Program,
+                    other => return Err(format!("unknown join order `{other}`")),
+                };
+            }
+            "--join-algo" => {
+                args.join_algorithm = match value("--join-algo")?.as_str() {
+                    "auto" => JoinAlgorithmPolicy::Auto,
+                    "nl" | "nested-loop" => JoinAlgorithmPolicy::NestedLoopOnly,
+                    other => return Err(format!("unknown join algorithm `{other}`")),
+                };
+            }
             "--no-partition" => args.partition = PartitionStrategy::None,
             "--budget" => {
                 let v = value("--budget")?;
@@ -106,6 +138,11 @@ fn run() -> Result<(), String> {
         architecture: args.arch,
         partitioning: args.partition,
         threads: args.threads,
+        optimizer: tuffy::OptimizerConfig {
+            join_order: args.join_order,
+            join_algorithm: args.join_algorithm,
+            pushdown: args.pushdown,
+        },
         search: WalkSatParams {
             max_flips: args.flips,
             seed: args.seed,
@@ -116,6 +153,15 @@ fn run() -> Result<(), String> {
     let tuffy = Tuffy::from_sources(&program_src, &evidence_src)
         .map_err(|e| e.to_string())?
         .with_config(config);
+
+    if args.explain {
+        let text = tuffy.explain_grounding().map_err(|e| e.to_string())?;
+        match &args.result {
+            Some(path) => std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?,
+            None => print!("{text}"),
+        }
+        return Ok(());
+    }
 
     let output = if args.marginal {
         let r = tuffy

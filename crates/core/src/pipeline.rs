@@ -58,15 +58,25 @@ impl Tuffy {
         &self.config
     }
 
+    /// Renders the physical plans (`EXPLAIN`) of every grounding query
+    /// under the configured optimizer lesion knobs, without executing
+    /// anything. The plans are those the bottom-up grounder would run;
+    /// the in-memory architecture grounds top-down and has no plans.
+    pub fn explain_grounding(&self) -> Result<String, MlnError> {
+        tuffy_grounder::explain_grounding(
+            &self.program,
+            self.config.grounding,
+            &self.config.optimizer,
+        )
+    }
+
     /// Grounds the program according to the configured architecture.
     pub fn ground(&self) -> Result<GroundingResult, MlnError> {
         match self.config.architecture {
             Architecture::InMemory => ground_top_down(&self.program, self.config.grounding),
-            Architecture::Hybrid | Architecture::RdbmsOnly => ground_bottom_up(
-                &self.program,
-                self.config.grounding,
-                &self.config.optimizer,
-            ),
+            Architecture::Hybrid | Architecture::RdbmsOnly => {
+                ground_bottom_up(&self.program, self.config.grounding, &self.config.optimizer)
+            }
         }
     }
 

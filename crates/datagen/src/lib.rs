@@ -20,18 +20,18 @@
 //! the slowest baseline (top-down grounding) tractable while preserving
 //! the paper's qualitative contrasts.
 
+pub mod er;
 pub mod example1;
 pub mod ie;
 pub mod lp;
 pub mod rc;
-pub mod er;
 pub mod table1;
 
+pub use er::er;
 pub use example1::example1;
 pub use ie::ie;
 pub use lp::lp;
 pub use rc::{rc, rc_with_labels};
-pub use er::er;
 pub use table1::{paper_table1, Table1Row};
 
 use tuffy_mln::program::MlnProgram;

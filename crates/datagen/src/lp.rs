@@ -62,8 +62,12 @@ pub fn lp(professors: usize, students_per_prof: usize, seed: u64) -> Dataset {
     }
 
     // Core templates.
-    program.push_str("2.5 publication(p, s), publication(p, a), student(s), professor(a) => advisedBy(s, a)\n");
-    program.push_str("0.8 ta(c, s, q), taughtBy(c, a, q), student(s), professor(a) => advisedBy(s, a)\n");
+    program.push_str(
+        "2.5 publication(p, s), publication(p, a), student(s), professor(a) => advisedBy(s, a)\n",
+    );
+    program.push_str(
+        "0.8 ta(c, s, q), taughtBy(c, a, q), student(s), professor(a) => advisedBy(s, a)\n",
+    );
     program.push_str("1.5 advisedBy(s, a), advisedBy(s, b) => a = b\n");
     program.push_str("1.0 tempAdvisedBy(s, a), advisedBy(s, b) => a = b\n");
     program.push_str("0.7 projectMember(j, s), projectMember(j, a), student(s), professor(a) => advisedBy(s, a)\n");
@@ -71,7 +75,9 @@ pub fn lp(professors: usize, students_per_prof: usize, seed: u64) -> Dataset {
     program.push_str("-0.6 tempAdvisedBy(s, a)\n");
     program.push_str("1.2 advisedBy(s, a) => student(s)\n");
     program.push_str("1.2 advisedBy(s, a) => professor(a)\n");
-    program.push_str("0.5 tempAdvisedBy(s, a), publication(p, s), publication(p, a) => advisedBy(s, a)\n");
+    program.push_str(
+        "0.5 tempAdvisedBy(s, a), publication(p, s), publication(p, a) => advisedBy(s, a)\n",
+    );
     // Per-phase and per-position instantiations (the bulk of the 94 rules).
     for (i, phase) in PHASES.iter().enumerate() {
         let w = 0.3 + 0.1 * i as f64;

@@ -1,10 +1,14 @@
 //! Bottom-up (RDBMS-backed) grounding — §3.1.
 //!
-//! Every clause's binding query runs inside the relational engine, where
-//! the optimizer picks join orders and algorithms (the source of the
-//! orders-of-magnitude grounding speedups of Table 2). The lazy closure of
-//! Appendix A.3 iterates: grounding restricted to *reachable* atoms, newly
-//! activated atoms appended to the reachable tables, repeat to fixpoint.
+//! Every clause's binding query runs inside the relational engine through
+//! the explicit two-phase API: [`tuffy_rdbms::plan_analyzed`] produces a
+//! costed physical-plan tree (join orders and algorithms chosen by the
+//! optimizer — the source of the orders-of-magnitude grounding speedups
+//! of Table 2), then [`tuffy_rdbms::execute_profiled`] walks it. The lazy
+//! closure of Appendix A.3 iterates: grounding restricted to *reachable*
+//! atoms, newly activated atoms appended to the reachable tables, repeat
+//! to fixpoint. Use [`explain_grounding`] to dump the plans without
+//! executing anything.
 
 use crate::compile::{compile_clause, CompiledClause, GroundingMode};
 use crate::dbload::GroundingDb;
@@ -17,7 +21,8 @@ use tuffy_mln::fxhash::FxHashSet;
 use tuffy_mln::program::MlnProgram;
 use tuffy_mln::MlnError;
 use tuffy_mrf::{Mrf, MrfBuilder};
-use tuffy_rdbms::optimizer::run_query;
+use tuffy_rdbms::executor::execute_profiled;
+use tuffy_rdbms::optimizer::plan_analyzed;
 use tuffy_rdbms::OptimizerConfig;
 
 /// The output of grounding: the MRF, the atom registry mapping dense atom
@@ -114,7 +119,14 @@ pub fn ground_bottom_up(
                 let rows: &mut dyn Iterator<Item = &[u32]> = match &variant {
                     None => &mut empty_binding.iter().map(|r| &r[..]),
                     Some(q) => {
-                        batch = run_query(&mut gdb.db, q, config).map_err(to_mln)?;
+                        // Plan explicitly, then execute: the plan is an
+                        // inspectable tree (see `explain_grounding`) and
+                        // the profile feeds the grounding statistics.
+                        let plan = plan_analyzed(&mut gdb.db, q, config).map_err(to_mln)?;
+                        let (result, profile) = execute_profiled(&gdb.db, &plan).map_err(to_mln)?;
+                        stats.queries += 1;
+                        stats.query_exec += profile.total_elapsed();
+                        batch = result;
                         peak_result_bytes = peak_result_bytes.max(batch.bytes());
                         &mut batch.iter()
                     }
@@ -170,6 +182,58 @@ pub fn ground_bottom_up(
     })
 }
 
+/// Plans every compiled clause's binding query and renders the plans as
+/// an `EXPLAIN` report — the paper's central mechanism made inspectable
+/// without executing anything. Surfaced by the CLI's `--explain` flag.
+///
+/// Union-variant clauses (LazySAT activity for negative weights) report
+/// one plan per variant; clauses with no universal variables ground once
+/// with the empty binding and have no plan.
+pub fn explain_grounding(
+    program: &MlnProgram,
+    mode: GroundingMode,
+    config: &OptimizerConfig,
+) -> Result<String, MlnError> {
+    let ev = EvidenceIndex::build(program)?;
+    let mut gdb = GroundingDb::build(program, &ev)?;
+    let clauses = clausify_program(program);
+    let to_mln = |e: tuffy_rdbms::DbError| MlnError::general(e.to_string());
+    let mut out = String::new();
+    for clause in &clauses {
+        let Some(cc) = compile_clause(program, &gdb, clause, mode)? else {
+            continue;
+        };
+        let header = format!(
+            "clause {} (weight {}, {} universal vars)",
+            cc.rule_index, cc.weight, cc.num_univ
+        );
+        match &cc.query {
+            None => {
+                out.push_str(&header);
+                out.push_str(": grounds once with the empty binding\n\n");
+            }
+            Some(q) if !cc.union_variants.is_empty() => {
+                for (vi, (atom, _)) in cc.union_variants.iter().enumerate() {
+                    let mut v = q.clone();
+                    v.atoms.insert(0, atom.clone());
+                    let plan = plan_analyzed(&mut gdb.db, &v, config).map_err(to_mln)?;
+                    out.push_str(&format!("{header}, activity variant {vi}\n"));
+                    out.push_str(&plan.explain());
+                    out.push('\n');
+                }
+            }
+            Some(q) => {
+                let plan = plan_analyzed(&mut gdb.db, q, config).map_err(to_mln)?;
+                out.push_str(&header);
+                out.push('\n');
+                out.push_str(&plan.explain());
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn builder_add_base(builder: &mut MrfBuilder, c: tuffy_mrf::Cost) {
     if !c.is_zero() {
         // Route constants through an empty clause so MrfBuilder tracks them
@@ -220,8 +284,8 @@ mod tests {
     #[test]
     fn grounds_figure1() {
         let p = figure1_program();
-        let r = ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default())
-            .unwrap();
+        let r =
+            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
         // Evidence cat(P2,DB) propagates: F2 (Joe wrote P1,P2) activates
         // cat(P1,DB); F3 (P1 refers P3) activates cat(P3,DB).
         assert!(r.stats.atoms >= 2, "atoms = {}", r.stats.atoms);
@@ -256,8 +320,8 @@ mod tests {
             "refers(P1, P2)\nrefers(P2, P3)\nrefers(P3, P4)\nrefers(P4, P5)\ncat(P1, DB)\n",
         )
         .unwrap();
-        let r = ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default())
-            .unwrap();
+        let r =
+            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
         // Atoms cat(P2..P5, DB) all activated.
         assert_eq!(r.stats.atoms, 4);
         assert_eq!(r.stats.clauses, 4);
@@ -286,8 +350,8 @@ mod tests {
         )
         .unwrap();
         parse_evidence(&mut p, "paper(P1)\npaper(P2)\nwrote(Joe, P1)\n").unwrap();
-        let r = ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default())
-            .unwrap();
+        let r =
+            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
         assert_eq!(r.mrf.base_cost.hard, 1);
         assert_eq!(r.stats.clauses, 0);
     }
@@ -297,11 +361,12 @@ mod tests {
         use tuffy_rdbms::{JoinAlgorithmPolicy, JoinOrderPolicy};
         let p = figure1_program();
         let reference =
-            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default())
-                .unwrap();
+            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
         for join_order in [JoinOrderPolicy::Auto, JoinOrderPolicy::Program] {
-            for join_algorithm in [JoinAlgorithmPolicy::Auto, JoinAlgorithmPolicy::NestedLoopOnly]
-            {
+            for join_algorithm in [
+                JoinAlgorithmPolicy::Auto,
+                JoinAlgorithmPolicy::NestedLoopOnly,
+            ] {
                 for pushdown in [true, false] {
                     let cfg = OptimizerConfig {
                         join_order,

@@ -121,7 +121,10 @@ impl Subst {
         if ra == rb {
             return true;
         }
-        match (self.constant.get(&ra).copied(), self.constant.get(&rb).copied()) {
+        match (
+            self.constant.get(&ra).copied(),
+            self.constant.get(&rb).copied(),
+        ) {
             (Some(x), Some(y)) if x != y => return false,
             (Some(x), _) => {
                 self.constant.insert(rb, x);
@@ -424,9 +427,9 @@ pub fn compile_clause(
     if negative_weight
         && mode == GroundingMode::LazyClosure
         && !univ.is_empty()
-        && templates.iter().all(|t| {
-            t.positive && !t.closed && t.exist_used.is_empty()
-        })
+        && templates
+            .iter()
+            .all(|t| t.positive && !t.closed && t.exist_used.is_empty())
     {
         for lit in &clause.literals {
             let Literal::Pred { atom, .. } = lit else {
@@ -438,9 +441,9 @@ pub fn compile_clause(
                 .iter()
                 .map(|term| match subst.resolve(*term) {
                     Term::Const(c) => ColumnBinding::Const(c.0),
-                    Term::Var(v) => ColumnBinding::Var(
-                        univ_idx(v).expect("universal variable indexed above"),
-                    ),
+                    Term::Var(v) => {
+                        ColumnBinding::Var(univ_idx(v).expect("universal variable indexed above"))
+                    }
                 })
                 .collect();
             union_variants.push((
@@ -570,10 +573,7 @@ mod tests {
 
     #[test]
     fn negative_weight_skips_anti_joins() {
-        let (p, gdb, clauses) = setup(
-            "cat(paper, topic)\n-1 cat(p, Db)\n",
-            "cat(P1, Db)\n",
-        );
+        let (p, gdb, clauses) = setup("cat(paper, topic)\n-1 cat(p, Db)\n", "cat(P1, Db)\n");
         let cc = compile_clause(&p, &gdb, &clauses[0], GroundingMode::LazyClosure)
             .unwrap()
             .unwrap();
@@ -617,10 +617,12 @@ mod tests {
         // But a single clause with both conjuncts is impossible:
         let (p2, gdb2, clauses2) = setup("q(t)\n1 q(x) => x != A v q(x)\n", "q(A)\n");
         // (tautology: q(x) appears positively and negatively → clausify drops it)
-        assert!(clauses2.is_empty() || {
-            compile_clause(&p2, &gdb2, &clauses2[0], GroundingMode::LazyClosure)
-                .unwrap()
-                .is_some()
-        });
+        assert!(
+            clauses2.is_empty() || {
+                compile_clause(&p2, &gdb2, &clauses2[0], GroundingMode::LazyClosure)
+                    .unwrap()
+                    .is_some()
+            }
+        );
     }
 }

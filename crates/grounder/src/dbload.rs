@@ -105,10 +105,7 @@ impl GroundingDb {
 
     /// Replaces every delta table's contents with this round's
     /// activations, readying the next semi-naive round.
-    pub fn promote_deltas(
-        &mut self,
-        activations: &[(tuffy_mln::schema::PredicateId, Vec<u32>)],
-    ) {
+    pub fn promote_deltas(&mut self, activations: &[(tuffy_mln::schema::PredicateId, Vec<u32>)]) {
         for &t in &self.reach_delta {
             self.db.truncate(t);
         }
@@ -129,8 +126,11 @@ mod tests {
             "*wrote(person, paper)\ncat(paper, topic)\n1 wrote(x, p) => cat(p, Db)\n",
         )
         .unwrap();
-        parse_evidence(&mut p, "wrote(Joe, P1)\nwrote(Ann, P2)\n!cat(P1, Db)\ncat(P2, Ai)\n")
-            .unwrap();
+        parse_evidence(
+            &mut p,
+            "wrote(Joe, P1)\nwrote(Ann, P2)\n!cat(P1, Db)\ncat(P2, Ai)\n",
+        )
+        .unwrap();
         p
     }
 

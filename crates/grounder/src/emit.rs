@@ -19,8 +19,8 @@ use crate::compile::{ArgSource, CompiledClause};
 use crate::registry::{AtomRegistry, EvidenceIndex};
 use tuffy_mln::program::MlnProgram;
 use tuffy_mln::schema::PredicateId;
-use tuffy_mrf::{Cost, Lit};
 use tuffy_mln::weight::Weight;
+use tuffy_mrf::{Cost, Lit};
 
 /// The result of grounding one binding.
 #[derive(Clone, Debug, PartialEq)]

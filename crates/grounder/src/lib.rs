@@ -43,7 +43,7 @@ pub mod registry;
 pub mod stats;
 pub mod topdown;
 
-pub use bottomup::{ground_bottom_up, GroundingResult};
+pub use bottomup::{explain_grounding, ground_bottom_up, GroundingResult};
 pub use compile::GroundingMode;
 pub use registry::{AtomRegistry, EvidenceIndex};
 pub use stats::GroundingStats;

@@ -116,10 +116,7 @@ impl EvidenceIndex {
 
     /// Number of positive-evidence tuples for `pred`.
     pub fn positive_count(&self, pred: PredicateId) -> usize {
-        self.by_pred[pred.index()]
-            .values()
-            .filter(|&&v| v)
-            .count()
+        self.by_pred[pred.index()].values().filter(|&&v| v).count()
     }
 
     /// Iterates the evidence tuples for `pred` as `(args, truth)`.
@@ -136,7 +133,9 @@ mod tests {
     use tuffy_mln::parser::{parse_evidence, parse_program};
 
     fn program() -> MlnProgram {
-        let mut p = parse_program("*wrote(person, paper)\ncat(paper, c)\n1 wrote(x, p) => cat(p, Db)\n").unwrap();
+        let mut p =
+            parse_program("*wrote(person, paper)\ncat(paper, c)\n1 wrote(x, p) => cat(p, Db)\n")
+                .unwrap();
         parse_evidence(&mut p, "wrote(Joe, P1)\n!cat(P1, Db)\n").unwrap();
         p
     }

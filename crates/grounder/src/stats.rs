@@ -16,6 +16,12 @@ pub struct GroundingStats {
     pub atoms: usize,
     /// Candidate bindings inspected by emission.
     pub bindings_considered: u64,
+    /// Binding queries planned and executed in the RDBMS (bottom-up
+    /// only): one per clause variant per closure round.
+    pub queries: u64,
+    /// Total wall time spent inside the plan executor (bottom-up only),
+    /// summed from per-node runtime counters.
+    pub query_exec: Duration,
     /// RDBMS I/O counters (bottom-up only; zero for top-down).
     pub io: IoStats,
     /// Peak bytes of grounding-time state: for the top-down grounder this

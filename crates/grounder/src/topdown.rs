@@ -243,7 +243,10 @@ fn backtrack(
                 return;
             }
         }
-        let row: Vec<u32> = binding.iter().map(|b| b.expect("complete binding")).collect();
+        let row: Vec<u32> = binding
+            .iter()
+            .map(|b| b.expect("complete binding"))
+            .collect();
         process_binding(
             cc, &row, emitter, registry, builder, seen, stats, new_atoms, stores, gdb, activated,
         );

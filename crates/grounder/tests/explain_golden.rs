@@ -1,0 +1,78 @@
+//! Golden tests pinning the `EXPLAIN` rendering of the physical plans
+//! for two representative grounding queries from the paper's Figure 1
+//! program. Any change to the planner's ordering heuristics, cost
+//! arithmetic, or the plan printer shows up here as a readable diff.
+
+use tuffy_grounder::compile::{compile_clause, GroundingMode};
+use tuffy_grounder::dbload::GroundingDb;
+use tuffy_grounder::registry::EvidenceIndex;
+use tuffy_mln::clausify::clausify_program;
+use tuffy_mln::parser::{parse_evidence, parse_program};
+use tuffy_rdbms::optimizer::plan_analyzed;
+use tuffy_rdbms::OptimizerConfig;
+
+/// Figure 1: coauthorship + citation label propagation.
+const PROGRAM: &str = "*wrote(person, paper)\n\
+                       *refers(paper, paper)\n\
+                       cat(paper, category)\n\
+                       1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)\n\
+                       2 cat(p1, c), refers(p1, p2) => cat(p2, c)\n";
+const EVIDENCE: &str = "wrote(Joe, P1)\n\
+                        wrote(Joe, P2)\n\
+                        wrote(Jake, P3)\n\
+                        refers(P1, P3)\n\
+                        cat(P2, DB)\n";
+
+fn plan_for_rule(rule: usize) -> String {
+    let mut p = parse_program(PROGRAM).unwrap();
+    parse_evidence(&mut p, EVIDENCE).unwrap();
+    let ev = EvidenceIndex::build(&p).unwrap();
+    let mut gdb = GroundingDb::build(&p, &ev).unwrap();
+    let clauses = clausify_program(&p);
+    let cc = compile_clause(&p, &gdb, &clauses[rule], GroundingMode::LazyClosure)
+        .unwrap()
+        .unwrap();
+    let q = cc.query.expect("rule has universal variables");
+    plan_analyzed(&mut gdb.db, &q, &OptimizerConfig::default())
+        .unwrap()
+        .explain()
+}
+
+/// F2 of Figure 1: `wrote(x,p1), wrote(x,p2), cat(p1,c) => cat(p2,c)`.
+/// The optimizer anchors on the 1-row reachable-label table, prunes it
+/// with the false-evidence anti-join, hash-joins the two `wrote` scans
+/// through the shared author, and anti-joins away bindings whose head is
+/// already true evidence.
+#[test]
+fn coauthor_label_propagation_plan_is_pinned() {
+    let expected = "\
+Query (rows=1 cost=21 output=[v0, v1, v2, v3])
+└─ AntiJoin keys=[v2, v3]  (rows=1 cost=21 width=4 vars=[1, 3, 0, 2])
+   ├─ HashJoin keys=[v0]  (rows=1 cost=18 width=4 vars=[1, 3, 0, 2])
+   │  ├─ HashJoin keys=[v1]  (rows=1 cost=10 width=3 vars=[1, 3, 0])
+   │  │  ├─ AntiJoin keys=[v1, v3]  (rows=1 cost=2 width=2 vars=[1, 3])
+   │  │  │  ├─ SeqScan reach_cat  (rows=1 cost=1 width=2 vars=[1, 3])
+   │  │  │  └─ SeqScan evf_cat  (rows=0 cost=0 width=2 vars=[1, 3])
+   │  │  └─ SeqScan evt_wrote  (rows=3 cost=3 width=2 vars=[0, 1])
+   │  └─ SeqScan evt_wrote  (rows=3 cost=3 width=2 vars=[0, 2])
+   └─ SeqScan evt_cat  (rows=1 cost=1 width=2 vars=[2, 3])
+";
+    assert_eq!(plan_for_rule(0), expected);
+}
+
+/// F3 of Figure 1: `cat(p1,c), refers(p1,p2) => cat(p2,c)`. Same anchor,
+/// one hash join through the citing paper.
+#[test]
+fn citation_label_propagation_plan_is_pinned() {
+    let expected = "\
+Query (rows=1 cost=9 output=[v0, v1, v2])
+└─ AntiJoin keys=[v2, v1]  (rows=1 cost=9 width=3 vars=[0, 1, 2])
+   ├─ HashJoin keys=[v0]  (rows=1 cost=6 width=3 vars=[0, 1, 2])
+   │  ├─ AntiJoin keys=[v0, v1]  (rows=1 cost=2 width=2 vars=[0, 1])
+   │  │  ├─ SeqScan reach_cat  (rows=1 cost=1 width=2 vars=[0, 1])
+   │  │  └─ SeqScan evf_cat  (rows=0 cost=0 width=2 vars=[0, 1])
+   │  └─ SeqScan evt_refers  (rows=1 cost=1 width=2 vars=[0, 2])
+   └─ SeqScan evt_cat  (rows=1 cost=1 width=2 vars=[2, 1])
+";
+    assert_eq!(plan_for_rule(1), expected);
+}

@@ -56,9 +56,8 @@ pub fn clausify_rule(rule: &Rule, rule_index: usize) -> Option<ClausalRule> {
     if rule.weight == Weight::Soft(0.0) {
         return None;
     }
-    let mut literals: Vec<Literal> = Vec::with_capacity(
-        rule.formula.body.len() + rule.formula.head.len(),
-    );
+    let mut literals: Vec<Literal> =
+        Vec::with_capacity(rule.formula.body.len() + rule.formula.head.len());
     for lit in &rule.formula.body {
         literals.push(lit.negate());
     }
@@ -134,8 +133,9 @@ mod tests {
 
     #[test]
     fn figure1_f2_clause_shape() {
-        let (_, c) =
-            clauses_of("*wrote(a, p)\ncat(p, c)\n1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)\n");
+        let (_, c) = clauses_of(
+            "*wrote(a, p)\ncat(p, c)\n1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)\n",
+        );
         assert_eq!(c.len(), 1);
         let clause = &c[0];
         assert_eq!(clause.literals.len(), 4);

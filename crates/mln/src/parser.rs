@@ -91,9 +91,7 @@ fn find_comment(line: &str) -> Option<usize> {
             None => {
                 if b == b'"' || b == b'\'' {
                     quote = Some(b);
-                } else if b == b'#'
-                    || (b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/')
-                {
+                } else if b == b'#' || (b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/') {
                     return Some(i);
                 }
             }
@@ -370,7 +368,12 @@ fn parse_declaration(
     let closed = cur.eat(&Tok::Star);
     let name = match cur.next() {
         Some(Tok::Ident(n)) => n,
-        other => return Err(MlnError::at(lineno, format!("expected name, got {other:?}"))),
+        other => {
+            return Err(MlnError::at(
+                lineno,
+                format!("expected name, got {other:?}"),
+            ))
+        }
     };
     cur.expect(&Tok::LParen, "`(`")?;
     let mut types = Vec::new();
@@ -380,7 +383,12 @@ fn parse_declaration(
                 let t = t.clone();
                 types.push(program.intern_type(&t));
             }
-            other => return Err(MlnError::at(lineno, format!("expected type, got {other:?}"))),
+            other => {
+                return Err(MlnError::at(
+                    lineno,
+                    format!("expected type, got {other:?}"),
+                ))
+            }
         }
         if cur.eat(&Tok::RParen) {
             break;
@@ -466,7 +474,13 @@ fn parse_rule_line(program: &mut MlnProgram, toks: &[Tok], lineno: usize) -> Res
             ));
         }
         // a <=> b expands to (a => b) and (b => a).
-        push_implication(program, weight, body_lits.clone(), head_lits.clone(), lineno);
+        push_implication(
+            program,
+            weight,
+            body_lits.clone(),
+            head_lits.clone(),
+            lineno,
+        );
         push_implication(program, weight, head_lits, body_lits, lineno);
         return Ok(());
     }
@@ -518,7 +532,9 @@ fn parse_rule_line(program: &mut MlnProgram, toks: &[Tok], lineno: usize) -> Res
             );
         }
     } else {
-        push_head(program, weight, body_lits, head_lits, head_sep, exists, lineno);
+        push_head(
+            program, weight, body_lits, head_lits, head_sep, exists, lineno,
+        );
     }
     Ok(())
 }
@@ -666,9 +682,9 @@ fn parse_literal(program: &mut MlnProgram, cur: &mut Cursor<'_>) -> Result<Liter
             Some(Tok::Ident(n)) => n,
             _ => unreachable!(),
         };
-        let pred = program.predicate_by_name(&name).ok_or_else(|| {
-            MlnError::at(cur.line, format!("unknown predicate `{name}`"))
-        })?;
+        let pred = program
+            .predicate_by_name(&name)
+            .ok_or_else(|| MlnError::at(cur.line, format!("unknown predicate `{name}`")))?;
         cur.expect(&Tok::LParen, "`(`")?;
         let mut args = Vec::new();
         loop {

@@ -40,11 +40,7 @@ fn render_term(program: &MlnProgram, t: Term) -> String {
 pub fn render_literal(program: &MlnProgram, lit: &Literal) -> String {
     match lit {
         Literal::Pred { atom, negated } => {
-            let args: Vec<String> = atom
-                .args
-                .iter()
-                .map(|&t| render_term(program, t))
-                .collect();
+            let args: Vec<String> = atom.args.iter().map(|&t| render_term(program, t)).collect();
             format!(
                 "{}{}({})",
                 if *negated { "!" } else { "" },

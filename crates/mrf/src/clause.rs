@@ -118,9 +118,11 @@ mod tests {
 
     #[test]
     fn true_count() {
-        let c =
-            GroundClause::new(vec![Lit::pos(0), Lit::pos(1), Lit::neg(2)], Weight::Soft(1.0))
-                .unwrap();
+        let c = GroundClause::new(
+            vec![Lit::pos(0), Lit::pos(1), Lit::neg(2)],
+            Weight::Soft(1.0),
+        )
+        .unwrap();
         assert_eq!(c.true_count(&[true, false, false]), 2);
         assert_eq!(c.true_count(&[false, false, true]), 0);
     }

@@ -85,10 +85,7 @@ mod tests {
     #[test]
     fn hard_dominates_soft() {
         let a = Cost { hard: 1, soft: 0.0 };
-        let b = Cost {
-            hard: 0,
-            soft: 1e9,
-        };
+        let b = Cost { hard: 0, soft: 1e9 };
         assert!(b.better_than(a));
         assert!(!a.better_than(b));
     }

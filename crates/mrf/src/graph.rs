@@ -161,7 +161,8 @@ impl MrfBuilder {
                 existing.weight = merge_weights(existing.weight, clause.weight);
             }
             None => {
-                self.index.insert(clause.lits.clone(), self.clauses.len() as u32);
+                self.index
+                    .insert(clause.lits.clone(), self.clauses.len() as u32);
                 self.clauses.push(clause);
             }
         }

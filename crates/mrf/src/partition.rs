@@ -87,11 +87,7 @@ impl Partitioning {
         }
         let tracked_size: Vec<u64> = atoms
             .iter()
-            .map(|members| {
-                members
-                    .first()
-                    .map_or(0, |&a| size[uf.find(a) as usize])
-            })
+            .map(|members| members.first().map_or(0, |&a| size[uf.find(a) as usize]))
             .collect();
         let mut internal_clauses: Vec<Vec<u32>> = vec![Vec::new(); count];
         let mut cut_clauses = Vec::new();

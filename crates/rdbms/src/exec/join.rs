@@ -14,10 +14,16 @@ use super::Batch;
 use tuffy_mln::fxhash::FxHashMap;
 
 /// Hash key for multi-column join keys.
+///
+/// This is a lossy FNV-style fold: **distinct multi-column keys can
+/// collide** (single-column keys cannot — multiplication by an odd
+/// constant is a bijection on `u64`). Correctness therefore requires
+/// every probe-side candidate produced by a hash lookup to be
+/// re-verified with [`keys_eq`] before emitting a match; all three hash
+/// operators below do so, and `colliding_hash_keys_do_not_join` pins the
+/// behavior with deliberately colliding keys.
 #[inline]
 fn key_of(row: &[u32], cols: &[usize]) -> u64 {
-    // Fowler–Noll–Vo style fold; collisions are resolved by re-checking in
-    // the probe loop only when keys collide structurally (we store values).
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &c in cols {
         h ^= row[c] as u64;
@@ -106,13 +112,11 @@ pub fn sort_merge_join(left: &Batch, right: &Batch, keys: &[(usize, usize)]) -> 
             std::cmp::Ordering::Equal => {
                 // Find the extent of the equal-key runs on both sides.
                 let mut i2 = i + 1;
-                while i2 < ls.len() && key_cmp(ls.row(i2), rs.row(j)) == std::cmp::Ordering::Equal
-                {
+                while i2 < ls.len() && key_cmp(ls.row(i2), rs.row(j)) == std::cmp::Ordering::Equal {
                     i2 += 1;
                 }
                 let mut j2 = j + 1;
-                while j2 < rs.len() && key_cmp(ls.row(i), rs.row(j2)) == std::cmp::Ordering::Equal
-                {
+                while j2 < rs.len() && key_cmp(ls.row(i), rs.row(j2)) == std::cmp::Ordering::Equal {
                     j2 += 1;
                 }
                 for a in i..i2 {
@@ -165,9 +169,11 @@ fn semi_anti(left: &Batch, right: &Batch, keys: &[(usize, usize)], want_match: b
     }
     let mut out = Batch::new(left.width());
     for l in left.iter() {
-        let matched = table
-            .get(&key_of(l, &lk))
-            .is_some_and(|cands| cands.iter().any(|&ri| keys_eq(l, &lk, right.row(ri as usize), &rk)));
+        let matched = table.get(&key_of(l, &lk)).is_some_and(|cands| {
+            cands
+                .iter()
+                .any(|&ri| keys_eq(l, &lk, right.row(ri as usize), &rk))
+        });
         if matched == want_match {
             out.push(l);
         }
@@ -239,6 +245,70 @@ mod tests {
         assert!(hash_join(&left(), &empty, &keys).is_empty());
         assert!(sort_merge_join(&empty, &empty, &keys).is_empty());
         assert_eq!(hash_anti_join(&left(), &empty, &keys).len(), left().len());
+    }
+
+    /// Finds two *distinct* 2-column keys with identical [`key_of`]
+    /// hashes. With `h(v0, v1) = ((S ^ v0)·P ^ v1)·P`, two keys `(a, x)`
+    /// and `(c, 0)` collide exactly when `x = (S^a)·P ^ (S^c)·P`; that
+    /// xor fits in a `u32` whenever the two products share their high 32
+    /// bits, which a birthday search over `a` finds quickly.
+    fn colliding_keys() -> ([u32; 2], [u32; 2]) {
+        use std::collections::HashMap;
+        const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut seen: HashMap<u32, u32> = HashMap::new();
+        for a in 0u32.. {
+            let pa = (SEED ^ a as u64).wrapping_mul(PRIME);
+            let hi = (pa >> 32) as u32;
+            if let Some(&c) = seen.get(&hi) {
+                let pc = (SEED ^ c as u64).wrapping_mul(PRIME);
+                let x = (pa ^ pc) as u32;
+                return ([a, x], [c, 0]);
+            }
+            seen.insert(hi, a);
+        }
+        unreachable!("birthday collision within 2^32 candidates")
+    }
+
+    #[test]
+    fn colliding_hash_keys_do_not_join() {
+        let (k1, k2) = colliding_keys();
+        assert_ne!(k1, k2);
+        let cols = [0usize, 1usize];
+        assert_eq!(
+            key_of(&k1, &cols),
+            key_of(&k2, &cols),
+            "constructed keys must collide for the regression to bite"
+        );
+        // One row per key on each side, with distinguishable payloads.
+        let l = Batch::from_rows(3, &[&[k1[0], k1[1], 100], &[k2[0], k2[1], 101]]);
+        let r = Batch::from_rows(3, &[&[k1[0], k1[1], 200], &[k2[0], k2[1], 201]]);
+        let keys = [(0usize, 0usize), (1usize, 1usize)];
+        let reference = nested_loop_join(&l, &r, &keys);
+        // k1 matches only k1, k2 only k2: exactly two result rows.
+        assert_eq!(reference.len(), 2);
+        assert_eq!(
+            sorted_rows(&hash_join(&l, &r, &keys)),
+            sorted_rows(&reference)
+        );
+        assert_eq!(
+            sorted_rows(&sort_merge_join(&l, &r, &keys)),
+            sorted_rows(&reference)
+        );
+        // Semi/anti: every left row has its true partner, so the semi
+        // join keeps both rows and the anti join keeps none — unless a
+        // hash collision is mistaken for a match.
+        assert_eq!(hash_semi_join(&l, &r, &keys).len(), 2);
+        assert_eq!(hash_anti_join(&l, &r, &keys).len(), 0);
+        // Against a right side holding only the *colliding* key, the
+        // left k1 row must NOT match.
+        let r2 = Batch::from_rows(3, &[&[k2[0], k2[1], 300]]);
+        assert!(hash_join(&l, &r2, &keys)
+            .iter()
+            .all(|row| row[5] == 300 && row[0] == k2[0]));
+        assert_eq!(hash_semi_join(&l, &r2, &keys).len(), 1);
+        assert_eq!(hash_anti_join(&l, &r2, &keys).len(), 1);
+        assert_eq!(hash_anti_join(&l, &r2, &keys).row(0)[2], 100);
     }
 
     #[test]

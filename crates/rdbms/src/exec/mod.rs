@@ -12,9 +12,16 @@ pub mod scan;
 pub mod sort;
 
 /// A materialized, fixed-width row set.
+///
+/// The row count is tracked explicitly rather than derived from
+/// `data.len() / width` so that **zero-width batches** work: a width-0
+/// batch with `n` rows represents `n` copies of the empty tuple, which is
+/// how fully-constant query atoms (existence checks) flow through the
+/// executor.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Batch {
     width: usize,
+    rows: usize,
     data: Vec<u32>,
 }
 
@@ -23,6 +30,7 @@ impl Batch {
     pub fn new(width: usize) -> Self {
         Batch {
             width,
+            rows: 0,
             data: Vec::new(),
         }
     }
@@ -31,6 +39,7 @@ impl Batch {
     pub fn with_capacity(width: usize, rows: usize) -> Self {
         Batch {
             width,
+            rows: 0,
             data: Vec::with_capacity(width * rows),
         }
     }
@@ -53,18 +62,19 @@ impl Batch {
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len().checked_div(self.width).unwrap_or(0)
+        self.rows
     }
 
     /// Whether the batch has no rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.rows == 0
     }
 
-    /// Borrow row `i`.
+    /// Borrow row `i` (the empty slice for width-0 batches).
     #[inline]
     pub fn row(&self, i: usize) -> &[u32] {
+        debug_assert!(i < self.rows);
         &self.data[i * self.width..(i + 1) * self.width]
     }
 
@@ -76,6 +86,7 @@ impl Batch {
     pub fn push(&mut self, row: &[u32]) {
         debug_assert_eq!(row.len(), self.width);
         self.data.extend_from_slice(row);
+        self.rows += 1;
     }
 
     /// Appends the concatenation of two row fragments.
@@ -84,14 +95,16 @@ impl Batch {
         debug_assert_eq!(a.len() + b.len(), self.width);
         self.data.extend_from_slice(a);
         self.data.extend_from_slice(b);
+        self.rows += 1;
     }
 
     /// Iterates over rows.
     pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
-        self.data.chunks_exact(self.width.max(1))
+        (0..self.rows).map(move |i| &self.data[i * self.width..(i + 1) * self.width])
     }
 
-    /// Projects the batch onto `cols`.
+    /// Projects the batch onto `cols` (possibly reordering or dropping
+    /// every column — the row count is preserved either way).
     pub fn project(&self, cols: &[usize]) -> Batch {
         let mut out = Batch::with_capacity(cols.len(), self.len());
         for row in self.iter() {
@@ -99,6 +112,7 @@ impl Batch {
                 out.data.push(row[c]);
             }
         }
+        out.rows = self.rows;
         out
     }
 
@@ -116,6 +130,24 @@ impl Batch {
     /// Heap footprint in bytes.
     pub fn bytes(&self) -> usize {
         self.data.capacity() * 4
+    }
+
+    /// Empties the batch and sets a new row width, keeping the allocated
+    /// capacity — the reuse hook for operators that re-materialize the
+    /// same relation repeatedly (e.g. the RDBMS-resident search's
+    /// per-step clause scan).
+    pub fn reset(&mut self, width: usize) {
+        self.width = width;
+        self.rows = 0;
+        self.data.clear();
+    }
+}
+
+impl Default for Batch {
+    /// An empty zero-width batch (useful with `std::mem::take` for
+    /// buffer-reuse patterns).
+    fn default() -> Self {
+        Batch::new(0)
     }
 }
 
@@ -139,6 +171,19 @@ mod tests {
         let p = b.project(&[2, 0]);
         assert_eq!(p.row(0), &[3, 1]);
         assert_eq!(p.row(1), &[6, 4]);
+    }
+
+    #[test]
+    fn zero_width_batches_count_rows() {
+        let b = Batch::from_rows(2, &[&[1, 2], &[3, 4], &[1, 2]]);
+        let empty_tuples = b.project(&[]);
+        assert_eq!(empty_tuples.width(), 0);
+        assert_eq!(empty_tuples.len(), 3);
+        assert!(!empty_tuples.is_empty());
+        assert_eq!(empty_tuples.iter().count(), 3);
+        assert_eq!(empty_tuples.row(1), &[] as &[u32]);
+        let d = crate::exec::agg::distinct(&empty_tuples);
+        assert_eq!(d.len(), 1, "all empty tuples are duplicates");
     }
 
     #[test]

@@ -15,6 +15,22 @@ pub fn seq_scan(
 ) -> Batch {
     let width = projection.map_or(table.width(), <[usize]>::len);
     let mut out = Batch::with_capacity(width, table.len());
+    seq_scan_into(table, pool, preds, projection, &mut out);
+    out
+}
+
+/// [`seq_scan`] into a caller-owned batch: `out` is reset to the scan's
+/// width and refilled, reusing its allocation. The I/O charged to the
+/// buffer pool is identical.
+pub fn seq_scan_into(
+    table: &Table,
+    pool: &BufferPool,
+    preds: &[Pred],
+    projection: Option<&[usize]>,
+    out: &mut Batch,
+) {
+    let width = projection.map_or(table.width(), <[usize]>::len);
+    out.reset(width);
     match projection {
         None => {
             for row in table.scan(pool) {
@@ -34,7 +50,6 @@ pub fn seq_scan(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -20,7 +20,10 @@
 //! * **a cost-based optimizer** for the conjunctive (select-project-join +
 //!   anti-join) queries produced by the grounder, with greedy join-order
 //!   selection, join-algorithm selection, and the lesion knobs the paper
-//!   disables one at a time ([`optimizer`], [`query`]);
+//!   disables one at a time ([`optimizer`], [`query`]). Planning produces
+//!   an explicit, costed [`plan::PhysicalPlan`] tree (inspect it with
+//!   `EXPLAIN`-style `Display`); [`executor`] walks the tree and records
+//!   per-node runtime counters;
 //! * **statistics**: per-table row counts and per-column distinct-value
 //!   estimates driving the cost model ([`stats`]).
 //!
@@ -32,7 +35,9 @@ pub mod bufferpool;
 pub mod catalog;
 pub mod error;
 pub mod exec;
+pub mod executor;
 pub mod optimizer;
+pub mod plan;
 pub mod pred;
 pub mod query;
 pub mod schema;
@@ -42,7 +47,11 @@ pub mod storage;
 pub use bufferpool::{BufferPool, DiskModel, IoStats};
 pub use catalog::{Database, TableId};
 pub use error::DbError;
-pub use optimizer::{JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig};
+pub use executor::{execute, execute_into, execute_profiled, ExecProfile, NodeMetrics};
+pub use optimizer::{
+    plan_analyzed, plan_query, run_query, JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig,
+};
+pub use plan::{NodeId, NodeInfo, PhysicalPlan, PlanColumn, PlanOp, QueryPlan};
 pub use pred::Pred;
 pub use query::{ConjunctiveQuery, QueryAtom, VarId};
 pub use schema::TableSchema;

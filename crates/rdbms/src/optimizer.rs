@@ -1,4 +1,11 @@
-//! Cost-based planning and execution of conjunctive queries.
+//! Cost-based planning of conjunctive queries.
+//!
+//! This module is the *planning* half of the engine: it compiles a
+//! [`ConjunctiveQuery`] into an explicit, costed
+//! [`QueryPlan`](crate::plan::QueryPlan) tree. Execution lives in
+//! [`crate::executor`]; the two meet only through the plan IR in
+//! [`crate::plan`], so plans can be inspected (`EXPLAIN`), golden-tested,
+//! and profiled.
 //!
 //! The planner implements exactly the three mechanisms the paper's lesion
 //! study isolates (Table 6, Appendix C.2):
@@ -10,22 +17,20 @@
 //!    large equi-joins, nested loop otherwise (restrict with
 //!    [`JoinAlgorithmPolicy::NestedLoopOnly`]);
 //! 3. **predicate pushdown** — constant filters evaluated at scan time
-//!    (disable with `pushdown: false` to defer them above the joins).
+//!    (disable with `pushdown: false` to defer them above the joins as a
+//!    top-level `FilterScan` over carried check columns).
 //!
 //! Anti-joins (`NOT EXISTS` pruning) are applied as early as their
-//! correlation variables are available.
+//! correlation variables are available. Fully-constant atoms (no variable
+//! bindings) compile to an existence check — `Distinct` over a filtered
+//! scan, cross-joined in — regardless of the pushdown lesion, which keeps
+//! result multiplicity identical across all configurations.
 
 use crate::catalog::Database;
 use crate::error::DbError;
-use crate::exec::agg::distinct;
-use crate::exec::join::{
-    cross_join, hash_anti_join, hash_join, nested_loop_join, sort_merge_join,
-};
-use crate::exec::scan::seq_scan;
-use crate::exec::Batch;
+use crate::plan::{JoinNode, NodeInfo, PhysicalPlan, PlanColumn, PlanOp, QueryPlan, ScanNode};
 use crate::pred::Pred;
 use crate::query::{ColumnBinding, ConjunctiveQuery, QueryAtom, VarId};
-use std::fmt;
 
 /// Join-order selection policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -69,98 +74,19 @@ impl Default for OptimizerConfig {
     }
 }
 
-/// Physical join algorithm chosen for a step.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum JoinAlgo {
-    /// Build + probe hash join.
-    Hash,
-    /// Sort both sides, merge.
-    SortMerge,
-    /// Nested loops with key equality checks.
-    NestedLoop,
-    /// No shared keys: cross product.
-    Cross,
-}
-
-impl fmt::Display for JoinAlgo {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            JoinAlgo::Hash => write!(f, "HashJoin"),
-            JoinAlgo::SortMerge => write!(f, "SortMergeJoin"),
-            JoinAlgo::NestedLoop => write!(f, "NestedLoopJoin"),
-            JoinAlgo::Cross => write!(f, "CrossProduct"),
-        }
-    }
-}
-
 /// Both sides at least this large ⇒ prefer sort-merge over hash (models
 /// PostgreSQL's preference for merge joins on very large inputs).
 const SORT_MERGE_THRESHOLD: usize = 1 << 17;
 
-/// One step of a physical plan.
-#[derive(Clone, Debug, PartialEq)]
-pub enum PlanStep {
-    /// Scan the `atom`-th positive atom (always the first step).
-    Scan {
-        /// Index into `query.atoms`.
-        atom: usize,
-        /// Estimated output rows.
-        est_rows: f64,
-    },
-    /// Join the accumulated result with the `atom`-th positive atom.
-    Join {
-        /// Index into `query.atoms`.
-        atom: usize,
-        /// Chosen algorithm.
-        algo: JoinAlgo,
-        /// Shared variables joined on.
-        keys: Vec<VarId>,
-        /// Estimated output rows.
-        est_rows: f64,
-    },
-    /// Apply the `anti`-th anti-atom (`NOT EXISTS`).
-    Anti {
-        /// Index into `query.anti_atoms`.
-        anti: usize,
-        /// Correlation variables.
-        keys: Vec<VarId>,
-    },
-}
+/// Heuristic selectivity of a residual (non-equi) filter predicate.
+const RESIDUAL_SELECTIVITY: f64 = 0.9;
 
-/// A physical plan: ordered steps plus the final projection.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Plan {
-    /// Ordered physical steps.
-    pub steps: Vec<PlanStep>,
-    /// Variable layout of the accumulated result after the last step.
-    pub schema: Vec<VarId>,
-    /// Estimated output rows before projection.
-    pub est_rows: f64,
-}
+/// Heuristic fraction of rows surviving a `NOT EXISTS` anti-join.
+const ANTI_SELECTIVITY: f64 = 0.9;
 
-impl fmt::Display for Plan {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for step in &self.steps {
-            match step {
-                PlanStep::Scan { atom, est_rows } => {
-                    writeln!(f, "SeqScan(atom {atom}) est={est_rows:.0}")?;
-                }
-                PlanStep::Join {
-                    atom,
-                    algo,
-                    keys,
-                    est_rows,
-                } => {
-                    writeln!(f, "{algo}(atom {atom}) on {keys:?} est={est_rows:.0}")?;
-                }
-                PlanStep::Anti { anti, keys } => {
-                    writeln!(f, "AntiJoin(anti {anti}) on {keys:?}")?;
-                }
-            }
-        }
-        Ok(())
-    }
-}
+/// Heuristic selectivity of one deferred constant filter (pushdown
+/// lesion; the pushed-down path uses real NDV statistics instead).
+const DEFERRED_CONST_SELECTIVITY: f64 = 0.1;
 
 /// Per-atom planning info derived from statistics.
 struct AtomInfo {
@@ -224,13 +150,93 @@ fn join_estimate(
     est
 }
 
+/// Physical join algorithm chosen for an equi-join step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JoinAlgo {
+    Hash,
+    SortMerge,
+    NestedLoop,
+}
+
+fn choose_algo(config: &OptimizerConfig, left_rows: f64, right_rows: f64) -> JoinAlgo {
+    match config.join_algorithm {
+        JoinAlgorithmPolicy::NestedLoopOnly => JoinAlgo::NestedLoop,
+        JoinAlgorithmPolicy::Auto => {
+            if left_rows >= SORT_MERGE_THRESHOLD as f64 && right_rows >= SORT_MERGE_THRESHOLD as f64
+            {
+                JoinAlgo::SortMerge
+            } else {
+                JoinAlgo::Hash
+            }
+        }
+    }
+}
+
+/// Estimated cost of performing one join, excluding child costs.
+fn join_cost(algo: JoinAlgo, left: f64, right: f64, out: f64) -> f64 {
+    match algo {
+        JoinAlgo::Hash => left + right + out,
+        JoinAlgo::SortMerge => {
+            left * (left + 1.0).log2().max(1.0) + right * (right + 1.0).log2().max(1.0) + out
+        }
+        JoinAlgo::NestedLoop => left * right,
+    }
+}
+
+/// One output column of a partially-built plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PlanCol {
+    /// Binds a query variable.
+    Var(VarId),
+    /// Carries an unfiltered constant column for the deferred-filter
+    /// lesion; the constant it must eventually equal rides along.
+    Check(u32),
+}
+
+/// Planner working state: the tree built so far plus its column layout.
+struct Acc {
+    node: PhysicalPlan,
+    cols: Vec<PlanCol>,
+    ndv: Vec<(VarId, f64)>,
+}
+
+impl Acc {
+    fn var_col(&self, v: VarId) -> Option<usize> {
+        self.cols
+            .iter()
+            .position(|c| matches!(c, PlanCol::Var(w) if *w == v))
+    }
+
+    fn has_var(&self, v: VarId) -> bool {
+        self.var_col(v).is_some()
+    }
+
+    fn plan_columns(&self) -> Vec<PlanColumn> {
+        to_plan_columns(&self.cols)
+    }
+}
+
+/// Converts the planner's internal column layout into the public
+/// positional per-column annotation.
+fn to_plan_columns(cols: &[PlanCol]) -> Vec<PlanColumn> {
+    cols.iter()
+        .map(|c| match c {
+            PlanCol::Var(v) => PlanColumn::Var(*v),
+            PlanCol::Check(_) => PlanColumn::Check,
+        })
+        .collect()
+}
+
 /// Plans `query` against `db` (tables should be `ANALYZE`d for best
-/// results; un-analyzed tables fall back to row counts).
+/// results; un-analyzed tables fall back to row counts). The returned
+/// plan is immutable and independent of the database's data — execute it
+/// with [`crate::executor::execute`], or render it with `{}` for
+/// `EXPLAIN`.
 pub fn plan_query(
     db: &Database,
     query: &ConjunctiveQuery,
     config: &OptimizerConfig,
-) -> Result<Plan, DbError> {
+) -> Result<QueryPlan, DbError> {
     if query.atoms.is_empty() {
         return Err(DbError::BadQuery("no positive atoms".into()));
     }
@@ -240,14 +246,169 @@ pub fn plan_query(
             return Err(DbError::UnboundVariable(*v));
         }
     }
+    // Fully-constant atoms always push their filters (they compile to
+    // existence checks), so their estimates ignore the pushdown lesion.
     let infos: Vec<AtomInfo> = query
         .atoms
         .iter()
-        .map(|a| atom_info(db, a, config.pushdown))
+        .map(|a| {
+            let push = config.pushdown || a.variables().is_empty();
+            let mut info = atom_info(db, a, push);
+            if a.variables().is_empty() {
+                info.est_rows = info.est_rows.min(1.0);
+            }
+            info
+        })
         .collect();
 
-    // Choose the atom order.
-    let order: Vec<usize> = match config.join_order {
+    let order = choose_order(query, &infos, config);
+
+    let mut acc: Option<Acc> = None;
+    let mut anti_done = vec![false; query.anti_atoms.len()];
+    let mut applied_neq = vec![false; query.neq.len()];
+    let mut applied_neq_const = vec![false; query.neq_const.len()];
+
+    for &ai in &order {
+        let (scan, scan_cols) = scan_subtree(db, &query.atoms[ai], config, &infos[ai]);
+        acc = Some(match acc {
+            None => Acc {
+                node: scan,
+                cols: scan_cols,
+                ndv: infos[ai].var_ndv.clone(),
+            },
+            Some(prev) => join_step(prev, scan, scan_cols, &infos[ai], config),
+        });
+        let cur = acc.as_mut().unwrap();
+        apply_antis(db, query, &bound, cur, &mut anti_done)?;
+        apply_residuals(query, cur, &mut applied_neq, &mut applied_neq_const);
+    }
+    let mut acc = acc.expect("at least one atom");
+
+    if anti_done.iter().any(|d| !d) {
+        return Err(DbError::BadQuery(
+            "anti-join with variables never bound by positive atoms".into(),
+        ));
+    }
+    if applied_neq.iter().any(|a| !a) || applied_neq_const.iter().any(|a| !a) {
+        return Err(DbError::BadQuery(
+            "inequality over variables never bound".into(),
+        ));
+    }
+
+    // Deferred constant filters (pushdown lesion): the carried check
+    // columns are filtered here, above every join.
+    let checks: Vec<Pred> = acc
+        .cols
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| match c {
+            PlanCol::Check(value) => Some(Pred::ColEqConst {
+                col: i,
+                value: *value,
+            }),
+            PlanCol::Var(_) => None,
+        })
+        .collect();
+    if !checks.is_empty() {
+        let est = acc.node.info.est_rows * DEFERRED_CONST_SELECTIVITY.powi(checks.len() as i32);
+        let cost = acc.node.info.est_cost + acc.node.info.est_rows;
+        let width = acc.node.info.width;
+        let cols = acc.plan_columns();
+        acc.node = PhysicalPlan {
+            op: PlanOp::FilterScan {
+                input: Box::new(acc.node),
+                preds: checks,
+            },
+            info: NodeInfo {
+                id: 0,
+                est_rows: est,
+                est_cost: cost,
+                width,
+                cols,
+            },
+        };
+    }
+
+    // Final projection to the output variables (inside a Distinct node
+    // when the query deduplicates).
+    let out_cols: Vec<usize> = query
+        .output
+        .iter()
+        .map(|v| acc.var_col(*v).ok_or(DbError::UnboundVariable(*v)))
+        .collect::<Result<_, _>>()?;
+    let (root, output) = if query.distinct {
+        let est = acc.node.info.est_rows;
+        let cost = acc.node.info.est_cost + est;
+        let cols = query.output.iter().map(|v| PlanColumn::Var(*v)).collect();
+        let node = PhysicalPlan {
+            op: PlanOp::Distinct {
+                input: Box::new(acc.node),
+                project: out_cols.clone(),
+            },
+            info: NodeInfo {
+                id: 0,
+                est_rows: est,
+                est_cost: cost,
+                width: out_cols.len(),
+                cols,
+            },
+        };
+        (node, (0..query.output.len()).collect())
+    } else {
+        (acc.node, out_cols)
+    };
+
+    let mut root = root;
+    let mut next = 0usize;
+    renumber(&mut root, &mut next);
+    Ok(QueryPlan {
+        root,
+        output,
+        schema: query.output.clone(),
+        node_count: next,
+    })
+}
+
+/// Analyzes every referenced table, then plans. The common entry point
+/// for callers that also mutate the database between queries.
+pub fn plan_analyzed(
+    db: &mut Database,
+    query: &ConjunctiveQuery,
+    config: &OptimizerConfig,
+) -> Result<QueryPlan, DbError> {
+    for atom in query.atoms.iter().chain(query.anti_atoms.iter()) {
+        db.analyze(atom.table);
+    }
+    plan_query(db, query, config)
+}
+
+/// Plans and executes in one call (the convenience entry point; use
+/// [`plan_analyzed`] + [`crate::executor::execute`] to inspect or reuse
+/// the plan).
+pub fn run_query(
+    db: &mut Database,
+    query: &ConjunctiveQuery,
+    config: &OptimizerConfig,
+) -> Result<crate::exec::Batch, DbError> {
+    let plan = plan_analyzed(db, query, config)?;
+    crate::executor::execute(db, &plan)
+}
+
+fn renumber(node: &mut PhysicalPlan, next: &mut usize) {
+    node.info.id = *next;
+    *next += 1;
+    for c in node.children_mut() {
+        renumber(c, next);
+    }
+}
+
+/// Chooses the atom join order per the configured policy.
+fn choose_order(
+    query: &ConjunctiveQuery,
+    infos: &[AtomInfo],
+    config: &OptimizerConfig,
+) -> Vec<usize> {
+    match config.join_order {
         JoinOrderPolicy::Program => (0..query.atoms.len()).collect(),
         JoinOrderPolicy::Auto => {
             let mut remaining: Vec<usize> = (0..query.atoms.len()).collect();
@@ -263,8 +424,7 @@ pub fn plan_query(
             order.push(first);
             let mut cur_rows = infos[first].est_rows;
             let mut cur_ndv = infos[first].var_ndv.clone();
-            let mut cur_vars: Vec<VarId> =
-                cur_ndv.iter().map(|(v, _)| *v).collect();
+            let mut cur_vars: Vec<VarId> = cur_ndv.iter().map(|(v, _)| *v).collect();
             while !remaining.is_empty() {
                 // Prefer connected atoms; among them, smallest estimate.
                 let mut best: Option<(usize, f64, bool)> = None; // (pos, est, connected)
@@ -304,121 +464,34 @@ pub fn plan_query(
             }
             order
         }
-    };
-
-    // Build steps, weaving anti-joins in as soon as their correlation
-    // variables are bound.
-    let mut steps = Vec::new();
-    let mut schema: Vec<VarId> = Vec::new();
-    let mut anti_done = vec![false; query.anti_atoms.len()];
-    let mut est_rows = 0.0f64;
-    let mut cur_ndv: Vec<(VarId, f64)> = Vec::new();
-    for (step_idx, &ai) in order.iter().enumerate() {
-        let info = &infos[ai];
-        if step_idx == 0 {
-            est_rows = info.est_rows;
-            cur_ndv = info.var_ndv.clone();
-            steps.push(PlanStep::Scan {
-                atom: ai,
-                est_rows,
-            });
-            for v in query.atoms[ai].variables() {
-                if !schema.contains(&v) {
-                    schema.push(v);
-                }
-            }
-        } else {
-            let shared: Vec<VarId> = query.atoms[ai]
-                .variables()
-                .into_iter()
-                .filter(|v| schema.contains(v))
-                .collect();
-            let est = join_estimate(est_rows, &cur_ndv, info, &shared);
-            let algo = choose_algo(config, &shared, est_rows, info.est_rows);
-            steps.push(PlanStep::Join {
-                atom: ai,
-                algo,
-                keys: shared,
-                est_rows: est,
-            });
-            est_rows = est;
-            for (v, d) in &info.var_ndv {
-                match cur_ndv.iter_mut().find(|(w, _)| w == v) {
-                    Some((_, cd)) => *cd = cd.min(*d),
-                    None => cur_ndv.push((*v, *d)),
-                }
-            }
-            for v in query.atoms[ai].variables() {
-                if !schema.contains(&v) {
-                    schema.push(v);
-                }
-            }
-        }
-        // Anti-joins whose correlation vars are now all bound.
-        for (i, anti) in query.anti_atoms.iter().enumerate() {
-            if anti_done[i] {
-                continue;
-            }
-            let corr: Vec<VarId> = anti
-                .variables()
-                .into_iter()
-                .filter(|v| bound.contains(v))
-                .collect();
-            if corr.iter().all(|v| schema.contains(v)) {
-                steps.push(PlanStep::Anti {
-                    anti: i,
-                    keys: corr,
-                });
-                anti_done[i] = true;
-            }
-        }
     }
-    if anti_done.iter().any(|d| !d) {
-        return Err(DbError::BadQuery(
-            "anti-join with variables never bound by positive atoms".into(),
-        ));
-    }
-    Ok(Plan {
-        steps,
-        schema,
-        est_rows,
-    })
 }
 
-fn choose_algo(
+/// Builds the scan subtree for one positive atom: a `SeqScan` with
+/// structural predicates (and constant predicates when pushed), projected
+/// to one column per distinct variable — plus carried check columns for
+/// unpushed constants, or a `Distinct` existence wrapper for
+/// fully-constant atoms.
+fn scan_subtree(
+    db: &Database,
+    atom: &QueryAtom,
     config: &OptimizerConfig,
-    shared: &[VarId],
-    left_rows: f64,
-    right_rows: f64,
-) -> JoinAlgo {
-    if shared.is_empty() {
-        return JoinAlgo::Cross;
-    }
-    match config.join_algorithm {
-        JoinAlgorithmPolicy::NestedLoopOnly => JoinAlgo::NestedLoop,
-        JoinAlgorithmPolicy::Auto => {
-            if left_rows >= SORT_MERGE_THRESHOLD as f64 && right_rows >= SORT_MERGE_THRESHOLD as f64
-            {
-                JoinAlgo::SortMerge
-            } else {
-                JoinAlgo::Hash
-            }
-        }
-    }
-}
+    info: &AtomInfo,
+) -> (PhysicalPlan, Vec<PlanCol>) {
+    let table = db.table(atom.table);
+    let has_vars = !atom.variables().is_empty();
+    let push_consts = config.pushdown || !has_vars;
 
-/// Scans one atom into a batch whose columns follow `atom.var_columns()`;
-/// when `pushdown` is false, constant filters are *not* applied (they are
-/// deferred by [`execute_plan`]) but structural repeated-variable equality
-/// is always enforced.
-fn scan_atom(db: &Database, atom: &QueryAtom, pushdown: bool) -> (Batch, Vec<VarId>) {
     let mut preds: Vec<Pred> = Vec::new();
     let mut first_col: Vec<(VarId, usize)> = Vec::new();
+    let mut check_cols: Vec<(usize, u32)> = Vec::new();
     for (c, b) in atom.bindings.iter().enumerate() {
         match b {
             ColumnBinding::Const(v) => {
-                if pushdown {
+                if push_consts {
                     preds.push(Pred::ColEqConst { col: c, value: *v });
+                } else {
+                    check_cols.push((c, *v));
                 }
             }
             ColumnBinding::Var(v) => match first_col.iter().find(|(w, _)| w == v) {
@@ -428,223 +501,299 @@ fn scan_atom(db: &Database, atom: &QueryAtom, pushdown: bool) -> (Batch, Vec<Var
             ColumnBinding::Any => {}
         }
     }
-    let proj: Vec<usize> = first_col.iter().map(|(_, c)| *c).collect();
-    let vars: Vec<VarId> = first_col.iter().map(|(v, _)| *v).collect();
-    let batch = seq_scan(db.table(atom.table), db.pool(), &preds, Some(&proj));
-    (batch, vars)
+    let mut project: Vec<usize> = first_col.iter().map(|(_, c)| *c).collect();
+    let mut cols: Vec<PlanCol> = first_col.iter().map(|(v, _)| PlanCol::Var(*v)).collect();
+    for &(c, value) in &check_cols {
+        project.push(c);
+        cols.push(PlanCol::Check(value));
+    }
+
+    let scan = PhysicalPlan {
+        op: PlanOp::SeqScan(ScanNode {
+            table: atom.table,
+            table_name: table.name.clone(),
+            preds,
+            project: project.clone(),
+        }),
+        info: NodeInfo {
+            id: 0,
+            est_rows: info.est_rows,
+            est_cost: table.len() as f64,
+            width: project.len(),
+            cols: to_plan_columns(&cols),
+        },
+    };
+    if has_vars {
+        (scan, cols)
+    } else {
+        // Existence check: at most one (empty) row survives.
+        let est = scan.info.est_rows.min(1.0);
+        let cost = scan.info.est_cost + scan.info.est_rows;
+        let node = PhysicalPlan {
+            op: PlanOp::Distinct {
+                input: Box::new(scan),
+                project: vec![],
+            },
+            info: NodeInfo {
+                id: 0,
+                est_rows: est,
+                est_cost: cost,
+                width: 0,
+                cols: vec![],
+            },
+        };
+        (node, vec![])
+    }
 }
 
-/// Deferred constant filters for an atom when pushdown is disabled: the
-/// atom is scanned unfiltered, so filter the *joined* result instead.
-/// Returns per-variable required constants… except constants do not bind
-/// variables; instead we re-scan with filters and semi-join. To keep the
-/// lesion simple and honest we post-filter by semi-joining against the
-/// filtered scan on the atom's variables.
-fn post_filter_for_atom(db: &Database, atom: &QueryAtom, acc: &Batch, schema: &[VarId]) -> Batch {
-    let consts: Vec<Pred> = atom
-        .bindings
-        .iter()
-        .enumerate()
-        .filter_map(|(c, b)| match b {
-            ColumnBinding::Const(v) => Some(Pred::ColEqConst { col: c, value: *v }),
-            _ => None,
-        })
-        .collect();
-    if consts.is_empty() {
-        return acc.clone();
-    }
-    let (filtered, vars) = {
-        let mut first_col: Vec<(VarId, usize)> = Vec::new();
-        for (c, b) in atom.bindings.iter().enumerate() {
-            if let ColumnBinding::Var(v) = b {
-                if !first_col.iter().any(|(w, _)| w == v) {
-                    first_col.push((*v, c));
-                }
+/// Joins the accumulated plan with one atom's scan subtree.
+fn join_step(
+    acc: Acc,
+    right: PhysicalPlan,
+    right_cols: Vec<PlanCol>,
+    right_info: &AtomInfo,
+    config: &OptimizerConfig,
+) -> Acc {
+    // Keys: variables shared between the accumulated plan and the atom.
+    let mut keys: Vec<(usize, usize)> = Vec::new();
+    let mut shared: Vec<VarId> = Vec::new();
+    for (rc, col) in right_cols.iter().enumerate() {
+        if let PlanCol::Var(v) = col {
+            if let Some(ac) = acc.var_col(*v) {
+                keys.push((ac, rc));
+                shared.push(*v);
             }
         }
-        let proj: Vec<usize> = first_col.iter().map(|(_, c)| *c).collect();
-        let vars: Vec<VarId> = first_col.iter().map(|(v, _)| *v).collect();
-        (
-            seq_scan(db.table(atom.table), db.pool(), &consts, Some(&proj)),
-            vars,
-        )
-    };
-    if vars.is_empty() {
-        // Atom is fully constant: keep everything iff a matching row exists.
-        return if filtered.is_empty() {
-            Batch::new(acc.width())
-        } else {
-            acc.clone()
-        };
     }
-    let keys: Vec<(usize, usize)> = vars
-        .iter()
-        .enumerate()
-        .map(|(rc, v)| (schema.iter().position(|s| s == v).unwrap(), rc))
-        .collect();
-    crate::exec::join::hash_semi_join(acc, &filtered, &keys)
+    let left_rows = acc.node.info.est_rows;
+    let right_rows = right.info.est_rows;
+    let est = join_estimate(left_rows, &acc.ndv, right_info, &shared);
+
+    // Output layout: all accumulated columns, then the atom's new ones.
+    let acc_width = acc.node.info.width;
+    let mut keep: Vec<usize> = (0..acc_width).collect();
+    let mut cols = acc.cols.clone();
+    for (rc, col) in right_cols.iter().enumerate() {
+        let duplicate = matches!(col, PlanCol::Var(v) if acc.has_var(*v));
+        if !duplicate {
+            keep.push(acc_width + rc);
+            cols.push(*col);
+        }
+    }
+    let width = keep.len();
+    let out_cols = to_plan_columns(&cols);
+
+    let child_cost = acc.node.info.est_cost + right.info.est_cost;
+    let info = |est_cost: f64| NodeInfo {
+        id: 0,
+        est_rows: est,
+        est_cost,
+        width,
+        cols: out_cols.clone(),
+    };
+    let node = if keys.is_empty() {
+        PhysicalPlan {
+            op: PlanOp::CrossJoin {
+                left: Box::new(acc.node),
+                right: Box::new(right),
+            },
+            info: info(child_cost + left_rows * right_rows),
+        }
+    } else {
+        let algo = choose_algo(config, left_rows, right_rows);
+        let join = JoinNode {
+            left: Box::new(acc.node),
+            right: Box::new(right),
+            keys,
+            keep,
+        };
+        let op = match algo {
+            JoinAlgo::Hash => PlanOp::HashJoin(join),
+            JoinAlgo::SortMerge => PlanOp::SortMergeJoin(join),
+            JoinAlgo::NestedLoop => PlanOp::NestedLoopJoin(join),
+        };
+        PhysicalPlan {
+            op,
+            info: info(child_cost + join_cost(algo, left_rows, right_rows, est)),
+        }
+    };
+
+    // Narrow the running NDV estimates with the atom's.
+    let mut ndv = acc.ndv;
+    for (v, d) in &right_info.var_ndv {
+        match ndv.iter_mut().find(|(w, _)| w == v) {
+            Some((_, cd)) => *cd = cd.min(*d),
+            None => ndv.push((*v, *d)),
+        }
+    }
+    Acc { node, cols, ndv }
 }
 
-/// Executes a plan. Returns the projected (and optionally deduplicated)
-/// output batch with one column per `query.output` variable.
-pub fn execute_plan(
+/// Applies every not-yet-planned anti-join whose correlation variables
+/// are all bound by the accumulated plan.
+fn apply_antis(
     db: &Database,
     query: &ConjunctiveQuery,
-    plan: &Plan,
-    config: &OptimizerConfig,
-) -> Result<Batch, DbError> {
-    let mut acc = Batch::new(0);
-    let mut schema: Vec<VarId> = Vec::new();
-    let mut applied_neq: Vec<bool> = vec![false; query.neq.len()];
-    let mut applied_neq_const: Vec<bool> = vec![false; query.neq_const.len()];
+    bound: &[VarId],
+    acc: &mut Acc,
+    anti_done: &mut [bool],
+) -> Result<(), DbError> {
+    for (i, anti) in query.anti_atoms.iter().enumerate() {
+        if anti_done[i] {
+            continue;
+        }
+        let corr: Vec<VarId> = anti
+            .variables()
+            .into_iter()
+            .filter(|v| bound.contains(v))
+            .collect();
+        if !corr.iter().all(|v| acc.has_var(*v)) {
+            continue;
+        }
+        anti_done[i] = true;
 
-    for step in &plan.steps {
-        match step {
-            PlanStep::Scan { atom, .. } => {
-                let (batch, vars) = scan_atom(db, &query.atoms[*atom], config.pushdown);
-                acc = batch;
-                schema = vars;
-            }
-            PlanStep::Join { atom, algo, .. } => {
-                let (batch, vars) = scan_atom(db, &query.atoms[*atom], config.pushdown);
-                // Keys: shared variables → (acc col, batch col).
-                let mut keys: Vec<(usize, usize)> = Vec::new();
-                for (bc, v) in vars.iter().enumerate() {
-                    if let Some(ac) = schema.iter().position(|s| s == v) {
-                        keys.push((ac, bc));
-                    }
-                }
-                acc = match (algo, keys.is_empty()) {
-                    (_, true) => cross_join(&acc, &batch),
-                    (JoinAlgo::Hash, _) => hash_join(&acc, &batch, &keys),
-                    (JoinAlgo::SortMerge, _) => sort_merge_join(&acc, &batch, &keys),
-                    (JoinAlgo::NestedLoop, _) => nested_loop_join(&acc, &batch, &keys),
-                    (JoinAlgo::Cross, _) => cross_join(&acc, &batch),
-                };
-                // Extend the schema; drop duplicate var columns.
-                let old_width = schema.len();
-                let mut keep: Vec<usize> = (0..old_width).collect();
-                for (bc, v) in vars.iter().enumerate() {
-                    if !schema.contains(v) {
-                        schema.push(*v);
-                        keep.push(old_width + bc);
-                    }
-                }
-                if keep.len() != acc.width() {
-                    acc = acc.project(&keep);
-                }
-            }
-            PlanStep::Anti { anti, keys } => {
-                let atom = &query.anti_atoms[*anti];
-                // Scan the anti atom with its const filters (always pushed:
-                // NOT EXISTS subqueries are not part of the pushdown lesion)
-                // projected to correlation vars.
-                let mut preds: Vec<Pred> = Vec::new();
-                let mut first_col: Vec<(VarId, usize)> = Vec::new();
-                for (c, b) in atom.bindings.iter().enumerate() {
-                    match b {
-                        ColumnBinding::Const(v) => {
-                            preds.push(Pred::ColEqConst { col: c, value: *v });
-                        }
-                        ColumnBinding::Var(v) => {
-                            match first_col.iter().find(|(w, _)| w == v) {
-                                Some(&(_, fc)) => preds.push(Pred::ColEqCol { a: fc, b: c }),
-                                None => first_col.push((*v, c)),
-                            }
-                        }
-                        ColumnBinding::Any => {}
-                    }
-                }
-                first_col.retain(|(v, _)| keys.contains(v));
-                let proj: Vec<usize> = first_col.iter().map(|(_, c)| *c).collect();
-                let sub = seq_scan(db.table(atom.table), db.pool(), &preds, Some(&proj));
-                // An empty NOT EXISTS side removes nothing: skip the pass
-                // (and the copy of the accumulated result) entirely.
-                if !sub.is_empty() && !acc.is_empty() {
-                    let jk: Vec<(usize, usize)> = first_col
-                        .iter()
-                        .enumerate()
-                        .map(|(sc, (v, _))| {
-                            (schema.iter().position(|s| s == v).unwrap(), sc)
-                        })
-                        .collect();
-                    acc = hash_anti_join(&acc, &sub, &jk);
-                }
+        // Scan the anti atom with its constant filters (always pushed:
+        // NOT EXISTS subqueries are not part of the pushdown lesion),
+        // projected to the correlation variables.
+        let mut preds: Vec<Pred> = Vec::new();
+        let mut first_col: Vec<(VarId, usize)> = Vec::new();
+        for (c, b) in anti.bindings.iter().enumerate() {
+            match b {
+                ColumnBinding::Const(v) => preds.push(Pred::ColEqConst { col: c, value: *v }),
+                ColumnBinding::Var(v) => match first_col.iter().find(|(w, _)| w == v) {
+                    Some(&(_, fc)) => preds.push(Pred::ColEqCol { a: fc, b: c }),
+                    None => first_col.push((*v, c)),
+                },
+                ColumnBinding::Any => {}
             }
         }
-        // Apply any inequality filters that just became applicable.
-        for (i, (a, b)) in query.neq.iter().enumerate() {
-            if applied_neq[i] {
-                continue;
-            }
-            if let (Some(ca), Some(cb)) = (
-                schema.iter().position(|s| s == a),
-                schema.iter().position(|s| s == b),
-            ) {
-                acc = acc.filter(&[Pred::ColNeCol { a: ca, b: cb }]);
-                applied_neq[i] = true;
-            }
-        }
-        for (i, (v, value)) in query.neq_const.iter().enumerate() {
-            if applied_neq_const[i] {
-                continue;
-            }
-            if let Some(col) = schema.iter().position(|s| s == v) {
-                acc = acc.filter(&[Pred::ColNeConst { col, value: *value }]);
-                applied_neq_const[i] = true;
-            }
-        }
+        first_col.retain(|(v, _)| corr.contains(v));
+        let project: Vec<usize> = first_col.iter().map(|(_, c)| *c).collect();
+        let sub_cols: Vec<PlanColumn> =
+            first_col.iter().map(|(v, _)| PlanColumn::Var(*v)).collect();
+        let table = db.table(anti.table);
+        let sub_rows = match db.stats(anti.table) {
+            Some(s) => s.row_count as f64,
+            None => table.len() as f64,
+        };
+        let sub = PhysicalPlan {
+            op: PlanOp::SeqScan(ScanNode {
+                table: anti.table,
+                table_name: table.name.clone(),
+                preds,
+                project: project.clone(),
+            }),
+            info: NodeInfo {
+                id: 0,
+                est_rows: sub_rows,
+                est_cost: table.len() as f64,
+                width: project.len(),
+                cols: sub_cols,
+            },
+        };
+        let keys: Vec<(usize, usize)> = first_col
+            .iter()
+            .enumerate()
+            .map(|(sc, (v, _))| (acc.var_col(*v).expect("correlation var bound"), sc))
+            .collect();
+        let in_rows = acc.node.info.est_rows;
+        let est = in_rows * ANTI_SELECTIVITY;
+        let cost = acc.node.info.est_cost + sub.info.est_cost + in_rows + sub_rows;
+        let width = acc.node.info.width;
+        let cols = acc.plan_columns();
+        let input = std::mem::replace(&mut acc.node, placeholder());
+        acc.node = PhysicalPlan {
+            op: PlanOp::AntiJoin {
+                input: Box::new(input),
+                sub: Box::new(sub),
+                keys,
+            },
+            info: NodeInfo {
+                id: 0,
+                est_rows: est,
+                est_cost: cost,
+                width,
+                cols,
+            },
+        };
     }
-
-    // Deferred constant filters (pushdown lesion).
-    if !config.pushdown {
-        for atom in &query.atoms {
-            acc = post_filter_for_atom(db, atom, &acc, &schema);
-        }
-    }
-
-    if applied_neq.iter().any(|a| !a) || applied_neq_const.iter().any(|a| !a) {
-        return Err(DbError::BadQuery(
-            "inequality over variables never bound".into(),
-        ));
-    }
-
-    // Final projection.
-    let cols: Vec<usize> = query
-        .output
-        .iter()
-        .map(|v| {
-            schema
-                .iter()
-                .position(|s| s == v)
-                .ok_or(DbError::UnboundVariable(*v))
-        })
-        .collect::<Result<_, _>>()?;
-    let mut out = acc.project(&cols);
-    if query.distinct {
-        out = distinct(&out);
-    }
-    Ok(out)
+    Ok(())
 }
 
-/// Plans and executes in one call (the common entry point).
-pub fn run_query(
-    db: &mut Database,
+/// Wraps the accumulated plan in `FilterScan`s for inequality filters
+/// whose variables have just become bound.
+fn apply_residuals(
     query: &ConjunctiveQuery,
-    config: &OptimizerConfig,
-) -> Result<Batch, DbError> {
-    // Refresh statistics for every referenced table.
-    for atom in query.atoms.iter().chain(query.anti_atoms.iter()) {
-        db.analyze(atom.table);
+    acc: &mut Acc,
+    applied_neq: &mut [bool],
+    applied_neq_const: &mut [bool],
+) {
+    let mut preds: Vec<Pred> = Vec::new();
+    for (i, (a, b)) in query.neq.iter().enumerate() {
+        if applied_neq[i] {
+            continue;
+        }
+        if let (Some(ca), Some(cb)) = (acc.var_col(*a), acc.var_col(*b)) {
+            preds.push(Pred::ColNeCol { a: ca, b: cb });
+            applied_neq[i] = true;
+        }
     }
-    let plan = plan_query(db, query, config)?;
-    execute_plan(db, query, &plan, config)
+    for (i, (v, value)) in query.neq_const.iter().enumerate() {
+        if applied_neq_const[i] {
+            continue;
+        }
+        if let Some(col) = acc.var_col(*v) {
+            preds.push(Pred::ColNeConst { col, value: *value });
+            applied_neq_const[i] = true;
+        }
+    }
+    if preds.is_empty() {
+        return;
+    }
+    let in_rows = acc.node.info.est_rows;
+    let est = in_rows * RESIDUAL_SELECTIVITY.powi(preds.len() as i32);
+    let cost = acc.node.info.est_cost + in_rows;
+    let width = acc.node.info.width;
+    let cols = acc.plan_columns();
+    let input = std::mem::replace(&mut acc.node, placeholder());
+    acc.node = PhysicalPlan {
+        op: PlanOp::FilterScan {
+            input: Box::new(input),
+            preds,
+        },
+        info: NodeInfo {
+            id: 0,
+            est_rows: est,
+            est_cost: cost,
+            width,
+            cols,
+        },
+    };
+}
+
+fn placeholder() -> PhysicalPlan {
+    PhysicalPlan {
+        op: PlanOp::SeqScan(ScanNode {
+            table: crate::catalog::TableId(0),
+            table_name: String::new(),
+            preds: vec![],
+            project: vec![],
+        }),
+        info: NodeInfo {
+            id: 0,
+            est_rows: 0.0,
+            est_cost: 0.0,
+            width: 0,
+            cols: vec![],
+        },
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::catalog::Database;
+    use crate::executor::{execute, execute_profiled};
     use crate::schema::TableSchema;
 
     /// wrote(author, paper): {(a1,p1),(a1,p2),(a2,p3)}
@@ -664,9 +813,7 @@ mod tests {
         (db, wrote, cat)
     }
 
-    fn q_coauthor(
-        wrote: crate::catalog::TableId,
-    ) -> ConjunctiveQuery {
+    fn q_coauthor(wrote: crate::catalog::TableId) -> ConjunctiveQuery {
         // wrote(x, p1), wrote(x, p2), p1 != p2 → output (p1, p2)
         ConjunctiveQuery {
             atoms: vec![
@@ -703,8 +850,10 @@ mod tests {
         let q = q_coauthor(wrote);
         let mut results = Vec::new();
         for join_order in [JoinOrderPolicy::Auto, JoinOrderPolicy::Program] {
-            for join_algorithm in [JoinAlgorithmPolicy::Auto, JoinAlgorithmPolicy::NestedLoopOnly]
-            {
+            for join_algorithm in [
+                JoinAlgorithmPolicy::Auto,
+                JoinAlgorithmPolicy::NestedLoopOnly,
+            ] {
                 for pushdown in [true, false] {
                     let cfg = OptimizerConfig {
                         join_order,
@@ -774,6 +923,48 @@ mod tests {
     }
 
     #[test]
+    fn fully_constant_atom_is_existence_check() {
+        let (mut db, wrote, cat) = db();
+        // wrote(x, p) AND cat_true(10, 100) (a fact that holds): all rows
+        // survive with multiplicity 1; with a fact that fails, none do.
+        let mut q = ConjunctiveQuery {
+            atoms: vec![
+                QueryAtom {
+                    table: wrote,
+                    bindings: vec![ColumnBinding::Var(0), ColumnBinding::Var(1)],
+                },
+                QueryAtom {
+                    table: cat,
+                    bindings: vec![ColumnBinding::Const(10), ColumnBinding::Const(100)],
+                },
+            ],
+            anti_atoms: vec![],
+            neq: vec![],
+            neq_const: vec![],
+            output: vec![0, 1],
+            distinct: false,
+        };
+        for pushdown in [true, false] {
+            let cfg = OptimizerConfig {
+                pushdown,
+                ..Default::default()
+            };
+            let out = run_query(&mut db, &q, &cfg).unwrap();
+            assert_eq!(out.len(), 3, "pushdown={pushdown}");
+        }
+        // Flip the constant so the existence check fails.
+        q.atoms[1].bindings[1] = ColumnBinding::Const(999);
+        for pushdown in [true, false] {
+            let cfg = OptimizerConfig {
+                pushdown,
+                ..Default::default()
+            };
+            let out = run_query(&mut db, &q, &cfg).unwrap();
+            assert!(out.is_empty(), "pushdown={pushdown}");
+        }
+    }
+
+    #[test]
     fn unbound_output_rejected() {
         let (mut db, wrote, _) = db();
         let q = ConjunctiveQuery {
@@ -810,24 +1001,117 @@ mod tests {
             output: vec![0, 2],
             distinct: false,
         };
-        for a in [&q.atoms[0], &q.atoms[1]] {
-            db.analyze(a.table);
-        }
-        let plan = plan_query(&db, &q, &OptimizerConfig::default()).unwrap();
-        // Smallest table (cat_true, 1 row) scanned first, then a hash join.
-        match &plan.steps[0] {
-            PlanStep::Scan { atom, .. } => assert_eq!(*atom, 1),
-            other => panic!("unexpected first step {other:?}"),
-        }
-        match &plan.steps[1] {
-            PlanStep::Join { algo, keys, .. } => {
-                assert_eq!(*algo, JoinAlgo::Hash);
-                assert_eq!(keys, &vec![1]);
+        let plan = plan_analyzed(&mut db, &q, &OptimizerConfig::default()).unwrap();
+        // Smallest table (cat_true, 1 row) scanned first, then a hash join
+        // against wrote on the shared paper variable.
+        match &plan.root.op {
+            PlanOp::HashJoin(j) => {
+                match &j.left.op {
+                    PlanOp::SeqScan(s) => assert_eq!(s.table_name, "cat_true"),
+                    other => panic!("unexpected left child {other:?}"),
+                }
+                assert_eq!(j.keys.len(), 1);
             }
-            other => panic!("unexpected second step {other:?}"),
+            other => panic!("unexpected root {other:?}"),
         }
-        let out = execute_plan(&db, &q, &plan, &OptimizerConfig::default()).unwrap();
+        let out = execute(&db, &plan).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.row(0), &[1, 100]);
+    }
+
+    #[test]
+    fn node_ids_are_preorder_and_metrics_populated() {
+        let (mut db, wrote, _) = db();
+        let q = q_coauthor(wrote);
+        let plan = plan_analyzed(&mut db, &q, &OptimizerConfig::default()).unwrap();
+        let mut ids = Vec::new();
+        plan.root.visit(&mut |n| ids.push(n.info.id));
+        assert_eq!(ids, (0..plan.node_count).collect::<Vec<_>>());
+        let (out, profile) = execute_profiled(&db, &plan).unwrap();
+        assert_eq!(profile.nodes.len(), plan.node_count);
+        // The root's output count matches the batch (modulo the final
+        // projection, which does not change row counts).
+        assert_eq!(profile.nodes[0].rows_out, out.len() as u64);
+        // Scans examined the base table.
+        let mut scan_rows = Vec::new();
+        plan.root.visit(&mut |n| {
+            if matches!(n.op, PlanOp::SeqScan(_)) {
+                scan_rows.push(profile.nodes[n.info.id].rows_in);
+            }
+        });
+        assert_eq!(scan_rows, vec![3, 3]);
+    }
+
+    #[test]
+    fn explain_names_key_vars_across_check_columns() {
+        // Pushdown off, Program order: the first atom carries a deferred
+        // check column, so the accumulated layout is [v0, check, v1] and
+        // the second join keys on v1 at column 2. The EXPLAIN must still
+        // name the *variable*, not misread the shifted column.
+        let (mut db, wrote, cat) = db();
+        let q = ConjunctiveQuery {
+            atoms: vec![
+                QueryAtom {
+                    table: wrote,
+                    bindings: vec![ColumnBinding::Var(0), ColumnBinding::Const(1)],
+                },
+                QueryAtom {
+                    table: wrote,
+                    bindings: vec![ColumnBinding::Var(0), ColumnBinding::Var(1)],
+                },
+                QueryAtom {
+                    table: cat,
+                    bindings: vec![ColumnBinding::Var(1), ColumnBinding::Var(2)],
+                },
+            ],
+            anti_atoms: vec![],
+            neq: vec![],
+            neq_const: vec![],
+            output: vec![0, 1, 2],
+            distinct: false,
+        };
+        let cfg = OptimizerConfig {
+            join_order: JoinOrderPolicy::Program,
+            pushdown: false,
+            ..Default::default()
+        };
+        let plan = plan_analyzed(&mut db, &q, &cfg).unwrap();
+        let text = plan.explain();
+        assert!(
+            text.contains("HashJoin keys=[v1]"),
+            "join through the shifted column must render v1:\n{text}"
+        );
+        assert!(!text.contains("keys=[v2]"), "{text}");
+        // The check column is positionally visible in the node info.
+        let mut saw_check = false;
+        plan.root.visit(&mut |n| {
+            saw_check |= n.info.cols.contains(&crate::plan::PlanColumn::Check);
+        });
+        assert!(
+            saw_check,
+            "deferred check column must be annotated:\n{text}"
+        );
+    }
+
+    #[test]
+    fn explain_names_every_node() {
+        let (mut db, wrote, _) = db();
+        let q = q_coauthor(wrote);
+        let plan = plan_analyzed(&mut db, &q, &OptimizerConfig::default()).unwrap();
+        let text = plan.explain();
+        assert!(text.contains("FilterScan"), "{text}");
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("SeqScan wrote"), "{text}");
+        // Lesion: nested loops only.
+        let cfg = OptimizerConfig {
+            join_algorithm: JoinAlgorithmPolicy::NestedLoopOnly,
+            ..Default::default()
+        };
+        let plan = plan_analyzed(&mut db, &q, &cfg).unwrap();
+        assert!(
+            plan.explain().contains("NestedLoopJoin"),
+            "{}",
+            plan.explain()
+        );
     }
 }

@@ -190,7 +190,10 @@ mod tests {
         assert_eq!(t.page_count(), 2);
         let rows: Vec<Vec<u32>> = t.scan(&pool).map(|r| r.to_vec()).collect();
         assert_eq!(rows.len(), n);
-        assert_eq!(rows[PAGE_ROWS], vec![PAGE_ROWS as u32, 2 * PAGE_ROWS as u32]);
+        assert_eq!(
+            rows[PAGE_ROWS],
+            vec![PAGE_ROWS as u32, 2 * PAGE_ROWS as u32]
+        );
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Property tests for the planner/executor split: for random conjunctive
+//! queries over random data, every lesion configuration of the optimizer
+//! — `Auto` join order/algorithms versus the `Program` +
+//! `NestedLoopOnly` + no-pushdown baselines — produces the identical
+//! result multiset, and the produced plans satisfy their structural
+//! invariants (pre-order node ids, consistent widths, populated runtime
+//! counters).
+
+use proptest::prelude::*;
+use tuffy_rdbms::executor::execute_profiled;
+use tuffy_rdbms::optimizer::plan_analyzed;
+use tuffy_rdbms::query::{ColumnBinding, ConjunctiveQuery, QueryAtom};
+use tuffy_rdbms::{Database, JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig, TableSchema};
+
+/// All eight lesion configurations; index 0 is the all-on default and the
+/// last is the paper's fully-lesioned Alchemy-like baseline.
+fn all_configs() -> Vec<OptimizerConfig> {
+    let mut out = Vec::new();
+    for join_order in [JoinOrderPolicy::Auto, JoinOrderPolicy::Program] {
+        for join_algorithm in [
+            JoinAlgorithmPolicy::Auto,
+            JoinAlgorithmPolicy::NestedLoopOnly,
+        ] {
+            for pushdown in [true, false] {
+                out.push(OptimizerConfig {
+                    join_order,
+                    join_algorithm,
+                    pushdown,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Builds a two-table database from row lists (values kept small so that
+/// joins actually hit).
+fn build_db(t0: &[(u8, u8)], t1: &[(u8, u8)]) -> (Database, Vec<tuffy_rdbms::TableId>) {
+    let mut db = Database::in_memory();
+    let id0 = db
+        .create_table("t0", TableSchema::new(vec!["a", "b"]))
+        .unwrap();
+    let id1 = db
+        .create_table("t1", TableSchema::new(vec!["a", "b"]))
+        .unwrap();
+    for &(x, y) in t0 {
+        db.insert(id0, &[x as u32, y as u32]).unwrap();
+    }
+    for &(x, y) in t1 {
+        db.insert(id1, &[x as u32, y as u32]).unwrap();
+    }
+    (db, vec![id0, id1])
+}
+
+/// Decodes one column binding from a raw byte: 0..4 → variables, 4..6 →
+/// constants, otherwise unconstrained.
+fn binding(code: u8) -> ColumnBinding {
+    match code % 7 {
+        v @ 0..=3 => ColumnBinding::Var(v as usize),
+        c @ 4..=5 => ColumnBinding::Const((c - 4) as u32),
+        _ => ColumnBinding::Any,
+    }
+}
+
+/// Builds a query from raw atom descriptors `(table choice, col0 code,
+/// col1 code)`; output projects every bound variable.
+fn build_query(
+    tables: &[tuffy_rdbms::TableId],
+    atoms_raw: &[(u8, u8, u8)],
+    anti_raw: Option<(u8, u8, u8)>,
+    neq: bool,
+    distinct: bool,
+) -> ConjunctiveQuery {
+    let atoms: Vec<QueryAtom> = atoms_raw
+        .iter()
+        .map(|&(t, c0, c1)| QueryAtom {
+            table: tables[(t % 2) as usize],
+            bindings: vec![binding(c0), binding(c1)],
+        })
+        .collect();
+    let mut q = ConjunctiveQuery {
+        atoms,
+        anti_atoms: vec![],
+        neq: vec![],
+        neq_const: vec![],
+        output: vec![],
+        distinct,
+    };
+    let bound = q.bound_variables();
+    q.output = bound.clone();
+    // Anti atoms and inequality filters only over bound variables, so the
+    // query stays well-formed.
+    if let Some((t, c0, c1)) = anti_raw {
+        let keep = |b: ColumnBinding| match b {
+            ColumnBinding::Var(v) if !bound.contains(&v) => ColumnBinding::Any,
+            other => other,
+        };
+        q.anti_atoms.push(QueryAtom {
+            table: tables[(t % 2) as usize],
+            bindings: vec![keep(binding(c0)), keep(binding(c1))],
+        });
+    }
+    if neq && bound.len() >= 2 {
+        q.neq.push((bound[0], bound[1]));
+    }
+    q
+}
+
+fn run_sorted(db: &mut Database, q: &ConjunctiveQuery, cfg: &OptimizerConfig) -> Vec<Vec<u32>> {
+    let plan = plan_analyzed(db, q, cfg).expect("plannable query");
+    let (batch, profile) = execute_profiled(db, &plan).expect("executable plan");
+    // Structural invariants: pre-order ids, a metrics slot per node, and
+    // the output width matching the query projection.
+    let mut ids = Vec::new();
+    plan.root.visit(&mut |n| ids.push(n.info.id));
+    assert_eq!(ids, (0..plan.node_count).collect::<Vec<_>>());
+    assert_eq!(profile.nodes.len(), plan.node_count);
+    assert_eq!(batch.width(), q.output.len());
+    assert_eq!(profile.nodes[0].rows_out, batch.len() as u64);
+    let mut rows: Vec<Vec<u32>> = batch.iter().map(<[u32]>::to_vec).collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole equivalence: every lesion configuration returns the
+    /// same result multiset as the full optimizer.
+    #[test]
+    fn lesion_configs_agree_on_random_queries(
+        t0 in proptest::collection::vec((0u8..4, 0u8..4), 0..14),
+        t1 in proptest::collection::vec((0u8..4, 0u8..4), 0..14),
+        atoms_raw in proptest::collection::vec((0u8..2, 0u8..14, 0u8..14), 1..4),
+        anti_raw in (0u8..2, 0u8..14, 0u8..14),
+        use_anti in any::<bool>(),
+        neq in any::<bool>(),
+        distinct in any::<bool>(),
+    ) {
+        let (mut db, tables) = build_db(&t0, &t1);
+        let q = build_query(
+            &tables,
+            &atoms_raw,
+            if use_anti { Some(anti_raw) } else { None },
+            neq,
+            distinct,
+        );
+        let reference = run_sorted(&mut db, &q, &all_configs()[0]);
+        for cfg in &all_configs()[1..] {
+            let got = run_sorted(&mut db, &q, cfg);
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "config {:?} disagrees: {:?} vs {:?}",
+                cfg,
+                got,
+                reference
+            );
+        }
+    }
+
+    /// Replanning the same query against the same statistics is
+    /// deterministic, and the plan's estimated output arity matches what
+    /// execution produces.
+    #[test]
+    fn planning_is_deterministic(
+        t0 in proptest::collection::vec((0u8..4, 0u8..4), 0..10),
+        t1 in proptest::collection::vec((0u8..4, 0u8..4), 0..10),
+        atoms_raw in proptest::collection::vec((0u8..2, 0u8..14, 0u8..14), 1..3),
+    ) {
+        let (mut db, tables) = build_db(&t0, &t1);
+        let q = build_query(&tables, &atoms_raw, None, false, false);
+        let cfg = OptimizerConfig::default();
+        let p1 = plan_analyzed(&mut db, &q, &cfg).expect("plannable");
+        let p2 = plan_analyzed(&mut db, &q, &cfg).expect("plannable");
+        prop_assert_eq!(p1.explain(), p2.explain());
+        prop_assert_eq!(&p1, &p2);
+    }
+}

@@ -66,8 +66,7 @@ impl<'a> ComponentSearch<'a> {
             let atoms = &self.components.atoms[i];
             let (sub, _origin) = self.mrf.project(atoms);
             peak = peak.max(tuffy_mrf::memory::MemoryFootprint::of(&sub).total());
-            let budget =
-                (params.max_flips * atoms.len() as u64 / total_atoms as u64).max(1);
+            let budget = (params.max_flips * atoms.len() as u64 / total_atoms as u64).max(1);
             let mut ws = WalkSat::new(&sub, params.seed.wrapping_add(i as u64));
             let mut last_best = ws.best_cost();
             for step in 0..budget {

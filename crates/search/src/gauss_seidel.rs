@@ -88,8 +88,8 @@ impl<'a> GaussSeidel<'a> {
                 peak_partition_bytes: 0,
             };
         }
-        let per_pass = (params.max_flips / (rounds.max(1) as u64 * active_parts.len() as u64))
-            .max(1);
+        let per_pass =
+            (params.max_flips / (rounds.max(1) as u64 * active_parts.len() as u64)).max(1);
 
         for round in 0..rounds.max(1) {
             for (pi_idx, &pi) in active_parts.iter().enumerate() {

@@ -18,9 +18,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tuffy_mln::weight::Weight;
 use tuffy_mln::MlnError;
-use tuffy_mrf::{GroundClause, Mrf, MrfBuilder};
 #[cfg(test)]
 use tuffy_mrf::Lit;
+use tuffy_mrf::{GroundClause, Mrf, MrfBuilder};
 
 /// MC-SAT parameters.
 #[derive(Clone, Copy, Debug)]
@@ -164,9 +164,7 @@ impl<'a> McSat<'a> {
                 // Simulated-annealing move on the violated-clause count.
                 let atom = self.rng.gen_range(0..n) as u32;
                 let (dh, _) = ws.flip_delta(atom);
-                if dh <= 0
-                    || self.rng.gen::<f64>() < (-(dh as f64) / params.temperature).exp()
-                {
+                if dh <= 0 || self.rng.gen::<f64>() < (-(dh as f64) / params.temperature).exp() {
                     ws.flip(atom);
                 }
             } else {
@@ -227,7 +225,12 @@ mod tests {
             sample_sat_steps: 60,
             ..Default::default()
         });
-        assert!((marg[0] - marg[1]).abs() < 0.05, "{} vs {}", marg[0], marg[1]);
+        assert!(
+            (marg[0] - marg[1]).abs() < 0.05,
+            "{} vs {}",
+            marg[0],
+            marg[1]
+        );
         assert!(marg[0] > 0.6, "biased atom should lean true: {}", marg[0]);
     }
 

@@ -43,8 +43,9 @@ pub fn solve_components_parallel(
     let next = AtomicUsize::new(0);
     let flips = AtomicU64::new(0);
     // Per-component results, merged after the scope joins.
-    let results: Vec<parking_lot::Mutex<Option<Vec<bool>>>> =
-        (0..components.count()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<parking_lot::Mutex<Option<Vec<bool>>>> = (0..components.count())
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
@@ -56,8 +57,7 @@ pub fn solve_components_parallel(
                 let comp = jobs[j];
                 let atoms = &components.atoms[comp];
                 let (sub, _) = mrf.project(atoms);
-                let budget =
-                    (params.max_flips * atoms.len() as u64 / total_atoms as u64).max(1);
+                let budget = (params.max_flips * atoms.len() as u64 / total_atoms as u64).max(1);
                 let mut ws = WalkSat::new(&sub, params.seed.wrapping_add(comp as u64));
                 for _ in 0..budget {
                     if !ws.step(params.noise) {

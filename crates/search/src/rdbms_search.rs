@@ -20,13 +20,23 @@ use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 use tuffy_mln::weight::Weight;
 use tuffy_mrf::{AtomId, Cost, Lit, Mrf};
-use tuffy_rdbms::{Database, DiskModel, TableId, TableSchema};
+use tuffy_rdbms::exec::Batch;
+use tuffy_rdbms::query::{ColumnBinding, ConjunctiveQuery, QueryAtom};
+use tuffy_rdbms::{
+    execute_into, plan_analyzed, Database, DiskModel, OptimizerConfig, QueryPlan, TableSchema,
+};
 
 /// WalkSAT over an RDBMS-resident clause table.
 pub struct RdbmsSearch {
     db: Database,
-    lits_table: TableId,
     weights: Vec<Weight>,
+    /// Physical plan of the clause-table scan (`SELECT cid, lit FROM
+    /// clause_lits`), planned once at load time and executed on every
+    /// WalkSAT step — render it with [`RdbmsSearch::explain_scan`].
+    scan_plan: QueryPlan,
+    /// Reused materialization buffer for the per-step scans (the I/O is
+    /// re-charged on every scan; only the allocation is reused).
+    scan_buf: Batch,
     truth: Vec<bool>,
     best_truth: Vec<bool>,
     best_cost: Cost,
@@ -67,11 +77,25 @@ impl RdbmsSearch {
                 db.insert(lits_table, &[ci as u32, l.raw()]).unwrap();
             }
         }
+        let scan_query = ConjunctiveQuery {
+            atoms: vec![QueryAtom {
+                table: lits_table,
+                bindings: vec![ColumnBinding::Var(0), ColumnBinding::Var(1)],
+            }],
+            anti_atoms: vec![],
+            neq: vec![],
+            neq_const: vec![],
+            output: vec![0, 1],
+            distinct: false,
+        };
+        let scan_plan = plan_analyzed(&mut db, &scan_query, &OptimizerConfig::default())
+            .expect("clause-table scan query is well-formed");
         let truth = vec![false; mrf.num_atoms()];
         let mut s = RdbmsSearch {
             db,
-            lits_table,
             weights,
+            scan_plan,
+            scan_buf: Batch::default(),
             best_truth: truth.clone(),
             truth,
             best_cost: Cost::ZERO,
@@ -83,8 +107,34 @@ impl RdbmsSearch {
         s
     }
 
+    /// Executes the planned clause-table scan into the reused buffer and
+    /// hands it out (charging I/O to the buffer pool, which is where the
+    /// simulated disk time comes from). Callers return the batch with
+    /// [`RdbmsSearch::return_scan`] so its allocation is recycled.
+    fn take_scan(&mut self) -> Batch {
+        let mut buf = std::mem::take(&mut self.scan_buf);
+        execute_into(&self.db, &self.scan_plan, &mut buf).expect("clause-table scan executes");
+        buf
+    }
+
+    /// Returns a batch obtained from [`RdbmsSearch::take_scan`] for reuse.
+    fn return_scan(&mut self, buf: Batch) {
+        self.scan_buf = buf;
+    }
+
+    /// The physical plan of the per-step clause-table scan.
+    pub fn scan_plan(&self) -> &QueryPlan {
+        &self.scan_plan
+    }
+
+    /// `EXPLAIN` rendering of the per-step clause-table scan.
+    pub fn explain_scan(&self) -> String {
+        self.scan_plan.explain()
+    }
+
     /// Current cost by a full clause-table scan.
-    fn scan_cost(&self) -> Cost {
+    fn scan_cost(&mut self) -> Cost {
+        let batch = self.take_scan();
         let mut cost = self.base_cost;
         let mut current_cid = u32::MAX;
         let mut any_true = false;
@@ -93,7 +143,7 @@ impl RdbmsSearch {
                 *cost = cost.add(violation_cost(self.weights[cid as usize]));
             }
         };
-        for row in self.db.scan(self.lits_table) {
+        for row in batch.iter() {
             let (cid, lit) = (row[0], Lit::from_raw(row[1]));
             if cid != current_cid {
                 flush(current_cid, any_true, &mut cost);
@@ -103,6 +153,7 @@ impl RdbmsSearch {
             any_true |= lit.eval(self.truth[lit.atom() as usize]);
         }
         flush(current_cid, any_true, &mut cost);
+        self.return_scan(batch);
         cost
     }
 
@@ -115,6 +166,7 @@ impl RdbmsSearch {
         let mut chosen_lits: Vec<Lit> = Vec::new();
         let mut violated_seen = 0u32;
         {
+            let batch = self.take_scan();
             let mut current = u32::MAX;
             let mut any_true = false;
             let mut lits_buf: Vec<Lit> = Vec::new();
@@ -129,7 +181,7 @@ impl RdbmsSearch {
                     }
                     false
                 };
-            for row in self.db.scan(self.lits_table) {
+            for row in batch.iter() {
                 let (cid, lit) = (row[0], Lit::from_raw(row[1]));
                 if cid != current {
                     finish(current, any_true, &lits_buf, &mut self.rng);
@@ -141,6 +193,7 @@ impl RdbmsSearch {
                 any_true |= lit.eval(self.truth[lit.atom() as usize]);
             }
             finish(current, any_true, &lits_buf, &mut self.rng);
+            self.return_scan(batch);
         }
         let Some(_cid) = chosen else {
             return false; // zero violated clauses: optimum
@@ -166,6 +219,7 @@ impl RdbmsSearch {
     /// Scan 2: score each candidate atom of the chosen clause by the cost
     /// delta its flip would cause, accumulating over the clause table.
     fn greedy_atom(&mut self, candidates: &[Lit]) -> AtomId {
+        let batch = self.take_scan();
         let atoms: Vec<AtomId> = candidates.iter().map(|l| l.atom()).collect();
         let mut delta_hard = vec![0i64; atoms.len()];
         let mut delta_soft = vec![0f64; atoms.len()];
@@ -173,10 +227,10 @@ impl RdbmsSearch {
         let mut n_true = 0u32;
         let mut touched: Vec<(usize, bool)> = Vec::new(); // (candidate idx, lit was true)
         let flush = |cid: u32,
-                         n_true: u32,
-                         touched: &Vec<(usize, bool)>,
-                         dh: &mut Vec<i64>,
-                         ds: &mut Vec<f64>| {
+                     n_true: u32,
+                     touched: &Vec<(usize, bool)>,
+                     dh: &mut Vec<i64>,
+                     ds: &mut Vec<f64>| {
             if cid == u32::MAX || touched.is_empty() {
                 return;
             }
@@ -188,12 +242,16 @@ impl RdbmsSearch {
                 if before != after {
                     let c = violation_cost(w);
                     let sign = if after { 1.0 } else { -1.0 };
-                    dh[ci] += if after { c.hard as i64 } else { -(c.hard as i64) };
+                    dh[ci] += if after {
+                        c.hard as i64
+                    } else {
+                        -(c.hard as i64)
+                    };
                     ds[ci] += sign * c.soft;
                 }
             }
         };
-        for row in self.db.scan(self.lits_table) {
+        for row in batch.iter() {
             let (cid, lit) = (row[0], Lit::from_raw(row[1]));
             if cid != current {
                 flush(current, n_true, &touched, &mut delta_hard, &mut delta_soft);
@@ -208,6 +266,7 @@ impl RdbmsSearch {
             }
         }
         flush(current, n_true, &touched, &mut delta_hard, &mut delta_soft);
+        self.return_scan(batch);
         let mut best = 0usize;
         for i in 1..atoms.len() {
             let better = (delta_hard[i], delta_soft[i]) < (delta_hard[best], delta_soft[best]);
@@ -243,8 +302,7 @@ impl RdbmsSearch {
             }
         }
         let wall = start.elapsed();
-        let simulated_io =
-            Duration::from_nanos((self.db.simulated_io_nanos() - io_start) as u64);
+        let simulated_io = Duration::from_nanos((self.db.simulated_io_nanos() - io_start) as u64);
         let total = (wall + simulated_io).as_secs_f64();
         RdbmsSearchResult {
             truth: self.best_truth.clone(),
@@ -334,7 +392,7 @@ mod tests {
     #[test]
     fn cost_scan_matches_mrf_cost() {
         let m = example1(5);
-        let s = RdbmsSearch::new(&m, 64, DiskModel::in_memory(), 1);
+        let mut s = RdbmsSearch::new(&m, 64, DiskModel::in_memory(), 1);
         assert_eq!(s.scan_cost(), m.cost(&vec![false; m.num_atoms()]));
     }
 }

@@ -437,7 +437,10 @@ mod tests {
             None,
         );
         assert!(ws.best_cost().is_zero());
-        assert!(ws.flips() < 10_000, "should stop early at a zero-cost world");
+        assert!(
+            ws.flips() < 10_000,
+            "should stop early at a zero-cost world"
+        );
     }
 
     #[test]

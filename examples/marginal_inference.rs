@@ -37,7 +37,9 @@ fn main() {
     }
 
     let bob = result.probability_of("smokes", &["Bob"]).expect("queried");
-    let chris = result.probability_of("smokes", &["Chris"]).expect("queried");
+    let chris = result
+        .probability_of("smokes", &["Chris"])
+        .expect("queried");
     // Enumerating the four worlds over (Bob, Chris): costs are 0 (T,T),
     // 1.7 (T,F), 1.7 (F,T), 2.2 (F,F) — symmetric in Bob/Chris, so the
     // exact marginals are EQUAL — a nice check that the sampler is
@@ -47,5 +49,8 @@ fn main() {
     println!("\nanalytic check: P(Bob) = P(Chris) = {exact:.3} exactly;");
     println!("sampled:        P(Bob) = {bob:.3}, P(Chris) = {chris:.3}");
     assert!((bob - exact).abs() < 0.06, "P(Bob) off: {bob} vs {exact}");
-    assert!((chris - exact).abs() < 0.06, "P(Chris) off: {chris} vs {exact}");
+    assert!(
+        (chris - exact).abs() < 0.06,
+        "P(Chris) off: {chris} vs {exact}"
+    );
 }

@@ -1,0 +1,6 @@
+//! Workspace root crate.
+//!
+//! This package exists to host the end-to-end integration tests in
+//! `tests/` and the runnable examples in `examples/`; the library
+//! surface lives in the `crates/` workspace members (start with the
+//! `tuffy` crate in `crates/core`).

@@ -7,12 +7,12 @@ use tuffy::{McSatParams, Tuffy};
 #[test]
 fn malformed_programs_error_with_line_numbers() {
     for (src, expect) in [
-        ("q(t)\nq(x) v q(A)\n", "weight"),              // weightless soft rule
-        ("1 mystery(x)\n", "unknown predicate"),        // undeclared predicate
-        ("q(t)\n1 q(x), q(y) v q(z)\n", "mix"),         // mixed separators
-        ("q(t)\nq(t)\n", "twice"),                      // duplicate declaration
+        ("q(t)\nq(x) v q(A)\n", "weight"),       // weightless soft rule
+        ("1 mystery(x)\n", "unknown predicate"), // undeclared predicate
+        ("q(t)\n1 q(x), q(y) v q(z)\n", "mix"),  // mixed separators
+        ("q(t)\nq(t)\n", "twice"),               // duplicate declaration
         ("q(t)\n1 q(\"unterminated\n", "unterminated"), // bad string
-        ("q(t)\nabc q(x)\n", ""),                       // junk weight
+        ("q(t)\nabc q(x)\n", ""),                // junk weight
     ] {
         let err = match Tuffy::from_sources(src, "") {
             Err(e) => e.to_string(),
@@ -56,8 +56,11 @@ fn empty_program_grounds_to_nothing() {
 #[test]
 fn unsatisfiable_hard_rules_reported_as_hard_cost() {
     // q(A) and !q(A) both hard: every world violates one of them.
-    let t = Tuffy::from_sources("*seen(t)\nq(t)\nseen(x) => q(x).\nq(A) => A != A.\n", "seen(A)\n")
-        .unwrap();
+    let t = Tuffy::from_sources(
+        "*seen(t)\nq(t)\nseen(x) => q(x).\nq(A) => A != A.\n",
+        "seen(A)\n",
+    )
+    .unwrap();
     let r = t.map_inference().unwrap();
     assert!(r.cost.hard >= 1, "cost = {}", r.cost);
 }

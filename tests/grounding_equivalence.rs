@@ -60,11 +60,7 @@ fn random_program(
         ev.push_str(&format!("wrote(A{a}, P{})\n", p % n_papers));
     }
     for (i, j) in edges {
-        ev.push_str(&format!(
-            "refers(P{}, P{})\n",
-            i % n_papers,
-            j % n_papers
-        ));
+        ev.push_str(&format!("refers(P{}, P{})\n", i % n_papers, j % n_papers));
     }
     for (p, c, pos) in labels {
         let bang = if *pos { "" } else { "!" };

@@ -7,11 +7,8 @@ use tuffy::{McSatParams, Tuffy};
 #[test]
 fn single_atom_marginal_matches_closed_form() {
     for w in [0.5f64, 1.0, 2.0] {
-        let t = Tuffy::from_sources(
-            &format!("*seen(thing)\nq(thing)\n{w} q(x)\n"),
-            "seen(A)\n",
-        )
-        .unwrap();
+        let t = Tuffy::from_sources(&format!("*seen(thing)\nq(thing)\n{w} q(x)\n"), "seen(A)\n")
+            .unwrap();
         let r = t
             .marginal_inference(&McSatParams {
                 samples: 1500,
@@ -81,7 +78,10 @@ fn hard_rules_restrict_samples() {
         .unwrap();
     let pa = r.probability_of("a", &["T"]).unwrap();
     let pb = r.probability_of("b", &["T"]).unwrap();
-    assert!(pb >= pa - 0.05, "hard a⇒b requires P(b) ≥ P(a): {pa} vs {pb}");
+    assert!(
+        pb >= pa - 0.05,
+        "hard a⇒b requires P(b) ≥ P(a): {pa} vs {pb}"
+    );
 }
 
 /// Negative weights are cleanly rejected for marginal inference.

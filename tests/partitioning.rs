@@ -32,7 +32,11 @@ fn component_awareness_beats_monolithic_on_example1() {
     let aware = run(PartitionStrategy::Components);
     let mono = run(PartitionStrategy::None);
     // Optimum is cost n (each component pays its −1 clause).
-    assert!((aware.cost.soft - n as f64).abs() < 1e-6, "aware: {}", aware.cost);
+    assert!(
+        (aware.cost.soft - n as f64).abs() < 1e-6,
+        "aware: {}",
+        aware.cost
+    );
     assert!(
         mono.cost.soft > aware.cost.soft,
         "monolithic {} should trail {}",

@@ -1,0 +1,72 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate: the subset this workspace uses — [`scope`] with spawned worker
+//! closures that borrow from the enclosing stack frame. Implemented over
+//! `std::thread::scope` (stable since Rust 1.63), with crossbeam's
+//! `Result`-returning surface: `Err` carries the panic payload when any
+//! spawned thread panicked.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The error half of [`scope`]'s result: a child thread's panic payload.
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A handle to the scope, passed to each spawned closure (crossbeam
+/// passes `&Scope` so workers can spawn recursively; the workspace's
+/// closures ignore it, but the signature is preserved).
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle,
+    /// mirroring crossbeam's `|scope| ...` signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Runs `f` with a scope handle; all threads spawned through the handle
+/// are joined before `scope` returns. Returns `Err` with the first panic
+/// payload if any spawned thread (or `f` itself) panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_stack_state() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(r.is_err());
+    }
+}
