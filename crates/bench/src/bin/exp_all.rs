@@ -18,6 +18,7 @@ fn main() {
         ("fig5", tuffy_bench::experiments::fig5::report),
         ("fig6", tuffy_bench::experiments::fig6::report),
         ("fig8", tuffy_bench::experiments::fig8::report),
+        ("scaling", tuffy_bench::experiments::scaling::report),
     ];
     for (name, f) in experiments {
         eprintln!("=== running {name} ===");

@@ -1,0 +1,4 @@
+//! Regenerates the speedup-vs-threads scaling report.
+fn main() {
+    tuffy_bench::emit("scaling", &tuffy_bench::experiments::scaling::report());
+}

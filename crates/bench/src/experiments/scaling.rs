@@ -1,0 +1,76 @@
+//! Speedup vs worker threads — the scheduler's scaling curve.
+//!
+//! The paper reports ~6× end-to-end speedup with 8 threads on the
+//! per-component searches (Table 7, Appendix C.3). This experiment
+//! isolates that axis: the same schedule (same partitions, same bins,
+//! same per-partition seeds) executed by worker pools of 1, 2, 4, and 8
+//! threads. Because partition passes are deterministic per (partition,
+//! round), every row reaches the *same* cost — only wall time moves —
+//! which the table double-checks in its last column.
+
+use crate::datasets::{ie_bench, rc_bench};
+use crate::format::TextTable;
+use std::time::Instant;
+use tuffy::WalkSatParams;
+use tuffy_grounder::{ground_bottom_up, GroundingMode};
+use tuffy_rdbms::OptimizerConfig;
+use tuffy_search::{Scheduler, SchedulerConfig};
+
+/// Total flip budget, split across partitions.
+pub const TOTAL_FLIPS: u64 = 10_000_000;
+
+/// Worker-pool sizes swept.
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Builds the speedup-vs-threads report.
+pub fn report() -> String {
+    let mut out = String::from(
+        "Scaling: scheduler speedup vs worker threads (same schedule and\n\
+         seeds at every pool size; the paper reports ~6x at 8 threads on\n\
+         8 cores — speedup here is bounded by this machine's core count)\n\n",
+    );
+    for ds in [ie_bench(), rc_bench()] {
+        let name = ds.name.clone();
+        let g = ground_bottom_up(
+            &ds.program,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .expect("grounding");
+        let mut table = TextTable::new(vec![
+            "threads".to_string(),
+            "wall".to_string(),
+            "speedup".to_string(),
+            "cost".to_string(),
+        ]);
+        let mut base = None;
+        for threads in THREADS {
+            let scheduler = Scheduler::new(
+                &g.mrf,
+                SchedulerConfig {
+                    threads,
+                    search: WalkSatParams {
+                        max_flips: TOTAL_FLIPS,
+                        seed: crate::SEED,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            let t0 = Instant::now();
+            let r = scheduler.run(None);
+            let wall = t0.elapsed();
+            let base_secs = *base.get_or_insert(wall.as_secs_f64());
+            table.row(vec![
+                threads.to_string(),
+                crate::secs(wall),
+                format!("{:.2}x", base_secs / wall.as_secs_f64().max(1e-9)),
+                format!("{}", r.cost),
+            ]);
+        }
+        out.push_str(&format!("## {name}\n"));
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}

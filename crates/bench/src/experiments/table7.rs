@@ -16,8 +16,7 @@ use tuffy_grounder::{ground_bottom_up, GroundingMode};
 use tuffy_mrf::binpack::first_fit_decreasing;
 use tuffy_mrf::ComponentSet;
 use tuffy_rdbms::OptimizerConfig;
-use tuffy_search::parallel::solve_components_parallel;
-use tuffy_search::WalkSat;
+use tuffy_search::{Scheduler, SchedulerConfig, WalkSat};
 
 /// Simulated latency of one load round-trip (one random I/O).
 pub const LOAD_LATENCY: Duration = Duration::from_millis(10);
@@ -84,16 +83,19 @@ fn run_dataset(ds: Dataset) -> (String, [Duration; 3]) {
     // (the paper used 8 cores; speedup is bounded by the machine's).
     let threads = std::thread::available_parallelism().map_or(8, usize::from);
     let t0 = Instant::now();
-    let _ = solve_components_parallel(
+    let scheduler = Scheduler::new(
         &g.mrf,
-        &cs,
-        &WalkSatParams {
-            max_flips: TOTAL_FLIPS,
-            seed: crate::SEED,
+        SchedulerConfig {
+            threads,
+            search: WalkSatParams {
+                max_flips: TOTAL_FLIPS,
+                seed: crate::SEED,
+                ..Default::default()
+            },
             ..Default::default()
         },
-        threads,
     );
+    let _ = scheduler.run(None);
     let parallel = t0.elapsed() + LOAD_LATENCY * bins.len() as u32;
 
     (name, [one_by_one, batched, parallel])

@@ -5,14 +5,20 @@
 //!
 //! ```text
 //! tuffy -i prog.mln -e evidence.db [-r result.out] [--marginal] \
-//!       [--flips N] [--threads N] [--no-partition] [--budget BYTES] \
-//!       [--seed N] [--arch hybrid|inmemory|rdbms] [--explain] \
-//!       [--join-order auto|program] [--join-algo auto|nl] [--no-pushdown]
+//!       [--flips N] [--parallel N] [--no-partition] [--mem-budget BYTES] \
+//!       [--partition-rounds N] [--seed N] [--arch hybrid|inmemory|rdbms] \
+//!       [--explain] [--explain-schedule] [--join-order auto|program] \
+//!       [--join-algo auto|nl] [--no-pushdown]
 //! ```
 //!
 //! `--explain` prints the physical plan (`EXPLAIN`) of every grounding
 //! query under the selected lesion knobs and exits without running
 //! inference; the three lesion flags mirror the paper's Table 6 study.
+//! `--explain-schedule` does the same for the inference scheduler: it
+//! prints the partition/bin-packing decisions (`--parallel`,
+//! `--mem-budget`, and `--partition-rounds` shape them) and exits.
+//! `--threads` and `--budget` are accepted as aliases of `--parallel`
+//! and `--mem-budget`.
 
 use std::process::ExitCode;
 use tuffy::{
@@ -26,9 +32,11 @@ struct Args {
     result: Option<String>,
     marginal: bool,
     explain: bool,
+    explain_schedule: bool,
     flips: u64,
     threads: usize,
     partition: PartitionStrategy,
+    partition_rounds: usize,
     seed: u64,
     arch: Architecture,
     join_order: JoinOrderPolicy,
@@ -38,9 +46,10 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: tuffy -i <prog.mln> [-e <evidence.db>] [-r <result.out>]\n\
-     \x20       [--marginal] [--flips N] [--threads N] [--no-partition]\n\
-     \x20       [--budget BYTES] [--seed N] [--arch hybrid|inmemory|rdbms]\n\
-     \x20       [--explain] [--join-order auto|program] [--join-algo auto|nl]\n\
+     \x20       [--marginal] [--flips N] [--parallel N] [--no-partition]\n\
+     \x20       [--mem-budget BYTES] [--partition-rounds N] [--seed N]\n\
+     \x20       [--arch hybrid|inmemory|rdbms] [--explain] [--explain-schedule]\n\
+     \x20       [--join-order auto|program] [--join-algo auto|nl]\n\
      \x20       [--no-pushdown]"
 }
 
@@ -51,9 +60,11 @@ fn parse_args() -> Result<Args, String> {
         result: None,
         marginal: false,
         explain: false,
+        explain_schedule: false,
         flips: 1_000_000,
         threads: 1,
         partition: PartitionStrategy::Components,
+        partition_rounds: 3,
         seed: 42,
         arch: Architecture::Hybrid,
         join_order: JoinOrderPolicy::Auto,
@@ -72,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
             "-r" => args.result = Some(value("-r")?),
             "--marginal" => args.marginal = true,
             "--explain" => args.explain = true,
+            "--explain-schedule" => args.explain_schedule = true,
             "--no-pushdown" => args.pushdown = false,
             "--join-order" => {
                 args.join_order = match value("--join-order")?.as_str() {
@@ -88,20 +100,23 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--no-partition" => args.partition = PartitionStrategy::None,
-            "--budget" => {
-                let v = value("--budget")?;
-                let bytes: usize = v.parse().map_err(|e| format!("--budget: {e}"))?;
+            "--mem-budget" | "--budget" => {
+                let v = value(&flag)?;
+                let bytes: usize = v.parse().map_err(|e| format!("{flag}: {e}"))?;
                 args.partition = PartitionStrategy::Budget(bytes);
+            }
+            "--partition-rounds" => {
+                args.partition_rounds = value("--partition-rounds")?
+                    .parse()
+                    .map_err(|e| format!("--partition-rounds: {e}"))?;
             }
             "--flips" => {
                 args.flips = value("--flips")?
                     .parse()
                     .map_err(|e| format!("--flips: {e}"))?;
             }
-            "--threads" => {
-                args.threads = value("--threads")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?;
+            "--parallel" | "--threads" => {
+                args.threads = value(&flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
             }
             "--seed" => {
                 args.seed = value("--seed")?
@@ -137,6 +152,7 @@ fn run() -> Result<(), String> {
     let config = TuffyConfig {
         architecture: args.arch,
         partitioning: args.partition,
+        partition_rounds: args.partition_rounds,
         threads: args.threads,
         optimizer: tuffy::OptimizerConfig {
             join_order: args.join_order,
@@ -154,6 +170,14 @@ fn run() -> Result<(), String> {
         .map_err(|e| e.to_string())?
         .with_config(config);
 
+    if args.explain_schedule {
+        let text = tuffy.explain_schedule().map_err(|e| e.to_string())?;
+        match &args.result {
+            Some(path) => std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?,
+            None => print!("{text}"),
+        }
+        return Ok(());
+    }
     if args.explain {
         let text = tuffy.explain_grounding().map_err(|e| e.to_string())?;
         match &args.result {

@@ -50,9 +50,11 @@ pub struct TuffyConfig {
     pub threads: usize,
     /// WalkSAT parameters.
     pub search: WalkSatParams,
-    /// Gauss-Seidel sweeps when `PartitionStrategy::Budget` splits a
-    /// component.
-    pub gauss_seidel_rounds: usize,
+    /// Maximum Gauss-Seidel rounds over cut clauses when
+    /// `PartitionStrategy::Budget` splits a component (the scheduler
+    /// stops early once a round changes nothing, and runs exactly one
+    /// round when nothing is cut).
+    pub partition_rounds: usize,
     /// Disk model for the RDBMS-resident search (`RdbmsOnly`).
     pub disk: DiskModel,
     /// Buffer-pool pages for the RDBMS-resident search.
@@ -68,7 +70,7 @@ impl Default for TuffyConfig {
             partitioning: PartitionStrategy::Components,
             threads: 1,
             search: WalkSatParams::default(),
-            gauss_seidel_rounds: 3,
+            partition_rounds: 3,
             disk: DiskModel::in_memory(),
             pool_pages: 64,
         }
@@ -76,17 +78,14 @@ impl Default for TuffyConfig {
 }
 
 /// Approximate bytes of search state per unit of the partitioner's size
-/// metric (atoms + literals); used to translate a byte budget into
-/// Algorithm 3's β bound. Calibrated against
-/// [`tuffy_mrf::memory::MemoryFootprint`]: atoms cost ~26 B (state +
-/// adjacency headers), literals ~8 B plus ~15 B/literal of amortized
-/// clause overhead.
-pub const BYTES_PER_SIZE_UNIT: usize = 24;
+/// metric; re-exported from [`tuffy_mrf::memory`], where the scheduler's
+/// budget→β translation lives.
+pub use tuffy_mrf::memory::BYTES_PER_SIZE_UNIT;
 
 impl TuffyConfig {
     /// Translates a byte budget into the partitioner's β size bound.
     pub fn beta_for_budget(budget_bytes: usize) -> usize {
-        (budget_bytes / BYTES_PER_SIZE_UNIT).max(8)
+        tuffy_mrf::memory::beta_for_budget(budget_bytes)
     }
 }
 

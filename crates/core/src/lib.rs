@@ -57,4 +57,6 @@ pub use tuffy_mln::{MlnError, MlnProgram, Weight};
 pub use tuffy_mrf::Cost;
 pub use tuffy_rdbms::{DiskModel, JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig};
 pub use tuffy_search::mcsat::McSatParams;
-pub use tuffy_search::{TimeCostTrace, WalkSatParams};
+pub use tuffy_search::{
+    Schedule, ScheduleResult, Scheduler, SchedulerConfig, TimeCostTrace, WalkSatParams,
+};

@@ -8,13 +8,10 @@ use tuffy_mln::parser::{parse_evidence, parse_program};
 use tuffy_mln::program::MlnProgram;
 use tuffy_mln::MlnError;
 use tuffy_mrf::memory::MemoryFootprint;
-use tuffy_mrf::{ComponentSet, Partitioning};
-use tuffy_search::component::ComponentSearch;
-use tuffy_search::gauss_seidel::GaussSeidel;
+use tuffy_mrf::ComponentSet;
 use tuffy_search::mcsat::{McSat, McSatParams};
-use tuffy_search::parallel::solve_components_parallel;
 use tuffy_search::rdbms_search::RdbmsSearch;
-use tuffy_search::{TimeCostTrace, WalkSat};
+use tuffy_search::{Scheduler, SchedulerConfig, TimeCostTrace, WalkSat};
 
 /// A configured Tuffy instance: program + evidence + configuration.
 pub struct Tuffy {
@@ -68,6 +65,31 @@ impl Tuffy {
             self.config.grounding,
             &self.config.optimizer,
         )
+    }
+
+    /// The scheduler configuration implied by this Tuffy configuration:
+    /// `PartitionStrategy::Components` schedules exact connected
+    /// components; `PartitionStrategy::Budget` bounds β and bin capacity
+    /// by the byte budget.
+    fn scheduler_config(&self) -> SchedulerConfig {
+        SchedulerConfig {
+            threads: self.config.threads,
+            mem_budget: match self.config.partitioning {
+                PartitionStrategy::Budget(bytes) => Some(bytes),
+                _ => None,
+            },
+            rounds: self.config.partition_rounds,
+            search: self.config.search,
+        }
+    }
+
+    /// Renders the partition/bin-packing decisions the scheduler would
+    /// make for this program (the partitioning analogue of
+    /// [`Tuffy::explain_grounding`]): grounds the program, plans the
+    /// schedule, and prints it without running any search.
+    pub fn explain_schedule(&self) -> Result<String, MlnError> {
+        let grounding = self.ground()?;
+        Ok(Scheduler::new(&grounding.mrf, self.scheduler_config()).explain())
     }
 
     /// Grounds the program according to the configured architecture.
@@ -129,8 +151,7 @@ impl Tuffy {
                 (ws.best_truth().to_vec(), ws.best_cost())
             }
             Architecture::Hybrid => {
-                let components = ComponentSet::detect(mrf);
-                report.components = components.nontrivial_count();
+                report.components = ComponentSet::detect(mrf).nontrivial_count();
                 match self.config.partitioning {
                     PartitionStrategy::None => {
                         report.search_ram = MemoryFootprint::of(mrf).total();
@@ -139,37 +160,17 @@ impl Tuffy {
                         report.flips = ws.flips();
                         (ws.best_truth().to_vec(), ws.best_cost())
                     }
-                    PartitionStrategy::Components => {
-                        if self.config.threads > 1 {
-                            let r = solve_components_parallel(
-                                mrf,
-                                &components,
-                                &self.config.search,
-                                self.config.threads,
-                            );
-                            report.flips = r.flips;
-                            report.search_ram = MemoryFootprint::of(mrf).total();
-                            trace.record(r.flips, r.cost);
-                            (r.truth, r.cost)
-                        } else {
-                            let search = ComponentSearch::new(mrf, &components);
-                            let r = search.run(&self.config.search, Some(&mut trace));
-                            report.flips = r.flips;
-                            report.search_ram = r.peak_component_bytes;
-                            (r.truth, r.cost)
-                        }
-                    }
-                    PartitionStrategy::Budget(budget) => {
-                        let beta = TuffyConfig::beta_for_budget(budget);
-                        let parts = Partitioning::compute(mrf, beta);
-                        let gs = GaussSeidel::new(mrf, &parts);
-                        let r = gs.run(
-                            self.config.gauss_seidel_rounds,
-                            &self.config.search,
-                            Some(&mut trace),
-                        );
+                    // The PartitionedInference stage: components (or
+                    // budget-bounded Algorithm 3 partitions) → FFD bins →
+                    // worker pool → Gauss-Seidel rounds over cut clauses.
+                    PartitionStrategy::Components | PartitionStrategy::Budget(_) => {
+                        let scheduler = Scheduler::new(mrf, self.scheduler_config());
+                        let r = scheduler.run(Some(&mut trace));
                         report.flips = r.flips;
                         report.search_ram = r.peak_partition_bytes;
+                        report.partitions = scheduler.schedule().units.len();
+                        report.bins = scheduler.schedule().bins.len();
+                        report.rounds = r.rounds_run;
                         (r.truth, r.cost)
                     }
                 }
@@ -197,12 +198,24 @@ impl Tuffy {
         ))
     }
 
-    /// Runs marginal inference with MC-SAT (Appendix A.5).
+    /// Runs marginal inference with MC-SAT (Appendix A.5). With worker
+    /// threads or a memory budget configured, MC-SAT runs per partition
+    /// through the scheduler (exact factorization over components; cut
+    /// clauses are conditioned on a MAP mode); otherwise one sampler
+    /// covers the whole MRF.
     pub fn marginal_inference(&self, params: &McSatParams) -> Result<MarginalResult, MlnError> {
         let grounding = self.ground()?;
         let mrf = &grounding.mrf;
-        let mut mcsat = McSat::new(mrf, params.seed)?;
-        let probs = mcsat.marginals(params);
+        let partitioned = match self.config.partitioning {
+            PartitionStrategy::None => false, // monolithic by request
+            PartitionStrategy::Components => self.config.threads > 1,
+            PartitionStrategy::Budget(_) => true,
+        };
+        let probs = if partitioned {
+            Scheduler::new(mrf, self.scheduler_config()).run_marginal(params)?
+        } else {
+            McSat::new(mrf, params.seed)?.marginals(params)
+        };
         let mut marginals = Vec::with_capacity(probs.len());
         let mut names = Vec::with_capacity(probs.len());
         for (i, p) in probs.into_iter().enumerate() {

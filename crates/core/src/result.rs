@@ -20,6 +20,16 @@ pub struct InferenceReport {
     /// Connected components containing at least one clause (Table 1's
     /// "#components").
     pub components: usize,
+    /// Partitions the inference scheduler ran (0 when partitioning is
+    /// disabled; equals the nontrivial component count without a memory
+    /// budget).
+    pub partitions: usize,
+    /// Memory-budgeted FFD bins the partitions were packed into (0 when
+    /// partitioning is disabled).
+    pub bins: usize,
+    /// Gauss-Seidel rounds the scheduler actually executed (0 when
+    /// partitioning is disabled).
+    pub rounds: usize,
     /// Total search flips.
     pub flips: u64,
     /// Search wall time (plus simulated I/O for `RdbmsOnly`).

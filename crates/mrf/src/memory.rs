@@ -25,14 +25,21 @@ pub struct MemoryFootprint {
 impl MemoryFootprint {
     /// Computes the footprint of holding `mrf` in memory for search.
     pub fn of(mrf: &Mrf) -> MemoryFootprint {
-        let n_clauses = mrf.clauses().len();
-        let total_lits = mrf.total_literals();
+        Self::estimate(mrf.num_atoms(), mrf.clauses().len(), mrf.total_literals())
+    }
+
+    /// Computes the footprint from raw counts, without materializing the
+    /// MRF. For a set of atoms plus the clauses fully inside it this is
+    /// exactly what [`MemoryFootprint::of`] would report for the projected
+    /// sub-MRF, so schedulers can cost thousands of candidate partitions
+    /// without building any of them.
+    pub fn estimate(atoms: usize, clauses: usize, literals: usize) -> MemoryFootprint {
         MemoryFootprint {
-            atom_state: mrf.num_atoms() * 2,
-            clauses: std::mem::size_of_val(mrf.clauses())
-                + total_lits * std::mem::size_of::<crate::lit::Lit>(),
-            adjacency: mrf.num_atoms() * std::mem::size_of::<Vec<u32>>() + total_lits * 4,
-            counters: n_clauses * (4 + 4 + 4),
+            atom_state: atoms * 2,
+            clauses: clauses * std::mem::size_of::<crate::clause::GroundClause>()
+                + literals * std::mem::size_of::<crate::lit::Lit>(),
+            adjacency: atoms * std::mem::size_of::<Vec<u32>>() + literals * 4,
+            counters: clauses * (4 + 4 + 4),
         }
     }
 
@@ -40,6 +47,18 @@ impl MemoryFootprint {
     pub fn total(&self) -> usize {
         self.atom_state + self.clauses + self.adjacency + self.counters
     }
+}
+
+/// Approximate bytes of search state per unit of the partitioner's size
+/// metric (atoms + literals); used to translate a byte budget into
+/// Algorithm 3's β bound. Calibrated against [`MemoryFootprint`]: atoms
+/// cost ~26 B (state + adjacency headers), literals ~8 B plus ~15 B/literal
+/// of amortized clause overhead.
+pub const BYTES_PER_SIZE_UNIT: usize = 24;
+
+/// Translates a byte budget into the partitioner's β size bound.
+pub fn beta_for_budget(budget_bytes: usize) -> usize {
+    (budget_bytes / BYTES_PER_SIZE_UNIT).max(8)
 }
 
 /// Pretty-prints a byte count the way the paper's tables do.
@@ -75,6 +94,23 @@ mod tests {
         }
         let big = big.finish();
         assert!(MemoryFootprint::of(&big).total() > MemoryFootprint::of(&small).total());
+    }
+
+    #[test]
+    fn estimate_matches_of_for_projected_subgraphs() {
+        let mut b = MrfBuilder::new();
+        for i in 0..20 {
+            b.add_clause(vec![Lit::pos(i), Lit::neg(i + 1)], Weight::Soft(1.0));
+        }
+        let m = b.finish();
+        let est = MemoryFootprint::estimate(m.num_atoms(), m.clauses().len(), m.total_literals());
+        assert_eq!(est, MemoryFootprint::of(&m));
+    }
+
+    #[test]
+    fn beta_scales_with_budget() {
+        assert!(beta_for_budget(48_000) > beta_for_budget(4_800));
+        assert!(beta_for_budget(0) >= 8);
     }
 
     #[test]

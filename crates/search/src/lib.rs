@@ -6,16 +6,14 @@
 //!   incremental cost bookkeeping, an O(1)-sample violated-clause set,
 //!   negative-weight and hard-clause handling, and flip-rate
 //!   instrumentation (Table 3);
-//! * [`component`] — component-aware WalkSAT (§3.3): solve each connected
-//!   component independently with weighted round-robin step budgets and
-//!   per-component best-state tracking, the source of the exponential
-//!   speedup of Theorem 3.1;
-//! * [`gauss_seidel`] — partition-aware search (§3.4): iterate WalkSAT
-//!   over partitions, conditioning each pass's cut clauses on the frozen
-//!   state of the other partitions (the Gauss-Seidel scheme of Bertsekas
-//!   and Tsitsiklis, the paper's reference \[3\]);
-//! * [`parallel`] — multi-threaded execution of per-component searches
-//!   over FFD-packed batches with round-robin scheduling (§3.3);
+//! * [`scheduler`] — the partition-aware inference scheduler unifying
+//!   §3.3 and §3.4: connected components (or Algorithm 3 partitions when
+//!   a memory budget bounds β), First-Fit-Decreasing bin packing of
+//!   partitions into budget-sized batches, a work-stealing worker pool
+//!   running WalkSAT (MAP) or MC-SAT (marginals) per partition with
+//!   deterministic per-partition seeds, and Gauss-Seidel rounds across
+//!   cut clauses (the scheme of Bertsekas and Tsitsiklis, the paper's
+//!   reference \[3\]) with an early-convergence criterion;
 //! * [`rdbms_search`] — `Tuffy-mm`: WalkSAT executed against the clause
 //!   table in the RDBMS through its buffer pool (Appendix B.2), whose
 //!   measured flipping rate reproduces the 3–5 orders-of-magnitude gap of
@@ -24,16 +22,13 @@
 //!   (Appendix A.5);
 //! * [`timecost`] — time-cost trace recording for the paper's figures.
 
-pub mod component;
-pub mod gauss_seidel;
 pub mod mcsat;
-pub mod parallel;
 pub mod rdbms_search;
+pub mod scheduler;
 pub mod timecost;
 pub mod walksat;
 
-pub use component::ComponentSearch;
-pub use gauss_seidel::GaussSeidel;
 pub use mcsat::McSat;
+pub use scheduler::{Schedule, ScheduleResult, ScheduleUnit, Scheduler, SchedulerConfig};
 pub use timecost::{TimeCostTrace, TracePoint};
 pub use walksat::{WalkSat, WalkSatParams};

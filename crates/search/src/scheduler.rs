@@ -1,0 +1,873 @@
+//! Partition-aware parallel inference scheduling (§3.3–3.4, Appendix B.7).
+//!
+//! This module unifies the three decomposition mechanisms of the paper —
+//! connected components (§3.3), memory-budgeted MRF partitioning
+//! (Algorithm 3, §3.4), and multi-threaded per-partition search
+//! (Appendix C.3) — into one subsystem:
+//!
+//! 1. **Plan** ([`Schedule::plan`]): run Algorithm 3 under a β bound
+//!    derived from the byte budget (β = ∞, i.e. exact connected
+//!    components, when no budget is given), estimate every partition's
+//!    search-state footprint analytically, and First-Fit-Decreasing pack
+//!    the partitions into memory-budgeted bins.
+//! 2. **Execute** ([`Scheduler::run`]): sweep the bins with a
+//!    work-stealing worker pool. Within a bin every partition is searched
+//!    against the assignment *snapshotted at the bin's start* (block
+//!    Jacobi), while later bins — and later Gauss-Seidel rounds — see all
+//!    earlier updates (Gauss-Seidel). Cut clauses are conditioned on the
+//!    snapshot exactly as §3.4 describes: externally satisfied cut
+//!    clauses drop out for the pass, the rest lose their external
+//!    literals.
+//! 3. **Converge**: rounds stop early once a full sweep leaves the
+//!    assignment unchanged.
+//!
+//! Determinism: a partition pass depends only on the snapshot, the
+//! partition id, and the round — its RNG seed is derived from those alone
+//! — and merging happens in schedule order after each bin joins, so the
+//! result (assignment, cost, flip counts, and the recorded best-cost
+//! trajectory) is bit-identical for every worker-pool size.
+
+use crate::mcsat::{McSat, McSatParams};
+use crate::timecost::TimeCostTrace;
+use crate::walksat::{WalkSat, WalkSatParams};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tuffy_mln::fxhash::FxHashMap;
+use tuffy_mln::MlnError;
+use tuffy_mrf::binpack::{first_fit_decreasing, Bin};
+use tuffy_mrf::memory::{beta_for_budget, human_bytes, MemoryFootprint};
+use tuffy_mrf::{AtomId, Cost, Lit, Mrf, MrfBuilder, Partitioning};
+
+/// Configuration of a [`Scheduler`].
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Worker threads in the pool (0 and 1 both mean sequential).
+    pub threads: usize,
+    /// Byte budget for a resident bin; `None` schedules exact connected
+    /// components in a single bin.
+    pub mem_budget: Option<usize>,
+    /// Maximum Gauss-Seidel rounds over cut clauses (ignored — one round
+    /// — when the schedule has no cut clauses).
+    pub rounds: usize,
+    /// Per-partition WalkSAT parameters; `max_flips` is the *total* flip
+    /// budget, divided across partitions and rounds in proportion to
+    /// partition size (the §4.4 weighted round-robin protocol).
+    pub search: WalkSatParams,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            threads: 1,
+            mem_budget: None,
+            rounds: 3,
+            search: WalkSatParams::default(),
+        }
+    }
+}
+
+/// One schedulable unit: a partition with at least one (internal or cut)
+/// clause.
+#[derive(Clone, Debug)]
+pub struct ScheduleUnit {
+    /// Index of the partition in the [`Partitioning`].
+    pub part: usize,
+    /// Atoms in the partition.
+    pub atom_count: usize,
+    /// Clauses fully inside the partition.
+    pub internal_clauses: usize,
+    /// Cut clauses touching the partition.
+    pub cut_clauses: usize,
+    /// Estimated bytes of the partition's search state (internal clauses
+    /// only; conditioned cut-clause remnants add a little on top).
+    pub est_bytes: usize,
+}
+
+/// The planned decomposition: partitions, their footprints, and the
+/// memory-budgeted bins they load in.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// The Algorithm 3 partitioning (exact connected components when no
+    /// budget bounds β).
+    pub parts: Partitioning,
+    /// Active partitions in partition order.
+    pub units: Vec<ScheduleUnit>,
+    /// FFD bins over `units` (items index into `units`).
+    pub bins: Vec<Bin>,
+    /// Cut clauses touching each partition (indexed by partition id).
+    pub cut_by_part: Vec<Vec<u32>>,
+    /// The byte budget the schedule was planned under.
+    pub mem_budget: Option<usize>,
+    /// Violated hard cut clauses would each cost ∞; their count.
+    pub cut_hard: u64,
+    /// Total |w| of soft cut clauses — the worst-case cost gap between
+    /// partitioned and exact search (Appendix B.8's tradeoff quantity).
+    pub cut_soft: f64,
+}
+
+impl Schedule {
+    /// Plans the decomposition of `mrf` under `mem_budget` bytes.
+    pub fn plan(mrf: &Mrf, mem_budget: Option<usize>) -> Schedule {
+        let beta = mem_budget.map_or(usize::MAX, beta_for_budget);
+        let parts = Partitioning::compute(mrf, beta);
+        let mut cut_by_part = vec![Vec::new(); parts.count()];
+        for &ci in &parts.cut_clauses {
+            let clause = &mrf.clauses()[ci as usize];
+            let mut seen: Vec<u32> = Vec::new();
+            for l in clause.lits.iter() {
+                let p = parts.label[l.atom() as usize];
+                if !seen.contains(&p) {
+                    seen.push(p);
+                    cut_by_part[p as usize].push(ci);
+                }
+            }
+        }
+        let mut units = Vec::new();
+        for (p, internal) in parts.internal_clauses.iter().enumerate() {
+            if internal.is_empty() && cut_by_part[p].is_empty() {
+                continue; // atoms no clause touches play no role in search
+            }
+            let lits: usize = internal
+                .iter()
+                .map(|&ci| mrf.clauses()[ci as usize].lits.len())
+                .sum();
+            units.push(ScheduleUnit {
+                part: p,
+                atom_count: parts.atoms[p].len(),
+                internal_clauses: internal.len(),
+                cut_clauses: cut_by_part[p].len(),
+                est_bytes: MemoryFootprint::estimate(parts.atoms[p].len(), internal.len(), lits)
+                    .total(),
+            });
+        }
+        let sizes: Vec<u64> = units.iter().map(|u| u.est_bytes as u64).collect();
+        let capacity = mem_budget.map_or(u64::MAX, |b| (b as u64).max(1));
+        let bins = first_fit_decreasing(&sizes, capacity);
+        let (cut_hard, cut_soft) = parts.cut_weight(mrf);
+        Schedule {
+            parts,
+            units,
+            bins,
+            cut_by_part,
+            mem_budget,
+            cut_hard,
+            cut_soft,
+        }
+    }
+
+    /// β the partitioning ran under (`usize::MAX` without a budget).
+    pub fn beta(&self) -> usize {
+        self.parts.beta
+    }
+}
+
+/// Result of one scheduled inference run.
+#[derive(Clone, Debug)]
+pub struct ScheduleResult {
+    /// Best global assignment found.
+    pub truth: Vec<bool>,
+    /// Its cost.
+    pub cost: Cost,
+    /// Total flips across all partition passes.
+    pub flips: u64,
+    /// Peak single-partition search footprint in bytes — the quantity the
+    /// memory budget of Figure 6 constrains.
+    pub peak_partition_bytes: usize,
+    /// Gauss-Seidel rounds actually executed.
+    pub rounds_run: usize,
+    /// Whether a full round left the assignment unchanged (always `false`
+    /// when the round limit was exhausted first).
+    pub converged: bool,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Per-partition best-cost traces, aligned with
+    /// [`Schedule::units`]. Flips are cumulative across rounds; elapsed
+    /// time restarts at each pass.
+    pub unit_traces: Vec<TimeCostTrace>,
+}
+
+/// One partition pass's outcome, merged after its bin joins.
+struct UnitOutcome {
+    truth: Vec<bool>,
+    flips: u64,
+    bytes: usize,
+    trace: TimeCostTrace,
+}
+
+/// Partition-aware parallel inference over one MRF.
+pub struct Scheduler<'a> {
+    mrf: &'a Mrf,
+    schedule: Schedule,
+    config: SchedulerConfig,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Plans a schedule for `mrf` under the given configuration.
+    pub fn new(mrf: &'a Mrf, config: SchedulerConfig) -> Scheduler<'a> {
+        let schedule = Schedule::plan(mrf, config.mem_budget);
+        Scheduler {
+            mrf,
+            schedule,
+            config,
+        }
+    }
+
+    /// The planned decomposition.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Effective Gauss-Seidel rounds: 1 when nothing is cut (a second
+    /// sweep could not change anything), the configured limit otherwise.
+    pub fn rounds(&self) -> usize {
+        if self.schedule.parts.cut_clauses.is_empty() {
+            1
+        } else {
+            self.config.rounds.max(1)
+        }
+    }
+
+    /// Renders the planning decisions — partition sizes, bin packing, cut
+    /// weight — in the same tree style as the RDBMS `EXPLAIN` report.
+    pub fn explain(&self) -> String {
+        let s = &self.schedule;
+        let budget = match s.mem_budget {
+            Some(b) => format!("budget {}", human_bytes(b)),
+            None => "no memory budget".to_string(),
+        };
+        let beta = if s.beta() == usize::MAX {
+            "β=∞".to_string()
+        } else {
+            format!("β={}", s.beta())
+        };
+        let mut out = format!(
+            "Schedule: {} partitions in {} bins ({beta}, {budget}, threads={}, rounds={})\n",
+            s.units.len(),
+            s.bins.len(),
+            self.config.threads.max(1),
+            self.rounds(),
+        );
+        let cut = if s.parts.cut_clauses.is_empty() {
+            "├─ cut: none (partitions are exact connected components)\n".to_string()
+        } else {
+            format!(
+                "├─ cut: {} clauses (hard {}, soft |w| {:.1})\n",
+                s.parts.cut_clauses.len(),
+                s.cut_hard,
+                s.cut_soft
+            )
+        };
+        out.push_str(&cut);
+        for (bi, bin) in s.bins.iter().enumerate() {
+            let last_bin = bi + 1 == s.bins.len();
+            let (branch, stem) = if last_bin {
+                ("└─", "   ")
+            } else {
+                ("├─", "│  ")
+            };
+            out.push_str(&format!(
+                "{branch} Bin {bi}  est {}{}\n",
+                human_bytes(bin.total as usize),
+                if s.mem_budget.is_some_and(|b| bin.total as usize > b) {
+                    " (over budget: single oversized partition)"
+                } else {
+                    ""
+                }
+            ));
+            for (ji, &ui) in bin.items.iter().enumerate() {
+                let u = &s.units[ui];
+                let twig = if ji + 1 == bin.items.len() {
+                    "└─"
+                } else {
+                    "├─"
+                };
+                out.push_str(&format!(
+                    "{stem}{twig} P{}  atoms={} internal={} cut={}  est {}\n",
+                    u.part,
+                    u.atom_count,
+                    u.internal_clauses,
+                    u.cut_clauses,
+                    human_bytes(u.est_bytes)
+                ));
+            }
+        }
+        out
+    }
+
+    /// Runs MAP inference over the schedule: WalkSAT per partition, the
+    /// worker pool per bin, Gauss-Seidel rounds across bins. Records the
+    /// (deterministic) best-cost trajectory in `trace` if provided.
+    pub fn run(&self, mut trace: Option<&mut TimeCostTrace>) -> ScheduleResult {
+        let n = self.mrf.num_atoms();
+        let mut truth = vec![false; n];
+        let mut best_cost = self.mrf.cost(&truth);
+        let mut best_truth = truth.clone();
+        // Folded best-so-far curve (exact between cut interactions;
+        // resynced to the true assembled cost at every bin boundary).
+        let mut running = best_cost;
+        let mut flips = 0u64;
+        let mut peak = 0usize;
+        let mut unit_traces: Vec<TimeCostTrace> = self
+            .schedule
+            .units
+            .iter()
+            .map(|_| TimeCostTrace::new())
+            .collect();
+        let mut unit_flips: Vec<u64> = vec![0; self.schedule.units.len()];
+        if let Some(t) = trace.as_mut() {
+            t.record(0, best_cost);
+        }
+        let rounds = self.rounds();
+        let mut rounds_run = 0;
+        let mut converged = false;
+
+        for round in 0..rounds {
+            rounds_run = round + 1;
+            let mut round_changed = false;
+            for bin in &self.schedule.bins {
+                let snapshot = truth.clone();
+                let outcomes = self.run_bin(bin, &snapshot, round);
+                // Merge in schedule order — identical for any pool size.
+                for (&ui, outcome) in bin.items.iter().zip(outcomes) {
+                    let unit = &self.schedule.units[ui];
+                    let pts = outcome.trace.points();
+                    let mut last = pts.first().map_or(Cost::ZERO, |p| p.cost);
+                    for p in &pts[1..] {
+                        // Saturating: a cut clause shared by two partitions
+                        // of one bin can be improved by both, so the folded
+                        // estimate may briefly over-credit.
+                        running = Cost {
+                            hard: (running.hard + p.cost.hard).saturating_sub(last.hard),
+                            soft: (running.soft + p.cost.soft - last.soft).max(0.0),
+                        };
+                        last = p.cost;
+                        if let Some(t) = trace.as_mut() {
+                            t.record(flips + p.flips, running);
+                        }
+                    }
+                    for p in pts {
+                        unit_traces[ui].record_at(p.elapsed, unit_flips[ui] + p.flips, p.cost);
+                    }
+                    unit_flips[ui] += outcome.flips;
+                    flips += outcome.flips;
+                    peak = peak.max(outcome.bytes);
+                    let atoms = &self.schedule.parts.atoms[unit.part];
+                    for (local, &global) in atoms.iter().enumerate() {
+                        if truth[global as usize] != outcome.truth[local] {
+                            truth[global as usize] = outcome.truth[local];
+                            round_changed = true;
+                        }
+                    }
+                }
+                // Resync with the true assembled cost: within a bin two
+                // partitions may have both claimed the same cut clause.
+                let cost = self.mrf.cost(&truth);
+                running = cost;
+                if cost.better_than(best_cost) {
+                    best_cost = cost;
+                    best_truth.copy_from_slice(&truth);
+                    if let Some(t) = trace.as_mut() {
+                        t.record(flips, cost);
+                    }
+                }
+            }
+            if !round_changed {
+                converged = true;
+                break;
+            }
+        }
+        if let Some(t) = trace.as_mut() {
+            t.record(flips, best_cost);
+        }
+        ScheduleResult {
+            truth: best_truth,
+            cost: best_cost,
+            flips,
+            peak_partition_bytes: peak,
+            rounds_run,
+            converged,
+            threads: self.config.threads.max(1),
+            unit_traces,
+        }
+    }
+
+    /// Runs marginal inference over the schedule: MC-SAT per partition,
+    /// conditioned on a MAP mode when cut clauses couple partitions
+    /// (exact factorization when they don't — marginals decompose over
+    /// components). Atoms outside every partition are uniform (0.5).
+    ///
+    /// Errors if the MRF has negative-weight clauses (MC-SAT's slice
+    /// construction requires non-negative weights).
+    pub fn run_marginal(&self, params: &McSatParams) -> Result<Vec<f64>, MlnError> {
+        for c in self.mrf.clauses() {
+            if c.weight.signum() < 0 {
+                return Err(MlnError::general(
+                    "MC-SAT marginal inference requires non-negative clause weights",
+                ));
+            }
+        }
+        let condition_state = if self.schedule.parts.cut_clauses.is_empty() {
+            vec![false; self.mrf.num_atoms()]
+        } else {
+            self.run(None).truth
+        };
+        let mut marginals = vec![0.5f64; self.mrf.num_atoms()];
+        for bin in &self.schedule.bins {
+            let jobs = &bin.items;
+            let run_unit = |ui: usize| -> Vec<f64> {
+                let unit = &self.schedule.units[ui];
+                let atoms = &self.schedule.parts.atoms[unit.part];
+                let (sub, _) = self.condition_unit(unit.part, atoms, &condition_state);
+                let seed = derive_seed(params.seed, unit.part, 0);
+                McSat::new(&sub, seed)
+                    .expect("weights validated non-negative above")
+                    .marginals(params)
+            };
+            let locals = self.pool_map(jobs, run_unit);
+            for (&ui, local) in jobs.iter().zip(locals) {
+                let atoms = &self.schedule.parts.atoms[self.schedule.units[ui].part];
+                for (i, &a) in atoms.iter().enumerate() {
+                    marginals[a as usize] = local[i];
+                }
+            }
+        }
+        Ok(marginals)
+    }
+
+    /// Executes one bin: workers steal partition passes off a shared
+    /// queue; outcomes come back in schedule order.
+    fn run_bin(&self, bin: &Bin, snapshot: &[bool], round: usize) -> Vec<UnitOutcome> {
+        let total_atoms = self.mrf.num_atoms().max(1) as u64;
+        let rounds = self.rounds() as u64;
+        let budget_of = |u: &ScheduleUnit| {
+            (self.config.search.max_flips * u.atom_count as u64 / (total_atoms * rounds)).max(1)
+        };
+        let pass = |ui: usize| {
+            let unit = &self.schedule.units[ui];
+            self.run_unit_pass(
+                unit,
+                snapshot,
+                budget_of(unit),
+                derive_seed(self.config.search.seed, unit.part, round),
+            )
+        };
+        self.pool_map(&bin.items, pass)
+    }
+
+    /// Maps `f` over unit indices with the work-stealing pool: workers
+    /// claim the next job off a shared counter as they finish, results
+    /// come back in job order. Sequential (no threads spawned) when the
+    /// pool — or the job list — has a single entry.
+    fn pool_map<T, F>(&self, jobs: &[usize], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.config.threads.max(1).min(jobs.len());
+        if workers <= 1 {
+            return jobs.iter().map(|&ui| f(ui)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<parking_lot::Mutex<Option<T>>> =
+            jobs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= jobs.len() {
+                        break;
+                    }
+                    *slots[j].lock() = Some(f(jobs[j]));
+                });
+            }
+        })
+        .expect("scheduler worker panicked");
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("missing worker result"))
+            .collect()
+    }
+
+    /// One WalkSAT pass over a conditioned partition.
+    fn run_unit_pass(
+        &self,
+        unit: &ScheduleUnit,
+        snapshot: &[bool],
+        budget: u64,
+        seed: u64,
+    ) -> UnitOutcome {
+        let atoms = &self.schedule.parts.atoms[unit.part];
+        let (sub, init) = self.condition_unit(unit.part, atoms, snapshot);
+        let bytes = MemoryFootprint::of(&sub).total();
+        let mut ws = WalkSat::with_assignment(&sub, init, seed);
+        let mut trace = TimeCostTrace::new();
+        trace.record(0, ws.best_cost());
+        let mut last_best = ws.best_cost();
+        for _ in 0..budget {
+            if !ws.step(self.config.search.noise) {
+                break;
+            }
+            if ws.best_cost().better_than(last_best) {
+                last_best = ws.best_cost();
+                trace.record(ws.flips(), ws.best_cost());
+            }
+        }
+        UnitOutcome {
+            truth: ws.best_truth().to_vec(),
+            flips: ws.flips(),
+            bytes,
+            trace,
+        }
+    }
+
+    /// Builds the sub-MRF of partition `pi` conditioned on the rest of
+    /// the snapshot (§3.4), plus the partition's initial state: internal
+    /// clauses come over verbatim; cut clauses with an externally
+    /// satisfied literal drop out for the pass; other cut clauses lose
+    /// their external literals.
+    fn condition_unit(&self, pi: usize, atoms: &[AtomId], global: &[bool]) -> (Mrf, Vec<bool>) {
+        let mut dense: FxHashMap<AtomId, AtomId> = FxHashMap::default();
+        for (i, &a) in atoms.iter().enumerate() {
+            dense.insert(a, i as AtomId);
+        }
+        let mut b = MrfBuilder::new();
+        b.reserve_atoms(atoms.len());
+        for &ci in &self.schedule.parts.internal_clauses[pi] {
+            let c = &self.mrf.clauses()[ci as usize];
+            let lits: Vec<Lit> = c
+                .lits
+                .iter()
+                .map(|l| Lit::new(dense[&l.atom()], l.is_positive()))
+                .collect();
+            b.add_clause(lits, c.weight);
+        }
+        for &ci in &self.schedule.cut_by_part[pi] {
+            let c = &self.mrf.clauses()[ci as usize];
+            let mut lits = Vec::new();
+            let mut satisfied_externally = false;
+            for l in c.lits.iter() {
+                match dense.get(&l.atom()) {
+                    Some(&local) => lits.push(Lit::new(local, l.is_positive())),
+                    None => {
+                        if l.eval(global[l.atom() as usize]) {
+                            satisfied_externally = true;
+                            break;
+                        }
+                        // Externally false literal: drop it.
+                    }
+                }
+            }
+            if satisfied_externally {
+                continue; // fixed for this pass
+            }
+            b.add_clause(lits, c.weight);
+        }
+        let sub = b.finish();
+        let init: Vec<bool> = atoms.iter().map(|&a| global[a as usize]).collect();
+        (sub, init)
+    }
+}
+
+/// Derives the RNG seed of one partition pass. Depends only on the base
+/// seed, the partition id, and the round — never on the worker thread or
+/// execution order — so runs are reproducible for any thread count.
+fn derive_seed(base: u64, part: usize, round: usize) -> u64 {
+    let mut z = base
+        .wrapping_add((part as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add((round as u64).wrapping_mul(0xd1b5_4a32_d192_ed03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuffy_mln::weight::Weight;
+
+    /// Example 1 of the paper with N two-atom components.
+    fn example1(n: u32) -> Mrf {
+        let mut b = MrfBuilder::new();
+        for i in 0..n {
+            let (x, y) = (2 * i, 2 * i + 1);
+            b.add_clause(vec![Lit::pos(x)], Weight::Soft(1.0));
+            b.add_clause(vec![Lit::pos(y)], Weight::Soft(1.0));
+            b.add_clause(vec![Lit::pos(x), Lit::pos(y)], Weight::Soft(-1.0));
+        }
+        b.finish()
+    }
+
+    /// Example 2 of the paper: two dense "all equal" clusters joined by
+    /// one bridge clause, satisfied at the all-true optimum.
+    fn example2() -> Mrf {
+        let mut b = MrfBuilder::new();
+        let cluster = |b: &mut MrfBuilder, base: u32| {
+            for i in 0..3u32 {
+                for j in (i + 1)..3 {
+                    b.add_clause(
+                        vec![Lit::neg(base + i), Lit::pos(base + j)],
+                        Weight::Soft(2.0),
+                    );
+                    b.add_clause(
+                        vec![Lit::pos(base + i), Lit::neg(base + j)],
+                        Weight::Soft(2.0),
+                    );
+                }
+            }
+            for i in 0..3u32 {
+                b.add_clause(vec![Lit::pos(base + i)], Weight::Soft(0.5));
+            }
+        };
+        cluster(&mut b, 0);
+        cluster(&mut b, 3);
+        b.add_clause(vec![Lit::neg(0), Lit::pos(3)], Weight::Soft(1.0));
+        b.finish()
+    }
+
+    fn config(max_flips: u64, seed: u64) -> SchedulerConfig {
+        SchedulerConfig {
+            search: WalkSatParams {
+                max_flips,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_quality() {
+        let m = example1(64);
+        let s = Scheduler::new(
+            &m,
+            SchedulerConfig {
+                threads: 4,
+                ..config(64 * 100, 21)
+            },
+        );
+        let r = s.run(None);
+        assert_eq!(r.cost, Cost::soft(64.0)); // global optimum
+        assert!(r.truth.iter().all(|&t| t));
+        assert_eq!(r.threads, 4);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let m = example1(16);
+        let run = |threads| {
+            let mut trace = TimeCostTrace::new();
+            let s = Scheduler::new(
+                &m,
+                SchedulerConfig {
+                    threads,
+                    ..config(16 * 200, 4)
+                },
+            );
+            let r = s.run(Some(&mut trace));
+            let curve: Vec<(u64, u64, String)> = trace
+                .points()
+                .iter()
+                .map(|p| (p.flips, p.cost.hard, format!("{}", p.cost)))
+                .collect();
+            (r.truth, format!("{}", r.cost), r.flips, curve)
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), base, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn single_thread_is_allowed() {
+        let m = example1(4);
+        let s = Scheduler::new(
+            &m,
+            SchedulerConfig {
+                threads: 0,
+                ..config(4 * 200, 42)
+            },
+        );
+        let r = s.run(None);
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.cost, Cost::soft(4.0));
+    }
+
+    #[test]
+    fn reaches_optimum_across_partitions() {
+        let m = example2();
+        // β = 21 splits the two clusters (budget = β · bytes/unit).
+        let s = Scheduler::new(
+            &m,
+            SchedulerConfig {
+                mem_budget: Some(21 * tuffy_mrf::memory::BYTES_PER_SIZE_UNIT),
+                rounds: 4,
+                ..config(8_000, 9)
+            },
+        );
+        assert!(s.schedule().units.len() >= 2);
+        assert!(!s.schedule().parts.cut_clauses.is_empty());
+        let r = s.run(None);
+        assert!(r.cost.is_zero(), "cost = {}", r.cost);
+        assert!(r.truth.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn conditioning_respects_external_state() {
+        let m = example2();
+        let s = Scheduler::new(
+            &m,
+            SchedulerConfig {
+                mem_budget: Some(21 * tuffy_mrf::memory::BYTES_PER_SIZE_UNIT),
+                ..config(1_000, 1)
+            },
+        );
+        // With the bridge clause ¬a0 ∨ b0: if the external side satisfies
+        // it, the conditioned sub-MRF drops the clause.
+        let pi = s.schedule().parts.label[0] as usize;
+        let atoms = s.schedule().parts.atoms[pi].clone();
+        let mut global = vec![false; m.num_atoms()];
+        global[3] = true; // external literal true
+        let (sub_sat, _) = s.condition_unit(pi, &atoms, &global);
+        let global_unsat = vec![false; m.num_atoms()];
+        let (sub_unsat, _) = s.condition_unit(pi, &atoms, &global_unsat);
+        assert_eq!(sub_sat.clauses().len() + 1, sub_unsat.clauses().len());
+    }
+
+    #[test]
+    fn unbudgeted_schedule_degenerates_to_components() {
+        let m = example2();
+        let s = Scheduler::new(&m, config(8_000, 2));
+        assert_eq!(s.schedule().units.len(), 1);
+        assert_eq!(s.schedule().bins.len(), 1);
+        assert!(s.schedule().parts.cut_clauses.is_empty());
+        assert_eq!(s.rounds(), 1);
+        let r = s.run(None);
+        assert!(r.cost.is_zero());
+        assert_eq!(r.rounds_run, 1);
+    }
+
+    #[test]
+    fn huge_budget_is_bit_identical_to_unbudgeted() {
+        let m = example1(12);
+        let unbudgeted = Scheduler::new(&m, config(4_000, 7)).run(None);
+        let budgeted = Scheduler::new(
+            &m,
+            SchedulerConfig {
+                mem_budget: Some(1 << 30),
+                ..config(4_000, 7)
+            },
+        )
+        .run(None);
+        assert_eq!(unbudgeted.truth, budgeted.truth);
+        assert_eq!(unbudgeted.flips, budgeted.flips);
+        assert_eq!(format!("{}", unbudgeted.cost), format!("{}", budgeted.cost));
+    }
+
+    #[test]
+    fn beats_monolithic_walksat_on_equal_budget() {
+        // Theorem 3.1's phenomenon: with the same total flips, the
+        // partition-aware schedule reaches the global optimum while the
+        // monolithic walk keeps breaking already-optimal components.
+        let n = 100u32;
+        let m = example1(n);
+        let budget = 60 * n as u64;
+        let aware = Scheduler::new(&m, config(budget, 17)).run(None).cost;
+        let mut mono = WalkSat::new(&m, 17);
+        mono.run(
+            &WalkSatParams {
+                max_flips: budget,
+                seed: 17,
+                ..Default::default()
+            },
+            None,
+        );
+        assert_eq!(aware, Cost::soft(n as f64));
+        assert!(
+            mono.best_cost().soft > aware.soft,
+            "monolithic {} should trail partition-aware {}",
+            mono.best_cost(),
+            aware
+        );
+    }
+
+    #[test]
+    fn converges_early_when_a_round_changes_nothing() {
+        let m = example2();
+        let s = Scheduler::new(
+            &m,
+            SchedulerConfig {
+                mem_budget: Some(21 * tuffy_mrf::memory::BYTES_PER_SIZE_UNIT),
+                rounds: 50,
+                ..config(50_000, 3)
+            },
+        );
+        let r = s.run(None);
+        assert!(r.converged, "50 rounds should be more than enough");
+        assert!(r.rounds_run < 50, "ran all {} rounds", r.rounds_run);
+    }
+
+    #[test]
+    fn per_partition_traces_cover_every_unit() {
+        let m = example1(8);
+        let s = Scheduler::new(&m, config(8 * 300, 5));
+        let r = s.run(None);
+        assert_eq!(r.unit_traces.len(), s.schedule().units.len());
+        for t in &r.unit_traces {
+            assert!(!t.points().is_empty());
+        }
+    }
+
+    #[test]
+    fn marginals_factor_over_components() {
+        // Unit clause `1.0 x` per component: P(x) = e / (1 + e).
+        let mut b = MrfBuilder::new();
+        for i in 0..6u32 {
+            b.add_clause(vec![Lit::pos(i)], Weight::Soft(1.0));
+        }
+        let m = b.finish();
+        let s = Scheduler::new(
+            &m,
+            SchedulerConfig {
+                threads: 3,
+                ..config(1_000, 8)
+            },
+        );
+        let p = s
+            .run_marginal(&McSatParams {
+                samples: 600,
+                burn_in: 40,
+                sample_sat_steps: 30,
+                seed: 8,
+                ..Default::default()
+            })
+            .unwrap();
+        let expected = 1f64.exp() / (1.0 + 1f64.exp());
+        for (i, &pi) in p.iter().enumerate() {
+            assert!((pi - expected).abs() < 0.1, "atom {i}: {pi:.3}");
+        }
+    }
+
+    #[test]
+    fn marginals_reject_negative_weights() {
+        let m = example1(2); // contains a −1 clause
+        let s = Scheduler::new(&m, config(100, 1));
+        assert!(s.run_marginal(&McSatParams::default()).is_err());
+    }
+
+    #[test]
+    fn explain_names_every_partition() {
+        let m = example2();
+        let s = Scheduler::new(
+            &m,
+            SchedulerConfig {
+                mem_budget: Some(21 * tuffy_mrf::memory::BYTES_PER_SIZE_UNIT),
+                ..config(1_000, 1)
+            },
+        );
+        let text = s.explain();
+        assert!(text.starts_with("Schedule: "));
+        for u in &s.schedule().units {
+            assert!(text.contains(&format!("P{}", u.part)), "{text}");
+        }
+        assert!(text.contains("cut: 1 clauses"), "{text}");
+    }
+}

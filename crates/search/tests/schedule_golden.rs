@@ -1,0 +1,93 @@
+//! Golden test pinning the `explain_schedule` rendering for a
+//! representative MRF (the style of `crates/grounder/tests/
+//! explain_golden.rs`): any change to Algorithm 3's merge order, the
+//! budget→β translation, the footprint estimates, or the FFD packing
+//! shows up here as a readable diff.
+
+use tuffy_mln::weight::Weight;
+use tuffy_mrf::{Lit, Mrf, MrfBuilder};
+use tuffy_search::{Scheduler, SchedulerConfig, WalkSatParams};
+
+/// Example 2's two bridged 3-atom clusters plus an independent Example 1
+/// component: exercises a cut clause, oversized-partition bins, and a
+/// comfortably fitting bin in one schedule.
+fn representative_mrf() -> Mrf {
+    let mut b = MrfBuilder::new();
+    let cluster = |b: &mut MrfBuilder, base: u32| {
+        for i in 0..3u32 {
+            for j in (i + 1)..3 {
+                b.add_clause(
+                    vec![Lit::neg(base + i), Lit::pos(base + j)],
+                    Weight::Soft(2.0),
+                );
+                b.add_clause(
+                    vec![Lit::pos(base + i), Lit::neg(base + j)],
+                    Weight::Soft(2.0),
+                );
+            }
+        }
+        for i in 0..3u32 {
+            b.add_clause(vec![Lit::pos(base + i)], Weight::Soft(0.5));
+        }
+    };
+    cluster(&mut b, 0);
+    cluster(&mut b, 3);
+    b.add_clause(vec![Lit::neg(0), Lit::pos(3)], Weight::Soft(1.0));
+    b.add_clause(vec![Lit::pos(6)], Weight::Soft(1.0));
+    b.add_clause(vec![Lit::pos(7)], Weight::Soft(1.0));
+    b.add_clause(vec![Lit::pos(6), Lit::pos(7)], Weight::Soft(-1.0));
+    b.finish()
+}
+
+/// β = 21 splits the clusters (their bridge becomes the cut) and leaves
+/// the small component whole. The byte estimates of the dense clusters
+/// exceed the raw budget — the documented slack between the size-metric
+/// β bound and real clause overhead — which the report flags per bin.
+#[test]
+fn schedule_report_is_pinned() {
+    let m = representative_mrf();
+    let scheduler = Scheduler::new(
+        &m,
+        SchedulerConfig {
+            threads: 2,
+            mem_budget: Some(21 * tuffy_mrf::memory::BYTES_PER_SIZE_UNIT),
+            rounds: 3,
+            search: WalkSatParams::default(),
+        },
+    );
+    let expected = "\
+Schedule: 3 partitions in 3 bins (β=21, budget 504 B, threads=2, rounds=3)
+├─ cut: 1 clauses (hard 0, soft |w| 1.0)
+├─ Bin 0  est 594 B (over budget: single oversized partition)
+│  └─ P0  atoms=3 internal=9 cut=1  est 594 B
+├─ Bin 1  est 594 B (over budget: single oversized partition)
+│  └─ P1  atoms=3 internal=9 cut=1  est 594 B
+└─ Bin 2  est 216 B
+   └─ P2  atoms=2 internal=3 cut=0  est 216 B
+";
+    assert_eq!(scheduler.explain(), expected);
+}
+
+/// Without a budget the same MRF schedules as plain connected components
+/// in one unbounded bin, with the Gauss-Seidel machinery switched off.
+#[test]
+fn unbudgeted_schedule_report_is_pinned() {
+    let m = representative_mrf();
+    let scheduler = Scheduler::new(
+        &m,
+        SchedulerConfig {
+            threads: 1,
+            mem_budget: None,
+            rounds: 3,
+            search: WalkSatParams::default(),
+        },
+    );
+    let expected = "\
+Schedule: 2 partitions in 1 bins (β=∞, no memory budget, threads=1, rounds=1)
+├─ cut: none (partitions are exact connected components)
+└─ Bin 0  est 1.4 KB
+   ├─ P0  atoms=6 internal=19 cut=0  est 1.2 KB
+   └─ P1  atoms=2 internal=3 cut=0  est 216 B
+";
+    assert_eq!(scheduler.explain(), expected);
+}

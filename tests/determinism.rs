@@ -1,0 +1,74 @@
+//! Determinism matrix: a fixed seed must produce identical best-cost
+//! trajectories and final truth assignments through the *full*
+//! `tuffy-core` pipeline at every worker-pool size, for both the
+//! component schedule and the memory-budgeted Gauss-Seidel schedule.
+//! (Partition passes seed from (partition, round) alone and merge in
+//! schedule order, so thread count must never show in the results.)
+
+use tuffy::{MapResult, PartitionStrategy, Tuffy, TuffyConfig, WalkSatParams};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn run(program: &tuffy_datagen::Dataset, strategy: PartitionStrategy, threads: usize) -> MapResult {
+    let cfg = TuffyConfig {
+        partitioning: strategy,
+        threads,
+        partition_rounds: 3,
+        search: WalkSatParams {
+            max_flips: 30_000,
+            seed: 77,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Tuffy::from_program(program.program.clone())
+        .with_config(cfg)
+        .map_inference()
+        .unwrap()
+}
+
+/// Everything about a run that must be thread-count invariant: the final
+/// world, its cost, the flips spent, and the whole (flips, cost)
+/// trajectory. Wall-clock fields are deliberately excluded.
+fn fingerprint(r: &MapResult) -> (String, String, u64, Vec<(u64, String)>) {
+    (
+        r.to_text(),
+        format!("{}", r.cost),
+        r.report.flips,
+        r.trace
+            .points()
+            .iter()
+            .map(|p| (p.flips, format!("{}", p.cost)))
+            .collect(),
+    )
+}
+
+#[test]
+fn component_schedule_is_deterministic_across_thread_counts() {
+    let ds = tuffy_datagen::ie(60, 40, 9);
+    let base = fingerprint(&run(&ds, PartitionStrategy::Components, THREADS[0]));
+    for &threads in &THREADS[1..] {
+        let r = fingerprint(&run(&ds, PartitionStrategy::Components, threads));
+        assert_eq!(r, base, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn budgeted_schedule_is_deterministic_across_thread_counts() {
+    // A small budget forces Algorithm 3 splits, cut clauses, and several
+    // Gauss-Seidel rounds — the most order-sensitive code path.
+    let ds = tuffy_datagen::rc(10, 6, 2);
+    let base = fingerprint(&run(&ds, PartitionStrategy::Budget(4_000), THREADS[0]));
+    for &threads in &THREADS[1..] {
+        let r = fingerprint(&run(&ds, PartitionStrategy::Budget(4_000), threads));
+        assert_eq!(r, base, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn repeated_runs_are_bitwise_identical() {
+    let ds = tuffy_datagen::er(5, 25, 5);
+    let a = fingerprint(&run(&ds, PartitionStrategy::Budget(6_000), 4));
+    let b = fingerprint(&run(&ds, PartitionStrategy::Budget(6_000), 4));
+    assert_eq!(a, b);
+}

@@ -95,7 +95,7 @@ fn budget_strategy_converges_on_er() {
             seed: 5,
             ..Default::default()
         },
-        gauss_seidel_rounds: 3,
+        partition_rounds: 3,
         ..Default::default()
     };
     let r = Tuffy::from_program(tuffy_datagen::er(5, 25, 5).program)
