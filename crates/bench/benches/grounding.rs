@@ -8,20 +8,25 @@ use tuffy_rdbms::OptimizerConfig;
 fn bench_grounding(c: &mut Criterion) {
     let mut group = c.benchmark_group("grounding");
     group.sample_size(10);
-    let rc = tuffy_datagen::rc_with_labels(60, 8, 0.8, 7).program;
-    let ie = tuffy_datagen::ie(150, 120, 7).program;
+    let rc = tuffy_datagen::rc_with_labels(60, 8, 0.8, 7);
+    let ie = tuffy_datagen::ie(150, 120, 7);
 
     group.bench_function("rc_bottom_up", |b| {
         b.iter(|| {
-            ground_bottom_up(&rc, GroundingMode::LazyClosure, &OptimizerConfig::default())
-                .unwrap()
-                .stats
-                .clauses
+            ground_bottom_up(
+                &rc.program,
+                &rc.evidence,
+                GroundingMode::LazyClosure,
+                &OptimizerConfig::default(),
+            )
+            .unwrap()
+            .stats
+            .clauses
         });
     });
     group.bench_function("rc_top_down", |b| {
         b.iter(|| {
-            ground_top_down(&rc, GroundingMode::LazyClosure)
+            ground_top_down(&rc.program, &rc.evidence, GroundingMode::LazyClosure)
                 .unwrap()
                 .stats
                 .clauses
@@ -29,15 +34,20 @@ fn bench_grounding(c: &mut Criterion) {
     });
     group.bench_function("ie_bottom_up", |b| {
         b.iter(|| {
-            ground_bottom_up(&ie, GroundingMode::LazyClosure, &OptimizerConfig::default())
-                .unwrap()
-                .stats
-                .clauses
+            ground_bottom_up(
+                &ie.program,
+                &ie.evidence,
+                GroundingMode::LazyClosure,
+                &OptimizerConfig::default(),
+            )
+            .unwrap()
+            .stats
+            .clauses
         });
     });
     group.bench_function("ie_top_down", |b| {
         b.iter(|| {
-            ground_top_down(&ie, GroundingMode::LazyClosure)
+            ground_top_down(&ie.program, &ie.evidence, GroundingMode::LazyClosure)
                 .unwrap()
                 .stats
                 .clauses

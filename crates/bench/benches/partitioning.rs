@@ -8,9 +8,10 @@ use tuffy_mrf::{ComponentSet, Partitioning};
 use tuffy_rdbms::OptimizerConfig;
 
 fn bench_partitioning(c: &mut Criterion) {
-    let program = tuffy_datagen::ie(500, 200, 7).program;
+    let ds = tuffy_datagen::ie(500, 200, 7);
     let g = ground_bottom_up(
-        &program,
+        &ds.program,
+        &ds.evidence,
         GroundingMode::LazyClosure,
         &OptimizerConfig::default(),
     )

@@ -8,13 +8,14 @@ use tuffy_search::WalkSat;
 
 fn bench_flips(c: &mut Criterion) {
     let mut group = c.benchmark_group("walksat_flips");
-    for (name, program) in [
-        ("example1_200", tuffy_datagen::example1(200).program),
-        ("rc_small", tuffy_datagen::rc(20, 6, 7).program),
-        ("er_small", tuffy_datagen::er(8, 40, 7).program),
+    for (name, ds) in [
+        ("example1_200", tuffy_datagen::example1(200)),
+        ("rc_small", tuffy_datagen::rc(20, 6, 7)),
+        ("er_small", tuffy_datagen::er(8, 40, 7)),
     ] {
         let g = ground_bottom_up(
-            &program,
+            &ds.program,
+            &ds.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )

@@ -18,6 +18,7 @@
 //! `GroundPredicate` ≈ 48 B + hash entries; per-clause `GroundClause`
 //! ≈ 56 B + 8 B/literal), and documented in EXPERIMENTS.md.
 
+use tuffy_mln::evidence::EvidenceSet;
 use tuffy_mln::program::MlnProgram;
 use tuffy_mrf::Mrf;
 
@@ -31,8 +32,10 @@ pub const LITERAL_BYTES: usize = 8;
 pub const HASH_OVERHEAD: f64 = 2.0;
 
 /// The full atom space of the open predicates: Π (domain sizes) summed
-/// over open predicates.
-pub fn open_atom_space(program: &MlnProgram) -> u128 {
+/// over open predicates, with domains merged from the program's rule
+/// constants and the evidence constants.
+pub fn open_atom_space(program: &MlnProgram, evidence: &EvidenceSet) -> u128 {
+    let domains = evidence.merged_domains(program);
     let mut total: u128 = 0;
     for decl in &program.predicates {
         if decl.closed_world {
@@ -40,7 +43,7 @@ pub fn open_atom_space(program: &MlnProgram) -> u128 {
         }
         let mut size: u128 = 1;
         for &ty in &decl.arg_types {
-            size = size.saturating_mul(program.domains[ty.index()].len() as u128);
+            size = size.saturating_mul(domains[ty.index()].len() as u128);
         }
         total = total.saturating_add(size);
     }
@@ -48,8 +51,8 @@ pub fn open_atom_space(program: &MlnProgram) -> u128 {
 }
 
 /// Modeled Alchemy resident set for grounding + search on `mrf`.
-pub fn modeled_alchemy_ram(program: &MlnProgram, mrf: &Mrf) -> u128 {
-    let atoms = open_atom_space(program).saturating_mul(ATOM_OBJECT_BYTES as u128);
+pub fn modeled_alchemy_ram(program: &MlnProgram, evidence: &EvidenceSet, mrf: &Mrf) -> u128 {
+    let atoms = open_atom_space(program, evidence).saturating_mul(ATOM_OBJECT_BYTES as u128);
     let clause_bytes = mrf
         .clauses()
         .iter()

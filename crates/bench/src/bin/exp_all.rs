@@ -19,6 +19,7 @@ fn main() {
         ("fig6", tuffy_bench::experiments::fig6::report),
         ("fig8", tuffy_bench::experiments::fig8::report),
         ("scaling", tuffy_bench::experiments::scaling::report),
+        ("session", tuffy_bench::experiments::session::report),
     ];
     for (name, f) in experiments {
         eprintln!("=== running {name} ===");

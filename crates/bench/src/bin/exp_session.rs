@@ -1,0 +1,4 @@
+//! Session re-inference latency (incremental vs full re-ground).
+fn main() {
+    tuffy_bench::emit("session", &tuffy_bench::experiments::session::report());
+}

@@ -58,6 +58,7 @@ pub fn report() -> String {
             // Report the partitioning geometry at this budget.
             let g = tuffy_grounder::ground_bottom_up(
                 &ds.program,
+                &ds.evidence,
                 tuffy_grounder::GroundingMode::LazyClosure,
                 &tuffy_rdbms::OptimizerConfig::default(),
             )

@@ -9,6 +9,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig8;
 pub mod scaling;
+pub mod session;
 pub mod table1;
 pub mod table2;
 pub mod table3;

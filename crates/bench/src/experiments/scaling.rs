@@ -33,6 +33,7 @@ pub fn report() -> String {
         let name = ds.name.clone();
         let g = ground_bottom_up(
             &ds.program,
+            &ds.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )

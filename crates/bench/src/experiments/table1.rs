@@ -34,9 +34,10 @@ pub fn report() -> String {
             p.query_atoms.to_string(),
             p.components.to_string(),
         ]);
-        let stats = ds.program.stats();
+        let stats = ds.program.stats(&ds.evidence);
         let g = ground_bottom_up(
             &ds.program,
+            &ds.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )

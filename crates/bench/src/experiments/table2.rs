@@ -27,9 +27,11 @@ pub fn report() -> String {
         "paper speedup",
     ]);
     for (ds, paper) in all_four_ground().into_iter().zip(PAPER.iter()) {
-        let td = ground_top_down(&ds.program, GroundingMode::LazyClosure).expect("top-down");
+        let td = ground_top_down(&ds.program, &ds.evidence, GroundingMode::LazyClosure)
+            .expect("top-down");
         let bu = ground_bottom_up(
             &ds.program,
+            &ds.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )

@@ -50,6 +50,7 @@ pub fn report() -> String {
     for (ds, paper) in all_four().into_iter().zip(PAPER.iter()) {
         let g = ground_bottom_up(
             &ds.program,
+            &ds.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )

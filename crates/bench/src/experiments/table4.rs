@@ -35,12 +35,13 @@ pub fn report() -> String {
     for (ds, paper) in all_four().into_iter().zip(PAPER.iter()) {
         let g = ground_bottom_up(
             &ds.program,
+            &ds.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )
         .expect("grounding");
         let clause_table = g.mrf.clause_bytes();
-        let alchemy = modeled_alchemy_ram(&ds.program, &g.mrf);
+        let alchemy = modeled_alchemy_ram(&ds.program, &ds.evidence, &g.mrf);
         let tuffy_p = MemoryFootprint::of(&g.mrf).total();
         t.row(vec![
             ds.name.clone(),
@@ -57,6 +58,7 @@ pub fn report() -> String {
     let erp = er_plus_bench();
     let g = ground_bottom_up(
         &erp.program,
+        &erp.evidence,
         GroundingMode::LazyClosure,
         &OptimizerConfig::default(),
     )
@@ -64,7 +66,7 @@ pub fn report() -> String {
     out.push_str(&format!(
         "\nER+ (2x ER, cf. §4.3): modeled alchemy RAM {}, tuffy-p RAM {}\n\
          (the paper: Alchemy exhausts 4 GB and crashes; Tuffy peaks at ~2 GB)\n",
-        human(modeled_alchemy_ram(&erp.program, &g.mrf)),
+        human(modeled_alchemy_ram(&erp.program, &erp.evidence, &g.mrf)),
         human_bytes(MemoryFootprint::of(&g.mrf).total()),
     ));
     out

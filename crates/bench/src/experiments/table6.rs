@@ -51,8 +51,8 @@ pub fn report() -> String {
         let mut times = Vec::new();
         let mut clauses = Vec::new();
         for (_, cfg) in &configs {
-            let g =
-                ground_bottom_up(&ds.program, GroundingMode::LazyClosure, cfg).expect("grounding");
+            let g = ground_bottom_up(&ds.program, &ds.evidence, GroundingMode::LazyClosure, cfg)
+                .expect("grounding");
             times.push(g.stats.wall);
             clauses.push(g.stats.clauses);
         }

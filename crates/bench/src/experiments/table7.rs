@@ -33,6 +33,7 @@ fn run_dataset(ds: Dataset) -> (String, [Duration; 3]) {
     let name = ds.name.clone();
     let g = ground_bottom_up(
         &ds.program,
+        &ds.evidence,
         GroundingMode::LazyClosure,
         &OptimizerConfig::default(),
     )

@@ -66,11 +66,14 @@ pub fn tuffy_mm_config(max_flips: u64) -> TuffyConfig {
     }
 }
 
-/// Runs MAP inference on a dataset under a configuration.
+/// Runs MAP inference on a dataset under a configuration (a one-shot
+/// session: ground, search, report).
 pub fn run(dataset: Dataset, cfg: TuffyConfig) -> tuffy::MapResult {
-    Tuffy::from_program(dataset.program)
+    Tuffy::from_parts(dataset.program, dataset.evidence)
         .with_config(cfg)
-        .map_inference()
+        .open_session()
+        .expect("grounding")
+        .map()
         .expect("inference")
 }
 

@@ -5,31 +5,42 @@
 //!
 //! ```text
 //! tuffy -i prog.mln -e evidence.db [-r result.out] [--marginal] \
+//!       [--delta d.db ...] [--session] \
 //!       [--flips N] [--parallel N] [--no-partition] [--mem-budget BYTES] \
 //!       [--partition-rounds N] [--seed N] [--arch hybrid|inmemory|rdbms] \
 //!       [--explain] [--explain-schedule] [--join-order auto|program] \
 //!       [--join-algo auto|nl] [--no-pushdown]
 //! ```
 //!
+//! All inference runs inside one long-lived session (ground once, query
+//! many). `--delta FILE` (repeatable) applies an evidence-delta file
+//! after the initial inference and re-runs it, printing whether the
+//! grounding was patched incrementally or re-ground. `--session` enters
+//! a REPL on stdin: each line is a delta edit (`atom` / `+atom` assert
+//! true, `!atom` assert false, `-atom` retract, `~atom` flip) or a
+//! command (`:map`, `:marginal`, `:explain`, `:quit`); edits re-run
+//! inference immediately.
+//!
 //! `--explain` prints the physical plan (`EXPLAIN`) of every grounding
 //! query under the selected lesion knobs and exits without running
 //! inference; the three lesion flags mirror the paper's Table 6 study.
-//! `--explain-schedule` does the same for the inference scheduler: it
-//! prints the partition/bin-packing decisions (`--parallel`,
-//! `--mem-budget`, and `--partition-rounds` shape them) and exits.
+//! `--explain-schedule` does the same for the inference scheduler.
 //! `--threads` and `--budget` are accepted as aliases of `--parallel`
 //! and `--mem-budget`.
 
+use std::io::BufRead;
 use std::process::ExitCode;
 use tuffy::{
-    Architecture, JoinAlgorithmPolicy, JoinOrderPolicy, McSatParams, PartitionStrategy, Tuffy,
-    TuffyConfig, WalkSatParams,
+    Architecture, JoinAlgorithmPolicy, JoinOrderPolicy, McSatParams, PartitionStrategy, Session,
+    Tuffy, TuffyConfig, WalkSatParams,
 };
 
 struct Args {
     program: String,
     evidence: Option<String>,
     result: Option<String>,
+    deltas: Vec<String>,
+    session: bool,
     marginal: bool,
     explain: bool,
     explain_schedule: bool,
@@ -46,7 +57,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: tuffy -i <prog.mln> [-e <evidence.db>] [-r <result.out>]\n\
-     \x20       [--marginal] [--flips N] [--parallel N] [--no-partition]\n\
+     \x20       [--marginal] [--delta <delta.db>]... [--session]\n\
+     \x20       [--flips N] [--parallel N] [--no-partition]\n\
      \x20       [--mem-budget BYTES] [--partition-rounds N] [--seed N]\n\
      \x20       [--arch hybrid|inmemory|rdbms] [--explain] [--explain-schedule]\n\
      \x20       [--join-order auto|program] [--join-algo auto|nl]\n\
@@ -58,6 +70,8 @@ fn parse_args() -> Result<Args, String> {
         program: String::new(),
         evidence: None,
         result: None,
+        deltas: Vec::new(),
+        session: false,
         marginal: false,
         explain: false,
         explain_schedule: false,
@@ -81,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
             "-i" => args.program = value("-i")?,
             "-e" => args.evidence = Some(value("-e")?),
             "-r" => args.result = Some(value("-r")?),
+            "--delta" => args.deltas.push(value("--delta")?),
+            "--session" => args.session = true,
             "--marginal" => args.marginal = true,
             "--explain" => args.explain = true,
             "--explain-schedule" => args.explain_schedule = true,
@@ -141,6 +157,99 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Runs one inference over the session and returns the rendered output.
+fn infer(session: &mut Session, marginal: bool, seed: u64) -> Result<String, String> {
+    if marginal {
+        let r = session
+            .marginal(&McSatParams {
+                seed,
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "marginals over {} atoms: {} flips in {:?}",
+            r.report.atoms, r.report.flips, r.report.search_time
+        );
+        let mut out = String::new();
+        for (name, (_, p)) in r.names.iter().zip(r.marginals.iter()) {
+            out.push_str(&format!("{p:.4}\t{name}\n"));
+        }
+        Ok(out)
+    } else {
+        let r = session.map().map_err(|e| e.to_string())?;
+        eprintln!(
+            "search: {} flips in {:?} ({:.0} flips/sec), solution cost {}",
+            r.report.flips, r.report.search_time, r.report.flips_per_sec, r.cost
+        );
+        Ok(r.to_text())
+    }
+}
+
+fn apply_and_report(
+    session: &mut Session,
+    delta_src: &str,
+    marginal: bool,
+    seed: u64,
+) -> Result<String, String> {
+    let delta = session.parse_delta(delta_src).map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    let report = session.apply(&delta).map_err(|e| e.to_string())?;
+    let output = infer(session, marginal, seed)?;
+    eprintln!(
+        "delta: {} change(s), {} in {:?}, re-inference in {:?} total",
+        report.changes,
+        if report.incremental {
+            "patched incrementally".to_string()
+        } else {
+            format!(
+                "full re-ground ({})",
+                report.reason.as_deref().unwrap_or("unknown")
+            )
+        },
+        report.wall,
+        t0.elapsed(),
+    );
+    Ok(output)
+}
+
+fn emit(args: &Args, output: &str) -> Result<(), String> {
+    match &args.result {
+        Some(path) => std::fs::write(path, output).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{output}");
+            Ok(())
+        }
+    }
+}
+
+fn repl(session: &mut Session, args: &Args) -> Result<(), String> {
+    eprintln!(
+        "session REPL: evidence edits re-run inference (`atom` assert true, `!atom` assert \
+         false, `-atom` retract, `~atom` flip); :map :marginal :explain :quit"
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let trimmed = line.trim();
+        let outcome = match trimmed {
+            "" => continue,
+            ":quit" | ":q" => break,
+            ":explain" => {
+                eprint!("{}", session.explain());
+                continue;
+            }
+            ":map" => infer(session, false, args.seed),
+            ":marginal" => infer(session, true, args.seed),
+            _ => apply_and_report(session, trimmed, args.marginal, args.seed),
+        };
+        match outcome {
+            Ok(output) => emit(args, &output)?,
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let program_src =
@@ -172,53 +281,32 @@ fn run() -> Result<(), String> {
 
     if args.explain_schedule {
         let text = tuffy.explain_schedule().map_err(|e| e.to_string())?;
-        match &args.result {
-            Some(path) => std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?,
-            None => print!("{text}"),
-        }
-        return Ok(());
+        return emit(&args, &text);
     }
     if args.explain {
         let text = tuffy.explain_grounding().map_err(|e| e.to_string())?;
-        match &args.result {
-            Some(path) => std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?,
-            None => print!("{text}"),
-        }
-        return Ok(());
+        return emit(&args, &text);
     }
 
-    let output = if args.marginal {
-        let r = tuffy
-            .marginal_inference(&McSatParams {
-                seed: args.seed,
-                ..Default::default()
-            })
-            .map_err(|e| e.to_string())?;
-        eprintln!(
-            "grounded {} clauses over {} atoms in {:?}",
-            r.report.clauses, r.report.atoms, r.report.grounding.wall
-        );
-        let mut out = String::new();
-        for (name, (_, p)) in r.names.iter().zip(r.marginals.iter()) {
-            out.push_str(&format!("{p:.4}\t{name}\n"));
-        }
-        out
-    } else {
-        let r = tuffy.map_inference().map_err(|e| e.to_string())?;
-        eprintln!(
-            "grounded {} clauses over {} atoms ({} components) in {:?}",
-            r.report.clauses, r.report.atoms, r.report.components, r.report.grounding.wall
-        );
-        eprintln!(
-            "search: {} flips in {:?} ({:.0} flips/sec), solution cost {}",
-            r.report.flips, r.report.search_time, r.report.flips_per_sec, r.cost
-        );
-        r.to_text()
-    };
+    let mut session = tuffy.open_session().map_err(|e| e.to_string())?;
+    eprintln!(
+        "grounded {} clauses over {} atoms in {:?}",
+        session.grounding().mrf.clauses().len(),
+        session.grounding().registry.len(),
+        session.grounding().stats.wall
+    );
+    let output = infer(&mut session, args.marginal, args.seed)?;
+    emit(&args, &output)?;
 
-    match &args.result {
-        Some(path) => std::fs::write(path, &output).map_err(|e| format!("{path}: {e}"))?,
-        None => print!("{output}"),
+    for path in &args.deltas {
+        let delta_src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("applying delta {path}");
+        let output = apply_and_report(&mut session, &delta_src, args.marginal, args.seed)?;
+        emit(&args, &output)?;
+    }
+
+    if args.session {
+        repl(&mut session, &args)?;
     }
     Ok(())
 }

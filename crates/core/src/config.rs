@@ -87,6 +87,22 @@ impl TuffyConfig {
     pub fn beta_for_budget(budget_bytes: usize) -> usize {
         tuffy_mrf::memory::beta_for_budget(budget_bytes)
     }
+
+    /// The scheduler configuration this Tuffy configuration implies:
+    /// [`PartitionStrategy::Components`] schedules exact connected
+    /// components; [`PartitionStrategy::Budget`] bounds β and bin
+    /// capacity by the byte budget.
+    pub fn scheduler_config(&self) -> tuffy_search::SchedulerConfig {
+        tuffy_search::SchedulerConfig {
+            threads: self.threads,
+            mem_budget: match self.partitioning {
+                PartitionStrategy::Budget(bytes) => Some(bytes),
+                _ => None,
+            },
+            rounds: self.partition_rounds,
+            search: self.search,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,13 @@
 //!    (Theorem 3.1) — and split oversized components further, searching
 //!    them with a Gauss-Seidel scheme (§3.3–3.4).
 //!
+//! Because grounding dominates end-to-end time, the API is built around
+//! long-lived **sessions** that ground once and then serve many queries:
+//! [`Session::map`] warm-starts repeated MAP searches,
+//! [`Session::marginal`] samples marginals over the same store, and
+//! [`Session::apply`] edits evidence between queries — patching the
+//! grounding incrementally when the delta allows it.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -36,24 +43,48 @@
 //!     refers(P1, P3)
 //!     cat(P2, DB)
 //! "#;
+//! // Ground once, then query as often as you like.
 //! let tuffy = Tuffy::from_sources(program, evidence).unwrap();
-//! let result = tuffy.map_inference().unwrap();
+//! let mut session = tuffy.open_session().unwrap();
+//!
+//! let result = session.map().unwrap();
 //! // P1 and P3 inherit Joe's / the citation's DB label:
-//! let labels = result.true_atoms_of("cat").unwrap();
-//! assert_eq!(labels.len(), 2);
+//! assert_eq!(result.true_atoms_of("cat").unwrap().len(), 2);
+//!
+//! // A curator confirms P1's label. The session patches its grounded
+//! // store instead of re-grounding — P1 becomes evidence, and the next
+//! // map() warm-starts from the previous answer to infer just P3.
+//! let delta = session.parse_delta("cat(P1, DB)").unwrap();
+//! let report = session.apply(&delta).unwrap();
+//! assert!(report.incremental);
+//! let rows = session.map().unwrap().true_atoms_of("cat").unwrap();
+//! assert_eq!(rows, vec![vec!["P3".to_string(), "DB".to_string()]]);
 //! ```
+//!
+//! ## Migrating from the one-shot API
+//!
+//! `Tuffy::map_inference()` and `Tuffy::marginal_inference(&params)`
+//! still work but are deprecated: they open a throwaway session per
+//! call, re-grounding every time. Replace
+//! `tuffy.map_inference()` with
+//! `tuffy.open_session()?.map()` (the first `map()` of a fresh session
+//! is bit-for-bit identical), keep the session around for repeated
+//! queries, and feed evidence updates through
+//! [`Session::apply`] instead of rebuilding the `Tuffy`.
 
 pub mod config;
 pub mod pipeline;
 pub mod result;
+pub mod session;
 
 pub use config::{Architecture, PartitionStrategy, TuffyConfig};
 pub use pipeline::Tuffy;
-pub use result::{InferenceReport, MapResult, MarginalResult};
+pub use result::{render_atom, InferenceReport, MapResult, MarginalResult};
+pub use session::{ApplyReport, Session};
 
 // Re-exports so downstream users need only this crate.
-pub use tuffy_grounder::GroundingMode;
-pub use tuffy_mln::{MlnError, MlnProgram, Weight};
+pub use tuffy_grounder::{GroundingMode, PatchStats};
+pub use tuffy_mln::{DeltaOp, EvidenceDelta, EvidenceSet, MlnError, MlnProgram, Weight};
 pub use tuffy_mrf::Cost;
 pub use tuffy_rdbms::{DiskModel, JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig};
 pub use tuffy_search::mcsat::McSatParams;

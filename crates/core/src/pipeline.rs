@@ -1,21 +1,32 @@
-//! The end-to-end inference pipeline (Appendix B.3, Figure 7).
+//! The top-level entry point: program + evidence + configuration.
+//!
+//! [`Tuffy`] holds the three inputs of Figure 1 (schema/program,
+//! evidence, and the run configuration) and opens [`Session`](crate::session::Session)s over
+//! them — the ground-once, query-many pipeline of Appendix B.3,
+//! Figure 7. The historical one-shot methods survive as deprecated
+//! wrappers over a single-use session.
 
-use crate::config::{Architecture, PartitionStrategy, TuffyConfig};
-use crate::result::{InferenceReport, MapResult, MarginalResult};
-use std::time::Instant;
-use tuffy_grounder::{ground_bottom_up, ground_top_down, GroundingResult};
+use crate::config::TuffyConfig;
+use crate::result::{MapResult, MarginalResult};
+use tuffy_grounder::GroundingResult;
+use tuffy_mln::evidence::EvidenceSet;
 use tuffy_mln::parser::{parse_evidence, parse_program};
 use tuffy_mln::program::MlnProgram;
 use tuffy_mln::MlnError;
-use tuffy_mrf::memory::MemoryFootprint;
-use tuffy_mrf::ComponentSet;
-use tuffy_search::mcsat::{McSat, McSatParams};
-use tuffy_search::rdbms_search::RdbmsSearch;
-use tuffy_search::{Scheduler, SchedulerConfig, TimeCostTrace, WalkSat};
+use tuffy_search::mcsat::McSatParams;
+use tuffy_search::Scheduler;
 
 /// A configured Tuffy instance: program + evidence + configuration.
+///
+/// `Tuffy` is cheap, immutable input state; inference happens in a
+/// [`Session`](crate::session::Session) obtained from [`Tuffy::open_session`], which grounds once
+/// and then serves repeated [`map()`](crate::session::Session::map) /
+/// [`marginal()`](crate::session::Session::marginal)
+/// queries with incremental [`apply()`](crate::session::Session::apply) evidence
+/// updates.
 pub struct Tuffy {
     program: MlnProgram,
+    evidence: EvidenceSet,
     config: TuffyConfig,
 }
 
@@ -24,19 +35,22 @@ impl Tuffy {
     /// configuration.
     pub fn from_sources(program_src: &str, evidence_src: &str) -> Result<Tuffy, MlnError> {
         let mut program = parse_program(program_src)?;
-        parse_evidence(&mut program, evidence_src)?;
-        Ok(Tuffy {
-            program,
-            config: TuffyConfig::default(),
-        })
+        let evidence = parse_evidence(&mut program, evidence_src)?;
+        Ok(Tuffy::from_parts(program, evidence))
     }
 
-    /// Wraps an already-built program.
-    pub fn from_program(program: MlnProgram) -> Tuffy {
+    /// Wraps an already-built program and evidence set.
+    pub fn from_parts(program: MlnProgram, evidence: EvidenceSet) -> Tuffy {
         Tuffy {
             program,
+            evidence,
             config: TuffyConfig::default(),
         }
+    }
+
+    /// Wraps an already-built program with no evidence.
+    pub fn from_program(program: MlnProgram) -> Tuffy {
+        Tuffy::from_parts(program, EvidenceSet::new())
     }
 
     /// Replaces the configuration.
@@ -48,6 +62,11 @@ impl Tuffy {
     /// The underlying program.
     pub fn program(&self) -> &MlnProgram {
         &self.program
+    }
+
+    /// The base evidence sessions start from.
+    pub fn evidence(&self) -> &EvidenceSet {
+        &self.evidence
     }
 
     /// The active configuration.
@@ -62,25 +81,10 @@ impl Tuffy {
     pub fn explain_grounding(&self) -> Result<String, MlnError> {
         tuffy_grounder::explain_grounding(
             &self.program,
+            &self.evidence,
             self.config.grounding,
             &self.config.optimizer,
         )
-    }
-
-    /// The scheduler configuration implied by this Tuffy configuration:
-    /// `PartitionStrategy::Components` schedules exact connected
-    /// components; `PartitionStrategy::Budget` bounds β and bin capacity
-    /// by the byte budget.
-    fn scheduler_config(&self) -> SchedulerConfig {
-        SchedulerConfig {
-            threads: self.config.threads,
-            mem_budget: match self.config.partitioning {
-                PartitionStrategy::Budget(bytes) => Some(bytes),
-                _ => None,
-            },
-            rounds: self.config.partition_rounds,
-            search: self.config.search,
-        }
     }
 
     /// Renders the partition/bin-packing decisions the scheduler would
@@ -89,167 +93,42 @@ impl Tuffy {
     /// schedule, and prints it without running any search.
     pub fn explain_schedule(&self) -> Result<String, MlnError> {
         let grounding = self.ground()?;
-        Ok(Scheduler::new(&grounding.mrf, self.scheduler_config()).explain())
+        Ok(Scheduler::new(&grounding.mrf, self.config.scheduler_config()).explain())
     }
 
-    /// Grounds the program according to the configured architecture.
+    /// Grounds the program according to the configured architecture
+    /// (without opening a session). Shares the session's grounding
+    /// dispatch, so the two can never disagree.
     pub fn ground(&self) -> Result<GroundingResult, MlnError> {
-        match self.config.architecture {
-            Architecture::InMemory => ground_top_down(&self.program, self.config.grounding),
-            Architecture::Hybrid | Architecture::RdbmsOnly => {
-                ground_bottom_up(&self.program, self.config.grounding, &self.config.optimizer)
-            }
-        }
+        crate::session::Session::ground(&self.program, &self.evidence, &self.config)
     }
 
-    /// Runs MAP inference: grounding, then search per the configured
-    /// architecture and partitioning strategy.
+    /// Runs one-shot MAP inference: grounds, searches, discards the
+    /// session state.
+    #[deprecated(
+        since = "0.2.0",
+        note = "open a `Session` (`Tuffy::open_session`) and call `map()`: sessions ground \
+                once and warm-start repeated queries instead of re-grounding every call"
+    )]
     pub fn map_inference(&self) -> Result<MapResult, MlnError> {
-        let grounding = self.ground()?;
-        let mrf = &grounding.mrf;
-        let mut report = InferenceReport {
-            grounding: grounding.stats.clone(),
-            clauses: mrf.clauses().len(),
-            atoms: grounding.registry.len(),
-            clause_table_bytes: mrf.clause_bytes(),
-            ..Default::default()
-        };
-        // The paper's time axis includes grounding (Figure 3's curves
-        // begin when grounding completes).
-        let mut trace = TimeCostTrace::with_offset(grounding.stats.wall);
-        let search_started = Instant::now();
-
-        let (truth, cost) = match self.config.architecture {
-            Architecture::RdbmsOnly => {
-                let mut search = RdbmsSearch::new(
-                    mrf,
-                    self.config.pool_pages,
-                    self.config.disk,
-                    self.config.search.seed,
-                );
-                let r = search.run(
-                    self.config.search.max_flips,
-                    self.config.search.noise,
-                    None,
-                    Some(&mut trace),
-                );
-                report.flips = r.flips;
-                report.search_time = r.wall + r.simulated_io;
-                report.flips_per_sec = r.flips_per_sec;
-                report.search_ram = mrf.num_atoms() * 2; // truth arrays only
-                report.components = ComponentSet::detect(mrf).nontrivial_count();
-                (r.truth, r.cost)
-            }
-            Architecture::InMemory => {
-                // Alchemy-style: monolithic WalkSAT, not component-aware.
-                let components = ComponentSet::detect(mrf);
-                report.components = components.nontrivial_count();
-                report.search_ram = MemoryFootprint::of(mrf).total();
-                let mut ws = WalkSat::new(mrf, self.config.search.seed);
-                ws.run(&self.config.search, Some(&mut trace));
-                report.flips = ws.flips();
-                (ws.best_truth().to_vec(), ws.best_cost())
-            }
-            Architecture::Hybrid => {
-                report.components = ComponentSet::detect(mrf).nontrivial_count();
-                match self.config.partitioning {
-                    PartitionStrategy::None => {
-                        report.search_ram = MemoryFootprint::of(mrf).total();
-                        let mut ws = WalkSat::new(mrf, self.config.search.seed);
-                        ws.run(&self.config.search, Some(&mut trace));
-                        report.flips = ws.flips();
-                        (ws.best_truth().to_vec(), ws.best_cost())
-                    }
-                    // The PartitionedInference stage: components (or
-                    // budget-bounded Algorithm 3 partitions) → FFD bins →
-                    // worker pool → Gauss-Seidel rounds over cut clauses.
-                    PartitionStrategy::Components | PartitionStrategy::Budget(_) => {
-                        let scheduler = Scheduler::new(mrf, self.scheduler_config());
-                        let r = scheduler.run(Some(&mut trace));
-                        report.flips = r.flips;
-                        report.search_ram = r.peak_partition_bytes;
-                        report.partitions = scheduler.schedule().units.len();
-                        report.bins = scheduler.schedule().bins.len();
-                        report.rounds = r.rounds_run;
-                        (r.truth, r.cost)
-                    }
-                }
-            }
-        };
-
-        if report.search_time.is_zero() {
-            report.search_time = search_started.elapsed();
-        }
-        if report.flips_per_sec == 0.0 {
-            let secs = report.search_time.as_secs_f64();
-            report.flips_per_sec = if secs > 0.0 {
-                report.flips as f64 / secs
-            } else {
-                f64::INFINITY
-            };
-        }
-        Ok(MapResult::new(
-            &self.program,
-            &grounding.registry,
-            &truth,
-            cost,
-            trace,
-            report,
-        ))
+        self.open_session()?.map()
     }
 
-    /// Runs marginal inference with MC-SAT (Appendix A.5). With worker
-    /// threads or a memory budget configured, MC-SAT runs per partition
-    /// through the scheduler (exact factorization over components; cut
-    /// clauses are conditioned on a MAP mode); otherwise one sampler
-    /// covers the whole MRF.
+    /// Runs one-shot marginal inference with MC-SAT (Appendix A.5).
+    #[deprecated(
+        since = "0.2.0",
+        note = "open a `Session` (`Tuffy::open_session`) and call `marginal(&params)`: \
+                sessions ground once instead of re-grounding every call"
+    )]
     pub fn marginal_inference(&self, params: &McSatParams) -> Result<MarginalResult, MlnError> {
-        let grounding = self.ground()?;
-        let mrf = &grounding.mrf;
-        let partitioned = match self.config.partitioning {
-            PartitionStrategy::None => false, // monolithic by request
-            PartitionStrategy::Components => self.config.threads > 1,
-            PartitionStrategy::Budget(_) => true,
-        };
-        let probs = if partitioned {
-            Scheduler::new(mrf, self.scheduler_config()).run_marginal(params)?
-        } else {
-            McSat::new(mrf, params.seed)?.marginals(params)
-        };
-        let mut marginals = Vec::with_capacity(probs.len());
-        let mut names = Vec::with_capacity(probs.len());
-        for (i, p) in probs.into_iter().enumerate() {
-            let ga = grounding.registry.ground_atom(i as u32);
-            let rendered = format!(
-                "{}({})",
-                self.program.predicate_name(ga.predicate),
-                ga.args
-                    .iter()
-                    .map(|s| self.program.symbols.resolve(*s))
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-            names.push(rendered);
-            marginals.push((ga, p));
-        }
-        let report = InferenceReport {
-            grounding: grounding.stats.clone(),
-            clauses: mrf.clauses().len(),
-            atoms: grounding.registry.len(),
-            clause_table_bytes: mrf.clause_bytes(),
-            ..Default::default()
-        };
-        Ok(MarginalResult {
-            marginals,
-            names,
-            report,
-        })
+        self.open_session()?.marginal(params)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{Architecture, PartitionStrategy};
     use tuffy_search::WalkSatParams;
 
     const PROGRAM: &str = r#"
@@ -270,7 +149,7 @@ mod tests {
     #[test]
     fn map_inference_classifies_papers() {
         let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
-        let r = t.map_inference().unwrap();
+        let r = t.open_session().unwrap().map().unwrap();
         // The most likely world labels P1 and P3 as DB (cost 0).
         assert!(r.cost.is_zero(), "cost = {}", r.cost);
         let mut rows = r.true_atoms_of("cat").unwrap();
@@ -302,7 +181,9 @@ mod tests {
             Tuffy::from_sources(PROGRAM, EVIDENCE)
                 .unwrap()
                 .with_config(cfg)
-                .map_inference()
+                .open_session()
+                .unwrap()
+                .map()
                 .unwrap()
         };
         let hybrid = mk(Architecture::Hybrid);
@@ -331,7 +212,9 @@ mod tests {
             let r = Tuffy::from_sources(PROGRAM, EVIDENCE)
                 .unwrap()
                 .with_config(cfg)
-                .map_inference()
+                .open_session()
+                .unwrap()
+                .map()
                 .unwrap();
             assert!(r.cost.is_zero(), "{strategy:?} ended at {}", r.cost);
         }
@@ -346,7 +229,9 @@ mod tests {
         let r = Tuffy::from_sources(PROGRAM, EVIDENCE)
             .unwrap()
             .with_config(cfg)
-            .map_inference()
+            .open_session()
+            .unwrap()
+            .map()
             .unwrap();
         assert!(r.cost.is_zero());
     }
@@ -355,7 +240,9 @@ mod tests {
     fn marginal_inference_runs() {
         let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
         let r = t
-            .marginal_inference(&McSatParams {
+            .open_session()
+            .unwrap()
+            .marginal(&McSatParams {
                 samples: 100,
                 burn_in: 10,
                 sample_sat_steps: 200,
@@ -365,16 +252,97 @@ mod tests {
         // cat(P1, DB) should be likely true.
         let p = r.probability_of("cat", &["P1", "DB"]).unwrap();
         assert!(p > 0.5, "P(cat(P1,DB)) = {p}");
+        // The report is populated (search time, flips, components).
+        assert!(r.report.flips > 0);
+        assert!(!r.report.search_time.is_zero());
+        assert!(r.report.components >= 1);
     }
 
     #[test]
     fn report_is_populated() {
         let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
-        let r = t.map_inference().unwrap();
+        let r = t.open_session().unwrap().map().unwrap();
         assert!(r.report.clauses > 0);
         assert!(r.report.atoms > 0);
         assert!(r.report.components >= 1);
         assert!(r.report.clause_table_bytes > 0);
         assert!(!r.trace.points().is_empty());
+    }
+
+    /// The deprecated one-shot wrappers must stay green and match a
+    /// fresh session bit for bit.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_sessions() {
+        let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
+        let wrapped = t.map_inference().unwrap();
+        let sessioned = t.open_session().unwrap().map().unwrap();
+        assert_eq!(format!("{}", wrapped.cost), format!("{}", sessioned.cost));
+        assert_eq!(wrapped.true_atoms(), sessioned.true_atoms());
+        assert_eq!(wrapped.report.flips, sessioned.report.flips);
+
+        let params = McSatParams {
+            samples: 50,
+            burn_in: 5,
+            sample_sat_steps: 100,
+            ..Default::default()
+        };
+        let wrapped = t.marginal_inference(&params).unwrap();
+        let sessioned = t.open_session().unwrap().marginal(&params).unwrap();
+        assert_eq!(wrapped.names, sessioned.names);
+        for (a, b) in wrapped.marginals.iter().zip(sessioned.marginals.iter()) {
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn repeated_maps_warm_start_and_agree() {
+        let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
+        let mut s = t.open_session().unwrap();
+        let first = s.map().unwrap();
+        let second = s.map().unwrap();
+        assert!(first.cost.is_zero());
+        assert!(second.cost.is_zero());
+        assert_eq!(first.true_atoms(), second.true_atoms());
+        // The optimum is already satisfied: a warm re-map needs no flips.
+        assert_eq!(second.report.flips, 0);
+    }
+
+    #[test]
+    fn session_apply_updates_answers() {
+        let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
+        let mut s = t.open_session().unwrap();
+        s.map().unwrap();
+        // Assert the active atom cat(P3, DB) false. F3 (weight 2) now
+        // penalizes labeling P1 — "if P1 were DB, P3 would be" — which
+        // outweighs the weight-1 support for P1, so both labels go.
+        let delta = s.parse_delta("!cat(P3, DB)\n").unwrap();
+        let report = s.apply(&delta).unwrap();
+        assert!(report.incremental, "{:?}", report.reason);
+        let r = s.map().unwrap();
+        assert!(r.true_atoms_of("cat").unwrap().is_empty());
+        assert_eq!(r.cost.hard, 0);
+        assert!((r.cost.soft - 1.0).abs() < 1e-9, "cost = {}", r.cost);
+        // A from-scratch session over the merged evidence agrees.
+        let fresh = Tuffy::from_parts(s.program().clone(), s.evidence().clone())
+            .open_session()
+            .unwrap()
+            .map()
+            .unwrap();
+        assert_eq!(format!("{}", fresh.cost), format!("{}", r.cost));
+        assert_eq!(fresh.true_atoms(), r.true_atoms());
+        let text = s.explain();
+        assert!(text.contains("incremental patch"), "{text}");
+    }
+
+    #[test]
+    fn session_apply_falls_back_on_closed_world() {
+        let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
+        let mut s = t.open_session().unwrap();
+        let delta = s.parse_delta("wrote(Jake, P3)\n").unwrap();
+        let report = s.apply(&delta).unwrap();
+        assert!(!report.incremental);
+        assert!(report.reason.as_deref().unwrap().contains("closed-world"));
+        assert!(s.map().unwrap().cost.is_zero());
     }
 }

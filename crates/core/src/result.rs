@@ -42,6 +42,25 @@ pub struct InferenceReport {
     pub flips_per_sec: f64,
 }
 
+/// Resolves a ground atom to its display names: the predicate name and
+/// one string per argument. The single place atom rendering happens —
+/// both result types go through it.
+pub(crate) fn atom_names(program: &MlnProgram, ga: &GroundAtom) -> (String, Vec<String>) {
+    (
+        program.predicate_name(ga.predicate).to_string(),
+        ga.args
+            .iter()
+            .map(|s| program.symbols.resolve(*s).to_string())
+            .collect(),
+    )
+}
+
+/// Renders a ground atom in evidence syntax: `pred(arg1, arg2)`.
+pub fn render_atom(program: &MlnProgram, ga: &GroundAtom) -> String {
+    let (name, args) = atom_names(program, ga);
+    format!("{name}({})", args.join(", "))
+}
+
 /// The result of MAP inference: a most-likely world.
 #[derive(Debug)]
 pub struct MapResult {
@@ -72,13 +91,7 @@ impl MapResult {
                 continue;
             }
             let ga = registry.ground_atom(i as u32);
-            names.push((
-                program.predicate_name(ga.predicate).to_string(),
-                ga.args
-                    .iter()
-                    .map(|s| program.symbols.resolve(*s).to_string())
-                    .collect(),
-            ));
+            names.push(atom_names(program, &ga));
             atoms.push(ga);
         }
         MapResult {

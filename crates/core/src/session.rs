@@ -1,0 +1,472 @@
+//! Long-lived inference sessions: ground once, serve many queries.
+//!
+//! Grounding dominates end-to-end inference time (§3.1 — the reason it
+//! belongs in a relational engine at all), yet a one-shot API pays it on
+//! every call. A [`Session`] amortizes it: [`Tuffy::open_session`]
+//! parses and grounds once, then
+//!
+//! * [`Session::map`] answers repeated MAP queries, warm-starting
+//!   WalkSAT from the previous best truth assignment;
+//! * [`Session::marginal`] answers marginal queries over the same
+//!   grounded store;
+//! * [`Session::apply`] edits the evidence between queries — the
+//!   grounding is *patched* in place when the delta is in the
+//!   provably-exact incremental fragment
+//!   ([`tuffy_grounder::incremental`]), and re-ground from the merged
+//!   evidence otherwise;
+//! * [`Session::explain`] reports the session state: grounding, last
+//!   delta outcome, warm-start status, and the partition schedule.
+//!
+//! The one-shot methods ([`Tuffy::map_inference`],
+//! [`Tuffy::marginal_inference`]) survive as deprecated wrappers over a
+//! single-use session.
+
+use crate::config::{Architecture, PartitionStrategy, TuffyConfig};
+use crate::pipeline::Tuffy;
+use crate::result::{render_atom, InferenceReport, MapResult, MarginalResult};
+use std::time::{Duration, Instant};
+use tuffy_grounder::incremental::{apply_delta_grounding, DeltaOutcome, PatchStats};
+use tuffy_grounder::{ground_bottom_up, ground_top_down, GroundingResult};
+use tuffy_mln::evidence::{EvidenceDelta, EvidenceSet};
+use tuffy_mln::program::MlnProgram;
+use tuffy_mln::MlnError;
+use tuffy_mrf::memory::MemoryFootprint;
+use tuffy_mrf::ComponentSet;
+use tuffy_search::mcsat::{McSat, McSatParams};
+use tuffy_search::rdbms_search::RdbmsSearch;
+use tuffy_search::{Scheduler, TimeCostTrace, WalkSat};
+
+/// What one [`Session::apply`] call did to the grounded store.
+#[derive(Clone, Debug)]
+pub struct ApplyReport {
+    /// Whether the grounding was patched incrementally (`true`) or
+    /// rebuilt from the merged evidence (`false`). Deltas with no
+    /// grounding effect count as incremental.
+    pub incremental: bool,
+    /// Why a full re-ground was required, when it was.
+    pub reason: Option<String>,
+    /// Net evidence changes the delta caused.
+    pub changes: usize,
+    /// Wall time of the whole apply (evidence edit + patch/re-ground).
+    pub wall: Duration,
+    /// Patch counters (present only on the incremental path).
+    pub patch: Option<PatchStats>,
+    /// Ground clauses after the apply.
+    pub clauses: usize,
+    /// Query atoms after the apply.
+    pub atoms: usize,
+}
+
+/// A long-lived inference session over one program: evidence, grounding,
+/// and warm-start search state. Created by [`Tuffy::open_session`].
+pub struct Session {
+    program: MlnProgram,
+    evidence: EvidenceSet,
+    config: TuffyConfig,
+    grounding: GroundingResult,
+    /// Best truth assignment of the previous `map()` call, aligned with
+    /// the current registry; seeds the next search.
+    warm: Option<Vec<bool>>,
+    /// Cached partition schedule for the current grounding (repeated
+    /// maps skip Algorithm 3 + FFD re-planning); invalidated by apply.
+    plan: Option<tuffy_search::Schedule>,
+    /// Cached nontrivial component count; invalidated by apply.
+    components: Option<usize>,
+    maps_run: usize,
+    last_apply: Option<ApplyReport>,
+}
+
+impl Session {
+    pub(crate) fn open(
+        program: MlnProgram,
+        evidence: EvidenceSet,
+        config: TuffyConfig,
+    ) -> Result<Session, MlnError> {
+        let grounding = Self::ground(&program, &evidence, &config)?;
+        Ok(Session {
+            program,
+            evidence,
+            config,
+            grounding,
+            warm: None,
+            plan: None,
+            components: None,
+            maps_run: 0,
+            last_apply: None,
+        })
+    }
+
+    pub(crate) fn ground(
+        program: &MlnProgram,
+        evidence: &EvidenceSet,
+        config: &TuffyConfig,
+    ) -> Result<GroundingResult, MlnError> {
+        match config.architecture {
+            Architecture::InMemory => ground_top_down(program, evidence, config.grounding),
+            Architecture::Hybrid | Architecture::RdbmsOnly => {
+                ground_bottom_up(program, evidence, config.grounding, &config.optimizer)
+            }
+        }
+    }
+
+    /// The program this session serves.
+    pub fn program(&self) -> &MlnProgram {
+        &self.program
+    }
+
+    /// The current evidence (base evidence plus every applied delta).
+    pub fn evidence(&self) -> &EvidenceSet {
+        &self.evidence
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TuffyConfig {
+        &self.config
+    }
+
+    /// The current grounded store.
+    pub fn grounding(&self) -> &GroundingResult {
+        &self.grounding
+    }
+
+    /// Consumes the session, returning its grounded store.
+    pub fn into_grounding(self) -> GroundingResult {
+        self.grounding
+    }
+
+    /// The outcome of the most recent [`Session::apply`], if any.
+    pub fn last_apply(&self) -> Option<&ApplyReport> {
+        self.last_apply.as_ref()
+    }
+
+    /// Parses delta text (see [`tuffy_mln::parser::parse_delta`] for the
+    /// syntax) against this session's program, interning any new
+    /// constants.
+    pub fn parse_delta(&mut self, src: &str) -> Result<EvidenceDelta, MlnError> {
+        tuffy_mln::parser::parse_delta(&mut self.program, src)
+    }
+
+    /// Applies an evidence delta to the session: updates the evidence
+    /// set, then patches the grounding incrementally when the delta is
+    /// in the exact fragment and re-grounds from the merged evidence
+    /// otherwise. Warm-start state survives either way (carried through
+    /// the atom remap).
+    ///
+    /// Transactional: on any error (invalid delta, grounding failure)
+    /// the session — evidence, grounding, warm state — is unchanged.
+    pub fn apply(&mut self, delta: &EvidenceDelta) -> Result<ApplyReport, MlnError> {
+        let start = Instant::now();
+        // Stage the evidence edit; committed only once the grounding
+        // update has succeeded, so a failure cannot desynchronize the
+        // evidence from the grounded store.
+        let mut staged = self.evidence.clone();
+        let changes = staged.apply(&self.program, delta)?;
+        let report = match apply_delta_grounding(&self.program, &self.grounding, &changes) {
+            DeltaOutcome::Unchanged => ApplyReport {
+                incremental: true,
+                reason: None,
+                changes: changes.len(),
+                wall: start.elapsed(),
+                patch: None,
+                clauses: self.grounding.mrf.clauses().len(),
+                atoms: self.grounding.registry.len(),
+            },
+            DeltaOutcome::Patched(patched) => {
+                if let Some(old_warm) = self.warm.take() {
+                    let mut warm = vec![false; patched.grounding.registry.len()];
+                    for (old_id, new_id) in patched.remap.iter().enumerate() {
+                        if let Some(new_id) = new_id {
+                            warm[*new_id as usize] = old_warm[old_id];
+                        }
+                    }
+                    self.warm = Some(warm);
+                }
+                let report = ApplyReport {
+                    incremental: true,
+                    reason: None,
+                    changes: changes.len(),
+                    wall: start.elapsed(),
+                    patch: Some(patched.stats),
+                    clauses: patched.grounding.mrf.clauses().len(),
+                    atoms: patched.grounding.registry.len(),
+                };
+                self.grounding = patched.grounding;
+                self.plan = None;
+                self.components = None;
+                report
+            }
+            DeltaOutcome::NeedsFullReground { reason } => {
+                let fresh = Self::ground(&self.program, &staged, &self.config)?;
+                if let Some(old_warm) = self.warm.take() {
+                    // Carry search state across by ground-atom identity.
+                    let mut warm = vec![false; fresh.registry.len()];
+                    for (new_id, pred, args) in fresh.registry.iter() {
+                        if let Some(old_id) = self.grounding.registry.get(pred, args) {
+                            warm[new_id as usize] = old_warm[old_id as usize];
+                        }
+                    }
+                    self.warm = Some(warm);
+                }
+                let report = ApplyReport {
+                    incremental: false,
+                    reason: Some(reason),
+                    changes: changes.len(),
+                    wall: start.elapsed(),
+                    patch: None,
+                    clauses: fresh.mrf.clauses().len(),
+                    atoms: fresh.registry.len(),
+                };
+                self.grounding = fresh;
+                self.plan = None;
+                self.components = None;
+                report
+            }
+        };
+        self.evidence = staged;
+        self.last_apply = Some(report.clone());
+        Ok(report)
+    }
+
+    /// Runs MAP inference over the session's grounded store. The first
+    /// call searches from the LazySAT all-false state (identical to the
+    /// one-shot pipeline); later calls warm-start from the previous best
+    /// truth, so small evidence deltas re-converge in a fraction of the
+    /// flips.
+    pub fn map(&mut self) -> Result<MapResult, MlnError> {
+        let grounding = &self.grounding;
+        let mrf = &grounding.mrf;
+        let mut report = InferenceReport {
+            grounding: grounding.stats.clone(),
+            clauses: mrf.clauses().len(),
+            atoms: grounding.registry.len(),
+            clause_table_bytes: mrf.clause_bytes(),
+            ..Default::default()
+        };
+        // The paper's time axis includes grounding (Figure 3's curves
+        // begin when grounding completes).
+        let mut trace = TimeCostTrace::with_offset(grounding.stats.wall);
+        let search_started = Instant::now();
+        let init = self
+            .warm
+            .clone()
+            .unwrap_or_else(|| vec![false; mrf.num_atoms()]);
+        // Repeated maps over an unchanged store reuse the component
+        // analysis; `apply` invalidates it.
+        let components = match self.components {
+            Some(c) => c,
+            None => {
+                let c = ComponentSet::detect(mrf).nontrivial_count();
+                self.components = Some(c);
+                c
+            }
+        };
+        report.components = components;
+
+        let (truth, cost) = match self.config.architecture {
+            Architecture::RdbmsOnly => {
+                // Tuffy-mm keeps its state in the buffer pool; it always
+                // searches cold.
+                let mut search = RdbmsSearch::new(
+                    mrf,
+                    self.config.pool_pages,
+                    self.config.disk,
+                    self.config.search.seed,
+                );
+                let r = search.run(
+                    self.config.search.max_flips,
+                    self.config.search.noise,
+                    None,
+                    Some(&mut trace),
+                );
+                report.flips = r.flips;
+                report.search_time = r.wall + r.simulated_io;
+                report.flips_per_sec = r.flips_per_sec;
+                report.search_ram = mrf.num_atoms() * 2; // truth arrays only
+                (r.truth, r.cost)
+            }
+            Architecture::InMemory => {
+                // Alchemy-style: monolithic WalkSAT, not component-aware.
+                report.search_ram = MemoryFootprint::of(mrf).total();
+                let ws = WalkSat::run_from(mrf, init, &self.config.search, Some(&mut trace));
+                report.flips = ws.flips();
+                (ws.best_truth().to_vec(), ws.best_cost())
+            }
+            Architecture::Hybrid => {
+                match self.config.partitioning {
+                    PartitionStrategy::None => {
+                        report.search_ram = MemoryFootprint::of(mrf).total();
+                        let ws =
+                            WalkSat::run_from(mrf, init, &self.config.search, Some(&mut trace));
+                        report.flips = ws.flips();
+                        (ws.best_truth().to_vec(), ws.best_cost())
+                    }
+                    // The PartitionedInference stage: components (or
+                    // budget-bounded Algorithm 3 partitions) → FFD bins →
+                    // worker pool → Gauss-Seidel rounds over cut clauses.
+                    PartitionStrategy::Components | PartitionStrategy::Budget(_) => {
+                        // The session holds the planned schedule across
+                        // queries: repeated maps skip Algorithm 3 + FFD.
+                        let cfg = self.config.scheduler_config();
+                        let scheduler = match self.plan.take() {
+                            Some(plan) => Scheduler::with_schedule(mrf, plan, cfg),
+                            None => Scheduler::new(mrf, cfg),
+                        };
+                        let r = scheduler.run_from(&init, Some(&mut trace));
+                        report.flips = r.flips;
+                        report.search_ram = r.peak_partition_bytes;
+                        report.partitions = scheduler.schedule().units.len();
+                        report.bins = scheduler.schedule().bins.len();
+                        report.rounds = r.rounds_run;
+                        self.plan = Some(scheduler.into_schedule());
+                        (r.truth, r.cost)
+                    }
+                }
+            }
+        };
+
+        if report.search_time.is_zero() {
+            report.search_time = search_started.elapsed();
+        }
+        if report.flips_per_sec == 0.0 {
+            let secs = report.search_time.as_secs_f64();
+            report.flips_per_sec = if secs > 0.0 {
+                report.flips as f64 / secs
+            } else {
+                f64::INFINITY
+            };
+        }
+        self.maps_run += 1;
+        let result = MapResult::new(
+            &self.program,
+            &grounding.registry,
+            &truth,
+            cost,
+            trace,
+            report,
+        );
+        self.warm = Some(truth);
+        Ok(result)
+    }
+
+    /// Runs marginal inference with MC-SAT (Appendix A.5) over the
+    /// session's grounded store. With worker threads or a memory budget
+    /// configured, MC-SAT runs per partition through the scheduler
+    /// (exact factorization over components; cut clauses are
+    /// conditioned on a MAP mode); otherwise one sampler covers the
+    /// whole MRF.
+    pub fn marginal(&self, params: &McSatParams) -> Result<MarginalResult, MlnError> {
+        let grounding = &self.grounding;
+        let mrf = &grounding.mrf;
+        let sample_started = Instant::now();
+        let partitioned = match self.config.partitioning {
+            PartitionStrategy::None => false, // monolithic by request
+            PartitionStrategy::Components => self.config.threads > 1,
+            PartitionStrategy::Budget(_) => true,
+        };
+        let (probs, flips) = if partitioned {
+            let samples =
+                Scheduler::new(mrf, self.config.scheduler_config()).run_marginal(params)?;
+            (samples.probs, samples.flips)
+        } else {
+            let mut mc = McSat::new(mrf, params.seed)?;
+            let probs = mc.marginals(params);
+            (probs, mc.flips())
+        };
+        let search_time = sample_started.elapsed();
+        let mut marginals = Vec::with_capacity(probs.len());
+        let mut names = Vec::with_capacity(probs.len());
+        for (i, p) in probs.into_iter().enumerate() {
+            let ga = grounding.registry.ground_atom(i as u32);
+            names.push(render_atom(&self.program, &ga));
+            marginals.push((ga, p));
+        }
+        let secs = search_time.as_secs_f64();
+        let report = InferenceReport {
+            grounding: grounding.stats.clone(),
+            clauses: mrf.clauses().len(),
+            atoms: grounding.registry.len(),
+            clause_table_bytes: mrf.clause_bytes(),
+            components: ComponentSet::detect(mrf).nontrivial_count(),
+            flips,
+            search_time,
+            flips_per_sec: if secs > 0.0 {
+                flips as f64 / secs
+            } else {
+                f64::INFINITY
+            },
+            ..Default::default()
+        };
+        Ok(MarginalResult {
+            marginals,
+            names,
+            report,
+        })
+    }
+
+    /// Renders the session state — grounded store, last delta outcome,
+    /// warm-start status, and the partition schedule — in the same tree
+    /// style as the grounding and scheduling `EXPLAIN` reports.
+    pub fn explain(&self) -> String {
+        let g = &self.grounding;
+        let mut out = format!(
+            "Session: {} clauses over {} atoms, {} evidence tuples, {} map call(s)\n",
+            g.mrf.clauses().len(),
+            g.registry.len(),
+            self.evidence.len(),
+            self.maps_run,
+        );
+        out.push_str(&format!(
+            "├─ grounding: {:?} ({} closure rounds, {} queries)\n",
+            g.stats.wall, g.stats.rounds, g.stats.queries
+        ));
+        match &self.last_apply {
+            None => out.push_str("├─ last delta: none\n"),
+            Some(a) if a.incremental => {
+                let p = a.patch.unwrap_or_default();
+                out.push_str(&format!(
+                    "├─ last delta: incremental patch in {:?} ({} change(s): {} clamped, {} satisfied, {} emptied, {} shrunk, {} cascaded, {} orphaned)\n",
+                    a.wall,
+                    a.changes,
+                    p.clamped_atoms,
+                    p.satisfied_clauses,
+                    p.emptied_clauses,
+                    p.shrunk_clauses,
+                    p.cascaded_clauses,
+                    p.orphaned_atoms,
+                ));
+            }
+            Some(a) => out.push_str(&format!(
+                "├─ last delta: full re-ground in {:?} ({})\n",
+                a.wall,
+                a.reason.as_deref().unwrap_or("unknown reason"),
+            )),
+        }
+        out.push_str(&match &self.warm {
+            Some(w) => format!(
+                "├─ warm start: {} atoms carried from the last map\n",
+                w.len()
+            ),
+            None => "├─ warm start: cold (no map run yet)\n".to_string(),
+        });
+        let schedule = Scheduler::new(&g.mrf, self.config.scheduler_config()).explain();
+        out.push_str("└─ ");
+        out.push_str(&schedule.replace('\n', "\n   "));
+        out.truncate(out.trim_end().len());
+        out.push('\n');
+        out
+    }
+}
+
+impl Tuffy {
+    /// Opens a long-lived [`Session`]: grounds the program once so that
+    /// repeated and incrementally-updated queries skip straight to
+    /// search. The first `map()` of a fresh session produces exactly
+    /// what the one-shot pipeline did.
+    pub fn open_session(&self) -> Result<Session, MlnError> {
+        Session::open(
+            self.program().clone(),
+            self.evidence().clone(),
+            *self.config(),
+        )
+    }
+}

@@ -127,6 +127,7 @@ mod tests {
         let d = er(8, 30, 2);
         let g = ground_bottom_up(
             &d.program,
+            &d.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )

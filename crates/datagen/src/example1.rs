@@ -43,6 +43,7 @@ mod tests {
         let d = example1(n);
         let g = ground_bottom_up(
             &d.program,
+            &d.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )
@@ -67,6 +68,7 @@ mod tests {
         let d = example1(n);
         let g = ground_bottom_up(
             &d.program,
+            &d.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )

@@ -109,6 +109,7 @@ mod tests {
         let d = ie(n, 30, 2);
         let g = ground_bottom_up(
             &d.program,
+            &d.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )

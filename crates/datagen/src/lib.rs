@@ -34,23 +34,28 @@ pub use lp::lp;
 pub use rc::{rc, rc_with_labels};
 pub use table1::{paper_table1, Table1Row};
 
+use tuffy_mln::evidence::EvidenceSet;
 use tuffy_mln::program::MlnProgram;
 
-/// A generated testbed: a name plus a fully parsed program with evidence.
+/// A generated testbed: a name plus a fully parsed program and its
+/// evidence set.
 pub struct Dataset {
     /// Short dataset name ("LP", "IE", "RC", "ER", …).
     pub name: String,
-    /// The parsed program, evidence loaded and domains built.
+    /// The parsed program.
     pub program: MlnProgram,
+    /// The parsed evidence.
+    pub evidence: EvidenceSet,
 }
 
 pub(crate) fn parse(name: &str, program_src: &str, evidence_src: &str) -> Dataset {
     let mut program = tuffy_mln::parser::parse_program(program_src)
         .unwrap_or_else(|e| panic!("{name} program: {e}"));
-    tuffy_mln::parser::parse_evidence(&mut program, evidence_src)
+    let evidence = tuffy_mln::parser::parse_evidence(&mut program, evidence_src)
         .unwrap_or_else(|e| panic!("{name} evidence: {e}"));
     Dataset {
         name: name.to_string(),
         program,
+        evidence,
     }
 }

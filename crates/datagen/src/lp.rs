@@ -231,6 +231,7 @@ mod tests {
         let d = lp(4, 3, 2);
         let g = ground_bottom_up(
             &d.program,
+            &d.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )

@@ -115,7 +115,7 @@ mod tests {
         let d = rc(20, 6, 1);
         assert_eq!(d.program.predicates.len(), 4); // Table 1: 4 relations
         assert_eq!(d.program.rules.len(), 15); // Table 1: 15 rules
-        assert!(d.program.evidence.len() > 100);
+        assert!(d.evidence.len() > 100);
     }
 
     #[test]
@@ -123,6 +123,7 @@ mod tests {
         let d = rc(15, 5, 2);
         let g = ground_bottom_up(
             &d.program,
+            &d.evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )
@@ -141,7 +142,7 @@ mod tests {
     fn deterministic_by_seed() {
         let a = rc(5, 4, 9);
         let b = rc(5, 4, 9);
-        assert_eq!(a.program.evidence.len(), b.program.evidence.len());
-        assert_eq!(a.program.stats(), b.program.stats());
+        assert_eq!(a.evidence.len(), b.evidence.len());
+        assert_eq!(a.program.stats(&a.evidence), b.program.stats(&b.evidence));
     }
 }

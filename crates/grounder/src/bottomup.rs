@@ -17,6 +17,7 @@ use crate::registry::{AtomRegistry, EvidenceIndex};
 use crate::stats::GroundingStats;
 use std::time::Instant;
 use tuffy_mln::clausify::clausify_program;
+use tuffy_mln::evidence::EvidenceSet;
 use tuffy_mln::fxhash::FxHashSet;
 use tuffy_mln::program::MlnProgram;
 use tuffy_mln::MlnError;
@@ -36,15 +37,18 @@ pub struct GroundingResult {
     pub stats: GroundingStats,
 }
 
-/// Grounds `program` bottom-up through the embedded RDBMS.
+/// Grounds `program` under `evidence` bottom-up through the embedded
+/// RDBMS.
 pub fn ground_bottom_up(
     program: &MlnProgram,
+    evidence: &EvidenceSet,
     mode: GroundingMode,
     config: &OptimizerConfig,
 ) -> Result<GroundingResult, MlnError> {
     let start = Instant::now();
-    let ev = EvidenceIndex::build(program)?;
-    let mut gdb = GroundingDb::build(program, &ev)?;
+    let domains = evidence.merged_domains(program);
+    let ev = EvidenceIndex::build(program, evidence)?;
+    let mut gdb = GroundingDb::build(program, &ev, &domains)?;
     let clauses = clausify_program(program);
     let compiled: Vec<CompiledClause> = clauses
         .iter()
@@ -54,7 +58,7 @@ pub fn ground_bottom_up(
         .flatten()
         .collect();
 
-    let emitter = Emitter::new(program, &ev);
+    let emitter = Emitter::new(&domains, &ev);
     let mut registry = AtomRegistry::new();
     let mut builder = MrfBuilder::new();
     let mut seen: FxHashSet<(u32, Box<[u32]>)> = FxHashSet::default();
@@ -191,11 +195,13 @@ pub fn ground_bottom_up(
 /// with the empty binding and have no plan.
 pub fn explain_grounding(
     program: &MlnProgram,
+    evidence: &EvidenceSet,
     mode: GroundingMode,
     config: &OptimizerConfig,
 ) -> Result<String, MlnError> {
-    let ev = EvidenceIndex::build(program)?;
-    let mut gdb = GroundingDb::build(program, &ev)?;
+    let domains = evidence.merged_domains(program);
+    let ev = EvidenceIndex::build(program, evidence)?;
+    let mut gdb = GroundingDb::build(program, &ev, &domains)?;
     let clauses = clausify_program(program);
     let to_mln = |e: tuffy_rdbms::DbError| MlnError::general(e.to_string());
     let mut out = String::new();
@@ -254,7 +260,7 @@ mod tests {
     use super::*;
     use tuffy_mln::parser::{parse_evidence, parse_program};
 
-    fn figure1_program() -> MlnProgram {
+    fn figure1_program() -> (MlnProgram, tuffy_mln::evidence::EvidenceSet) {
         let mut p = parse_program(
             r#"
             *wrote(person, paper)
@@ -267,7 +273,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        parse_evidence(
+        let ev = parse_evidence(
             &mut p,
             r#"
             wrote(Joe, P1)
@@ -278,14 +284,19 @@ mod tests {
             "#,
         )
         .unwrap();
-        p
+        (p, ev)
     }
 
     #[test]
     fn grounds_figure1() {
-        let p = figure1_program();
-        let r =
-            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
+        let (p, ev) = figure1_program();
+        let r = ground_bottom_up(
+            &p,
+            &ev,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
         // Evidence cat(P2,DB) propagates: F2 (Joe wrote P1,P2) activates
         // cat(P1,DB); F3 (P1 refers P3) activates cat(P3,DB).
         assert!(r.stats.atoms >= 2, "atoms = {}", r.stats.atoms);
@@ -303,7 +314,7 @@ mod tests {
         assert!(!has_neg(&r));
         // Eager grounding keeps every retained F5 grounding.
         let eager =
-            ground_bottom_up(&p, GroundingMode::Eager, &OptimizerConfig::default()).unwrap();
+            ground_bottom_up(&p, &ev, GroundingMode::Eager, &OptimizerConfig::default()).unwrap();
         assert!(has_neg(&eager));
     }
 
@@ -315,13 +326,18 @@ mod tests {
             "*refers(paper, paper)\ncat(paper, category)\n2 cat(p1, c), refers(p1, p2) => cat(p2, c)\n",
         )
         .unwrap();
-        parse_evidence(
+        let ev = parse_evidence(
             &mut p,
             "refers(P1, P2)\nrefers(P2, P3)\nrefers(P3, P4)\nrefers(P4, P5)\ncat(P1, DB)\n",
         )
         .unwrap();
-        let r =
-            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
+        let r = ground_bottom_up(
+            &p,
+            &ev,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
         // Atoms cat(P2..P5, DB) all activated.
         assert_eq!(r.stats.atoms, 4);
         assert_eq!(r.stats.clauses, 4);
@@ -332,11 +348,16 @@ mod tests {
     fn eager_mode_grounds_everything() {
         let mut p =
             parse_program("cat(paper, category)\n5 cat(p, c1), cat(p, c2) => c1 = c2\n").unwrap();
-        parse_evidence(&mut p, "cat(P1, DB)\n!cat(P2, AI)\ncat(P3, DB)\n").unwrap();
+        let ev = parse_evidence(&mut p, "cat(P1, DB)\n!cat(P2, AI)\ncat(P3, DB)\n").unwrap();
         let eager =
-            ground_bottom_up(&p, GroundingMode::Eager, &OptimizerConfig::default()).unwrap();
-        let lazy =
-            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
+            ground_bottom_up(&p, &ev, GroundingMode::Eager, &OptimizerConfig::default()).unwrap();
+        let lazy = ground_bottom_up(
+            &p,
+            &ev,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
         // Eager grounds at least as much as the closure.
         assert!(eager.stats.clauses >= lazy.stats.clauses);
     }
@@ -349,9 +370,14 @@ mod tests {
             "*paper(paper)\n*wrote(person, paper)\npaper(x) => EXIST a wrote(a, x).\n",
         )
         .unwrap();
-        parse_evidence(&mut p, "paper(P1)\npaper(P2)\nwrote(Joe, P1)\n").unwrap();
-        let r =
-            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
+        let ev = parse_evidence(&mut p, "paper(P1)\npaper(P2)\nwrote(Joe, P1)\n").unwrap();
+        let r = ground_bottom_up(
+            &p,
+            &ev,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.mrf.base_cost.hard, 1);
         assert_eq!(r.stats.clauses, 0);
     }
@@ -359,9 +385,14 @@ mod tests {
     #[test]
     fn all_optimizer_configs_produce_identical_mrfs() {
         use tuffy_rdbms::{JoinAlgorithmPolicy, JoinOrderPolicy};
-        let p = figure1_program();
-        let reference =
-            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
+        let (p, ev) = figure1_program();
+        let reference = ground_bottom_up(
+            &p,
+            &ev,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
         for join_order in [JoinOrderPolicy::Auto, JoinOrderPolicy::Program] {
             for join_algorithm in [
                 JoinAlgorithmPolicy::Auto,
@@ -373,7 +404,7 @@ mod tests {
                         join_algorithm,
                         pushdown,
                     };
-                    let r = ground_bottom_up(&p, GroundingMode::LazyClosure, &cfg).unwrap();
+                    let r = ground_bottom_up(&p, &ev, GroundingMode::LazyClosure, &cfg).unwrap();
                     assert_eq!(r.stats.clauses, reference.stats.clauses);
                     assert_eq!(r.stats.atoms, reference.stats.atoms);
                 }

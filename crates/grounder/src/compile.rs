@@ -496,9 +496,10 @@ mod tests {
 
     fn setup(src: &str, ev: &str) -> (MlnProgram, GroundingDb, Vec<ClausalRule>) {
         let mut p = parse_program(src).unwrap();
-        parse_evidence(&mut p, ev).unwrap();
-        let evidence = EvidenceIndex::build(&p).unwrap();
-        let gdb = GroundingDb::build(&p, &evidence).unwrap();
+        let set = parse_evidence(&mut p, ev).unwrap();
+        let domains = set.merged_domains(&p);
+        let evidence = EvidenceIndex::build(&p, &set).unwrap();
+        let gdb = GroundingDb::build(&p, &evidence, &domains).unwrap();
         let clauses = clausify_program(&p);
         (p, gdb, clauses)
     }

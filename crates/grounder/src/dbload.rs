@@ -34,8 +34,14 @@ pub struct GroundingDb {
 }
 
 impl GroundingDb {
-    /// Builds and bulk-loads all grounding tables.
-    pub fn build(program: &MlnProgram, ev: &EvidenceIndex) -> Result<GroundingDb, MlnError> {
+    /// Builds and bulk-loads all grounding tables. `domains` are the
+    /// merged program + evidence constant domains
+    /// ([`tuffy_mln::evidence::EvidenceSet::merged_domains`]).
+    pub fn build(
+        program: &MlnProgram,
+        ev: &EvidenceIndex,
+        domains: &[Vec<tuffy_mln::symbols::Symbol>],
+    ) -> Result<GroundingDb, MlnError> {
         let mut db = Database::in_memory();
         let mut evt = Vec::with_capacity(program.predicates.len());
         let mut evf = Vec::with_capacity(program.predicates.len());
@@ -77,7 +83,7 @@ impl GroundingDb {
             let t = db
                 .create_table(format!("dom_{name}"), TableSchema::new(vec!["value"]))
                 .map_err(to_db)?;
-            for c in &program.domains[ti] {
+            for c in &domains[ti] {
                 db.insert(t, &[c.0]).map_err(to_db)?;
             }
             dom.push(t);
@@ -121,24 +127,25 @@ mod tests {
     use super::*;
     use tuffy_mln::parser::{parse_evidence, parse_program};
 
-    fn program() -> MlnProgram {
+    fn program() -> (MlnProgram, tuffy_mln::evidence::EvidenceSet) {
         let mut p = parse_program(
             "*wrote(person, paper)\ncat(paper, topic)\n1 wrote(x, p) => cat(p, Db)\n",
         )
         .unwrap();
-        parse_evidence(
+        let ev = parse_evidence(
             &mut p,
             "wrote(Joe, P1)\nwrote(Ann, P2)\n!cat(P1, Db)\ncat(P2, Ai)\n",
         )
         .unwrap();
-        p
+        (p, ev)
     }
 
     #[test]
     fn tables_loaded() {
-        let p = program();
-        let ev = EvidenceIndex::build(&p).unwrap();
-        let g = GroundingDb::build(&p, &ev).unwrap();
+        let (p, set) = program();
+        let domains = set.merged_domains(&p);
+        let ev = EvidenceIndex::build(&p, &set).unwrap();
+        let g = GroundingDb::build(&p, &ev, &domains).unwrap();
         let wrote = p.predicate_by_name("wrote").unwrap();
         let cat = p.predicate_by_name("cat").unwrap();
         assert_eq!(g.db.table(g.evt[wrote.index()]).len(), 2);
@@ -155,9 +162,10 @@ mod tests {
 
     #[test]
     fn activation_grows_reachable() {
-        let p = program();
-        let ev = EvidenceIndex::build(&p).unwrap();
-        let mut g = GroundingDb::build(&p, &ev).unwrap();
+        let (p, set) = program();
+        let domains = set.merged_domains(&p);
+        let ev = EvidenceIndex::build(&p, &set).unwrap();
+        let mut g = GroundingDb::build(&p, &ev, &domains).unwrap();
         let cat = p.predicate_by_name("cat").unwrap();
         let before = g.db.table(g.reach[cat.index()]).len();
         g.activate(cat, &[77, 78]);

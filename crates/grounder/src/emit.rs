@@ -17,7 +17,6 @@
 
 use crate::compile::{ArgSource, CompiledClause};
 use crate::registry::{AtomRegistry, EvidenceIndex};
-use tuffy_mln::program::MlnProgram;
 use tuffy_mln::schema::PredicateId;
 use tuffy_mln::weight::Weight;
 use tuffy_mrf::{Cost, Lit};
@@ -53,12 +52,12 @@ pub struct Emitter<'a> {
 }
 
 impl<'a> Emitter<'a> {
-    /// Builds an emitter for a program.
-    pub fn new(program: &MlnProgram, ev: &'a EvidenceIndex) -> Emitter<'a> {
+    /// Builds an emitter over the merged program + evidence constant
+    /// domains ([`tuffy_mln::evidence::EvidenceSet::merged_domains`]).
+    pub fn new(domains: &[Vec<tuffy_mln::symbols::Symbol>], ev: &'a EvidenceIndex) -> Emitter<'a> {
         Emitter {
             ev,
-            domains: program
-                .domains
+            domains: domains
                 .iter()
                 .map(|d| d.iter().map(|s| s.0).collect())
                 .collect(),
@@ -214,26 +213,39 @@ mod tests {
     use crate::dbload::GroundingDb;
     use tuffy_mln::clausify::clausify_program;
     use tuffy_mln::parser::{parse_evidence, parse_program};
+    use tuffy_mln::program::MlnProgram;
+    use tuffy_mln::symbols::Symbol;
 
-    fn setup(src: &str, ev: &str) -> (MlnProgram, GroundingDb, Vec<CompiledClause>, EvidenceIndex) {
+    #[allow(clippy::type_complexity)]
+    fn setup(
+        src: &str,
+        ev: &str,
+    ) -> (
+        MlnProgram,
+        Vec<Vec<Symbol>>,
+        GroundingDb,
+        Vec<CompiledClause>,
+        EvidenceIndex,
+    ) {
         let mut p = parse_program(src).unwrap();
-        parse_evidence(&mut p, ev).unwrap();
-        let evidence = EvidenceIndex::build(&p).unwrap();
-        let gdb = GroundingDb::build(&p, &evidence).unwrap();
+        let set = parse_evidence(&mut p, ev).unwrap();
+        let domains = set.merged_domains(&p);
+        let evidence = EvidenceIndex::build(&p, &set).unwrap();
+        let gdb = GroundingDb::build(&p, &evidence, &domains).unwrap();
         let compiled: Vec<CompiledClause> = clausify_program(&p)
             .iter()
             .filter_map(|c| compile_clause(&p, &gdb, c, GroundingMode::LazyClosure).unwrap())
             .collect();
-        (p, gdb, compiled, evidence)
+        (p, domains, gdb, compiled, evidence)
     }
 
     #[test]
     fn unknown_literals_become_lits() {
-        let (p, _gdb, compiled, ev) = setup(
+        let (p, domains, _gdb, compiled, ev) = setup(
             "*wrote(person, paper)\ncat(paper, topic)\n1 wrote(x, p) => cat(p, Db)\n",
             "wrote(Joe, P1)\n",
         );
-        let emitter = Emitter::new(&p, &ev);
+        let emitter = Emitter::new(&domains, &ev);
         let mut reg = AtomRegistry::new();
         let mut new_atoms = Vec::new();
         let cc = &compiled[0];
@@ -254,11 +266,11 @@ mod tests {
 
     #[test]
     fn evidence_satisfied_clause_skipped() {
-        let (p, _gdb, compiled, ev) = setup(
+        let (p, domains, _gdb, compiled, ev) = setup(
             "*wrote(person, paper)\ncat(paper, topic)\n1 wrote(x, p) => cat(p, Db)\n",
             "wrote(Joe, P1)\ncat(P1, Db)\n",
         );
-        let emitter = Emitter::new(&p, &ev);
+        let emitter = Emitter::new(&domains, &ev);
         let mut reg = AtomRegistry::new();
         let mut new_atoms = Vec::new();
         let joe = p.symbols.get("Joe").unwrap().0;
@@ -270,11 +282,11 @@ mod tests {
 
     #[test]
     fn falsified_head_gives_empty_clause() {
-        let (p, _gdb, compiled, ev) = setup(
+        let (p, domains, _gdb, compiled, ev) = setup(
             "*wrote(person, paper)\ncat(paper, topic)\n1 wrote(x, p) => cat(p, Db)\n",
             "wrote(Joe, P1)\n!cat(P1, Db)\n",
         );
-        let emitter = Emitter::new(&p, &ev);
+        let emitter = Emitter::new(&domains, &ev);
         let mut reg = AtomRegistry::new();
         let mut new_atoms = Vec::new();
         let joe = p.symbols.get("Joe").unwrap().0;
@@ -285,11 +297,11 @@ mod tests {
 
     #[test]
     fn existential_expansion() {
-        let (p, _gdb, compiled, ev) = setup(
+        let (p, domains, _gdb, compiled, ev) = setup(
             "*paper(paper)\nwrote(person, paper)\n*person(person)\npaper(x) => EXIST a wrote(a, x).\n",
             "paper(P1)\nperson(Ann)\nperson(Bob)\n",
         );
-        let emitter = Emitter::new(&p, &ev);
+        let emitter = Emitter::new(&domains, &ev);
         let mut reg = AtomRegistry::new();
         let mut new_atoms = Vec::new();
         let p1 = p.symbols.get("P1").unwrap().0;

@@ -39,12 +39,14 @@ pub mod bottomup;
 pub mod compile;
 pub mod dbload;
 pub mod emit;
+pub mod incremental;
 pub mod registry;
 pub mod stats;
 pub mod topdown;
 
 pub use bottomup::{explain_grounding, ground_bottom_up, GroundingResult};
 pub use compile::GroundingMode;
+pub use incremental::{apply_delta_grounding, DeltaOutcome, PatchStats, PatchedGrounding};
 pub use registry::{AtomRegistry, EvidenceIndex};
 pub use stats::GroundingStats;
 pub use topdown::ground_top_down;

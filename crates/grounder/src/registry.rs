@@ -1,5 +1,6 @@
 //! Atom identity and evidence lookup.
 
+use tuffy_mln::evidence::EvidenceSet;
 use tuffy_mln::fxhash::FxHashMap;
 use tuffy_mln::ground::GroundAtom;
 use tuffy_mln::program::MlnProgram;
@@ -63,6 +64,14 @@ impl AtomRegistry {
         GroundAtom::new(p, args.iter().map(|&a| Symbol(a)).collect())
     }
 
+    /// Iterates all atoms as `(id, predicate, args)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, PredicateId, &[u32])> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .map(|(i, (p, args))| (i as AtomId, *p, args.as_ref()))
+    }
+
     /// Approximate heap bytes held by the registry.
     pub fn bytes(&self) -> usize {
         let per_atom = std::mem::size_of::<(PredicateId, Box<[u32]>)>();
@@ -80,24 +89,16 @@ pub struct EvidenceIndex {
 }
 
 impl EvidenceIndex {
-    /// Builds the index from a program's evidence list. Errors on
-    /// contradictory assertions.
-    pub fn build(program: &MlnProgram) -> Result<EvidenceIndex, MlnError> {
+    /// Builds the index over a program's schema from an [`EvidenceSet`].
+    /// Errors on arity mismatches (an `EvidenceSet` cannot hold
+    /// contradictions, so none are possible here).
+    pub fn build(program: &MlnProgram, evidence: &EvidenceSet) -> Result<EvidenceIndex, MlnError> {
+        evidence.validate(program)?;
         let mut by_pred: Vec<FxHashMap<Box<[u32]>, bool>> =
             vec![FxHashMap::default(); program.predicates.len()];
-        for ev in &program.evidence {
+        for ev in evidence.iter() {
             let args: Box<[u32]> = ev.atom.args.iter().map(|s| s.0).collect();
-            let map = &mut by_pred[ev.atom.predicate.index()];
-            if let Some(&prev) = map.get(&args) {
-                if prev != ev.positive {
-                    return Err(MlnError::general(format!(
-                        "contradictory evidence for `{}`",
-                        program.predicate_name(ev.atom.predicate)
-                    )));
-                }
-            } else {
-                map.insert(args, ev.positive);
-            }
+            by_pred[ev.atom.predicate.index()].insert(args, ev.positive);
         }
         Ok(EvidenceIndex { by_pred })
     }
@@ -132,12 +133,12 @@ mod tests {
     use super::*;
     use tuffy_mln::parser::{parse_evidence, parse_program};
 
-    fn program() -> MlnProgram {
+    fn program() -> (MlnProgram, EvidenceSet) {
         let mut p =
             parse_program("*wrote(person, paper)\ncat(paper, c)\n1 wrote(x, p) => cat(p, Db)\n")
                 .unwrap();
-        parse_evidence(&mut p, "wrote(Joe, P1)\n!cat(P1, Db)\n").unwrap();
-        p
+        let ev = parse_evidence(&mut p, "wrote(Joe, P1)\n!cat(P1, Db)\n").unwrap();
+        (p, ev)
     }
 
     #[test]
@@ -157,8 +158,8 @@ mod tests {
 
     #[test]
     fn evidence_lookup() {
-        let p = program();
-        let ev = EvidenceIndex::build(&p).unwrap();
+        let (p, set) = program();
+        let ev = EvidenceIndex::build(&p, &set).unwrap();
         let wrote = p.predicate_by_name("wrote").unwrap();
         let cat = p.predicate_by_name("cat").unwrap();
         let joe = p.symbols.get("Joe").unwrap().0;
@@ -173,12 +174,28 @@ mod tests {
     }
 
     #[test]
-    fn contradictory_evidence_rejected() {
-        let mut p = program();
+    fn contradictory_evidence_rejected_by_set() {
+        let (p, mut set) = program();
         let cat = p.predicate_by_name("cat").unwrap();
         let p1 = p.symbols.get("P1").unwrap();
         let db = p.symbols.get("Db").unwrap();
-        p.add_evidence(GroundAtom::new(cat, vec![p1, db]), true); // conflicts with !cat(P1,Db)
-        assert!(EvidenceIndex::build(&p).is_err());
+        // Conflicts with !cat(P1,Db): the set itself rejects it.
+        assert!(set
+            .add(&p, GroundAtom::new(cat, vec![p1, db]), true)
+            .is_err());
+        assert!(EvidenceIndex::build(&p, &set).is_ok());
+    }
+
+    #[test]
+    fn registry_iterates_in_id_order() {
+        let mut r = AtomRegistry::new();
+        let p = PredicateId(1);
+        r.intern(p, &[4]);
+        r.intern(p, &[5]);
+        let all: Vec<_> = r
+            .iter()
+            .map(|(id, pred, args)| (id, pred, args.to_vec()))
+            .collect();
+        assert_eq!(all, vec![(0, p, vec![4]), (1, p, vec![5])]);
     }
 }

@@ -23,6 +23,7 @@ use crate::registry::{AtomRegistry, EvidenceIndex};
 use crate::stats::GroundingStats;
 use std::time::Instant;
 use tuffy_mln::clausify::clausify_program;
+use tuffy_mln::evidence::EvidenceSet;
 use tuffy_mln::fxhash::{FxHashMap, FxHashSet};
 use tuffy_mln::program::MlnProgram;
 use tuffy_mln::MlnError;
@@ -81,13 +82,15 @@ impl TupleStore {
 /// [`crate::ground_bottom_up`] (property-tested).
 pub fn ground_top_down(
     program: &MlnProgram,
+    evidence: &EvidenceSet,
     mode: GroundingMode,
 ) -> Result<GroundingResult, MlnError> {
     let start = Instant::now();
-    let ev = EvidenceIndex::build(program)?;
+    let domains = evidence.merged_domains(program);
+    let ev = EvidenceIndex::build(program, evidence)?;
     // The GroundingDb is built only so clause compilation has table ids to
     // reference; the top-down grounder never runs queries against it.
-    let gdb = GroundingDb::build(program, &ev)?;
+    let gdb = GroundingDb::build(program, &ev, &domains)?;
     let clauses = clausify_program(program);
     let compiled: Vec<CompiledClause> = clauses
         .iter()
@@ -116,7 +119,7 @@ pub fn ground_top_down(
         stores.insert(t, s);
     }
 
-    let emitter = Emitter::new(program, &ev);
+    let emitter = Emitter::new(&domains, &ev);
     let mut registry = AtomRegistry::new();
     let mut builder = MrfBuilder::new();
     let mut seen: FxHashSet<(u32, Box<[u32]>)> = FxHashSet::default();
@@ -386,10 +389,15 @@ mod tests {
 
     fn assert_equivalent(src: &str, evidence: &str) {
         let mut p = parse_program(src).unwrap();
-        parse_evidence(&mut p, evidence).unwrap();
-        let bu =
-            ground_bottom_up(&p, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
-        let td = ground_top_down(&p, GroundingMode::LazyClosure).unwrap();
+        let ev = parse_evidence(&mut p, evidence).unwrap();
+        let bu = ground_bottom_up(
+            &p,
+            &ev,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let td = ground_top_down(&p, &ev, GroundingMode::LazyClosure).unwrap();
         assert_eq!(bu.stats.atoms, td.stats.atoms, "atom counts differ");
         assert_eq!(bu.stats.clauses, td.stats.clauses, "clause counts differ");
         assert_eq!(bu.mrf.base_cost, td.mrf.base_cost, "base costs differ");
@@ -466,9 +474,10 @@ mod tests {
         let src = "cat(paper, category)\n5 cat(p, c1), cat(p, c2) => c1 = c2\n";
         let evd = "cat(P1, DB)\ncat(P2, AI)\n!cat(P2, DB)\n";
         let mut p = parse_program(src).unwrap();
-        parse_evidence(&mut p, evd).unwrap();
-        let bu = ground_bottom_up(&p, GroundingMode::Eager, &OptimizerConfig::default()).unwrap();
-        let td = ground_top_down(&p, GroundingMode::Eager).unwrap();
+        let ev = parse_evidence(&mut p, evd).unwrap();
+        let bu =
+            ground_bottom_up(&p, &ev, GroundingMode::Eager, &OptimizerConfig::default()).unwrap();
+        let td = ground_top_down(&p, &ev, GroundingMode::Eager).unwrap();
         assert_eq!(bu.stats.clauses, td.stats.clauses);
         assert_eq!(bu.stats.atoms, td.stats.atoms);
     }

@@ -25,9 +25,10 @@ const EVIDENCE: &str = "wrote(Joe, P1)\n\
 
 fn plan_for_rule(rule: usize) -> String {
     let mut p = parse_program(PROGRAM).unwrap();
-    parse_evidence(&mut p, EVIDENCE).unwrap();
-    let ev = EvidenceIndex::build(&p).unwrap();
-    let mut gdb = GroundingDb::build(&p, &ev).unwrap();
+    let set = parse_evidence(&mut p, EVIDENCE).unwrap();
+    let domains = set.merged_domains(&p);
+    let ev = EvidenceIndex::build(&p, &set).unwrap();
+    let mut gdb = GroundingDb::build(&p, &ev, &domains).unwrap();
     let clauses = clausify_program(&p);
     let cc = compile_clause(&p, &gdb, &clauses[rule], GroundingMode::LazyClosure)
         .unwrap()

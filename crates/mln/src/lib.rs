@@ -41,6 +41,7 @@
 pub mod ast;
 pub mod clausify;
 pub mod error;
+pub mod evidence;
 pub mod fxhash;
 pub mod ground;
 pub mod parser;
@@ -52,8 +53,9 @@ pub mod weight;
 
 pub use ast::{Atom, Formula, Literal, Rule, Term, Var};
 pub use error::MlnError;
+pub use evidence::{DeltaOp, Evidence, EvidenceChange, EvidenceDelta, EvidenceSet};
 pub use ground::{GroundAtom, TruthValue};
-pub use program::{Evidence, MlnProgram};
+pub use program::MlnProgram;
 pub use schema::{PredicateDecl, PredicateId, TypeId};
 pub use symbols::{Symbol, SymbolTable};
 pub use weight::Weight;

@@ -34,6 +34,7 @@
 
 use crate::ast::{Formula, Literal, Rule, Term, Var};
 use crate::error::MlnError;
+use crate::evidence::{EvidenceDelta, EvidenceSet};
 use crate::ground::GroundAtom;
 use crate::program::MlnProgram;
 use crate::schema::PredicateId;
@@ -299,10 +300,25 @@ pub fn parse_program(src: &str) -> Result<MlnProgram, MlnError> {
     Ok(program)
 }
 
-/// Parses evidence text into an existing program.
+/// Parses evidence text against a program's schema into a fresh
+/// [`EvidenceSet`].
 ///
-/// Constants are interned and added to the appropriate type domains.
-pub fn parse_evidence(program: &mut MlnProgram, src: &str) -> Result<(), MlnError> {
+/// The program is only touched to intern constant names into its symbol
+/// table; evidence (and the constants' contribution to grounding
+/// domains) lives entirely in the returned set.
+pub fn parse_evidence(program: &mut MlnProgram, src: &str) -> Result<EvidenceSet, MlnError> {
+    let mut set = EvidenceSet::new();
+    parse_evidence_into(program, &mut set, src)?;
+    Ok(set)
+}
+
+/// Parses evidence text into an existing [`EvidenceSet`] (the bulk-load
+/// path for evidence spread over multiple files).
+pub fn parse_evidence_into(
+    program: &mut MlnProgram,
+    set: &mut EvidenceSet,
+    src: &str,
+) -> Result<(), MlnError> {
     for (lineno, line) in logical_lines(src) {
         let toks = tokenize(&line, lineno)?;
         if toks.is_empty() {
@@ -318,11 +334,57 @@ pub fn parse_evidence(program: &mut MlnProgram, src: &str) -> Result<(), MlnErro
         if !cur.at_end() {
             return Err(MlnError::at(lineno, "trailing tokens after evidence atom"));
         }
-        program.add_evidence(GroundAtom::new(pred, args), positive);
+        set.add(program, GroundAtom::new(pred, args), positive)
+            .map_err(|e| MlnError::at(lineno, e.to_string()))?;
     }
-    program.rebuild_domains();
-    program.validate()?;
     Ok(())
+}
+
+/// Parses an evidence *delta*: one edit per line, where a leading `+` or
+/// no marker asserts the atom true, `!` asserts it false, `-` retracts
+/// any assertion, and `~` flips the current assertion.
+///
+/// ```text
+/// cat(P4, DB)      // assert true
+/// !cat(P5, AI)     // assert false
+/// -cat(P2, DB)     // retract
+/// ~wrote(Joe, P1)  // flip
+/// ```
+pub fn parse_delta(program: &mut MlnProgram, src: &str) -> Result<EvidenceDelta, MlnError> {
+    let mut delta = EvidenceDelta::new();
+    for (lineno, line) in logical_lines(src) {
+        let (op, rest) = match line.as_bytes().first() {
+            Some(b'+') => ('+', &line[1..]),
+            Some(b'-') => ('-', &line[1..]),
+            Some(b'~') => ('~', &line[1..]),
+            _ => ('+', line.as_str()),
+        };
+        let toks = tokenize(rest, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        let mut cur = Cursor {
+            toks: &toks,
+            pos: 0,
+            line: lineno,
+        };
+        let positive = !cur.eat(&Tok::Bang);
+        let (pred, args) = parse_ground_atom(program, &mut cur)?;
+        if !cur.at_end() {
+            return Err(MlnError::at(lineno, "trailing tokens after delta atom"));
+        }
+        let atom = GroundAtom::new(pred, args);
+        match (op, positive) {
+            ('-', true) => delta.retract(atom),
+            ('~', true) => delta.flip(atom),
+            ('-', false) | ('~', false) => {
+                return Err(MlnError::at(lineno, "`-`/`~` cannot combine with `!`"))
+            }
+            (_, true) => delta.assert_true(atom),
+            (_, false) => delta.assert_false(atom),
+        };
+    }
+    Ok(delta)
 }
 
 /// A declaration is `[*] name ( ident (, ident)* )` and nothing else.
@@ -834,7 +896,7 @@ mod tests {
     #[test]
     fn evidence_parsing() {
         let mut p = parse_program(FIGURE1).unwrap();
-        parse_evidence(
+        let ev = parse_evidence(
             &mut p,
             r#"
                 wrote(Joe, P1)
@@ -846,12 +908,39 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(p.evidence.len(), 6);
-        assert!(p.evidence[0].positive);
-        assert!(!p.evidence[5].positive);
-        // Domains picked up the constants.
+        assert_eq!(ev.len(), 6);
+        let items: Vec<_> = ev.iter().collect();
+        assert!(items[0].positive);
+        assert!(!items[5].positive);
+        // The program itself carries no evidence; merged domains pick up
+        // the constants.
         let author_ty = p.intern_type("author");
-        assert_eq!(p.domains[author_ty.index()].len(), 2); // Joe, Jake
+        assert!(p.domains[author_ty.index()].is_empty());
+        assert_eq!(ev.merged_domains(&p)[author_ty.index()].len(), 2); // Joe, Jake
+    }
+
+    #[test]
+    fn delta_parsing() {
+        let mut p = parse_program(FIGURE1).unwrap();
+        let d = parse_delta(
+            &mut p,
+            "cat(P4, DB)\n+cat(P5, DB)\n!cat(P6, DB)\n-cat(P2, DB)\n~cat(P7, DB) // flip\n",
+        )
+        .unwrap();
+        assert_eq!(d.len(), 5);
+        use crate::evidence::DeltaOp;
+        assert!(matches!(d.ops[0], DeltaOp::Assert { positive: true, .. }));
+        assert!(matches!(d.ops[1], DeltaOp::Assert { positive: true, .. }));
+        assert!(matches!(
+            d.ops[2],
+            DeltaOp::Assert {
+                positive: false,
+                ..
+            }
+        ));
+        assert!(matches!(d.ops[3], DeltaOp::Retract { .. }));
+        assert!(matches!(d.ops[4], DeltaOp::Flip { .. }));
+        assert!(parse_delta(&mut p, "-!cat(P1, DB)\n").is_err());
     }
 
     #[test]

@@ -128,10 +128,10 @@ pub fn render_program(program: &MlnProgram) -> String {
     out
 }
 
-/// Renders the evidence in parseable form.
-pub fn render_evidence(program: &MlnProgram) -> String {
+/// Renders an evidence set in parseable form.
+pub fn render_evidence(program: &MlnProgram, evidence: &crate::evidence::EvidenceSet) -> String {
     let mut out = String::new();
-    for ev in &program.evidence {
+    for ev in evidence.iter() {
         let args: Vec<String> = ev
             .atom
             .args
@@ -169,14 +169,14 @@ mod tests {
     #[test]
     fn print_parse_roundtrip_preserves_structure() {
         let mut p = parse_program(FIGURE1).unwrap();
-        parse_evidence(&mut p, "wrote(Joe, P1)\n!cat(P1, \"Networking\")\n").unwrap();
+        let ev = parse_evidence(&mut p, "wrote(Joe, P1)\n!cat(P1, \"Networking\")\n").unwrap();
         let printed = render_program(&p);
-        let evidence = render_evidence(&p);
+        let evidence = render_evidence(&p, &ev);
         let mut p2 = parse_program(&printed).unwrap();
-        parse_evidence(&mut p2, &evidence).unwrap();
+        let ev2 = parse_evidence(&mut p2, &evidence).unwrap();
         assert_eq!(p.predicates.len(), p2.predicates.len());
         assert_eq!(p.rules.len(), p2.rules.len());
-        assert_eq!(p.evidence.len(), p2.evidence.len());
+        assert_eq!(ev.len(), ev2.len());
         for (a, b) in p.rules.iter().zip(p2.rules.iter()) {
             assert_eq!(a.weight, b.weight);
             assert_eq!(a.formula.body.len(), b.formula.body.len());

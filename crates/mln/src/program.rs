@@ -1,23 +1,21 @@
-//! The complete MLN program: schema + rules + evidence.
+//! The complete MLN program: schema + rules.
+//!
+//! Evidence is *not* part of the program: it lives in a separate
+//! [`EvidenceSet`](crate::evidence::EvidenceSet) so long-lived inference
+//! sessions can update observations without touching (or re-parsing)
+//! the program. See [`crate::evidence`].
 
 use crate::ast::{Literal, Rule, Term};
 use crate::error::MlnError;
 use crate::fxhash::{FxHashMap, FxHashSet};
-use crate::ground::GroundAtom;
 use crate::schema::{PredicateDecl, PredicateId, TypeId};
 use crate::symbols::{Symbol, SymbolTable};
 
-/// A single evidence assertion: a ground atom asserted true or false.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Evidence {
-    /// The asserted atom.
-    pub atom: GroundAtom,
-    /// `true` for positive evidence, `false` for `!atom` lines.
-    pub positive: bool,
-}
+pub use crate::evidence::Evidence;
 
-/// An MLN program: the user's schema, weighted rules, and evidence
-/// (Figure 1: "Schema | A Markov Logic Program | Evidence").
+/// An MLN program: the user's schema and weighted rules (Figure 1:
+/// "Schema | A Markov Logic Program"). Evidence is a separate
+/// [`EvidenceSet`](crate::evidence::EvidenceSet).
 #[derive(Clone, Debug, Default)]
 pub struct MlnProgram {
     /// Interned names (constants, predicates, types, variables).
@@ -28,9 +26,9 @@ pub struct MlnProgram {
     pub predicates: Vec<PredicateDecl>,
     /// Weighted rules.
     pub rules: Vec<Rule>,
-    /// Evidence assertions.
-    pub evidence: Vec<Evidence>,
-    /// Per-type constant domains, built from evidence and rule constants.
+    /// Per-type constant domains from rule constants. Grounding ranges
+    /// over these merged with the evidence constants
+    /// ([`crate::evidence::EvidenceSet::merged_domains`]).
     pub domains: Vec<Vec<Symbol>>,
 }
 
@@ -91,15 +89,7 @@ impl MlnProgram {
         self.symbols.resolve(self.predicates[pred.index()].name)
     }
 
-    /// Adds an evidence assertion (unvalidated; see [`Self::validate`]).
-    pub fn add_evidence(&mut self, atom: GroundAtom, positive: bool) {
-        self.evidence.push(Evidence { atom, positive });
-    }
-
     /// Adds a constant to a type's domain if not already present.
-    ///
-    /// Callers that bulk-load evidence should prefer [`Self::rebuild_domains`]
-    /// which deduplicates once at the end.
     pub fn add_domain_constant(&mut self, ty: TypeId, constant: Symbol) {
         let dom = &mut self.domains[ty.index()];
         if !dom.contains(&constant) {
@@ -107,20 +97,15 @@ impl MlnProgram {
         }
     }
 
-    /// Recomputes every type's constant domain from evidence and rule
-    /// constants. Domains are sorted for determinism.
+    /// Recomputes every type's constant domain from rule constants (and
+    /// any constants previously added with [`Self::add_domain_constant`]).
+    /// Domains are sorted for determinism.
     pub fn rebuild_domains(&mut self) {
         let mut sets: Vec<FxHashSet<Symbol>> = self
             .domains
             .iter()
             .map(|d| d.iter().copied().collect())
             .collect();
-        for ev in &self.evidence {
-            let decl = &self.predicates[ev.atom.predicate.index()];
-            for (arg, &ty) in ev.atom.args.iter().zip(decl.arg_types.iter()) {
-                sets[ty.index()].insert(*arg);
-            }
-        }
         for rule in &self.rules {
             for lit in rule.formula.body.iter().chain(rule.formula.head.iter()) {
                 if let Literal::Pred { atom, .. } = lit {
@@ -143,22 +128,12 @@ impl MlnProgram {
             .collect();
     }
 
-    /// Validates arities, evidence well-formedness, and rule safety.
+    /// Validates rule arities and rule safety. (Evidence validates
+    /// separately: [`crate::evidence::EvidenceSet::validate`].)
     ///
     /// Safety here means: every variable of a rule appears in at least one
     /// predicate literal (so the grounding queries of §3.1 can bind it).
     pub fn validate(&self) -> Result<(), MlnError> {
-        for ev in &self.evidence {
-            let decl = &self.predicates[ev.atom.predicate.index()];
-            if ev.atom.args.len() != decl.arity() {
-                return Err(MlnError::general(format!(
-                    "evidence for `{}` has {} arguments, expected {}",
-                    self.symbols.resolve(decl.name),
-                    ev.atom.args.len(),
-                    decl.arity()
-                )));
-            }
-        }
         for rule in &self.rules {
             let mut pred_vars: FxHashSet<crate::ast::Var> = FxHashSet::default();
             let mut all_vars: FxHashSet<crate::ast::Var> = FxHashSet::default();
@@ -239,14 +214,15 @@ impl MlnProgram {
         Ok(map)
     }
 
-    /// Summary counts used by the experiment harness (Table 1).
-    pub fn stats(&self) -> ProgramStats {
-        let entities: usize = self.domains.iter().map(Vec::len).sum();
+    /// Summary counts used by the experiment harness (Table 1). Entities
+    /// count the merged program + evidence constant domains.
+    pub fn stats(&self, evidence: &crate::evidence::EvidenceSet) -> ProgramStats {
+        let entities: usize = evidence.merged_domains(self).iter().map(Vec::len).sum();
         ProgramStats {
             relations: self.predicates.len(),
             rules: self.rules.len(),
             entities,
-            evidence_tuples: self.evidence.len(),
+            evidence_tuples: evidence.len(),
         }
     }
 }
@@ -297,24 +273,22 @@ mod tests {
     }
 
     #[test]
-    fn domains_built_from_evidence() {
+    fn rule_constants_enter_domains() {
         let mut p = tiny_program();
-        let wrote = p.predicate_by_name("wrote").unwrap();
-        let joe = p.symbols.intern("Joe");
+        let good = p.predicate_by_name("good").unwrap();
         let p1 = p.symbols.intern("P1");
-        p.add_evidence(GroundAtom::new(wrote, vec![joe, p1]), true);
+        p.rules.push(Rule {
+            weight: Weight::Soft(1.0),
+            formula: Formula {
+                body: vec![],
+                head: vec![Literal::pred(good, vec![Term::Const(p1)], false)],
+                exists: vec![],
+            },
+            line: 1,
+        });
         p.rebuild_domains();
-        assert_eq!(p.domains[0], vec![joe]);
         assert_eq!(p.domains[1], vec![p1]);
-    }
-
-    #[test]
-    fn arity_validation() {
-        let mut p = tiny_program();
-        let wrote = p.predicate_by_name("wrote").unwrap();
-        let joe = p.symbols.intern("Joe");
-        p.add_evidence(GroundAtom::new(wrote, vec![joe]), true);
-        assert!(p.validate().is_err());
+        assert!(p.domains[0].is_empty());
     }
 
     #[test]

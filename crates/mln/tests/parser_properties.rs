@@ -43,10 +43,10 @@ proptest! {
             expected.insert((*a, *b), *pos);
             src.push_str(&format!("{}e(C{a}, D{b})\n", if *pos { "" } else { "!" }));
         }
-        parse_evidence(&mut p, &src).unwrap();
+        let set = parse_evidence(&mut p, &src).unwrap();
         let e = p.predicate_by_name("e").unwrap();
         let mut seen = std::collections::HashMap::new();
-        for ev in &p.evidence {
+        for ev in set.iter() {
             prop_assert_eq!(ev.atom.predicate, e);
             let a = p.symbols.resolve(ev.atom.args[0]).to_string();
             let b = p.symbols.resolve(ev.atom.args[1]).to_string();

@@ -6,13 +6,81 @@ use crate::lit::{AtomId, Lit};
 use tuffy_mln::fxhash::FxHashMap;
 use tuffy_mln::weight::Weight;
 
+/// Per-clause record of the weight contributions merged into it, kept so
+/// an incremental re-grounder can reconstruct the *constant* cost a
+/// clause would contribute if evidence fixed its truth value.
+///
+/// Duplicate-clause merging collapses contributions into one weight
+/// (soft weights sum; hard absorbs): the merged weight alone cannot tell
+/// how much of it came from negative-weight rules (paid when the clause
+/// is *satisfied*) versus positive ones (paid when it is *violated*).
+/// This split keeps both sides exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClauseProvenance {
+    /// Σ w over positive soft contributions.
+    pub pos_soft: f64,
+    /// Σ |w| over negative soft contributions.
+    pub neg_soft: f64,
+    /// Number of hard (+∞) contributions.
+    pub hard: u64,
+    /// Number of negated-hard (−∞) contributions.
+    pub neg_hard: u64,
+}
+
+impl ClauseProvenance {
+    fn of(weight: Weight) -> ClauseProvenance {
+        let mut p = ClauseProvenance::default();
+        p.absorb(weight);
+        p
+    }
+
+    fn absorb(&mut self, weight: Weight) {
+        match weight {
+            Weight::Soft(w) if w >= 0.0 => self.pos_soft += w,
+            Weight::Soft(w) => self.neg_soft += -w,
+            Weight::Hard => self.hard += 1,
+            Weight::NegHard => self.neg_hard += 1,
+        }
+    }
+
+    fn combine(&mut self, other: ClauseProvenance) {
+        self.pos_soft += other.pos_soft;
+        self.neg_soft += other.neg_soft;
+        self.hard += other.hard;
+        self.neg_hard += other.neg_hard;
+    }
+
+    /// The constant cost every world pays if evidence fixes the clause
+    /// *true* (its negative contributions are then always violated).
+    pub fn satisfied_constant(&self) -> Cost {
+        Cost {
+            hard: self.neg_hard,
+            soft: self.neg_soft,
+        }
+    }
+
+    /// The constant cost every world pays if evidence fixes the clause
+    /// *false* (its positive contributions are then always violated).
+    pub fn violated_constant(&self) -> Cost {
+        Cost {
+            hard: self.hard,
+            soft: self.pos_soft,
+        }
+    }
+}
+
 /// A ground Markov Random Field over atoms `0..num_atoms`.
 #[derive(Clone, Debug, Default)]
 pub struct Mrf {
     num_atoms: usize,
     clauses: Vec<GroundClause>,
+    /// Per-clause contribution split, aligned with `clauses`.
+    provenance: Vec<ClauseProvenance>,
     /// `occurrences[a]` = indices of clauses containing atom `a`.
     occurrences: Vec<Vec<u32>>,
+    /// Atoms whose clause set cannot be patched incrementally because a
+    /// clause over them merged to exactly weight 0 and was dropped.
+    opaque_atoms: Vec<bool>,
     /// Constant cost from clauses already decided by evidence (empty
     /// clauses after literal deletion).
     pub base_cost: Cost,
@@ -35,6 +103,20 @@ impl Mrf {
     #[inline]
     pub fn occurrences(&self, atom: AtomId) -> &[u32] {
         &self.occurrences[atom as usize]
+    }
+
+    /// The contribution split of clause `ci` (see [`ClauseProvenance`]).
+    #[inline]
+    pub fn provenance(&self, ci: usize) -> ClauseProvenance {
+        self.provenance[ci]
+    }
+
+    /// Whether `atom` touched a clause whose merged weight cancelled to
+    /// exactly zero (such clauses are dropped, so evidence clamping the
+    /// atom cannot account for their constants — re-ground instead).
+    #[inline]
+    pub fn patch_opaque(&self, atom: AtomId) -> bool {
+        self.opaque_atoms[atom as usize]
     }
 
     /// Total number of literal occurrences.
@@ -108,7 +190,10 @@ impl Mrf {
 pub struct MrfBuilder {
     num_atoms: usize,
     clauses: Vec<GroundClause>,
+    provenance: Vec<ClauseProvenance>,
     index: FxHashMap<Box<[Lit]>, u32>,
+    /// Atoms pre-flagged opaque via [`MrfBuilder::mark_opaque`].
+    opaque: Vec<AtomId>,
     base_cost: Cost,
 }
 
@@ -136,6 +221,21 @@ impl MrfBuilder {
     /// Adds a ground clause. Tautologies are dropped; the empty clause
     /// contributes constant cost (positive weight: always violated).
     pub fn add_clause(&mut self, lits: Vec<Lit>, weight: Weight) {
+        let provenance = ClauseProvenance::of(weight);
+        self.add_clause_with_provenance(lits, weight, provenance);
+    }
+
+    /// Adds a ground clause carrying an explicit contribution split —
+    /// the incremental re-grounder's path, which rebuilds an MRF from
+    /// already-merged clauses and must not collapse their provenance
+    /// into the merged weight (that would make a *second* patch lose the
+    /// negative/hard constants the first one preserved).
+    pub fn add_clause_with_provenance(
+        &mut self,
+        lits: Vec<Lit>,
+        weight: Weight,
+        provenance: ClauseProvenance,
+    ) {
         if lits.is_empty() {
             // An empty disjunction is false: violated iff weight > 0.
             match weight {
@@ -159,34 +259,56 @@ impl MrfBuilder {
             Some(&i) => {
                 let existing = &mut self.clauses[i as usize];
                 existing.weight = merge_weights(existing.weight, clause.weight);
+                self.provenance[i as usize].combine(provenance);
             }
             None => {
                 self.index
                     .insert(clause.lits.clone(), self.clauses.len() as u32);
+                self.provenance.push(provenance);
                 self.clauses.push(clause);
             }
         }
     }
 
-    /// Finalizes into an [`Mrf`], building the adjacency lists.
+    /// Flags `atom` as opaque to incremental patching (see
+    /// [`Mrf::patch_opaque`]) — used when rebuilding an MRF whose source
+    /// already carried opaque flags.
+    pub fn mark_opaque(&mut self, atom: AtomId) {
+        self.num_atoms = self.num_atoms.max(atom as usize + 1);
+        self.opaque.push(atom);
+    }
+
+    /// Finalizes into an [`Mrf`], building the adjacency lists. Clauses
+    /// whose merged weight cancelled to exactly 0 are dropped; their
+    /// atoms are flagged opaque for the incremental re-grounder
+    /// ([`Mrf::patch_opaque`]).
     pub fn finish(self) -> Mrf {
         let mut occurrences: Vec<Vec<u32>> = vec![Vec::new(); self.num_atoms];
+        let mut opaque_atoms: Vec<bool> = vec![false; self.num_atoms];
+        for a in &self.opaque {
+            opaque_atoms[*a as usize] = true;
+        }
         let mut clauses = Vec::with_capacity(self.clauses.len());
-        for (i, c) in self
-            .clauses
-            .into_iter()
-            .filter(|c| c.weight != Weight::Soft(0.0))
-            .enumerate()
-        {
+        let mut provenance = Vec::with_capacity(self.clauses.len());
+        for (c, p) in self.clauses.into_iter().zip(self.provenance) {
+            if c.weight == Weight::Soft(0.0) {
+                for l in c.lits.iter() {
+                    opaque_atoms[l.atom() as usize] = true;
+                }
+                continue;
+            }
             for l in c.lits.iter() {
-                occurrences[l.atom() as usize].push(i as u32);
+                occurrences[l.atom() as usize].push(clauses.len() as u32);
             }
             clauses.push(c);
+            provenance.push(p);
         }
         Mrf {
             num_atoms: self.num_atoms,
             clauses,
+            provenance,
             occurrences,
+            opaque_atoms,
             base_cost: self.base_cost,
         }
     }
@@ -288,5 +410,25 @@ mod tests {
         b.add_clause(vec![Lit::pos(0)], Weight::Soft(-1.0)); // merges to 0
         let m = b.finish();
         assert!(m.clauses().is_empty());
+        // The dropped clause leaves its atom opaque to patching.
+        assert!(m.patch_opaque(0));
+    }
+
+    #[test]
+    fn provenance_splits_merged_contributions() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(-0.25));
+        b.add_clause(vec![Lit::pos(0)], Weight::Hard);
+        b.add_clause(vec![Lit::pos(1)], Weight::Soft(2.0));
+        let m = b.finish();
+        assert_eq!(m.clauses()[0].weight, Weight::Hard);
+        let p = m.provenance(0);
+        assert_eq!(p.satisfied_constant(), Cost::soft(0.25));
+        assert_eq!(p.violated_constant(), Cost { hard: 1, soft: 1.0 });
+        assert!(!m.patch_opaque(0));
+        let single = m.provenance(1);
+        assert_eq!(single.satisfied_constant(), Cost::ZERO);
+        assert_eq!(single.violated_constant(), Cost::soft(2.0));
     }
 }

@@ -32,7 +32,7 @@ pub mod unionfind;
 pub use clause::GroundClause;
 pub use components::ComponentSet;
 pub use cost::Cost;
-pub use graph::{Mrf, MrfBuilder};
+pub use graph::{ClauseProvenance, Mrf, MrfBuilder};
 pub use lit::{AtomId, Lit};
 pub use partition::Partitioning;
 pub use unionfind::UnionFind;

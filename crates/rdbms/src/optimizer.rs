@@ -2,7 +2,7 @@
 //!
 //! This module is the *planning* half of the engine: it compiles a
 //! [`ConjunctiveQuery`] into an explicit, costed
-//! [`QueryPlan`](crate::plan::QueryPlan) tree. Execution lives in
+//! [`QueryPlan`] tree. Execution lives in
 //! [`crate::executor`]; the two meet only through the plan IR in
 //! [`crate::plan`], so plans can be inspected (`EXPLAIN`), golden-tested,
 //! and profiled.

@@ -29,6 +29,8 @@ pub mod timecost;
 pub mod walksat;
 
 pub use mcsat::McSat;
-pub use scheduler::{Schedule, ScheduleResult, ScheduleUnit, Scheduler, SchedulerConfig};
+pub use scheduler::{
+    MarginalSamples, Schedule, ScheduleResult, ScheduleUnit, Scheduler, SchedulerConfig,
+};
 pub use timecost::{TimeCostTrace, TracePoint};
 pub use walksat::{WalkSat, WalkSatParams};

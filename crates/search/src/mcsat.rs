@@ -56,6 +56,7 @@ impl Default for McSatParams {
 pub struct McSat<'a> {
     mrf: &'a Mrf,
     rng: StdRng,
+    flips: u64,
 }
 
 impl<'a> McSat<'a> {
@@ -71,7 +72,15 @@ impl<'a> McSat<'a> {
         Ok(McSat {
             mrf,
             rng: StdRng::seed_from_u64(seed),
+            flips: 0,
         })
+    }
+
+    /// Total WalkSAT/SampleSAT flips performed so far (initialization
+    /// plus every SampleSAT pass) — the marginal analogue of the MAP
+    /// report's flip count.
+    pub fn flips(&self) -> u64 {
+        self.flips
     }
 
     /// Runs MC-SAT and returns the per-atom marginal probabilities.
@@ -90,6 +99,7 @@ impl<'a> McSat<'a> {
                 },
                 None,
             );
+            self.flips += ws.flips();
             ws.best_truth().to_vec()
         };
 
@@ -171,6 +181,7 @@ impl<'a> McSat<'a> {
                 ws.step(0.5);
             }
         }
+        self.flips += ws.flips();
         if ws.cost().is_zero() {
             ws.truth().to_vec()
         } else if ws.best_cost().is_zero() {

@@ -185,6 +185,18 @@ pub struct ScheduleResult {
     pub unit_traces: Vec<TimeCostTrace>,
 }
 
+/// The outcome of scheduled marginal inference: per-atom probabilities
+/// plus the total SampleSAT work performed.
+#[derive(Clone, Debug)]
+pub struct MarginalSamples {
+    /// `P(atom = true)` per atom id (0.5 for atoms outside every
+    /// partition).
+    pub probs: Vec<f64>,
+    /// Total WalkSAT/SampleSAT flips across all samplers (and the MAP
+    /// conditioning run, when cut clauses require one).
+    pub flips: u64,
+}
+
 /// One partition pass's outcome, merged after its bin joins.
 struct UnitOutcome {
     truth: Vec<bool>,
@@ -204,11 +216,28 @@ impl<'a> Scheduler<'a> {
     /// Plans a schedule for `mrf` under the given configuration.
     pub fn new(mrf: &'a Mrf, config: SchedulerConfig) -> Scheduler<'a> {
         let schedule = Schedule::plan(mrf, config.mem_budget);
+        Scheduler::with_schedule(mrf, schedule, config)
+    }
+
+    /// Wraps an already-planned schedule — the session API's cached-plan
+    /// path, where repeated queries over an unchanged MRF should not
+    /// re-run partitioning and bin packing. The schedule must have been
+    /// planned for this `mrf` under this configuration's budget.
+    pub fn with_schedule(
+        mrf: &'a Mrf,
+        schedule: Schedule,
+        config: SchedulerConfig,
+    ) -> Scheduler<'a> {
         Scheduler {
             mrf,
             schedule,
             config,
         }
+    }
+
+    /// Consumes the scheduler, handing its schedule back for reuse.
+    pub fn into_schedule(self) -> Schedule {
+        self.schedule
     }
 
     /// The planned decomposition.
@@ -296,9 +325,20 @@ impl<'a> Scheduler<'a> {
     /// Runs MAP inference over the schedule: WalkSAT per partition, the
     /// worker pool per bin, Gauss-Seidel rounds across bins. Records the
     /// (deterministic) best-cost trajectory in `trace` if provided.
-    pub fn run(&self, mut trace: Option<&mut TimeCostTrace>) -> ScheduleResult {
+    ///
+    /// Equivalent to [`Scheduler::run_from`] with the all-`false`
+    /// LazySAT default state.
+    pub fn run(&self, trace: Option<&mut TimeCostTrace>) -> ScheduleResult {
+        self.run_from(&vec![false; self.mrf.num_atoms()], trace)
+    }
+
+    /// Runs MAP inference warm-started from `init` (the session API's
+    /// repeated-inference path: the previous best truth seeds every
+    /// partition's first pass through the snapshot).
+    pub fn run_from(&self, init: &[bool], mut trace: Option<&mut TimeCostTrace>) -> ScheduleResult {
         let n = self.mrf.num_atoms();
-        let mut truth = vec![false; n];
+        assert_eq!(init.len(), n, "warm-start state must cover every atom");
+        let mut truth = init.to_vec();
         let mut best_cost = self.mrf.cost(&truth);
         let mut best_truth = truth.clone();
         // Folded best-so-far curve (exact between cut interactions;
@@ -397,7 +437,7 @@ impl<'a> Scheduler<'a> {
     ///
     /// Errors if the MRF has negative-weight clauses (MC-SAT's slice
     /// construction requires non-negative weights).
-    pub fn run_marginal(&self, params: &McSatParams) -> Result<Vec<f64>, MlnError> {
+    pub fn run_marginal(&self, params: &McSatParams) -> Result<MarginalSamples, MlnError> {
         for c in self.mrf.clauses() {
             if c.weight.signum() < 0 {
                 return Err(MlnError::general(
@@ -405,32 +445,39 @@ impl<'a> Scheduler<'a> {
                 ));
             }
         }
+        let mut flips = 0u64;
         let condition_state = if self.schedule.parts.cut_clauses.is_empty() {
             vec![false; self.mrf.num_atoms()]
         } else {
-            self.run(None).truth
+            let map_mode = self.run(None);
+            flips += map_mode.flips;
+            map_mode.truth
         };
         let mut marginals = vec![0.5f64; self.mrf.num_atoms()];
         for bin in &self.schedule.bins {
             let jobs = &bin.items;
-            let run_unit = |ui: usize| -> Vec<f64> {
+            let run_unit = |ui: usize| -> (Vec<f64>, u64) {
                 let unit = &self.schedule.units[ui];
                 let atoms = &self.schedule.parts.atoms[unit.part];
                 let (sub, _) = self.condition_unit(unit.part, atoms, &condition_state);
                 let seed = derive_seed(params.seed, unit.part, 0);
-                McSat::new(&sub, seed)
-                    .expect("weights validated non-negative above")
-                    .marginals(params)
+                let mut mc = McSat::new(&sub, seed).expect("weights validated non-negative above");
+                let probs = mc.marginals(params);
+                (probs, mc.flips())
             };
             let locals = self.pool_map(jobs, run_unit);
-            for (&ui, local) in jobs.iter().zip(locals) {
+            for (&ui, (local, unit_flips)) in jobs.iter().zip(locals) {
                 let atoms = &self.schedule.parts.atoms[self.schedule.units[ui].part];
                 for (i, &a) in atoms.iter().enumerate() {
                     marginals[a as usize] = local[i];
                 }
+                flips += unit_flips;
             }
         }
-        Ok(marginals)
+        Ok(MarginalSamples {
+            probs: marginals,
+            flips,
+        })
     }
 
     /// Executes one bin: workers steal partition passes off a shared
@@ -841,9 +888,31 @@ mod tests {
             })
             .unwrap();
         let expected = 1f64.exp() / (1.0 + 1f64.exp());
-        for (i, &pi) in p.iter().enumerate() {
+        for (i, &pi) in p.probs.iter().enumerate() {
             assert!((pi - expected).abs() < 0.1, "atom {i}: {pi:.3}");
         }
+        assert!(p.flips > 0, "samplers should report their work");
+    }
+
+    #[test]
+    fn run_from_all_false_matches_run() {
+        let m = example1(8);
+        let s = Scheduler::new(&m, config(8 * 200, 12));
+        let cold = s.run(None);
+        let warm = s.run_from(&vec![false; m.num_atoms()], None);
+        assert_eq!(cold.truth, warm.truth);
+        assert_eq!(cold.flips, warm.flips);
+        assert_eq!(format!("{}", cold.cost), format!("{}", warm.cost));
+    }
+
+    #[test]
+    fn warm_start_from_optimum_cannot_regress() {
+        let m = example1(8);
+        let s = Scheduler::new(&m, config(8 * 200, 12));
+        let optimum = vec![true; m.num_atoms()];
+        let seed_cost = m.cost(&optimum);
+        let r = s.run_from(&optimum, None);
+        assert!(!seed_cost.better_than(r.cost), "warm start regressed");
     }
 
     #[test]

@@ -135,6 +135,23 @@ impl<'a> WalkSat<'a> {
         Self::with_assignment(mrf, truth, seed)
     }
 
+    /// Runs the full WalkSAT loop warm-started from `init` — the
+    /// session API's repeated-inference path, where the previous MAP
+    /// state seeds the next search. Equivalent to
+    /// [`WalkSat::with_assignment`] followed by [`WalkSat::run`];
+    /// warm-starting from all-`false` is exactly a cold
+    /// [`WalkSat::new`] run.
+    pub fn run_from(
+        mrf: &'a Mrf,
+        init: Vec<bool>,
+        params: &WalkSatParams,
+        trace: Option<&mut TimeCostTrace>,
+    ) -> WalkSat<'a> {
+        let mut ws = WalkSat::with_assignment(mrf, init, params.seed);
+        ws.run(params, trace);
+        ws
+    }
+
     /// Creates a solver starting from a given assignment.
     pub fn with_assignment(mrf: &'a Mrf, truth: Vec<bool>, seed: u64) -> WalkSat<'a> {
         assert_eq!(truth.len(), mrf.num_atoms());
@@ -478,6 +495,41 @@ mod tests {
         for w in trace.points().windows(2) {
             assert!(!w[1].cost.better_than(w[0].cost) || w[1].cost.cmp_total(w[0].cost).is_le());
         }
+    }
+
+    #[test]
+    fn run_from_all_false_matches_cold_run() {
+        let m = example1(4);
+        let params = WalkSatParams {
+            max_flips: 500,
+            ..Default::default()
+        };
+        let mut cold = WalkSat::new(&m, params.seed);
+        cold.run(&params, None);
+        let warm = WalkSat::run_from(&m, vec![false; m.num_atoms()], &params, None);
+        assert_eq!(cold.best_truth(), warm.best_truth());
+        assert_eq!(cold.flips(), warm.flips());
+        assert_eq!(cold.best_cost(), warm.best_cost());
+    }
+
+    #[test]
+    fn run_from_optimum_stays_at_optimum() {
+        // Warm-starting from the known optimum of example1 means no
+        // violated positive clause remains except the −1 bridges; the
+        // best cost can only stay equal-or-better than the seed state.
+        let m = example1(3);
+        let optimum = vec![true; m.num_atoms()];
+        let seed_cost = m.cost(&optimum);
+        let ws = WalkSat::run_from(
+            &m,
+            optimum,
+            &WalkSatParams {
+                max_flips: 2_000,
+                ..Default::default()
+            },
+            None,
+        );
+        assert!(!seed_cost.better_than(ws.best_cost()));
     }
 
     #[test]

@@ -15,7 +15,7 @@ fn main() {
     println!(
         "ER dataset: {} rules, {} evidence tuples",
         dataset.program.rules.len(),
-        dataset.program.evidence.len()
+        dataset.evidence.len()
     );
 
     let cfg = TuffyConfig {
@@ -26,9 +26,11 @@ fn main() {
         },
         ..Default::default()
     };
-    let result = Tuffy::from_program(dataset.program)
+    let result = Tuffy::from_parts(dataset.program, dataset.evidence)
         .with_config(cfg)
-        .map_inference()
+        .open_session()
+        .expect("grounding")
+        .map()
         .expect("inference");
 
     println!(

@@ -15,7 +15,7 @@ fn main() {
     println!(
         "IE dataset: {} rules, {} evidence tuples",
         dataset.program.rules.len(),
-        dataset.program.evidence.len()
+        dataset.evidence.len()
     );
 
     for threads in [1usize, 4] {
@@ -29,9 +29,12 @@ fn main() {
             ..Default::default()
         };
         let t0 = Instant::now();
-        let result = Tuffy::from_program(ie(400, 200, 11).program)
+        let ds = ie(400, 200, 11);
+        let result = Tuffy::from_parts(ds.program, ds.evidence)
             .with_config(cfg)
-            .map_inference()
+            .open_session()
+            .expect("grounding")
+            .map()
             .expect("inference");
         println!(
             "\n{} thread(s): cost {} across {} components in {:?}",

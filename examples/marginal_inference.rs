@@ -21,8 +21,9 @@ fn main() {
     "#;
 
     let tuffy = Tuffy::from_sources(program, evidence).expect("parse");
-    let result = tuffy
-        .marginal_inference(&McSatParams {
+    let session = tuffy.open_session().expect("grounding");
+    let result = session
+        .marginal(&McSatParams {
             samples: 1000,
             burn_in: 100,
             sample_sat_steps: 300,

@@ -13,7 +13,7 @@ fn main() {
     println!(
         "RC dataset: {} rules, {} evidence tuples",
         dataset.program.rules.len(),
-        dataset.program.evidence.len()
+        dataset.evidence.len()
     );
 
     let budget = 200_000u64;
@@ -27,9 +27,12 @@ fn main() {
             },
             ..Default::default()
         };
-        Tuffy::from_program(rc(60, 8, 7).program)
+        let ds = rc(60, 8, 7);
+        Tuffy::from_parts(ds.program, ds.evidence)
             .with_config(cfg)
-            .map_inference()
+            .open_session()
+            .expect("grounding")
+            .map()
             .expect("inference")
     };
 

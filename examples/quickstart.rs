@@ -1,4 +1,5 @@
-//! Quickstart: the paper's Figure 1 program, end to end.
+//! Quickstart: the paper's Figure 1 program through the session API —
+//! ground once, query repeatedly, update evidence incrementally.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -32,8 +33,10 @@ fn main() {
         cat(P2, DB)
     "#;
 
+    // A session grounds once and then serves queries.
     let tuffy = Tuffy::from_sources(program, evidence).expect("parse");
-    let result = tuffy.map_inference().expect("inference");
+    let mut session = tuffy.open_session().expect("grounding");
+    let result = session.map().expect("inference");
 
     println!("most likely world (cost {}):", result.cost);
     print!("{}", result.to_text());
@@ -56,4 +59,26 @@ fn main() {
     assert!(labels.contains(&vec!["P1".to_string(), "DB".to_string()]));
     assert!(labels.contains(&vec!["P3".to_string(), "DB".to_string()]));
     println!("\nP1 and P3 classified as DB, as the paper's example predicts.");
+
+    // New evidence arrives mid-session: a curator confirms P1's label.
+    // The session patches its grounded store — no re-grounding — and the
+    // next map() warm-starts from the previous best world.
+    let delta = session.parse_delta("cat(P1, DB)").expect("delta");
+    let report = session.apply(&delta).expect("apply");
+    println!(
+        "\ndelta applied {} in {:?}",
+        if report.incremental {
+            "incrementally"
+        } else {
+            "via full re-ground"
+        },
+        report.wall
+    );
+    assert!(report.incremental);
+    let updated = session.map().expect("re-inference");
+    let labels = updated.true_atoms_of("cat").expect("declared");
+    // P1 is evidence now; only P3 is left to infer.
+    assert_eq!(labels, vec![vec!["P3".to_string(), "DB".to_string()]]);
+    println!("after the delta the session infers just cat(P3, DB):");
+    print!("{}", updated.to_text());
 }

@@ -21,9 +21,11 @@ fn run(program: &tuffy_datagen::Dataset, strategy: PartitionStrategy, threads: u
         },
         ..Default::default()
     };
-    Tuffy::from_program(program.program.clone())
+    Tuffy::from_parts(program.program.clone(), program.evidence.clone())
         .with_config(cfg)
-        .map_inference()
+        .open_session()
+        .unwrap()
+        .map()
         .unwrap()
 }
 

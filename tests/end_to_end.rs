@@ -22,7 +22,7 @@ fn figure1_miniature_reaches_known_optimum() {
         "#,
     )
     .unwrap();
-    let r = t.map_inference().unwrap();
+    let r = t.open_session().unwrap().map().unwrap();
     assert!(r.cost.is_zero());
     let mut cats = r.true_atoms_of("cat").unwrap();
     cats.sort();
@@ -51,7 +51,7 @@ fn hard_rules_dominate_soft_rules() {
         "person(Alice)\nperson(Bob)\n",
     )
     .unwrap();
-    let r = t.map_inference().unwrap();
+    let r = t.open_session().unwrap().map().unwrap();
     assert_eq!(r.cost.hard, 0, "hard constraint must hold");
     let guilty = r.true_atoms_of("guilty").unwrap();
     assert!(guilty.contains(&vec!["Bob".to_string()]));
@@ -66,7 +66,7 @@ fn negative_priors_keep_unsupported_atoms_false() {
         "seen(A)\n",
     )
     .unwrap();
-    let r = t.map_inference().unwrap();
+    let r = t.open_session().unwrap().map().unwrap();
     let atoms = r.true_atoms_of("exists_").unwrap();
     // A is supported (net weight 2 vs 1), everything else stays false.
     assert_eq!(atoms, vec![vec!["A".to_string()]]);
@@ -93,7 +93,9 @@ fn mutual_exclusion_yields_single_labels() {
     )
     .unwrap()
     .with_config(cfg)
-    .map_inference()
+    .open_session()
+    .unwrap()
+    .map()
     .unwrap();
     assert!(r.cost.is_zero(), "cost = {}", r.cost);
     let labels = r.true_atoms_of("label").unwrap();
@@ -107,11 +109,11 @@ fn mutual_exclusion_yields_single_labels() {
 /// The full generated testbeds run end to end at small scale.
 #[test]
 fn generated_testbeds_run_end_to_end() {
-    for (name, program) in [
-        ("LP", tuffy_datagen::lp(3, 2, 1).program),
-        ("IE", tuffy_datagen::ie(20, 40, 1).program),
-        ("RC", tuffy_datagen::rc(8, 4, 1).program),
-        ("ER", tuffy_datagen::er(5, 25, 1).program),
+    for (name, ds) in [
+        ("LP", tuffy_datagen::lp(3, 2, 1)),
+        ("IE", tuffy_datagen::ie(20, 40, 1)),
+        ("RC", tuffy_datagen::rc(8, 4, 1)),
+        ("ER", tuffy_datagen::er(5, 25, 1)),
     ] {
         let cfg = TuffyConfig {
             search: WalkSatParams {
@@ -120,9 +122,11 @@ fn generated_testbeds_run_end_to_end() {
             },
             ..Default::default()
         };
-        let r = Tuffy::from_program(program)
+        let r = Tuffy::from_parts(ds.program, ds.evidence)
             .with_config(cfg)
-            .map_inference()
+            .open_session()
+            .unwrap()
+            .map()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(r.cost.hard, 0, "{name}: hard violations");
         assert!(r.report.clauses > 0, "{name}: nothing grounded");
@@ -141,10 +145,15 @@ fn inference_is_deterministic_given_seed() {
             },
             ..Default::default()
         };
-        let r = Tuffy::from_program(tuffy_datagen::rc(6, 4, 5).program)
-            .with_config(cfg)
-            .map_inference()
-            .unwrap();
+        let r = {
+            let ds = tuffy_datagen::rc(6, 4, 5);
+            Tuffy::from_parts(ds.program, ds.evidence)
+        }
+        .with_config(cfg)
+        .open_session()
+        .unwrap()
+        .map()
+        .unwrap();
         (format!("{}", r.cost), r.to_text())
     };
     assert_eq!(run(), run());

@@ -26,9 +26,12 @@ fn malformed_programs_error_with_line_numbers() {
 }
 
 #[test]
-fn contradictory_evidence_rejected_at_grounding() {
-    let t = Tuffy::from_sources("q(t)\n1 q(x) => q(x) v q(A)\n", "q(B)\n!q(B)\n").unwrap();
-    let err = t.map_inference().unwrap_err();
+fn contradictory_evidence_rejected_at_parse() {
+    // The evidence set rejects contradictions as they are added — before
+    // a session could ever ground them.
+    let Err(err) = Tuffy::from_sources("q(t)\n1 q(x) => q(x) v q(A)\n", "q(B)\n!q(B)\n") else {
+        panic!("contradictory evidence must not parse");
+    };
     assert!(err.to_string().contains("contradictory"), "{err}");
 }
 
@@ -47,7 +50,7 @@ fn empty_program_grounds_to_nothing() {
     // A program with rules but no evidence (and so empty domains)
     // grounds to an empty MRF and a zero-cost world.
     let t = Tuffy::from_sources("q(t)\n1 q(x)\n", "").unwrap();
-    let r = t.map_inference().unwrap();
+    let r = t.open_session().unwrap().map().unwrap();
     assert!(r.cost.is_zero());
     assert!(r.true_atoms().is_empty());
     assert_eq!(r.report.clauses, 0);
@@ -61,7 +64,7 @@ fn unsatisfiable_hard_rules_reported_as_hard_cost() {
         "seen(A)\n",
     )
     .unwrap();
-    let r = t.map_inference().unwrap();
+    let r = t.open_session().unwrap().map().unwrap();
     assert!(r.cost.hard >= 1, "cost = {}", r.cost);
 }
 
@@ -72,7 +75,11 @@ fn marginal_rejects_negative_weights_cleanly() {
         "seen(T)\n",
     )
     .unwrap();
-    let err = t.marginal_inference(&McSatParams::default()).unwrap_err();
+    let err = t
+        .open_session()
+        .unwrap()
+        .marginal(&McSatParams::default())
+        .unwrap_err();
     assert!(err.to_string().contains("non-negative"), "{err}");
 }
 
@@ -82,9 +89,12 @@ fn equality_over_existential_vars_rejected() {
         "*p(t)\nr(t, t)\n1 p(x) => EXIST y r(x, y) v x = y\n",
         "p(A)\n",
     );
-    // Rejection at parse/validate time would also be acceptable.
+    // Rejection at parse/validate time would also be acceptable; today
+    // it surfaces when the session grounds the program.
     if let Ok(t) = t {
-        let err = t.map_inference().unwrap_err();
+        let Err(err) = t.open_session().map(|_| ()) else {
+            panic!("grounding must reject existential equality");
+        };
         assert!(err.to_string().contains("existential"), "{err}");
     }
 }

@@ -44,7 +44,7 @@ fn random_program(
     edges: &[(usize, usize)],
     authors: &[(usize, usize)],
     labels: &[(usize, usize, bool)],
-) -> MlnProgram {
+) -> Option<(MlnProgram, tuffy_mln::EvidenceSet)> {
     let src = r#"
         *wrote(person, paper)
         *refers(paper, paper)
@@ -70,8 +70,9 @@ fn random_program(
             c % n_cats
         ));
     }
-    parse_evidence(&mut program, &ev).unwrap();
-    program
+    // Random labels may contradict; the evidence set rejects those.
+    let evidence = parse_evidence(&mut program, &ev).ok()?;
+    Some((program, evidence))
 }
 
 proptest! {
@@ -85,13 +86,12 @@ proptest! {
         authors in proptest::collection::vec((0usize..3, 0usize..6), 1..8),
         labels in proptest::collection::vec((0usize..6, 0usize..3, any::<bool>()), 0..6),
     ) {
-        let program = random_program(6, 3, &edges, &authors, &labels);
-        if tuffy_grounder::EvidenceIndex::build(&program).is_err() {
-            return Ok(()); // random labels may contradict; skip
-        }
+        let Some((program, evidence)) = random_program(6, 3, &edges, &authors, &labels) else {
+            return Ok(()); // contradictory labels; skip
+        };
         for mode in [GroundingMode::LazyClosure, GroundingMode::Eager] {
-            let bu = ground_bottom_up(&program, mode, &OptimizerConfig::default()).unwrap();
-            let td = ground_top_down(&program, mode).unwrap();
+            let bu = ground_bottom_up(&program, &evidence, mode, &OptimizerConfig::default()).unwrap();
+            let td = ground_top_down(&program, &evidence, mode).unwrap();
             prop_assert_eq!(canon(&bu), canon(&td), "mode {:?}", mode);
             prop_assert_eq!(bu.mrf.base_cost, td.mrf.base_cost);
         }
@@ -103,9 +103,10 @@ proptest! {
         edges in proptest::collection::vec((0usize..5, 0usize..5), 0..6),
         authors in proptest::collection::vec((0usize..3, 0usize..5), 1..6),
     ) {
-        let program = random_program(5, 3, &edges, &authors, &[]);
+        let (program, evidence) = random_program(5, 3, &edges, &authors, &[]).unwrap();
         let reference = ground_bottom_up(
             &program,
+            &evidence,
             GroundingMode::LazyClosure,
             &OptimizerConfig::default(),
         )
@@ -114,7 +115,9 @@ proptest! {
             for join_algorithm in [JoinAlgorithmPolicy::Auto, JoinAlgorithmPolicy::NestedLoopOnly] {
                 for pushdown in [true, false] {
                     let cfg = OptimizerConfig { join_order, join_algorithm, pushdown };
-                    let r = ground_bottom_up(&program, GroundingMode::LazyClosure, &cfg).unwrap();
+                    let r =
+                        ground_bottom_up(&program, &evidence, GroundingMode::LazyClosure, &cfg)
+                            .unwrap();
                     prop_assert_eq!(canon(&reference), canon(&r), "{:?}", cfg);
                 }
             }
@@ -128,12 +131,11 @@ proptest! {
         edges in proptest::collection::vec((0usize..5, 0usize..5), 0..6),
         labels in proptest::collection::vec((0usize..5, 0usize..3, any::<bool>()), 0..5),
     ) {
-        let program = random_program(5, 3, &edges, &[(0, 0)], &labels);
-        if tuffy_grounder::EvidenceIndex::build(&program).is_err() {
+        let Some((program, evidence)) = random_program(5, 3, &edges, &[(0, 0)], &labels) else {
             return Ok(());
-        }
-        let lazy = ground_bottom_up(&program, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
-        let eager = ground_bottom_up(&program, GroundingMode::Eager, &OptimizerConfig::default()).unwrap();
+        };
+        let lazy = ground_bottom_up(&program, &evidence, GroundingMode::LazyClosure, &OptimizerConfig::default()).unwrap();
+        let eager = ground_bottom_up(&program, &evidence, GroundingMode::Eager, &OptimizerConfig::default()).unwrap();
         prop_assert!(lazy.stats.clauses <= eager.stats.clauses);
         prop_assert!(lazy.stats.atoms <= eager.stats.atoms);
         let lazy_set: std::collections::BTreeSet<String> = canon(&lazy).into_iter().collect();

@@ -4,8 +4,8 @@
 
 use tuffy::{Architecture, Tuffy, TuffyConfig, WalkSatParams};
 
-fn program() -> tuffy_mln::MlnProgram {
-    tuffy_datagen::rc(6, 4, 3).program
+fn program() -> tuffy_datagen::Dataset {
+    tuffy_datagen::rc(6, 4, 3)
 }
 
 fn run(arch: Architecture, max_flips: u64) -> tuffy::MapResult {
@@ -26,10 +26,15 @@ fn run(arch: Architecture, max_flips: u64) -> tuffy::MapResult {
         pool_pages: 0,
         ..Default::default()
     };
-    Tuffy::from_program(program())
-        .with_config(cfg)
-        .map_inference()
-        .unwrap()
+    {
+        let ds = program();
+        Tuffy::from_parts(ds.program, ds.evidence)
+    }
+    .with_config(cfg)
+    .open_session()
+    .unwrap()
+    .map()
+    .unwrap()
 }
 
 #[test]
@@ -99,10 +104,15 @@ fn search_ram_reflects_partitioning() {
             },
             ..Default::default()
         };
-        Tuffy::from_program(program())
-            .with_config(cfg)
-            .map_inference()
-            .unwrap()
+        {
+            let ds = program();
+            Tuffy::from_parts(ds.program, ds.evidence)
+        }
+        .with_config(cfg)
+        .open_session()
+        .unwrap()
+        .map()
+        .unwrap()
     };
     let whole = mk(PartitionStrategy::None);
     let comps = mk(PartitionStrategy::Components);

@@ -10,7 +10,9 @@ fn single_atom_marginal_matches_closed_form() {
         let t = Tuffy::from_sources(&format!("*seen(thing)\nq(thing)\n{w} q(x)\n"), "seen(A)\n")
             .unwrap();
         let r = t
-            .marginal_inference(&McSatParams {
+            .open_session()
+            .unwrap()
+            .marginal(&McSatParams {
                 samples: 1500,
                 burn_in: 100,
                 sample_sat_steps: 30,
@@ -37,7 +39,9 @@ fn symmetric_atoms_get_symmetric_marginals() {
     )
     .unwrap();
     let r = t
-        .marginal_inference(&McSatParams {
+        .open_session()
+        .unwrap()
+        .marginal(&McSatParams {
             samples: 1200,
             burn_in: 80,
             sample_sat_steps: 40,
@@ -68,7 +72,9 @@ fn hard_rules_restrict_samples() {
     )
     .unwrap();
     let r = t
-        .marginal_inference(&McSatParams {
+        .open_session()
+        .unwrap()
+        .marginal(&McSatParams {
             samples: 1000,
             burn_in: 100,
             sample_sat_steps: 60,
@@ -96,5 +102,9 @@ fn negative_weights_rejected_for_marginals() {
         "seen(A)\n",
     )
     .unwrap();
-    assert!(t.marginal_inference(&McSatParams::default()).is_err());
+    assert!(t
+        .open_session()
+        .unwrap()
+        .marginal(&McSatParams::default())
+        .is_err());
 }

@@ -24,10 +24,15 @@ fn component_awareness_beats_monolithic_on_example1() {
             },
             ..Default::default()
         };
-        Tuffy::from_program(example1(n).program)
-            .with_config(cfg)
-            .map_inference()
-            .unwrap()
+        {
+            let ds = example1(n);
+            Tuffy::from_parts(ds.program, ds.evidence)
+        }
+        .with_config(cfg)
+        .open_session()
+        .unwrap()
+        .map()
+        .unwrap()
     };
     let aware = run(PartitionStrategy::Components);
     let mono = run(PartitionStrategy::None);
@@ -49,8 +54,10 @@ fn component_awareness_beats_monolithic_on_example1() {
 /// more partitions (Figure 6's setup).
 #[test]
 fn partition_budgets_are_respected_on_rc() {
+    let ds = tuffy_datagen::rc(10, 6, 2);
     let g = ground_bottom_up(
-        &tuffy_datagen::rc(10, 6, 2).program,
+        &ds.program,
+        &ds.evidence,
         GroundingMode::LazyClosure,
         &OptimizerConfig::default(),
     )
@@ -98,26 +105,36 @@ fn budget_strategy_converges_on_er() {
         partition_rounds: 3,
         ..Default::default()
     };
-    let r = Tuffy::from_program(tuffy_datagen::er(5, 25, 5).program)
-        .with_config(cfg)
-        .map_inference()
-        .unwrap();
+    let r = {
+        let ds = tuffy_datagen::er(5, 25, 5);
+        Tuffy::from_parts(ds.program, ds.evidence)
+    }
+    .with_config(cfg)
+    .open_session()
+    .unwrap()
+    .map()
+    .unwrap();
     assert_eq!(r.cost.hard, 0, "hard symmetry must hold");
     // The budget shrinks the per-partition search state well below the
     // whole-MRF footprint (dense ER carries Algorithm 3's documented
     // realized-size slack, so the bound is relative, not absolute).
-    let whole = Tuffy::from_program(tuffy_datagen::er(5, 25, 5).program)
-        .with_config(TuffyConfig {
-            partitioning: PartitionStrategy::None,
-            search: WalkSatParams {
-                max_flips: 1_000,
-                seed: 5,
-                ..Default::default()
-            },
+    let whole = {
+        let ds = tuffy_datagen::er(5, 25, 5);
+        Tuffy::from_parts(ds.program, ds.evidence)
+    }
+    .with_config(TuffyConfig {
+        partitioning: PartitionStrategy::None,
+        search: WalkSatParams {
+            max_flips: 1_000,
+            seed: 5,
             ..Default::default()
-        })
-        .map_inference()
-        .unwrap();
+        },
+        ..Default::default()
+    })
+    .open_session()
+    .unwrap()
+    .map()
+    .unwrap();
     assert!(
         r.report.search_ram < whole.report.search_ram,
         "budgeted {} vs whole {}",
@@ -139,10 +156,15 @@ fn parallel_matches_sequential_on_ie() {
             },
             ..Default::default()
         };
-        Tuffy::from_program(tuffy_datagen::ie(60, 40, 9).program)
-            .with_config(cfg)
-            .map_inference()
-            .unwrap()
+        {
+            let ds = tuffy_datagen::ie(60, 40, 9);
+            Tuffy::from_parts(ds.program, ds.evidence)
+        }
+        .with_config(cfg)
+        .open_session()
+        .unwrap()
+        .map()
+        .unwrap()
     };
     let seq = run(1);
     let par = run(8);
@@ -154,8 +176,10 @@ fn parallel_matches_sequential_on_ie() {
 /// one-batch-per-component loading (§3.3 / Table 7's premise).
 #[test]
 fn ffd_batches_ie_components() {
+    let ds = tuffy_datagen::ie(120, 50, 4);
     let g = ground_bottom_up(
-        &tuffy_datagen::ie(120, 50, 4).program,
+        &ds.program,
+        &ds.evidence,
         GroundingMode::LazyClosure,
         &OptimizerConfig::default(),
     )

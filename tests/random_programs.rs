@@ -58,7 +58,7 @@ proptest! {
 
         // Cross-check the reported cost against a from-scratch evaluation
         // of the returned world over a fresh grounding.
-        let r = t.map_inference().unwrap();
+        let r = t.open_session().unwrap().map().unwrap();
         let g = t.ground().unwrap();
         let mut truth = vec![false; g.registry.len()];
         for atom in r.true_atoms() {

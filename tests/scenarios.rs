@@ -23,9 +23,11 @@ fn partitioned(budget: usize, max_flips: u64) -> TuffyConfig {
 }
 
 fn run_map(ds: Dataset, cfg: TuffyConfig) -> tuffy::MapResult {
-    Tuffy::from_program(ds.program)
+    Tuffy::from_parts(ds.program, ds.evidence)
         .with_config(cfg)
-        .map_inference()
+        .open_session()
+        .unwrap()
+        .map()
         .unwrap()
 }
 
@@ -59,16 +61,21 @@ fn ie_partitioned_solves_components_and_samples_sane_marginals() {
     assert!(r.cost.soft < 180.0, "IE cost regressed: {}", r.cost);
     // Marginals through the same partitioned scheduler (IE weights are
     // non-negative, so MC-SAT applies).
-    let m = Tuffy::from_program(tuffy_datagen::ie(60, 40, 9).program)
-        .with_config(partitioned(4_000, 10_000))
-        .marginal_inference(&McSatParams {
-            samples: 150,
-            burn_in: 15,
-            sample_sat_steps: 150,
-            seed: 2024,
-            ..Default::default()
-        })
-        .unwrap();
+    let m = {
+        let ds = tuffy_datagen::ie(60, 40, 9);
+        Tuffy::from_parts(ds.program, ds.evidence)
+    }
+    .with_config(partitioned(4_000, 10_000))
+    .open_session()
+    .unwrap()
+    .marginal(&McSatParams {
+        samples: 150,
+        burn_in: 15,
+        sample_sat_steps: 150,
+        seed: 2024,
+        ..Default::default()
+    })
+    .unwrap();
     assert!(!m.marginals.is_empty());
     for (ga, p) in &m.marginals {
         assert!((0.0..=1.0).contains(p), "P({ga:?}) = {p} out of [0,1]");
