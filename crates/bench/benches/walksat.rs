@@ -1,28 +1,44 @@
 //! Criterion micro-benchmarks: WalkSAT flip throughput (the quantity
 //! behind Table 3's in-memory rates).
+//!
+//! `walksat_flips` drives full WalkSAT steps (sample + greedy/noise
+//! choice + flip); `walksat_flip_loop` isolates the raw
+//! [`WalkSat::flip`] bookkeeping over the CSR occurrence arena with no
+//! RNG or clause sampling in the measured path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tuffy_grounder::{ground_bottom_up, GroundingMode};
 use tuffy_rdbms::OptimizerConfig;
 use tuffy_search::WalkSat;
 
-fn bench_flips(c: &mut Criterion) {
-    let mut group = c.benchmark_group("walksat_flips");
-    for (name, ds) in [
+fn workloads() -> Vec<(&'static str, tuffy_datagen::Dataset)> {
+    vec![
         ("example1_200", tuffy_datagen::example1(200)),
         ("rc_small", tuffy_datagen::rc(20, 6, 7)),
         ("er_small", tuffy_datagen::er(8, 40, 7)),
-    ] {
-        let g = ground_bottom_up(
-            &ds.program,
-            &ds.evidence,
-            GroundingMode::LazyClosure,
-            &OptimizerConfig::default(),
-        )
-        .expect("grounding");
+        ("lp_small", tuffy_datagen::lp(5, 4, 7)),
+        ("ie_small", tuffy_datagen::ie(120, 80, 7)),
+    ]
+}
+
+fn ground(ds: &tuffy_datagen::Dataset) -> tuffy_mrf::Mrf {
+    ground_bottom_up(
+        &ds.program,
+        &ds.evidence,
+        GroundingMode::LazyClosure,
+        &OptimizerConfig::default(),
+    )
+    .expect("grounding")
+    .mrf
+}
+
+fn bench_flips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walksat_flips");
+    for (name, ds) in workloads() {
+        let mrf = ground(&ds);
         let flips = 10_000u64;
         group.throughput(Throughput::Elements(flips));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &g.mrf, |b, mrf| {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mrf, |b, mrf| {
             b.iter(|| {
                 let mut ws = WalkSat::new(mrf, 42);
                 for _ in 0..flips {
@@ -37,5 +53,27 @@ fn bench_flips(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flips);
+fn bench_flip_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walksat_flip_loop");
+    for (name, ds) in workloads() {
+        let mrf = ground(&ds);
+        let flips = 10_000u64;
+        group.throughput(Throughput::Elements(flips));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mrf, |b, mrf| {
+            b.iter(|| {
+                let n = mrf.num_atoms() as u64;
+                let mut ws = WalkSat::new(mrf, 42);
+                for i in 0..flips {
+                    // Deterministic atom sweep stride, coprime with most
+                    // atom counts, keeps the access pattern non-trivial.
+                    ws.flip(((i * 7) % n) as u32);
+                }
+                ws.cost()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flips, bench_flip_loop);
 criterion_main!(benches);

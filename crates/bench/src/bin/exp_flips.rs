@@ -1,0 +1,4 @@
+//! Regenerates the flips/sec report and `BENCH_flips.json`.
+fn main() {
+    tuffy_bench::emit("flips", &tuffy_bench::experiments::flips::report());
+}

@@ -1,0 +1,151 @@
+//! WalkSAT flipping rate per workload — the machine-readable perf
+//! baseline behind Table 3's in-memory column.
+//!
+//! Measures pure in-memory flips/sec of the CSR flip loop on the four
+//! paper workloads (bench scale) plus Example 1, and writes
+//! `BENCH_flips.json` at the repository root so successive commits can
+//! be compared (`cargo run --release -p tuffy-bench --bin exp_flips`).
+
+use crate::format::TextTable;
+use std::time::Instant;
+use tuffy_grounder::{ground_bottom_up, GroundingMode};
+use tuffy_rdbms::OptimizerConfig;
+use tuffy_search::WalkSat;
+
+/// Flip budget per measurement run.
+const FLIPS: u64 = 200_000;
+/// Timed repetitions per workload (the median is reported).
+const REPS: usize = 5;
+
+/// One workload's measurement.
+pub struct FlipRate {
+    /// Workload name (Table 1 naming).
+    pub name: String,
+    /// MRF shape: atoms, clauses, literal occurrences.
+    pub atoms: usize,
+    /// Ground clauses.
+    pub clauses: usize,
+    /// Literal occurrences (arena length).
+    pub literals: usize,
+    /// Flips actually performed (less than the budget only if search
+    /// hit a zero-cost world).
+    pub flips: u64,
+    /// Median wall seconds for those flips.
+    pub seconds: f64,
+}
+
+impl FlipRate {
+    /// Flips per second.
+    pub fn rate(&self) -> f64 {
+        self.flips as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// Measures every workload.
+pub fn measure() -> Vec<FlipRate> {
+    let workloads = vec![
+        ("LP", crate::datasets::lp_bench()),
+        ("IE", crate::datasets::ie_bench()),
+        ("RC", crate::datasets::rc_bench()),
+        ("ER", crate::datasets::er_bench()),
+        ("example1", tuffy_datagen::example1(200)),
+    ];
+    let mut out = Vec::new();
+    for (name, ds) in workloads {
+        let g = ground_bottom_up(
+            &ds.program,
+            &ds.evidence,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .expect("grounding");
+        let mut times = Vec::with_capacity(REPS);
+        let mut flips = 0;
+        for _ in 0..REPS {
+            let mut ws = WalkSat::new(&g.mrf, crate::SEED);
+            let t0 = Instant::now();
+            for _ in 0..FLIPS {
+                if !ws.step(0.5) {
+                    break;
+                }
+            }
+            times.push(t0.elapsed().as_secs_f64());
+            flips = ws.flips();
+        }
+        times.sort_by(f64::total_cmp);
+        out.push(FlipRate {
+            name: name.to_string(),
+            atoms: g.mrf.num_atoms(),
+            clauses: g.mrf.clauses().len(),
+            literals: g.mrf.total_literals(),
+            flips,
+            seconds: times[REPS / 2],
+        });
+    }
+    out
+}
+
+/// Renders the measurements as the `BENCH_flips.json` document.
+pub fn to_json(rates: &[FlipRate]) -> String {
+    let mut body =
+        String::from("{\n  \"bench\": \"walksat_flips\",\n  \"unit\": \"flips_per_sec\",\n");
+    body.push_str(&format!(
+        "  \"flip_budget\": {FLIPS},\n  \"workloads\": [\n"
+    ));
+    for (i, r) in rates.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"atoms\": {}, \"clauses\": {}, \"literals\": {}, \
+             \"flips\": {}, \"seconds\": {:.6}, \"flips_per_sec\": {:.0}}}{}\n",
+            r.name,
+            r.atoms,
+            r.clauses,
+            r.literals,
+            r.flips,
+            r.seconds,
+            r.rate(),
+            if i + 1 == rates.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    body
+}
+
+/// Builds the flips/sec report and writes `BENCH_flips.json` at the
+/// repository root (the current directory of every `exp_*` binary).
+pub fn report() -> String {
+    let rates = measure();
+    let json = to_json(&rates);
+    if let Err(e) = std::fs::write("BENCH_flips.json", &json) {
+        eprintln!("warning: could not write BENCH_flips.json: {e}");
+    } else {
+        eprintln!("(written to BENCH_flips.json)");
+    }
+    let mut out = String::from(
+        "WalkSAT flipping rate per workload (in-memory CSR layout)\n\
+         The quantity Table 3 credits for Tuffy's speed; regenerate with\n\
+         `cargo run --release -p tuffy-bench --bin exp_flips` (also\n\
+         refreshes BENCH_flips.json at the repo root).\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "workload",
+        "atoms",
+        "clauses",
+        "literals",
+        "flips",
+        "seconds",
+        "flips/sec",
+    ]);
+    for r in &rates {
+        t.row(vec![
+            r.name.clone(),
+            r.atoms.to_string(),
+            r.clauses.to_string(),
+            r.literals.to_string(),
+            r.flips.to_string(),
+            format!("{:.4}", r.seconds),
+            format!("{:.0}", r.rate()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -8,6 +8,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8;
+pub mod flips;
 pub mod scaling;
 pub mod session;
 pub mod table1;

@@ -2,11 +2,7 @@
 
 use crate::datasets::all_four;
 use crate::format::TextTable;
-use tuffy::{DiskModel, WalkSatParams};
-use tuffy_grounder::{ground_bottom_up, GroundingMode};
-use tuffy_rdbms::OptimizerConfig;
-use tuffy_search::rdbms_search::RdbmsSearch;
-use tuffy_search::WalkSat;
+use tuffy::{DiskModel, Tuffy};
 
 /// Paper's Table 3 (flips/sec): Alchemy, Tuffy-mm, Tuffy-p.
 pub const PAPER: [(&str, f64, f64, f64); 4] = [
@@ -16,21 +12,10 @@ pub const PAPER: [(&str, f64, f64, f64); 4] = [
     ("ER", 0.9e3, 0.03, 7.9e3),
 ];
 
-fn memory_rate(mrf: &tuffy_mrf::Mrf, flips: u64) -> f64 {
-    let mut ws = WalkSat::new(mrf, crate::SEED);
-    let t0 = std::time::Instant::now();
-    ws.run(
-        &WalkSatParams {
-            max_flips: flips,
-            seed: crate::SEED,
-            ..Default::default()
-        },
-        None,
-    );
-    ws.flips() as f64 / t0.elapsed().as_secs_f64().max(1e-9)
-}
-
-/// Builds the Table 3 report.
+/// Builds the Table 3 report. Both rates come straight from
+/// [`tuffy::InferenceReport::flips_per_sec`] — the in-memory one from a
+/// monolithic (Tuffy-p) session, the Tuffy-mm one from an RDBMS-resident
+/// session whose search time includes the simulated disk I/O.
 pub fn report() -> String {
     let mut out = String::from(
         "Table 3: flipping rates (flips/sec)\n\
@@ -48,23 +33,31 @@ pub fn report() -> String {
         "paper gap (Tuffy-p/mm)",
     ]);
     for (ds, paper) in all_four().into_iter().zip(PAPER.iter()) {
-        let g = ground_bottom_up(
-            &ds.program,
-            &ds.evidence,
-            GroundingMode::LazyClosure,
-            &OptimizerConfig::default(),
-        )
-        .expect("grounding");
-        let mem_rate = memory_rate(&g.mrf, 300_000);
+        let name = ds.name.clone();
+        let tuffy =
+            Tuffy::from_parts(ds.program, ds.evidence).with_config(crate::tuffy_p_config(300_000));
+        let mem = tuffy
+            .open_session()
+            .expect("grounding")
+            .map()
+            .expect("inference");
         // Pool capacity 0: the Tuffy-mm regime is an MRF much larger
         // than memory, so every page access misses.
-        let mut mm = RdbmsSearch::new(&g.mrf, 0, DiskModel::ssd(), crate::SEED);
-        let mm_result = mm.run(150, 0.5, None, None);
-        let gap = mem_rate / mm_result.flips_per_sec.max(1e-9);
+        let mm = tuffy
+            .with_config(tuffy::TuffyConfig {
+                disk: DiskModel::ssd(),
+                pool_pages: 0,
+                ..crate::tuffy_mm_config(150)
+            })
+            .open_session()
+            .expect("grounding")
+            .map()
+            .expect("inference");
+        let gap = mem.report.flips_per_sec / mm.report.flips_per_sec.max(1e-9);
         t.row(vec![
-            ds.name.clone(),
-            format!("{mem_rate:.0}"),
-            format!("{:.1}", mm_result.flips_per_sec),
+            name,
+            format!("{:.0}", mem.report.flips_per_sec),
+            format!("{:.1}", mm.report.flips_per_sec),
             format!("{gap:.0}x"),
             format!("{:.0}x", paper.3 / paper.2),
         ]);

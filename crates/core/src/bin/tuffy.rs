@@ -167,8 +167,8 @@ fn infer(session: &mut Session, marginal: bool, seed: u64) -> Result<String, Str
             })
             .map_err(|e| e.to_string())?;
         eprintln!(
-            "marginals over {} atoms: {} flips in {:?}",
-            r.report.atoms, r.report.flips, r.report.search_time
+            "marginals over {} atoms: {} flips in {:?} ({:.0} flips/sec)",
+            r.report.atoms, r.report.flips, r.report.search_time, r.report.flips_per_sec
         );
         let mut out = String::new();
         for (name, (_, p)) in r.names.iter().zip(r.marginals.iter()) {

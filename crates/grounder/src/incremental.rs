@@ -292,9 +292,7 @@ pub fn apply_delta_grounding(
         })
         .collect();
     fn lits_of<'a>(lc: &'a Live, mrf: &'a tuffy_mrf::Mrf) -> &'a [Lit] {
-        lc.lits
-            .as_deref()
-            .unwrap_or_else(|| &mrf.clauses()[lc.ci].lits)
+        lc.lits.as_deref().unwrap_or_else(|| mrf.clause_lits(lc.ci))
     }
     let mut admitted = vec![false; live.len()];
     let mut active = vec![false; mrf.num_atoms()];
@@ -378,7 +376,7 @@ pub fn apply_delta_grounding(
         // or hard.
         builder.add_clause_with_provenance(
             remapped,
-            mrf.clauses()[lc.ci].weight,
+            mrf.clause_weight(lc.ci),
             mrf.provenance(lc.ci),
         );
     }

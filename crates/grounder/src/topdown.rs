@@ -208,7 +208,9 @@ pub fn ground_top_down(
         + registry.bytes()
         + mrf.clause_bytes()
         + seen.len() * 48
-        + mrf.num_atoms() * std::mem::size_of::<Vec<u32>>();
+        // Occurrence CSR: bounds array + one packed entry per literal.
+        + (mrf.num_atoms() + 1) * std::mem::size_of::<u32>()
+        + mrf.total_literals() * std::mem::size_of::<tuffy_mrf::Occurrence>();
     Ok(GroundingResult {
         mrf,
         registry,

@@ -22,11 +22,19 @@ pub enum Weight {
 
 impl Weight {
     /// Parses the textual weight forms used by the concrete syntax.
+    /// Numeric literals that overflow to `±∞` (e.g. `1e999`) are hard
+    /// weights — `±∞` *is* the hard semantics (Appendix A.1) — and NaN
+    /// is rejected; `Weight::Soft` is always finite after parsing.
     pub fn parse(text: &str) -> Option<Weight> {
         match text {
             "inf" | "+inf" | "infinity" => Some(Weight::Hard),
             "-inf" | "-infinity" => Some(Weight::NegHard),
-            _ => text.parse::<f64>().ok().map(Weight::Soft),
+            _ => match text.parse::<f64>().ok()? {
+                w if w == f64::INFINITY => Some(Weight::Hard),
+                w if w == f64::NEG_INFINITY => Some(Weight::NegHard),
+                w if w.is_nan() => None,
+                w => Some(Weight::Soft(w)),
+            },
         }
     }
 
@@ -98,6 +106,16 @@ mod tests {
         assert_eq!(Weight::parse("inf"), Some(Weight::Hard));
         assert_eq!(Weight::parse("-inf"), Some(Weight::NegHard));
         assert_eq!(Weight::parse("abc"), None);
+    }
+
+    #[test]
+    fn parse_never_yields_non_finite_soft() {
+        // Overflowing numeric literals are ±∞ — the hard semantics —
+        // and NaN is rejected: `Soft` is always finite after parsing.
+        assert_eq!(Weight::parse("1e999"), Some(Weight::Hard));
+        assert_eq!(Weight::parse("-1e999"), Some(Weight::NegHard));
+        assert_eq!(Weight::parse("NaN"), None);
+        assert_eq!(Weight::parse("nan"), None);
     }
 
     #[test]

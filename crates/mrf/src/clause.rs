@@ -34,6 +34,54 @@ impl GroundClause {
         })
     }
 
+    /// Borrows the clause as a [`ClauseRef`] — the single home of the
+    /// evaluation methods, shared with the MRF's arena-backed clauses.
+    #[inline]
+    pub fn as_ref(&self) -> ClauseRef<'_> {
+        ClauseRef {
+            lits: &self.lits,
+            weight: self.weight,
+        }
+    }
+
+    /// Whether the disjunction is true under `assignment`.
+    #[inline]
+    pub fn satisfied(&self, assignment: &[bool]) -> bool {
+        self.as_ref().satisfied(assignment)
+    }
+
+    /// Number of true literals under `assignment`.
+    #[inline]
+    pub fn true_count(&self, assignment: &[bool]) -> usize {
+        self.as_ref().true_count(assignment)
+    }
+
+    /// Whether the clause is violated under `assignment` (§2.2: positive
+    /// weight and false, or negative weight and true).
+    #[inline]
+    pub fn violated(&self, assignment: &[bool]) -> bool {
+        self.as_ref().violated(assignment)
+    }
+
+    /// This clause's contribution to the world cost under `assignment`.
+    pub fn cost(&self, assignment: &[bool]) -> Cost {
+        self.as_ref().cost(assignment)
+    }
+}
+
+/// A borrowed clause: a slice of the MRF's literal arena plus the
+/// clause's weight. This is what [`crate::Mrf::clause`] and clause
+/// iteration hand out — same semantics as [`GroundClause`], no owned
+/// storage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClauseRef<'a> {
+    /// The disjuncts (sorted, no duplicate or complementary literals).
+    pub lits: &'a [Lit],
+    /// Clause weight.
+    pub weight: Weight,
+}
+
+impl ClauseRef<'_> {
     /// Whether the disjunction is true under `assignment`.
     #[inline]
     pub fn satisfied(&self, assignment: &[bool]) -> bool {
@@ -63,15 +111,15 @@ impl GroundClause {
         if !self.violated(assignment) {
             return Cost::ZERO;
         }
-        match self.weight {
-            Weight::Soft(w) => Cost::soft(w.abs()),
-            Weight::Hard | Weight::NegHard => Cost { hard: 1, soft: 0.0 },
-        }
+        Cost::of_violation(self.weight)
     }
 
-    /// Heap + inline footprint in bytes (for memory accounting).
-    pub fn bytes(&self) -> usize {
-        std::mem::size_of::<GroundClause>() + self.lits.len() * std::mem::size_of::<Lit>()
+    /// Copies the borrowed clause into an owned [`GroundClause`].
+    pub fn to_ground(self) -> GroundClause {
+        GroundClause {
+            lits: self.lits.into(),
+            weight: self.weight,
+        }
     }
 }
 

@@ -67,7 +67,7 @@ impl ComponentSet {
     pub fn size_metric(&self, mrf: &Mrf, i: usize) -> usize {
         let lits: usize = self.clauses[i]
             .iter()
-            .map(|&ci| mrf.clauses()[ci as usize].lits.len())
+            .map(|&ci| mrf.clause_lits(ci as usize).len())
             .sum();
         self.atoms[i].len() + lits
     }

@@ -28,6 +28,18 @@ impl Cost {
         Cost { hard: 0, soft }
     }
 
+    /// The cost of violating a clause of weight `w`: `|w|` as soft cost
+    /// for finite weights, one hard unit for `±∞` (§2.2 / Appendix A.1).
+    /// The single definition behind clause cost evaluation and the
+    /// MRF's precomputed violation column.
+    pub fn of_violation(w: tuffy_mln::weight::Weight) -> Cost {
+        use tuffy_mln::weight::Weight;
+        match w {
+            Weight::Soft(x) => Cost::soft(x.abs()),
+            Weight::Hard | Weight::NegHard => Cost { hard: 1, soft: 0.0 },
+        }
+    }
+
     /// Adds another cost.
     #[inline]
     #[allow(clippy::should_implement_trait)] // deliberate value-style API

@@ -1,6 +1,22 @@
 //! The MRF proper: atoms, clauses, adjacency, cost evaluation.
+//!
+//! # Layout
+//!
+//! [`Mrf`] is a compressed-sparse-row (CSR) structure: the paper's Table 3
+//! attributes Tuffy's ~10⁶ flips/sec to "a compact in-memory clause
+//! representation" (§3.2), and this module is that representation. All
+//! clause literals live in one flat arena indexed by per-clause
+//! `(start, end)` bounds, with the per-clause scalars — weight, the
+//! precomputed violation cost, the violation polarity, and the
+//! [`ClauseProvenance`] split — in parallel columns. The atom→clause
+//! adjacency is a second CSR arena of [`Occurrence`] entries that pack
+//! the clause index *and the literal's sign* into one `u32`, so the
+//! WalkSAT inner loop ([`Mrf::occurrences`]) learns a flipped atom's
+//! polarity in each clause without ever touching the literal arena, and
+//! charges the violation cost without re-deriving it from the
+//! [`Weight`] enum.
 
-use crate::clause::GroundClause;
+use crate::clause::{ClauseRef, GroundClause};
 use crate::cost::Cost;
 use crate::lit::{AtomId, Lit};
 use tuffy_mln::fxhash::FxHashMap;
@@ -69,15 +85,111 @@ impl ClauseProvenance {
     }
 }
 
-/// A ground Markov Random Field over atoms `0..num_atoms`.
+/// One entry of the atom→clause adjacency arena: a clause index plus the
+/// sign the atom's literal carries in that clause, packed DIMACS-style
+/// into one `u32` (mirroring [`Lit`]'s packing). The flip loop reads
+/// both with two bit ops and never touches the clause's literal slice.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct Occurrence(u32);
+
+impl Occurrence {
+    /// Maximum representable clause index (31 bits).
+    pub const MAX_CLAUSE: u32 = (1 << 31) - 1;
+
+    /// Packs a clause index and the literal's polarity.
+    #[inline]
+    pub fn new(clause: u32, positive: bool) -> Occurrence {
+        debug_assert!(clause <= Self::MAX_CLAUSE);
+        Occurrence((clause << 1) | u32::from(!positive))
+    }
+
+    /// The clause this occurrence points into.
+    #[inline]
+    pub fn clause(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the atom appears positively in the clause.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+}
+
+impl std::fmt::Debug for Occurrence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}c{}",
+            if self.is_positive() { "" } else { "¬" },
+            self.clause()
+        )
+    }
+}
+
+/// One clause's violation cost and polarity in a single 16-byte record
+/// (the hot column of the flip loop): the soft cost `|w|` plus a flags
+/// word carrying the hard-violation unit and the violated-when-satisfied
+/// polarity. Zero-weight clauses are dropped at build time, so every
+/// retained clause has exactly one polarity.
+#[derive(Clone, Copy, Debug, Default)]
+struct PackedViolation {
+    /// `|w|` for soft clauses, `0.0` for hard.
+    soft: f64,
+    /// Bit 0: one hard violation unit; bit 1: violated when satisfied
+    /// (negative weight).
+    flags: u64,
+}
+
+impl PackedViolation {
+    const HARD: u64 = 1;
+    const NEG: u64 = 2;
+
+    fn of(weight: Weight) -> PackedViolation {
+        let cost = Cost::of_violation(weight);
+        PackedViolation {
+            soft: cost.soft,
+            flags: cost.hard * Self::HARD + u64::from(weight.signum() < 0) * Self::NEG,
+        }
+    }
+
+    #[inline]
+    fn cost(self) -> Cost {
+        Cost {
+            hard: self.flags & Self::HARD,
+            soft: self.soft,
+        }
+    }
+
+    #[inline]
+    fn violated_when(self, satisfied: bool) -> bool {
+        satisfied == (self.flags & Self::NEG != 0)
+    }
+}
+
+/// A ground Markov Random Field over atoms `0..num_atoms`, stored as CSR
+/// arenas (see the module docs for the layout rationale).
 #[derive(Clone, Debug, Default)]
 pub struct Mrf {
     num_atoms: usize,
-    clauses: Vec<GroundClause>,
-    /// Per-clause contribution split, aligned with `clauses`.
+    /// Literal-arena bounds: clause `ci`'s literals are
+    /// `lit_arena[lit_start[ci]..lit_start[ci + 1]]`.
+    lit_start: Vec<u32>,
+    /// All clause literals, clause by clause.
+    lit_arena: Vec<Lit>,
+    /// Per-clause weight, aligned with the clause index.
+    weights: Vec<Weight>,
+    /// Per-clause violation cost *and* polarity packed into one 16-byte
+    /// record, so a flip-loop visit pays a single random load.
+    violation: Vec<PackedViolation>,
+    /// Per-clause contribution split, aligned with the clause index.
     provenance: Vec<ClauseProvenance>,
-    /// `occurrences[a]` = indices of clauses containing atom `a`.
-    occurrences: Vec<Vec<u32>>,
+    /// Occurrence-arena bounds: atom `a`'s occurrences are
+    /// `occ_arena[occ_start[a]..occ_start[a + 1]]`.
+    occ_start: Vec<u32>,
+    /// Clause-index + sign entries, atom by atom, ascending clause index
+    /// within each atom.
+    occ_arena: Vec<Occurrence>,
     /// Atoms whose clause set cannot be patched incrementally because a
     /// clause over them merged to exactly weight 0 and was dropped.
     opaque_atoms: Vec<bool>,
@@ -86,6 +198,70 @@ pub struct Mrf {
     pub base_cost: Cost,
 }
 
+/// Indexed view over an [`Mrf`]'s clause columns; iterating or indexing
+/// it yields [`ClauseRef`]s assembled from the arenas.
+#[derive(Clone, Copy, Debug)]
+pub struct Clauses<'a> {
+    mrf: &'a Mrf,
+}
+
+impl<'a> Clauses<'a> {
+    /// Number of clauses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mrf.num_clauses()
+    }
+
+    /// Whether the MRF has no clauses.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The clause at index `ci`.
+    #[inline]
+    pub fn get(&self, ci: usize) -> ClauseRef<'a> {
+        self.mrf.clause(ci)
+    }
+
+    /// Iterates the clauses in index order.
+    pub fn iter(&self) -> ClauseIter<'a> {
+        ClauseIter {
+            mrf: self.mrf,
+            range: 0..self.len(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for Clauses<'a> {
+    type Item = ClauseRef<'a>;
+    type IntoIter = ClauseIter<'a>;
+
+    fn into_iter(self) -> ClauseIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over an MRF's clauses (see [`Clauses::iter`]).
+pub struct ClauseIter<'a> {
+    mrf: &'a Mrf,
+    range: std::ops::Range<usize>,
+}
+
+impl<'a> Iterator for ClauseIter<'a> {
+    type Item = ClauseRef<'a>;
+
+    fn next(&mut self) -> Option<ClauseRef<'a>> {
+        self.range.next().map(|ci| self.mrf.clause(ci))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ClauseIter<'_> {}
+
 impl Mrf {
     /// Number of atoms.
     #[inline]
@@ -93,16 +269,62 @@ impl Mrf {
         self.num_atoms
     }
 
-    /// The clause list.
+    /// Number of clauses.
     #[inline]
-    pub fn clauses(&self) -> &[GroundClause] {
-        &self.clauses
+    pub fn num_clauses(&self) -> usize {
+        self.weights.len()
     }
 
-    /// Clause indices containing `atom`.
+    /// A view over the clause columns (`len`, `iter`, `get`).
     #[inline]
-    pub fn occurrences(&self, atom: AtomId) -> &[u32] {
-        &self.occurrences[atom as usize]
+    pub fn clauses(&self) -> Clauses<'_> {
+        Clauses { mrf: self }
+    }
+
+    /// The clause at index `ci` as a literal-slice + weight pair.
+    #[inline]
+    pub fn clause(&self, ci: usize) -> ClauseRef<'_> {
+        ClauseRef {
+            lits: self.clause_lits(ci),
+            weight: self.weights[ci],
+        }
+    }
+
+    /// The literals of clause `ci` (a slice of the flat arena).
+    #[inline]
+    pub fn clause_lits(&self, ci: usize) -> &[Lit] {
+        &self.lit_arena[self.lit_start[ci] as usize..self.lit_start[ci + 1] as usize]
+    }
+
+    /// The weight of clause `ci`.
+    #[inline]
+    pub fn clause_weight(&self, ci: usize) -> Weight {
+        self.weights[ci]
+    }
+
+    /// The precomputed cost of violating clause `ci` (`|w|` as a soft
+    /// cost, or one hard unit) — what the flip loop charges without
+    /// touching the [`Weight`] enum.
+    #[inline]
+    pub fn violation_cost(&self, ci: usize) -> Cost {
+        self.violation[ci].cost()
+    }
+
+    /// Whether clause `ci` counts as violated when its satisfaction
+    /// state is `satisfied` — the precomputed-polarity equivalent of
+    /// [`Weight::violated_when`]. Reads the same packed 16-byte record
+    /// as [`Mrf::violation_cost`], so using both costs one load.
+    #[inline]
+    pub fn clause_violated_when(&self, ci: usize, satisfied: bool) -> bool {
+        self.violation[ci].violated_when(satisfied)
+    }
+
+    /// The occurrences of `atom`: one packed clause-index + sign entry
+    /// per clause containing the atom, ascending by clause index.
+    #[inline]
+    pub fn occurrences(&self, atom: AtomId) -> &[Occurrence] {
+        &self.occ_arena
+            [self.occ_start[atom as usize] as usize..self.occ_start[atom as usize + 1] as usize]
     }
 
     /// The contribution split of clause `ci` (see [`ClauseProvenance`]).
@@ -119,17 +341,26 @@ impl Mrf {
         self.opaque_atoms[atom as usize]
     }
 
-    /// Total number of literal occurrences.
+    /// Total number of literal occurrences — an O(1) read off the arena
+    /// length (the partitioner calls this through
+    /// [`Mrf::size_metric`] repeatedly).
+    #[inline]
     pub fn total_literals(&self) -> usize {
-        self.clauses.iter().map(|c| c.lits.len()).sum()
+        self.lit_arena.len()
     }
 
     /// Full-world cost under `assignment` (including `base_cost`).
     pub fn cost(&self, assignment: &[bool]) -> Cost {
         assert_eq!(assignment.len(), self.num_atoms);
         let mut total = self.base_cost;
-        for c in &self.clauses {
-            total = total.add(c.cost(assignment));
+        for ci in 0..self.num_clauses() {
+            let satisfied = self
+                .clause_lits(ci)
+                .iter()
+                .any(|l| l.eval(assignment[l.atom() as usize]));
+            if self.clause_violated_when(ci, satisfied) {
+                total = total.add(self.violation[ci].cost());
+            }
         }
         total
     }
@@ -144,40 +375,139 @@ impl Mrf {
     /// `atoms[i]` becomes atom `i`. Returns the sub-MRF and, for each of
     /// its clauses, the index of the originating clause. Only clauses
     /// *fully contained* in `atoms` are included.
+    ///
+    /// Projection slices the arenas directly — remapped literals append
+    /// to a fresh literal arena and the per-clause columns (weight,
+    /// violation cost, provenance) copy over verbatim — rather than
+    /// re-running clause construction: source clauses are already merged
+    /// and deduplicated, and the atom remap is injective, so no new
+    /// merging can occur. Opaque-atom flags are not carried (projected
+    /// sub-MRFs are searched, never patched).
     pub fn project(&self, atoms: &[AtomId]) -> (Mrf, Vec<u32>) {
         let mut dense: FxHashMap<AtomId, AtomId> = FxHashMap::default();
         for (i, &a) in atoms.iter().enumerate() {
             dense.insert(a, i as AtomId);
         }
-        let mut builder = MrfBuilder::new();
-        builder.reserve_atoms(atoms.len());
-        let mut origin = Vec::new();
-        let mut seen: Vec<bool> = vec![false; self.clauses.len()];
+        let mut columns = ClauseColumns::default();
+        let mut origin: Vec<u32> = Vec::new();
+        let mut seen: Vec<bool> = vec![false; self.num_clauses()];
+        let mut lit_buf: Vec<Lit> = Vec::new();
         for &a in atoms {
-            for &ci in self.occurrences(a) {
-                if seen[ci as usize] {
+            for &occ in self.occurrences(a) {
+                let ci = occ.clause() as usize;
+                if seen[ci] {
                     continue;
                 }
-                seen[ci as usize] = true;
-                let c = &self.clauses[ci as usize];
-                if c.lits.iter().all(|l| dense.contains_key(&l.atom())) {
-                    let lits: Vec<Lit> = c
-                        .lits
-                        .iter()
-                        .map(|l| Lit::new(dense[&l.atom()], l.is_positive()))
-                        .collect();
-                    builder.add_clause(lits, c.weight);
-                    origin.push(ci);
+                seen[ci] = true;
+                let lits = self.clause_lits(ci);
+                if !lits.iter().all(|l| dense.contains_key(&l.atom())) {
+                    continue;
                 }
+                lit_buf.clear();
+                lit_buf.extend(
+                    lits.iter()
+                        .map(|l| Lit::new(dense[&l.atom()], l.is_positive())),
+                );
+                // Clause literals are sorted by packed value; the remap
+                // permutes atom ids, so re-establish the invariant.
+                lit_buf.sort_unstable();
+                columns.push(&lit_buf, self.weights[ci], self.provenance[ci]);
+                origin.push(ci as u32);
             }
         }
-        (builder.finish(), origin)
+        let sub = columns.assemble(atoms.len(), vec![false; atoms.len()], Cost::ZERO);
+        (sub, origin)
     }
 
-    /// Sum of clause-table bytes (the paper's "clause table" row of
-    /// Table 4).
+    /// Bytes of the clause columns (the paper's "clause table" row of
+    /// Table 4): the literal arena plus the per-clause bound, weight,
+    /// and packed violation columns. O(1) off the arena lengths.
     pub fn clause_bytes(&self) -> usize {
-        self.clauses.iter().map(GroundClause::bytes).sum()
+        self.lit_arena.len() * std::mem::size_of::<Lit>()
+            + self.lit_start.len() * std::mem::size_of::<u32>()
+            + self.weights.len() * std::mem::size_of::<Weight>()
+            + self.violation.len() * std::mem::size_of::<PackedViolation>()
+    }
+}
+
+/// The growable clause columns shared by [`MrfBuilder::finish`] and
+/// [`Mrf::project`]: literals append to the arena, scalars to parallel
+/// vectors, and [`ClauseColumns::assemble`] derives the occurrence CSR.
+#[derive(Default)]
+struct ClauseColumns {
+    lit_arena: Vec<Lit>,
+    lit_ends: Vec<u32>,
+    weights: Vec<Weight>,
+    violation: Vec<PackedViolation>,
+    provenance: Vec<ClauseProvenance>,
+}
+
+impl ClauseColumns {
+    fn with_capacity(clauses: usize, literals: usize) -> ClauseColumns {
+        ClauseColumns {
+            lit_arena: Vec::with_capacity(literals),
+            lit_ends: Vec::with_capacity(clauses),
+            weights: Vec::with_capacity(clauses),
+            violation: Vec::with_capacity(clauses),
+            provenance: Vec::with_capacity(clauses),
+        }
+    }
+
+    fn push(&mut self, lits: &[Lit], weight: Weight, provenance: ClauseProvenance) {
+        self.lit_arena.extend_from_slice(lits);
+        self.lit_ends.push(self.lit_arena.len() as u32);
+        self.violation.push(PackedViolation::of(weight));
+        self.weights.push(weight);
+        self.provenance.push(provenance);
+    }
+
+    /// Finalizes the columns into an [`Mrf`], building the occurrence
+    /// arena by counting sort (entries stay ascending by clause index
+    /// within each atom).
+    fn assemble(self, num_atoms: usize, opaque_atoms: Vec<bool>, base_cost: Cost) -> Mrf {
+        // The arenas index clauses through 31-bit packed occurrences and
+        // literals through u32 bounds; fail loudly (release included)
+        // rather than silently alias indices past either limit.
+        assert!(
+            self.lit_ends.len() as u64 <= Occurrence::MAX_CLAUSE as u64,
+            "MRF exceeds the 2^31-1 packed-occurrence clause capacity"
+        );
+        assert!(
+            self.lit_arena.len() as u64 <= u32::MAX as u64,
+            "MRF literal arena exceeds u32 bounds"
+        );
+        let mut lit_start = Vec::with_capacity(self.lit_ends.len() + 1);
+        lit_start.push(0u32);
+        lit_start.extend_from_slice(&self.lit_ends);
+
+        let mut occ_start = vec![0u32; num_atoms + 1];
+        for l in &self.lit_arena {
+            occ_start[l.atom() as usize + 1] += 1;
+        }
+        for a in 0..num_atoms {
+            occ_start[a + 1] += occ_start[a];
+        }
+        let mut cursor = occ_start.clone();
+        let mut occ_arena = vec![Occurrence::default(); self.lit_arena.len()];
+        for ci in 0..self.lit_ends.len() {
+            for l in &self.lit_arena[lit_start[ci] as usize..lit_start[ci + 1] as usize] {
+                let a = l.atom() as usize;
+                occ_arena[cursor[a] as usize] = Occurrence::new(ci as u32, l.is_positive());
+                cursor[a] += 1;
+            }
+        }
+        Mrf {
+            num_atoms,
+            lit_start,
+            lit_arena: self.lit_arena,
+            weights: self.weights,
+            violation: self.violation,
+            provenance: self.provenance,
+            occ_start,
+            occ_arena,
+            opaque_atoms,
+            base_cost,
+        }
     }
 }
 
@@ -278,39 +608,43 @@ impl MrfBuilder {
         self.opaque.push(atom);
     }
 
-    /// Finalizes into an [`Mrf`], building the adjacency lists. Clauses
-    /// whose merged weight cancelled to exactly 0 are dropped; their
-    /// atoms are flagged opaque for the incremental re-grounder
+    /// Finalizes into an [`Mrf`], flattening the clauses into the CSR
+    /// arenas and building the occurrence arena. Clauses whose merged
+    /// weight cancelled to exactly 0 are dropped; their atoms are
+    /// flagged opaque for the incremental re-grounder
     /// ([`Mrf::patch_opaque`]).
     pub fn finish(self) -> Mrf {
-        let mut occurrences: Vec<Vec<u32>> = vec![Vec::new(); self.num_atoms];
         let mut opaque_atoms: Vec<bool> = vec![false; self.num_atoms];
         for a in &self.opaque {
             opaque_atoms[*a as usize] = true;
         }
-        let mut clauses = Vec::with_capacity(self.clauses.len());
-        let mut provenance = Vec::with_capacity(self.clauses.len());
+        let literals: usize = self.clauses.iter().map(|c| c.lits.len()).sum();
+        let mut columns = ClauseColumns::with_capacity(self.clauses.len(), literals);
         for (c, p) in self.clauses.into_iter().zip(self.provenance) {
-            if c.weight == Weight::Soft(0.0) {
+            // Sign-less weights carry no violation polarity and can never
+            // contribute cost (`Weight::violated_when` is false both
+            // ways): exact 0.0 from cancelling merges, and NaN from a
+            // `+∞ + −∞` soft-literal merge. Dropping both keeps the
+            // "every retained clause has one polarity" column invariant.
+            if c.weight.signum() == 0 {
                 for l in c.lits.iter() {
                     opaque_atoms[l.atom() as usize] = true;
                 }
                 continue;
             }
-            for l in c.lits.iter() {
-                occurrences[l.atom() as usize].push(clauses.len() as u32);
-            }
-            clauses.push(c);
-            provenance.push(p);
+            // A soft weight that reached ±∞ (overflowing literal, or a
+            // finite-weight merge that summed past f64::MAX) *is* the
+            // hard semantics (Appendix A.1). Normalizing here keeps the
+            // violation column finite, which the flip loop's branchless
+            // `×0` accumulation relies on (0 × ∞ would be NaN).
+            let weight = match c.weight {
+                Weight::Soft(w) if w == f64::INFINITY => Weight::Hard,
+                Weight::Soft(w) if w == f64::NEG_INFINITY => Weight::NegHard,
+                w => w,
+            };
+            columns.push(&c.lits, weight, p);
         }
-        Mrf {
-            num_atoms: self.num_atoms,
-            clauses,
-            provenance,
-            occurrences,
-            opaque_atoms,
-            base_cost: self.base_cost,
-        }
+        columns.assemble(self.num_atoms, opaque_atoms, self.base_cost)
     }
 }
 
@@ -351,9 +685,51 @@ mod tests {
     #[test]
     fn occurrences_built() {
         let m = example_mrf();
-        assert_eq!(m.occurrences(0), &[0, 2]);
-        assert_eq!(m.occurrences(1), &[1, 2]);
+        let of = |a: AtomId| -> Vec<(u32, bool)> {
+            m.occurrences(a)
+                .iter()
+                .map(|o| (o.clause(), o.is_positive()))
+                .collect()
+        };
+        assert_eq!(of(0), vec![(0, true), (2, true)]);
+        assert_eq!(of(1), vec![(1, true), (2, true)]);
         assert_eq!(m.total_literals(), 4);
+    }
+
+    #[test]
+    fn occurrences_carry_literal_signs() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::neg(0), Lit::pos(1)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(2.0));
+        let m = b.finish();
+        let signs: Vec<(u32, bool)> = m
+            .occurrences(0)
+            .iter()
+            .map(|o| (o.clause(), o.is_positive()))
+            .collect();
+        assert_eq!(signs, vec![(0, false), (1, true)]);
+    }
+
+    #[test]
+    fn violation_columns_match_weights() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(2.5));
+        b.add_clause(vec![Lit::pos(1)], Weight::Soft(-1.5));
+        b.add_clause(vec![Lit::pos(2)], Weight::Hard);
+        let m = b.finish();
+        for ci in 0..m.num_clauses() {
+            let w = m.clause_weight(ci);
+            for satisfied in [false, true] {
+                assert_eq!(
+                    m.clause_violated_when(ci, satisfied),
+                    w.violated_when(satisfied),
+                    "clause {ci} satisfied={satisfied}"
+                );
+            }
+        }
+        assert_eq!(m.violation_cost(0), Cost::soft(2.5));
+        assert_eq!(m.violation_cost(1), Cost::soft(1.5));
+        assert_eq!(m.violation_cost(2), Cost { hard: 1, soft: 0.0 });
     }
 
     #[test]
@@ -363,7 +739,7 @@ mod tests {
         b.add_clause(vec![Lit::neg(1), Lit::pos(0)], Weight::Soft(2.5));
         let m = b.finish();
         assert_eq!(m.clauses().len(), 1);
-        assert_eq!(m.clauses()[0].weight, Weight::Soft(3.5));
+        assert_eq!(m.clause(0).weight, Weight::Soft(3.5));
     }
 
     #[test]
@@ -372,7 +748,7 @@ mod tests {
         b.add_clause(vec![Lit::pos(0)], Weight::Soft(1.0));
         b.add_clause(vec![Lit::pos(0)], Weight::Hard);
         let m = b.finish();
-        assert_eq!(m.clauses()[0].weight, Weight::Hard);
+        assert_eq!(m.clause(0).weight, Weight::Hard);
     }
 
     #[test]
@@ -400,7 +776,37 @@ mod tests {
         assert_eq!(origin, vec![0]);
         let (sub2, _) = m.project(&[3]);
         assert_eq!(sub2.clauses().len(), 1);
-        assert_eq!(sub2.clauses()[0].lits[0].atom(), 0);
+        assert_eq!(sub2.clause(0).lits[0].atom(), 0);
+    }
+
+    #[test]
+    fn project_reorder_keeps_literals_sorted() {
+        // Projecting with a permuted atom order must re-sort each
+        // clause's literals under the new ids.
+        let mut b = MrfBuilder::new();
+        b.add_clause(
+            vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)],
+            Weight::Soft(1.0),
+        );
+        let m = b.finish();
+        let (sub, _) = m.project(&[2, 0, 1]);
+        let lits = sub.clause_lits(0).to_vec();
+        let mut sorted = lits.clone();
+        sorted.sort_unstable();
+        assert_eq!(lits, sorted);
+        // Atom 2 → 0 (positive), 0 → 1 (positive), 1 → 2 (negative).
+        assert_eq!(lits, vec![Lit::pos(0), Lit::pos(1), Lit::neg(2)]);
+    }
+
+    #[test]
+    fn project_carries_provenance_columns() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(-0.25));
+        let m = b.finish();
+        let (sub, _) = m.project(&[0]);
+        assert_eq!(sub.provenance(0), m.provenance(0));
+        assert_eq!(sub.violation_cost(0), m.violation_cost(0));
     }
 
     #[test]
@@ -422,7 +828,7 @@ mod tests {
         b.add_clause(vec![Lit::pos(0)], Weight::Hard);
         b.add_clause(vec![Lit::pos(1)], Weight::Soft(2.0));
         let m = b.finish();
-        assert_eq!(m.clauses()[0].weight, Weight::Hard);
+        assert_eq!(m.clause(0).weight, Weight::Hard);
         let p = m.provenance(0);
         assert_eq!(p.satisfied_constant(), Cost::soft(0.25));
         assert_eq!(p.violated_constant(), Cost { hard: 1, soft: 1.0 });
@@ -430,5 +836,43 @@ mod tests {
         let single = m.provenance(1);
         assert_eq!(single.satisfied_constant(), Cost::ZERO);
         assert_eq!(single.violated_constant(), Cost::soft(2.0));
+    }
+
+    #[test]
+    fn overflowing_soft_merge_normalizes_to_hard() {
+        // Two finite weights whose merge sums past f64::MAX: the clause
+        // is ∞-weighted, i.e. hard — and the violation column stays
+        // finite for the flip loop's branchless accumulation.
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(f64::MAX));
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(f64::MAX));
+        let m = b.finish();
+        assert_eq!(m.clause_weight(0), Weight::Hard);
+        assert_eq!(m.violation_cost(0), Cost { hard: 1, soft: 0.0 });
+    }
+
+    #[test]
+    fn nan_weight_merge_dropped_as_signless() {
+        // Soft(+∞) + Soft(−∞) merges to Soft(NaN): sign-less, so the
+        // clause is dropped exactly like an exact-zero cancellation,
+        // leaving its atoms opaque to incremental patching.
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(f64::INFINITY));
+        b.add_clause(vec![Lit::pos(0)], Weight::Soft(f64::NEG_INFINITY));
+        let m = b.finish();
+        assert!(m.clauses().is_empty());
+        assert!(m.patch_opaque(0));
+        assert_eq!(m.cost(&[true]), Cost::ZERO);
+    }
+
+    #[test]
+    fn occurrence_packing_roundtrip() {
+        for clause in [0u32, 1, 7, Occurrence::MAX_CLAUSE] {
+            for positive in [true, false] {
+                let o = Occurrence::new(clause, positive);
+                assert_eq!(o.clause(), clause);
+                assert_eq!(o.is_positive(), positive);
+            }
+        }
     }
 }

@@ -29,10 +29,10 @@ pub mod memory;
 pub mod partition;
 pub mod unionfind;
 
-pub use clause::GroundClause;
+pub use clause::{ClauseRef, GroundClause};
 pub use components::ComponentSet;
 pub use cost::Cost;
-pub use graph::{ClauseProvenance, Mrf, MrfBuilder};
+pub use graph::{ClauseProvenance, Clauses, Mrf, MrfBuilder, Occurrence};
 pub use lit::{AtomId, Lit};
 pub use partition::Partitioning;
 pub use unionfind::UnionFind;

@@ -13,14 +13,23 @@ use crate::graph::Mrf;
 pub struct MemoryFootprint {
     /// Truth assignment + best-assignment arrays (2 bytes/atom).
     pub atom_state: usize,
-    /// Clause storage (weights + packed literal arrays).
+    /// Clause columns: the flat literal arena plus the per-clause bound,
+    /// weight, violation-cost, and polarity columns of the CSR layout.
     pub clauses: usize,
-    /// Atom→clause adjacency lists.
+    /// Atom→clause adjacency: the CSR bounds array plus one packed
+    /// [`crate::Occurrence`] per literal.
     pub adjacency: usize,
     /// Per-clause counters kept by WalkSAT (true-literal counts and the
     /// unsatisfied-clause index).
     pub counters: usize,
 }
+
+/// Bytes of the per-clause scalar columns (literal-arena bound, weight,
+/// and the 16-byte packed violation cost + polarity record) — see
+/// `Mrf`'s CSR layout in [`crate::graph`].
+const CLAUSE_COLUMN_BYTES: usize = std::mem::size_of::<u32>()
+    + std::mem::size_of::<tuffy_mln::weight::Weight>()
+    + std::mem::size_of::<crate::cost::Cost>();
 
 impl MemoryFootprint {
     /// Computes the footprint of holding `mrf` in memory for search.
@@ -36,9 +45,10 @@ impl MemoryFootprint {
     pub fn estimate(atoms: usize, clauses: usize, literals: usize) -> MemoryFootprint {
         MemoryFootprint {
             atom_state: atoms * 2,
-            clauses: clauses * std::mem::size_of::<crate::clause::GroundClause>()
+            clauses: clauses * CLAUSE_COLUMN_BYTES
                 + literals * std::mem::size_of::<crate::lit::Lit>(),
-            adjacency: atoms * std::mem::size_of::<Vec<u32>>() + literals * 4,
+            adjacency: (atoms + 1) * std::mem::size_of::<u32>()
+                + literals * std::mem::size_of::<crate::graph::Occurrence>(),
             counters: clauses * (4 + 4 + 4),
         }
     }
@@ -52,8 +62,13 @@ impl MemoryFootprint {
 /// Approximate bytes of search state per unit of the partitioner's size
 /// metric (atoms + literals); used to translate a byte budget into
 /// Algorithm 3's β bound. Calibrated against [`MemoryFootprint`]: atoms
-/// cost ~26 B (state + adjacency headers), literals ~8 B plus ~15 B/literal
-/// of amortized clause overhead.
+/// cost ~6 B (state + CSR bounds), literals ~8 B (arena entry +
+/// occurrence) plus ~25 B/literal of amortized per-clause column and
+/// counter overhead at typical 1–3-literal clauses. Deliberately kept at
+/// the pre-CSR value so a given byte budget still derives the same β
+/// (partitionings — and every trajectory pinned on them — are unchanged
+/// by the layout switch; only the packing of partitions into bins sees
+/// the leaner estimates).
 pub const BYTES_PER_SIZE_UNIT: usize = 24;
 
 /// Translates a byte budget into the partitioner's β size bound.

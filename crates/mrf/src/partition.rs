@@ -48,16 +48,21 @@ impl Partitioning {
 
         // Clauses in descending |weight|; hard clauses first (∞), ties by
         // index for determinism.
-        let mut order: Vec<u32> = (0..mrf.clauses().len() as u32).collect();
+        let mut order: Vec<u32> = (0..mrf.num_clauses() as u32).collect();
         order.sort_by(|&a, &b| {
-            let (ca, cb) = (&mrf.clauses()[a as usize], &mrf.clauses()[b as usize]);
-            let ka = ca.weight.magnitude().unwrap_or(f64::INFINITY);
-            let kb = cb.weight.magnitude().unwrap_or(f64::INFINITY);
+            let ka = mrf
+                .clause_weight(a as usize)
+                .magnitude()
+                .unwrap_or(f64::INFINITY);
+            let kb = mrf
+                .clause_weight(b as usize)
+                .magnitude()
+                .unwrap_or(f64::INFINITY);
             kb.total_cmp(&ka).then(a.cmp(&b))
         });
 
         for &ci in &order {
-            let clause = &mrf.clauses()[ci as usize];
+            let clause = mrf.clause(ci as usize);
             // Distinct roots touched by this clause, and the size a merge
             // would produce.
             let mut roots: Vec<u32> = Vec::with_capacity(clause.lits.len());
@@ -119,7 +124,7 @@ impl Partitioning {
     pub fn size_metric(&self, mrf: &Mrf, i: usize) -> usize {
         let lits: usize = self.internal_clauses[i]
             .iter()
-            .map(|&ci| mrf.clauses()[ci as usize].lits.len())
+            .map(|&ci| mrf.clause_lits(ci as usize).len())
             .sum();
         self.atoms[i].len() + lits
     }
@@ -131,7 +136,7 @@ impl Partitioning {
         let mut hard = 0u64;
         let mut soft = 0.0f64;
         for &ci in &self.cut_clauses {
-            match mrf.clauses()[ci as usize].weight.magnitude() {
+            match mrf.clause_weight(ci as usize).magnitude() {
                 Some(m) => soft += m,
                 None => hard += 1,
             }
@@ -216,7 +221,7 @@ mod tests {
         // β big enough for the two heavy edges (1+1+2 + 1+2 = 7) but not more.
         let p = Partitioning::compute(&m, 7);
         for &ci in &p.cut_clauses {
-            let w = m.clauses()[ci as usize].weight.magnitude().unwrap();
+            let w = m.clause_weight(ci as usize).magnitude().unwrap();
             assert!(w < 1.0, "heavy clause {ci} was cut");
         }
     }

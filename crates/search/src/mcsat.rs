@@ -132,7 +132,7 @@ impl<'a> McSat<'a> {
                 Weight::NegHard => false, // rejected in `new`
             };
             if take {
-                out.push(c.clone());
+                out.push(c.to_ground());
             }
         }
         out

@@ -140,7 +140,7 @@ impl RdbmsSearch {
         let mut any_true = false;
         let flush = |cid: u32, any_true: bool, cost: &mut Cost| {
             if cid != u32::MAX && self.weights[cid as usize].violated_when(any_true) {
-                *cost = cost.add(violation_cost(self.weights[cid as usize]));
+                *cost = cost.add(Cost::of_violation(self.weights[cid as usize]));
             }
         };
         for row in batch.iter() {
@@ -240,7 +240,7 @@ impl RdbmsSearch {
                 let after_n = if was_true { n_true - 1 } else { n_true + 1 };
                 let after = w.violated_when(after_n > 0);
                 if before != after {
-                    let c = violation_cost(w);
+                    let c = Cost::of_violation(w);
                     let sign = if after { 1.0 } else { -1.0 };
                     dh[ci] += if after {
                         c.hard as i64
@@ -331,14 +331,6 @@ impl RdbmsSearch {
     /// I/O counters of the underlying database.
     pub fn io_stats(&self) -> tuffy_rdbms::IoStats {
         self.db.io_stats()
-    }
-}
-
-#[inline]
-fn violation_cost(w: Weight) -> Cost {
-    match w {
-        Weight::Soft(x) => Cost::soft(x.abs()),
-        Weight::Hard | Weight::NegHard => Cost { hard: 1, soft: 0.0 },
     }
 }
 

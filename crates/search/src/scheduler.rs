@@ -111,7 +111,7 @@ impl Schedule {
         let parts = Partitioning::compute(mrf, beta);
         let mut cut_by_part = vec![Vec::new(); parts.count()];
         for &ci in &parts.cut_clauses {
-            let clause = &mrf.clauses()[ci as usize];
+            let clause = mrf.clause(ci as usize);
             let mut seen: Vec<u32> = Vec::new();
             for l in clause.lits.iter() {
                 let p = parts.label[l.atom() as usize];
@@ -128,7 +128,7 @@ impl Schedule {
             }
             let lits: usize = internal
                 .iter()
-                .map(|&ci| mrf.clauses()[ci as usize].lits.len())
+                .map(|&ci| mrf.clause_lits(ci as usize).len())
                 .sum();
             units.push(ScheduleUnit {
                 part: p,
@@ -579,7 +579,7 @@ impl<'a> Scheduler<'a> {
         let mut b = MrfBuilder::new();
         b.reserve_atoms(atoms.len());
         for &ci in &self.schedule.parts.internal_clauses[pi] {
-            let c = &self.mrf.clauses()[ci as usize];
+            let c = self.mrf.clause(ci as usize);
             let lits: Vec<Lit> = c
                 .lits
                 .iter()
@@ -588,7 +588,7 @@ impl<'a> Scheduler<'a> {
             b.add_clause(lits, c.weight);
         }
         for &ci in &self.schedule.cut_by_part[pi] {
-            let c = &self.mrf.clauses()[ci as usize];
+            let c = self.mrf.clause(ci as usize);
             let mut lits = Vec::new();
             let mut satisfied_externally = false;
             for l in c.lits.iter() {

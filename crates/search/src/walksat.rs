@@ -10,11 +10,18 @@
 //! set of violated clauses, and an incrementally maintained cost, so a
 //! flip costs time proportional to the flipped atom's occurrence list —
 //! the "flipping rate" the paper measures in Table 3.
+//!
+//! The flip loop is allocation-free and leans directly on the MRF's CSR
+//! columns: each [`tuffy_mrf::Occurrence`] entry already carries the
+//! flipped atom's sign in its clause (no literal-slice scan to recover
+//! polarity), and the violation cost and polarity of every clause are
+//! precomputed columns ([`Mrf::violation_cost`],
+//! [`Mrf::clause_violated_when`]) rather than per-visit matches on the
+//! weight enum.
 
 use crate::timecost::TimeCostTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tuffy_mln::weight::Weight;
 use tuffy_mrf::{AtomId, Cost, Mrf};
 
 /// Parameters of a WalkSAT run (Algorithm 1's `MaxFlips`/`MaxTries`, the
@@ -61,41 +68,62 @@ impl Delta {
     }
 }
 
-/// An O(1) insert/remove/sample set of clause indices.
-#[derive(Clone, Debug, Default)]
-struct IndexedSet {
-    members: Vec<u32>,
-    /// Position of each clause in `members`, or `u32::MAX`.
-    pos: Vec<u32>,
+/// Per-clause search state: the true-literal counter and the clause's
+/// position in the violated-set member list (`u32::MAX` when not
+/// violated), packed side by side so a flip-loop transition — which
+/// always touches both — pays one random access instead of two.
+#[derive(Clone, Copy, Debug)]
+struct ClauseSlot {
+    /// True literals under the current assignment.
+    num_true: u32,
+    /// Index into [`ViolatedSet::members`], or `u32::MAX`.
+    pos: u32,
 }
 
-impl IndexedSet {
-    fn with_capacity(n: usize) -> Self {
-        IndexedSet {
-            members: Vec::new(),
-            pos: vec![u32::MAX; n],
-        }
-    }
+impl ClauseSlot {
+    const EMPTY: ClauseSlot = ClauseSlot {
+        num_true: 0,
+        pos: u32::MAX,
+    };
+}
 
+/// An O(1) insert/remove/sample set of violated-clause indices whose
+/// per-clause position lives inside the shared [`ClauseSlot`] column.
+#[derive(Clone, Debug, Default)]
+struct ViolatedSet {
+    members: Vec<u32>,
+}
+
+impl ViolatedSet {
     #[inline]
-    fn insert(&mut self, x: u32) {
-        if self.pos[x as usize] == u32::MAX {
-            self.pos[x as usize] = self.members.len() as u32;
+    fn insert(&mut self, slots: &mut [ClauseSlot], x: u32) {
+        if slots[x as usize].pos == u32::MAX {
+            slots[x as usize].pos = self.members.len() as u32;
             self.members.push(x);
         }
     }
 
     #[inline]
-    fn remove(&mut self, x: u32) {
-        let p = self.pos[x as usize];
+    fn remove(&mut self, slots: &mut [ClauseSlot], x: u32) {
+        let p = slots[x as usize].pos;
         if p == u32::MAX {
             return;
         }
         let last = *self.members.last().unwrap();
         self.members[p as usize] = last;
-        self.pos[last as usize] = p;
+        slots[last as usize].pos = p;
         self.members.pop();
-        self.pos[x as usize] = u32::MAX;
+        slots[x as usize].pos = u32::MAX;
+    }
+
+    /// Empties the set in O(|members|), keeping the allocation — the
+    /// restart path ([`WalkSat::randomize`]) reuses the set instead of
+    /// reallocating it.
+    fn clear(&mut self, slots: &mut [ClauseSlot]) {
+        for &x in &self.members {
+            slots[x as usize].pos = u32::MAX;
+        }
+        self.members.clear();
     }
 
     #[inline]
@@ -115,11 +143,18 @@ impl IndexedSet {
 }
 
 /// In-memory WalkSAT over one MRF.
+///
+/// The mutable per-clause search state (true-literal counter +
+/// violated-set position) lives in one dense 8-byte `ClauseSlot`
+/// column — the flip loop reads one slot per occurrence, and most
+/// visits stop at the counter; the violation cost/polarity columns on
+/// the [`Mrf`] are only touched when a clause actually crosses the
+/// satisfied boundary.
 pub struct WalkSat<'a> {
     mrf: &'a Mrf,
     truth: Vec<bool>,
-    num_true: Vec<u32>,
-    violated: IndexedSet,
+    slots: Vec<ClauseSlot>,
+    violated: ViolatedSet,
     cost: Cost,
     best_cost: Cost,
     best_truth: Vec<bool>,
@@ -158,8 +193,8 @@ impl<'a> WalkSat<'a> {
         let mut ws = WalkSat {
             mrf,
             truth,
-            num_true: vec![0; mrf.clauses().len()],
-            violated: IndexedSet::with_capacity(mrf.clauses().len()),
+            slots: vec![ClauseSlot::EMPTY; mrf.num_clauses()],
+            violated: ViolatedSet::default(),
             cost: Cost::ZERO,
             best_cost: Cost::ZERO,
             best_truth: Vec::new(),
@@ -172,16 +207,17 @@ impl<'a> WalkSat<'a> {
         ws
     }
 
-    /// Rebuilds counters and cost from the current assignment.
+    /// Rebuilds counters and cost from the current assignment (reusing
+    /// the violated-set allocation across restarts).
     fn recompute(&mut self) {
         self.cost = self.mrf.base_cost;
-        self.violated = IndexedSet::with_capacity(self.mrf.clauses().len());
-        for (i, c) in self.mrf.clauses().iter().enumerate() {
-            let nt = c.true_count(&self.truth) as u32;
-            self.num_true[i] = nt;
-            if c.weight.violated_when(nt > 0) {
-                self.violated.insert(i as u32);
-                self.cost = self.cost.add(clause_cost(c.weight));
+        self.violated.clear(&mut self.slots);
+        for ci in 0..self.mrf.num_clauses() {
+            let nt = self.mrf.clause(ci).true_count(&self.truth) as u32;
+            self.slots[ci].num_true = nt;
+            if self.mrf.clause_violated_when(ci, nt > 0) {
+                self.violated.insert(&mut self.slots, ci as u32);
+                self.cost = self.cost.add(self.mrf.violation_cost(ci));
             }
         }
     }
@@ -236,26 +272,34 @@ impl<'a> WalkSat<'a> {
     }
 
     /// The cost change that flipping `atom` would cause.
+    ///
+    /// Each occurrence entry carries the literal's sign, and the
+    /// violation polarity and cost are precomputed columns, so the scan
+    /// is one counter load + two bit tests per clause — no literal list,
+    /// no weight enum.
     fn delta(&self, atom: AtomId) -> Delta {
         let mut d = Delta::ZERO;
-        for &ci in self.mrf.occurrences(atom) {
-            let c = &self.mrf.clauses()[ci as usize];
-            let lit = c.lits.iter().find(|l| l.atom() == atom).unwrap();
-            let was_true = lit.eval(self.truth[atom as usize]);
-            let nt = self.num_true[ci as usize];
+        let value = self.truth[atom as usize];
+        for &occ in self.mrf.occurrences(atom) {
+            let ci = occ.clause() as usize;
+            let was_true = value == occ.is_positive();
+            let nt = self.slots[ci].num_true;
             let nt_after = if was_true { nt - 1 } else { nt + 1 };
-            let viol_before = c.weight.violated_when(nt > 0);
-            let viol_after = c.weight.violated_when(nt_after > 0);
-            if viol_before != viol_after {
-                let w = clause_cost(c.weight);
-                if viol_after {
-                    d.hard += w.hard as i64;
-                    d.soft += w.soft;
-                } else {
-                    d.hard -= w.hard as i64;
-                    d.soft -= w.soft;
-                }
-            }
+            // Branchless accumulation: whether the clause crosses the
+            // satisfied boundary (and in which violation direction) folds
+            // into a {-1, 0, +1} factor instead of a data-dependent
+            // branch — the crossing pattern is effectively random, and a
+            // mispredict costs more than the two spare L1 column loads.
+            // The `×0` multiply on the soft term is NaN-safe because the
+            // violation column is finite by construction
+            // (`MrfBuilder::finish` normalizes non-finite soft weights
+            // to hard).
+            let crossed = (nt > 0) != (nt_after > 0);
+            let became_violated = self.mrf.clause_violated_when(ci, nt_after > 0);
+            let sign = i64::from(crossed) * if became_violated { 1 } else { -1 };
+            let w = self.mrf.violation_cost(ci);
+            d.hard += sign * w.hard as i64;
+            d.soft += sign as f64 * w.soft;
         }
         d
     }
@@ -265,25 +309,23 @@ impl<'a> WalkSat<'a> {
         let new_value = !self.truth[atom as usize];
         self.truth[atom as usize] = new_value;
         self.flips += 1;
-        for &ci in self.mrf.occurrences(atom) {
-            let c = &self.mrf.clauses()[ci as usize];
-            let lit = c.lits.iter().find(|l| l.atom() == atom).unwrap();
-            let now_true = lit.eval(new_value);
-            let nt = self.num_true[ci as usize];
+        for &occ in self.mrf.occurrences(atom) {
+            let ci = occ.clause() as usize;
+            let now_true = new_value == occ.is_positive();
+            let nt = self.slots[ci].num_true;
             let nt_after = if now_true { nt + 1 } else { nt - 1 };
-            self.num_true[ci as usize] = nt_after;
-            let viol_before = c.weight.violated_when(nt > 0);
-            let viol_after = c.weight.violated_when(nt_after > 0);
-            if viol_before != viol_after {
-                let w = clause_cost(c.weight);
-                if viol_after {
-                    self.cost = self.cost.add(w);
-                    self.violated.insert(ci);
-                } else {
-                    self.cost.hard -= w.hard;
-                    self.cost.soft -= w.soft;
-                    self.violated.remove(ci);
-                }
+            self.slots[ci].num_true = nt_after;
+            if (nt > 0) == (nt_after > 0) {
+                continue; // satisfaction unchanged ⇒ violation unchanged
+            }
+            let w = self.mrf.violation_cost(ci);
+            if self.mrf.clause_violated_when(ci, nt_after > 0) {
+                self.cost = self.cost.add(w);
+                self.violated.insert(&mut self.slots, ci as u32);
+            } else {
+                self.cost.hard -= w.hard;
+                self.cost.soft -= w.soft;
+                self.violated.remove(&mut self.slots, ci as u32);
             }
         }
         if self.cost.better_than(self.best_cost) {
@@ -299,14 +341,19 @@ impl<'a> WalkSat<'a> {
             return false;
         }
         let ci = self.violated.sample(&mut self.rng);
-        let clause = &self.mrf.clauses()[ci as usize];
+        let lits = self.mrf.clause_lits(ci as usize);
         let atom = if self.rng.gen::<f64>() <= noise {
-            clause.lits[self.rng.gen_range(0..clause.lits.len())].atom()
+            lits[self.rng.gen_range(0..lits.len())].atom()
+        } else if lits.len() == 1 {
+            // A unit clause has no alternatives to score; skipping the
+            // delta scan consumes no randomness, so trajectories are
+            // unchanged.
+            lits[0].atom()
         } else {
             // Greedy: the atom whose flip decreases cost the most.
-            let mut best_atom = clause.lits[0].atom();
+            let mut best_atom = lits[0].atom();
             let mut best_delta = self.delta(best_atom);
-            for l in &clause.lits[1..] {
+            for l in &lits[1..] {
                 let d = self.delta(l.atom());
                 if d.less_than(best_delta) {
                     best_delta = d;
@@ -351,15 +398,6 @@ impl<'a> WalkSat<'a> {
     }
 }
 
-/// The cost of violating a clause of the given weight.
-#[inline]
-fn clause_cost(w: Weight) -> Cost {
-    match w {
-        Weight::Soft(x) => Cost::soft(x.abs()),
-        Weight::Hard | Weight::NegHard => Cost { hard: 1, soft: 0.0 },
-    }
-}
-
 /// Extension: length-checked copy (avoids realloc in the hot path).
 trait CopyChecked {
     fn copy_from_slice_checked(&mut self, src: &[bool]);
@@ -380,6 +418,7 @@ impl CopyChecked for Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tuffy_mln::weight::Weight;
     use tuffy_mrf::{Lit, MrfBuilder};
 
     /// Example 1 of the paper with N components.
@@ -491,9 +530,14 @@ mod tests {
             Some(&mut trace),
         );
         assert!(!trace.points().is_empty());
-        // Costs along the trace are non-increasing.
+        // The recorded best-cost curve is monotonically non-increasing.
         for w in trace.points().windows(2) {
-            assert!(!w[1].cost.better_than(w[0].cost) || w[1].cost.cmp_total(w[0].cost).is_le());
+            assert!(
+                w[1].cost.cmp_total(w[0].cost).is_le(),
+                "best-cost curve increased: {} -> {}",
+                w[0].cost,
+                w[1].cost
+            );
         }
     }
 

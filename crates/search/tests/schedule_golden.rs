@@ -58,12 +58,12 @@ fn schedule_report_is_pinned() {
     let expected = "\
 Schedule: 3 partitions in 3 bins (β=21, budget 504 B, threads=2, rounds=3)
 ├─ cut: 1 clauses (hard 0, soft |w| 1.0)
-├─ Bin 0  est 594 B (over budget: single oversized partition)
-│  └─ P0  atoms=3 internal=9 cut=1  est 594 B
-├─ Bin 1  est 594 B (over budget: single oversized partition)
-│  └─ P1  atoms=3 internal=9 cut=1  est 594 B
-└─ Bin 2  est 216 B
-   └─ P2  atoms=2 internal=3 cut=0  est 216 B
+├─ Bin 0  est 574 B (over budget: single oversized partition)
+│  └─ P0  atoms=3 internal=9 cut=1  est 574 B
+├─ Bin 1  est 574 B (over budget: single oversized partition)
+│  └─ P1  atoms=3 internal=9 cut=1  est 574 B
+└─ Bin 2  est 192 B
+   └─ P2  atoms=2 internal=3 cut=0  est 192 B
 ";
     assert_eq!(scheduler.explain(), expected);
 }
@@ -87,7 +87,7 @@ Schedule: 2 partitions in 1 bins (β=∞, no memory budget, threads=1, rounds=1)
 ├─ cut: none (partitions are exact connected components)
 └─ Bin 0  est 1.4 KB
    ├─ P0  atoms=6 internal=19 cut=0  est 1.2 KB
-   └─ P1  atoms=2 internal=3 cut=0  est 216 B
+   └─ P1  atoms=2 internal=3 cut=0  est 192 B
 ";
     assert_eq!(scheduler.explain(), expected);
 }

@@ -69,8 +69,8 @@ proptest! {
             let mut queue = vec![start];
             label[start as usize] = next;
             while let Some(a) = queue.pop() {
-                for &ci in mrf.occurrences(a) {
-                    for l in mrf.clauses()[ci as usize].lits.iter() {
+                for &occ in mrf.occurrences(a) {
+                    for l in mrf.clause_lits(occ.clause() as usize) {
                         let b = l.atom();
                         if label[b as usize] == usize::MAX {
                             label[b as usize] = next;
@@ -108,5 +108,38 @@ proptest! {
         ws.flip(u32::from(atom));
         ws.flip(u32::from(atom));
         prop_assert_eq!(ws.cost(), before);
+    }
+
+    /// `flip_delta(a)` (the CSR occurrence-arena scan) must equal the
+    /// brute-force cost difference `cost(flipped) − cost(truth)` for
+    /// every atom of a random MRF under a random assignment.
+    #[test]
+    fn flip_delta_matches_brute_force_cost_difference(
+        clauses in proptest::collection::vec(
+            (proptest::collection::vec((0u8..10, any::<bool>()), 1..5), -3i8..4),
+            1..25,
+        ),
+        truth in proptest::collection::vec(any::<bool>(), 10..11),
+        seed in any::<u64>(),
+    ) {
+        let mrf = build_mrf(10, &clauses);
+        let base = mrf.cost(&truth);
+        let ws = WalkSat::with_assignment(&mrf, truth.clone(), seed);
+        for atom in 0..mrf.num_atoms() {
+            let (dh, ds) = ws.flip_delta(atom as u32);
+            let mut flipped = truth.clone();
+            flipped[atom] = !flipped[atom];
+            let after = mrf.cost(&flipped);
+            prop_assert_eq!(
+                dh,
+                after.hard as i64 - base.hard as i64,
+                "hard delta of atom {} drifted", atom
+            );
+            let expect_soft = after.soft - base.soft;
+            prop_assert!(
+                (ds - expect_soft).abs() < 1e-9,
+                "soft delta of atom {}: {} vs brute-force {}", atom, ds, expect_soft
+            );
+        }
     }
 }

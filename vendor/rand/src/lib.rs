@@ -120,7 +120,16 @@ macro_rules! impl_sample_uniform_int {
             fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
                 assert!(low < high, "gen_range: empty range");
                 let span = (high as i128 - low as i128) as u128;
-                let v = (rng.next_u64() as u128) % span;
+                // A span of any 64-bit type fits in u64, where the modulo
+                // is one hardware division instead of a u128 software
+                // `__umodti3` call — same value, hot-path relevant (the
+                // WalkSAT loop draws per flip). The branch is only taken
+                // for hypothetical >64-bit spans and predicts perfectly.
+                let v = if span <= u64::MAX as u128 {
+                    u128::from(rng.next_u64() % span as u64)
+                } else {
+                    (rng.next_u64() as u128) % span
+                };
                 (low as i128 + v as i128) as $t
             }
         }
@@ -158,7 +167,12 @@ macro_rules! impl_sample_range_inclusive {
                 let (lo, hi) = self.into_inner();
                 assert!(lo <= hi, "gen_range: empty range");
                 let span = (hi as i128 - lo as i128) as u128 + 1;
-                let v = (rng.next_u64() as u128) % span;
+                // u64 fast path; see `sample_range` above.
+                let v = if span <= u64::MAX as u128 {
+                    u128::from(rng.next_u64() % span as u64)
+                } else {
+                    (rng.next_u64() as u128) % span
+                };
                 (lo as i128 + v as i128) as $t
             }
         }
