@@ -20,6 +20,7 @@ fn main() {
         ("fig8", tuffy_bench::experiments::fig8::report),
         ("scaling", tuffy_bench::experiments::scaling::report),
         ("session", tuffy_bench::experiments::session::report),
+        ("serve", tuffy_bench::experiments::serve::report),
         ("flips", tuffy_bench::experiments::flips::report),
     ];
     for (name, f) in experiments {

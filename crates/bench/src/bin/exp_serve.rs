@@ -1,0 +1,5 @@
+//! Regenerates the concurrent-serving throughput report and
+//! `BENCH_serve.json`.
+fn main() {
+    tuffy_bench::emit("serve", &tuffy_bench::experiments::serve::report());
+}

@@ -1,0 +1,190 @@
+//! Concurrent serving throughput: one shared engine vs per-caller
+//! re-grounding.
+//!
+//! The serving redesign's reason to exist, measured: N concurrent
+//! callers each run M MAP queries. The **shared-engine** arm grounds
+//! once ([`tuffy::Tuffy::build_engine`]) and every caller queries a
+//! clone of the same [`tuffy::Snapshot`] — search is the only per-query
+//! work. The **re-ground** arm is what the pre-engine API forced on
+//! concurrent callers: each query opens its own session, paying the full
+//! grounding again. Queries vary their WalkSAT seed per (caller, index)
+//! so both arms do the same distinct search work.
+//!
+//! Writes `BENCH_serve.json` at the repository root so successive
+//! commits can compare queries/sec
+//! (`cargo run --release -p tuffy-bench --bin exp_serve`).
+
+use crate::format::TextTable;
+use std::time::Instant;
+use tuffy::{Query, Tuffy, TuffyConfig, WalkSatParams};
+
+/// Concurrency levels measured.
+pub const CALLERS: [usize; 4] = [1, 2, 4, 8];
+
+/// MAP queries per caller.
+pub const QUERIES_PER_CALLER: usize = 3;
+
+/// Flip budget per query.
+const FLIPS: u64 = 100_000;
+
+fn config(seed: u64) -> TuffyConfig {
+    TuffyConfig {
+        search: WalkSatParams {
+            max_flips: FLIPS,
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// One concurrency level's measurement.
+pub struct ServeRate {
+    /// Concurrent callers.
+    pub callers: usize,
+    /// Total queries answered (callers × queries/caller).
+    pub queries: usize,
+    /// Shared-engine wall seconds for the whole batch.
+    pub shared_secs: f64,
+    /// Re-ground-per-caller wall seconds for the whole batch.
+    pub reground_secs: f64,
+}
+
+impl ServeRate {
+    /// Shared-engine throughput.
+    pub fn shared_qps(&self) -> f64 {
+        self.queries as f64 / self.shared_secs.max(1e-12)
+    }
+
+    /// Re-grounding throughput.
+    pub fn reground_qps(&self) -> f64 {
+        self.queries as f64 / self.reground_secs.max(1e-12)
+    }
+}
+
+/// Runs both arms at every concurrency level on grounding-scale RC
+/// (densely labeled — the regime where grounding dominates and sharing
+/// it pays).
+pub fn measure() -> Vec<ServeRate> {
+    let ds = crate::datasets::rc_ground();
+    let tuffy = Tuffy::from_parts(ds.program, ds.evidence).with_config(config(crate::SEED));
+    let engine = tuffy.build_engine().expect("grounding");
+
+    let mut out = Vec::new();
+    for &callers in &CALLERS {
+        // Shared arm: one engine, N callers × M queries over snapshots.
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for caller in 0..callers {
+                let snapshot = engine.snapshot();
+                scope.spawn(move || {
+                    for i in 0..QUERIES_PER_CALLER {
+                        let q = Query::map().with_search(WalkSatParams {
+                            max_flips: FLIPS,
+                            seed: crate::SEED + (caller * QUERIES_PER_CALLER + i) as u64,
+                            ..Default::default()
+                        });
+                        snapshot.query(&q).expect("query");
+                    }
+                });
+            }
+        });
+        let shared_secs = t0.elapsed().as_secs_f64();
+
+        // Re-ground arm: every query builds its own engine-of-one.
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for caller in 0..callers {
+                let tuffy = &tuffy;
+                scope.spawn(move || {
+                    for i in 0..QUERIES_PER_CALLER {
+                        let seed = crate::SEED + (caller * QUERIES_PER_CALLER + i) as u64;
+                        let mut session =
+                            Tuffy::from_parts(tuffy.program().clone(), tuffy.evidence().clone())
+                                .with_config(config(seed))
+                                .open_session()
+                                .expect("grounding");
+                        session.map().expect("inference");
+                    }
+                });
+            }
+        });
+        let reground_secs = t0.elapsed().as_secs_f64();
+
+        out.push(ServeRate {
+            callers,
+            queries: callers * QUERIES_PER_CALLER,
+            shared_secs,
+            reground_secs,
+        });
+    }
+    assert_eq!(
+        engine.groundings_performed(),
+        1,
+        "the shared arm must never re-ground"
+    );
+    out
+}
+
+/// Renders the measurements as the `BENCH_serve.json` document.
+pub fn to_json(rates: &[ServeRate]) -> String {
+    let mut body =
+        String::from("{\n  \"bench\": \"serve_throughput\",\n  \"unit\": \"queries_per_sec\",\n");
+    body.push_str(&format!(
+        "  \"queries_per_caller\": {QUERIES_PER_CALLER},\n  \"flip_budget\": {FLIPS},\n  \"levels\": [\n"
+    ));
+    for (i, r) in rates.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"callers\": {}, \"queries\": {}, \"shared_engine_secs\": {:.6}, \
+             \"shared_engine_qps\": {:.2}, \"reground_secs\": {:.6}, \"reground_qps\": {:.2}, \
+             \"speedup\": {:.2}}}{}\n",
+            r.callers,
+            r.queries,
+            r.shared_secs,
+            r.shared_qps(),
+            r.reground_secs,
+            r.reground_qps(),
+            r.shared_qps() / r.reground_qps().max(1e-12),
+            if i + 1 == rates.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    body
+}
+
+/// Builds the serving-throughput report and writes `BENCH_serve.json` at
+/// the repository root (the current directory of every `exp_*` binary).
+pub fn report() -> String {
+    let rates = measure();
+    let json = to_json(&rates);
+    if let Err(e) = std::fs::write("BENCH_serve.json", &json) {
+        eprintln!("warning: could not write BENCH_serve.json: {e}");
+    } else {
+        eprintln!("(written to BENCH_serve.json)");
+    }
+    let mut out = String::from(
+        "Concurrent serving throughput: one shared engine vs per-caller re-grounding\n\
+         (grounding-scale RC; N callers x 3 MAP queries each, distinct seeds; the\n\
+         shared arm grounds once and serves snapshots, the re-ground arm rebuilds\n\
+         grounding per query as the pre-engine API forced; regenerate with\n\
+         `cargo run --release -p tuffy-bench --bin exp_serve`)\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "callers",
+        "queries",
+        "shared qps",
+        "re-ground qps",
+        "speedup",
+    ]);
+    for r in &rates {
+        t.row(vec![
+            r.callers.to_string(),
+            r.queries.to_string(),
+            format!("{:.2}", r.shared_qps()),
+            format!("{:.2}", r.reground_qps()),
+            format!("{:.1}x", r.shared_qps() / r.reground_qps().max(1e-12)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

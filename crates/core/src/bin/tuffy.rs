@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! tuffy -i prog.mln -e evidence.db [-r result.out] [--marginal] \
-//!       [--delta d.db ...] [--session] \
+//!       [--delta d.db ...] [--session] [--serve N] \
 //!       [--flips N] [--parallel N] [--no-partition] [--mem-budget BYTES] \
 //!       [--partition-rounds N] [--seed N] [--arch hybrid|inmemory|rdbms] \
 //!       [--explain] [--explain-schedule] [--join-order auto|program] \
@@ -21,6 +21,12 @@
 //! command (`:map`, `:marginal`, `:explain`, `:quit`); edits re-run
 //! inference immediately.
 //!
+//! `--serve N` turns every inference (initial, post-delta, and REPL
+//! `:map`/`:marginal`) into a concurrent-serving demonstration: N
+//! threads each run the same query against the session's current
+//! snapshot, the outputs are verified bit-identical, and the measured
+//! queries/sec is reported — zero re-grounding, one shared store.
+//!
 //! `--explain` prints the physical plan (`EXPLAIN`) of every grounding
 //! query under the selected lesion knobs and exits without running
 //! inference; the three lesion flags mirror the paper's Table 6 study.
@@ -31,8 +37,8 @@
 use std::io::BufRead;
 use std::process::ExitCode;
 use tuffy::{
-    Architecture, JoinAlgorithmPolicy, JoinOrderPolicy, McSatParams, PartitionStrategy, Session,
-    Tuffy, TuffyConfig, WalkSatParams,
+    Architecture, JoinAlgorithmPolicy, JoinOrderPolicy, McSatParams, PartitionStrategy, Query,
+    Session, Tuffy, TuffyConfig, WalkSatParams,
 };
 
 struct Args {
@@ -41,6 +47,7 @@ struct Args {
     result: Option<String>,
     deltas: Vec<String>,
     session: bool,
+    serve: usize,
     marginal: bool,
     explain: bool,
     explain_schedule: bool,
@@ -57,7 +64,7 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: tuffy -i <prog.mln> [-e <evidence.db>] [-r <result.out>]\n\
-     \x20       [--marginal] [--delta <delta.db>]... [--session]\n\
+     \x20       [--marginal] [--delta <delta.db>]... [--session] [--serve N]\n\
      \x20       [--flips N] [--parallel N] [--no-partition]\n\
      \x20       [--mem-budget BYTES] [--partition-rounds N] [--seed N]\n\
      \x20       [--arch hybrid|inmemory|rdbms] [--explain] [--explain-schedule]\n\
@@ -72,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         result: None,
         deltas: Vec::new(),
         session: false,
+        serve: 1,
         marginal: false,
         explain: false,
         explain_schedule: false,
@@ -97,6 +105,14 @@ fn parse_args() -> Result<Args, String> {
             "-r" => args.result = Some(value("-r")?),
             "--delta" => args.deltas.push(value("--delta")?),
             "--session" => args.session = true,
+            "--serve" => {
+                args.serve = value("--serve")?
+                    .parse()
+                    .map_err(|e| format!("--serve: {e}"))?;
+                if args.serve == 0 {
+                    return Err("--serve expects at least 1 concurrent query".to_string());
+                }
+            }
             "--marginal" => args.marginal = true,
             "--explain" => args.explain = true,
             "--explain-schedule" => args.explain_schedule = true,
@@ -157,32 +173,111 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Runs one inference over the session and returns the rendered output.
-fn infer(session: &mut Session, marginal: bool, seed: u64) -> Result<String, String> {
+/// The query a CLI inference runs: MAP, or all-predicate marginals
+/// seeded from `--seed`.
+fn cli_query(marginal: bool, seed: u64) -> Query {
     if marginal {
-        let r = session
-            .marginal(&McSatParams {
-                seed,
-                ..Default::default()
-            })
-            .map_err(|e| e.to_string())?;
-        eprintln!(
-            "marginals over {} atoms: {} flips in {:?} ({:.0} flips/sec)",
-            r.report.atoms, r.report.flips, r.report.search_time, r.report.flips_per_sec
-        );
-        let mut out = String::new();
-        for (name, (_, p)) in r.names.iter().zip(r.marginals.iter()) {
-            out.push_str(&format!("{p:.4}\t{name}\n"));
-        }
-        Ok(out)
+        Query::marginal_all().with_mcsat(McSatParams {
+            seed,
+            ..Default::default()
+        })
     } else {
-        let r = session.map().map_err(|e| e.to_string())?;
-        eprintln!(
-            "search: {} flips in {:?} ({:.0} flips/sec), solution cost {}",
-            r.report.flips, r.report.search_time, r.report.flips_per_sec, r.cost
-        );
-        Ok(r.to_text())
+        Query::map()
     }
+}
+
+/// Renders one query answer the way the CLI emits it, with its progress
+/// line on stderr.
+fn render_answer(answer: tuffy::QueryAnswer, quiet: bool) -> String {
+    match answer {
+        tuffy::QueryAnswer::Map(r) => {
+            if !quiet {
+                eprintln!(
+                    "search: {} flips in {:?} ({:.0} flips/sec), solution cost {}",
+                    r.report.flips, r.report.search_time, r.report.flips_per_sec, r.cost
+                );
+            }
+            r.to_text()
+        }
+        tuffy::QueryAnswer::Marginal(r) => {
+            if !quiet {
+                eprintln!(
+                    "marginals over {} atoms: {} flips in {:?} ({:.0} flips/sec)",
+                    r.report.atoms, r.report.flips, r.report.search_time, r.report.flips_per_sec
+                );
+            }
+            let mut out = String::new();
+            for (name, (_, p)) in r.names.iter().zip(r.marginals.iter()) {
+                out.push_str(&format!("{p:.4}\t{name}\n"));
+            }
+            out
+        }
+        tuffy::QueryAnswer::TopK(r) => {
+            let mut out = String::new();
+            for e in &r.entries {
+                out.push_str(&format!("{:.4}\t{}\n", e.probability, e.name));
+            }
+            out
+        }
+    }
+}
+
+/// Runs one inference over the session and returns the rendered output.
+/// With `--serve N` (N > 1) the query instead runs N times concurrently
+/// against the session's current snapshot — one shared grounded store,
+/// zero re-grounding — verifying the outputs bit-identical and
+/// reporting the measured throughput.
+fn infer(session: &mut Session, marginal: bool, seed: u64, serve: usize) -> Result<String, String> {
+    if serve > 1 {
+        return serve_concurrently(session, marginal, seed, serve);
+    }
+    let query = cli_query(marginal, seed);
+    let answer = session.query(&query).map_err(|e| e.to_string())?;
+    Ok(render_answer(answer, false))
+}
+
+/// The `--serve N` path: N threads × 1 query over one snapshot.
+fn serve_concurrently(
+    session: &Session,
+    marginal: bool,
+    seed: u64,
+    serve: usize,
+) -> Result<String, String> {
+    let query = cli_query(marginal, seed);
+    let snapshot = session.snapshot();
+    let started = std::time::Instant::now();
+    let outputs: Vec<Result<String, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..serve)
+            .map(|_| {
+                let snapshot = snapshot.clone();
+                let query = query.clone();
+                scope.spawn(move || {
+                    snapshot
+                        .query(&query)
+                        .map(|a| render_answer(a, true))
+                        .map_err(|e| e.to_string())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve worker panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut outputs = outputs.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let first = outputs.swap_remove(0);
+    if outputs.iter().any(|o| *o != first) {
+        return Err("serve mode produced diverging outputs across threads".to_string());
+    }
+    eprintln!(
+        "serve: {serve} concurrent identical quer{} over generation {} in {elapsed:?} \
+         ({:.1} queries/sec), outputs bit-identical",
+        if serve == 1 { "y" } else { "ies" },
+        snapshot.generation(),
+        serve as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    Ok(first)
 }
 
 fn apply_and_report(
@@ -190,11 +285,12 @@ fn apply_and_report(
     delta_src: &str,
     marginal: bool,
     seed: u64,
+    serve: usize,
 ) -> Result<String, String> {
     let delta = session.parse_delta(delta_src).map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
     let report = session.apply(&delta).map_err(|e| e.to_string())?;
-    let output = infer(session, marginal, seed)?;
+    let output = infer(session, marginal, seed, serve)?;
     eprintln!(
         "delta: {} change(s), {} in {:?}, re-inference in {:?} total",
         report.changes,
@@ -238,9 +334,9 @@ fn repl(session: &mut Session, args: &Args) -> Result<(), String> {
                 eprint!("{}", session.explain());
                 continue;
             }
-            ":map" => infer(session, false, args.seed),
-            ":marginal" => infer(session, true, args.seed),
-            _ => apply_and_report(session, trimmed, args.marginal, args.seed),
+            ":map" => infer(session, false, args.seed, args.serve),
+            ":marginal" => infer(session, true, args.seed, args.serve),
+            _ => apply_and_report(session, trimmed, args.marginal, args.seed, args.serve),
         };
         match outcome {
             Ok(output) => emit(args, &output)?,
@@ -295,13 +391,19 @@ fn run() -> Result<(), String> {
         session.grounding().registry.len(),
         session.grounding().stats.wall
     );
-    let output = infer(&mut session, args.marginal, args.seed)?;
+    let output = infer(&mut session, args.marginal, args.seed, args.serve)?;
     emit(&args, &output)?;
 
     for path in &args.deltas {
         let delta_src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("applying delta {path}");
-        let output = apply_and_report(&mut session, &delta_src, args.marginal, args.seed)?;
+        let output = apply_and_report(
+            &mut session,
+            &delta_src,
+            args.marginal,
+            args.seed,
+            args.serve,
+        )?;
         emit(&args, &output)?;
     }
 

@@ -2,6 +2,7 @@
 
 use tuffy_grounder::GroundingMode;
 use tuffy_rdbms::{DiskModel, OptimizerConfig};
+use tuffy_search::mcsat::McSatParams;
 use tuffy_search::WalkSatParams;
 
 /// Which of the paper's three architectures to run (Appendix B.3,
@@ -50,6 +51,10 @@ pub struct TuffyConfig {
     pub threads: usize,
     /// WalkSAT parameters.
     pub search: WalkSatParams,
+    /// MC-SAT parameters for marginal queries. Like [`Self::search`] for
+    /// MAP, this is the implicit default a marginal query runs under;
+    /// [`crate::Query::with_mcsat`] overrides it per query.
+    pub mcsat: McSatParams,
     /// Maximum Gauss-Seidel rounds over cut clauses when
     /// `PartitionStrategy::Budget` splits a component (the scheduler
     /// stops early once a round changes nothing, and runs exactly one
@@ -70,6 +75,7 @@ impl Default for TuffyConfig {
             partitioning: PartitionStrategy::Components,
             threads: 1,
             search: WalkSatParams::default(),
+            mcsat: McSatParams::default(),
             partition_rounds: 3,
             disk: DiskModel::in_memory(),
             pool_pages: 64,

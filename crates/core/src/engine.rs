@@ -1,0 +1,105 @@
+//! The long-lived, `Arc`-shared home of a grounded program.
+//!
+//! Grounding is the expensive, shareable artifact; search is the cheap,
+//! per-query step (§3.2). An [`Engine`] embodies that split: built once
+//! by [`Tuffy::build_engine`], it grounds the program a single time and
+//! then hands out any number of
+//!
+//! * [`Snapshot`]s — immutable `Clone + Send + Sync` views of the
+//!   current grounded generation, each answering [`crate::Query`]s from
+//!   any thread ([`Snapshot::query`]); and
+//! * [`Session`]s — lightweight per-caller handles (warm-start state +
+//!   an `Arc` of a snapshot) whose [`Session::apply`] edits fork new
+//!   generations copy-on-write without disturbing anyone else.
+//!
+//! Cloning an `Engine` is one reference-count bump; clones share the
+//! grounded store, the generation counter, and the grounding-count
+//! instrumentation ([`Engine::groundings_performed`]) that the serve
+//! stress suite pins "zero re-grounds after the first build" against.
+
+use crate::config::TuffyConfig;
+use crate::pipeline::Tuffy;
+use crate::session::Session;
+use crate::snapshot::{ground, EngineCounters, Snapshot};
+use std::sync::Arc;
+use tuffy_mln::evidence::EvidenceSet;
+use tuffy_mln::program::MlnProgram;
+use tuffy_mln::MlnError;
+
+/// A shared serving engine over one grounded program; see the module
+/// docs. Created by [`Tuffy::build_engine`].
+#[derive(Clone)]
+pub struct Engine {
+    base: Snapshot,
+}
+
+impl Engine {
+    pub(crate) fn build(
+        program: MlnProgram,
+        evidence: EvidenceSet,
+        config: TuffyConfig,
+    ) -> Result<Engine, MlnError> {
+        let program = Arc::new(program);
+        let grounding = Arc::new(ground(&program, &evidence, &config)?);
+        let counters = EngineCounters::for_new_engine();
+        Ok(Engine {
+            base: Snapshot::root(program, evidence, config, grounding, counters),
+        })
+    }
+
+    /// The engine's base snapshot (generation 0) — the view every new
+    /// session starts from. Cheap: one `Arc` bump.
+    pub fn snapshot(&self) -> Snapshot {
+        self.base.clone()
+    }
+
+    /// Opens a lightweight [`Session`] over the engine's base snapshot.
+    /// Sessions cost two `Arc` bumps to open — the grounding already
+    /// happened when the engine was built — and are independent: one
+    /// session's [`Session::apply`] forks a private generation and never
+    /// affects the engine or its other sessions.
+    pub fn open_session(&self) -> Session {
+        Session::from_snapshot(self.base.clone())
+    }
+
+    /// The program this engine serves.
+    pub fn program(&self) -> &MlnProgram {
+        self.base.program()
+    }
+
+    /// The base evidence the engine was grounded under.
+    pub fn evidence(&self) -> &EvidenceSet {
+        self.base.evidence()
+    }
+
+    /// The configuration queries run under by default.
+    pub fn config(&self) -> &TuffyConfig {
+        self.base.config()
+    }
+
+    /// Full grounding runs this engine lineage has performed: 1 after
+    /// `build_engine`, +1 for every [`Session::apply`] (or
+    /// [`crate::Query::given`] fork) that fell outside the incremental
+    /// patch fragment. The serve stress suite asserts this stays at 1
+    /// while N threads × M queries run — the "ground once, serve many"
+    /// invariant, measured rather than assumed.
+    pub fn groundings_performed(&self) -> u64 {
+        self.base.counters().groundings()
+    }
+}
+
+impl Tuffy {
+    /// Builds the shared serving [`Engine`]: parses nothing (that
+    /// happened when `self` was built), grounds exactly once, and
+    /// returns the `Arc`-shared home of program + grounding + analysis
+    /// caches. Clone the engine (or hand out [`Engine::snapshot`] /
+    /// [`Engine::open_session`] values) to serve concurrent callers
+    /// without ever grounding again.
+    pub fn build_engine(&self) -> Result<Engine, MlnError> {
+        Engine::build(
+            self.program().clone(),
+            self.evidence().clone(),
+            *self.config(),
+        )
+    }
+}

@@ -17,17 +17,34 @@
 //!    (Theorem 3.1) — and split oversized components further, searching
 //!    them with a Gauss-Seidel scheme (§3.3–3.4).
 //!
-//! Because grounding dominates end-to-end time, the API is built around
-//! long-lived **sessions** that ground once and then serve many queries:
-//! [`Session::map`] warm-starts repeated MAP searches,
-//! [`Session::marginal`] samples marginals over the same store, and
-//! [`Session::apply`] edits evidence between queries — patching the
-//! grounding incrementally when the delta allows it.
+//! Because grounding dominates end-to-end time and search is cheap per
+//! query, the API separates the two into a three-tier ownership model:
+//!
+//! * an [`Engine`] ([`Tuffy::build_engine`]) is the long-lived,
+//!   `Arc`-shared home of program + grounding + cached analyses. It
+//!   grounds **once**;
+//! * a [`Snapshot`] ([`Engine::snapshot`]) is a cheap, immutable,
+//!   `Clone + Send + Sync` view of one grounded *generation*.
+//!   [`Snapshot::query`] answers a [`Query`] from any number of threads
+//!   at once, bit-identically to sequential execution;
+//! * a [`Session`] ([`Engine::open_session`]) is a lightweight
+//!   per-caller handle — warm-start search state plus an `Arc` of a
+//!   snapshot. [`Session::apply`] edits evidence by forking a **new
+//!   generation copy-on-write** (incremental patch when the delta is in
+//!   the provably-exact fragment, re-ground otherwise); readers of the
+//!   old generation, on any thread, are never disturbed.
+//!
+//! What to compute is a first-class [`Query`]: [`Query::map`],
+//! [`Query::marginal`] (optionally restricted to predicates),
+//! [`Query::top_k`], each optionally conditioned with [`Query::given`]
+//! (an ephemeral evidence delta that forks a snapshot without committing
+//! anything) and tuned with [`Query::with_search`] /
+//! [`Query::with_mcsat`].
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use tuffy::Tuffy;
+//! use tuffy::{Query, Tuffy};
 //!
 //! let program = r#"
 //!     *wrote(person, paper)
@@ -43,44 +60,78 @@
 //!     refers(P1, P3)
 //!     cat(P2, DB)
 //! "#;
-//! // Ground once, then query as often as you like.
-//! let tuffy = Tuffy::from_sources(program, evidence).unwrap();
-//! let mut session = tuffy.open_session().unwrap();
+//! // Ground once: the engine is the shared home of the grounded program.
+//! let engine = Tuffy::from_sources(program, evidence)
+//!     .unwrap()
+//!     .build_engine()
+//!     .unwrap();
 //!
-//! let result = session.map().unwrap();
+//! // Snapshots are cheap, immutable views — query them from any thread.
+//! let snapshot = engine.snapshot();
+//! let world = snapshot.query(&Query::map()).unwrap().into_map().unwrap();
 //! // P1 and P3 inherit Joe's / the citation's DB label:
-//! assert_eq!(result.true_atoms_of("cat").unwrap().len(), 2);
+//! assert_eq!(world.true_atoms_of("cat").unwrap().len(), 2);
 //!
-//! // A curator confirms P1's label. The session patches its grounded
-//! // store instead of re-grounding — P1 becomes evidence, and the next
-//! // map() warm-starts from the previous answer to infer just P3.
+//! // Sessions add warm-started repeated queries and evidence edits.
+//! let mut session = engine.open_session();
+//! session.map().unwrap();
+//! // A curator confirms P1's label. `apply` forks a new generation
+//! // copy-on-write — the snapshot above keeps reading its own store —
+//! // and the next map() warm-starts to infer just P3.
 //! let delta = session.parse_delta("cat(P1, DB)").unwrap();
 //! let report = session.apply(&delta).unwrap();
 //! assert!(report.incremental);
 //! let rows = session.map().unwrap().true_atoms_of("cat").unwrap();
 //! assert_eq!(rows, vec![vec!["P3".to_string(), "DB".to_string()]]);
+//! assert_eq!(engine.groundings_performed(), 1); // ground once, serve many
 //! ```
 //!
-//! ## Migrating from the one-shot API
+//! ## Migrating from the session-only / one-shot APIs
 //!
-//! `Tuffy::map_inference()` and `Tuffy::marginal_inference(&params)`
-//! still work but are deprecated: they open a throwaway session per
-//! call, re-grounding every time. Replace
-//! `tuffy.map_inference()` with
-//! `tuffy.open_session()?.map()` (the first `map()` of a fresh session
-//! is bit-for-bit identical), keep the session around for repeated
-//! queries, and feed evidence updates through
-//! [`Session::apply`] instead of rebuilding the `Tuffy`.
+//! | old call | new call |
+//! |---|---|
+//! | `tuffy.map_inference()` | `tuffy.build_engine()?.snapshot().query(&Query::map())` |
+//! | `tuffy.marginal_inference(&params)` | `…snapshot().query(&Query::marginal_all().with_mcsat(params))` |
+//! | `tuffy.open_session()?` | `tuffy.build_engine()?.open_session()` (one engine, many sessions) |
+//! | `session.marginal(&params)` | `session.query(&Query::marginal_all().with_mcsat(params))` |
+//! | `session.marginal(&cfg_params)` | `session.query(&Query::marginal_all())` (reads `TuffyConfig::mcsat`) |
+//! | apply + query + undo | `snapshot.query(&Query::map().given(delta))` (nothing to undo) |
+//!
+//! `Tuffy::open_session()` keeps working as an engine-of-one
+//! (bit-identical to its pre-engine behavior), and the deprecated
+//! one-shot wrappers still run; both re-ground per call where an engine
+//! grounds once.
+//!
+//! ## Copy-on-write generations under concurrent readers
+//!
+//! Every grounded store is a *generation*: an immutable set of
+//! `Arc`-shared arenas plus generation-scoped caches (partition
+//! schedule, component counts). [`Session::apply`] and [`Query::given`]
+//! never mutate the generation they start from — a delta with no
+//! grounding effect shares it outright, an in-fragment delta produces a
+//! patched copy, everything else re-grounds — so a query holds exactly
+//! the generation it began with for its whole execution, no locks
+//! involved. Two sessions of one engine that apply different deltas
+//! simply own different generations; the engine's base snapshot is
+//! unaffected by both.
 
 pub mod config;
+pub mod engine;
 pub mod pipeline;
+pub mod query;
 pub mod result;
 pub mod session;
+pub mod snapshot;
 
 pub use config::{Architecture, PartitionStrategy, TuffyConfig};
+pub use engine::Engine;
 pub use pipeline::Tuffy;
-pub use result::{render_atom, InferenceReport, MapResult, MarginalResult};
+pub use query::Query;
+pub use result::{
+    render_atom, InferenceReport, MapResult, MarginalResult, QueryAnswer, TopEntry, TopKResult,
+};
 pub use session::{ApplyReport, Session};
+pub use snapshot::Snapshot;
 
 // Re-exports so downstream users need only this crate.
 pub use tuffy_grounder::{GroundingMode, PatchStats};

@@ -97,10 +97,10 @@ impl Tuffy {
     }
 
     /// Grounds the program according to the configured architecture
-    /// (without opening a session). Shares the session's grounding
+    /// (without building an engine). Shares the engine's grounding
     /// dispatch, so the two can never disagree.
     pub fn ground(&self) -> Result<GroundingResult, MlnError> {
-        crate::session::Session::ground(&self.program, &self.evidence, &self.config)
+        crate::snapshot::ground(&self.program, &self.evidence, &self.config)
     }
 
     /// Runs one-shot MAP inference: grounds, searches, discards the
@@ -117,11 +117,16 @@ impl Tuffy {
     /// Runs one-shot marginal inference with MC-SAT (Appendix A.5).
     #[deprecated(
         since = "0.2.0",
-        note = "open a `Session` (`Tuffy::open_session`) and call `marginal(&params)`: \
-                sessions ground once instead of re-grounding every call"
+        note = "build an `Engine` (`Tuffy::build_engine`) and run \
+                `engine.snapshot().query(&Query::marginal_all().with_mcsat(params))`: \
+                engines ground once instead of re-grounding every call"
     )]
     pub fn marginal_inference(&self, params: &McSatParams) -> Result<MarginalResult, MlnError> {
-        self.open_session()?.marginal(params)
+        self.build_engine()?
+            .snapshot()
+            .query(&crate::query::Query::marginal_all().with_mcsat(*params))?
+            .into_marginal()
+            .ok_or_else(|| MlnError::general("marginal query returned a non-marginal answer"))
     }
 }
 
@@ -240,14 +245,19 @@ mod tests {
     fn marginal_inference_runs() {
         let t = Tuffy::from_sources(PROGRAM, EVIDENCE).unwrap();
         let r = t
-            .open_session()
+            .build_engine()
             .unwrap()
-            .marginal(&McSatParams {
-                samples: 100,
-                burn_in: 10,
-                sample_sat_steps: 200,
-                ..Default::default()
-            })
+            .snapshot()
+            .query(
+                &crate::query::Query::marginal_all().with_mcsat(McSatParams {
+                    samples: 100,
+                    burn_in: 10,
+                    sample_sat_steps: 200,
+                    ..Default::default()
+                }),
+            )
+            .unwrap()
+            .into_marginal()
             .unwrap();
         // cat(P1, DB) should be likely true.
         let p = r.probability_of("cat", &["P1", "DB"]).unwrap();

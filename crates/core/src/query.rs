@@ -1,0 +1,152 @@
+//! First-class queries: what to infer, over which evidence, with which
+//! knobs.
+//!
+//! The one-shot API answered every request with the whole world. A
+//! [`Query`] names the *shape* of the answer instead:
+//!
+//! * [`Query::map`] — the most likely world ([`crate::MapResult`]);
+//! * [`Query::marginal`] — per-atom probabilities, optionally restricted
+//!   to a set of predicates ([`crate::MarginalResult`]);
+//! * [`Query::top_k`] — the `k` most probable atoms of one predicate
+//!   ([`crate::TopKResult`]);
+//!
+//! optionally refined by
+//!
+//! * [`Query::given`] — ephemeral conditioning: the query runs against a
+//!   copy-on-write fork of the snapshot with the delta applied, without
+//!   committing any evidence;
+//! * [`Query::with_search`] / [`Query::with_mcsat`] — per-query
+//!   parameter overrides. Without them a query reads the engine's
+//!   [`crate::TuffyConfig`] implicitly — MAP and marginal symmetrically.
+//!
+//! Queries are plain data (`Clone + Send + Sync`) and are executed by
+//! [`crate::Snapshot::query`], which is safe to call from many threads
+//! at once, or by [`crate::Session::query`], which adds warm-started
+//! search for repeated MAP queries.
+
+use tuffy_mln::evidence::EvidenceDelta;
+use tuffy_search::mcsat::McSatParams;
+use tuffy_search::WalkSatParams;
+
+/// What a query computes.
+#[derive(Clone, Debug, Default)]
+pub(crate) enum QueryKind {
+    /// The most likely world.
+    #[default]
+    Map,
+    /// Per-atom marginal probabilities, restricted to the named
+    /// predicates (all query predicates when empty).
+    Marginal(Vec<String>),
+    /// The `k` most probable atoms of one predicate.
+    TopK { predicate: String, k: usize },
+}
+
+/// A declarative inference request executed by
+/// [`crate::Snapshot::query`] or [`crate::Session::query`].
+#[derive(Clone, Debug, Default)]
+pub struct Query {
+    pub(crate) kind: QueryKind,
+    pub(crate) given: Option<EvidenceDelta>,
+    pub(crate) search: Option<WalkSatParams>,
+    pub(crate) mcsat: Option<McSatParams>,
+}
+
+impl Query {
+    /// A MAP query: the most likely world.
+    pub fn map() -> Query {
+        Query::default()
+    }
+
+    /// A marginal query over the named predicates; pass an empty
+    /// iterator (e.g. `Query::marginal::<[&str; 0]>([])` or
+    /// [`Query::marginal_all`]) for every query predicate.
+    pub fn marginal<I, S>(predicates: I) -> Query
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Query {
+            kind: QueryKind::Marginal(predicates.into_iter().map(Into::into).collect()),
+            ..Query::default()
+        }
+    }
+
+    /// A marginal query over every query predicate.
+    pub fn marginal_all() -> Query {
+        Query {
+            kind: QueryKind::Marginal(Vec::new()),
+            ..Query::default()
+        }
+    }
+
+    /// The `k` most probable atoms of `predicate` (by marginal
+    /// probability, ties broken deterministically by atom id).
+    pub fn top_k(predicate: &str, k: usize) -> Query {
+        Query {
+            kind: QueryKind::TopK {
+                predicate: predicate.to_string(),
+                k,
+            },
+            ..Query::default()
+        }
+    }
+
+    /// Conditions the query on an ephemeral evidence delta: execution
+    /// forks the snapshot copy-on-write, applies `delta` to the fork,
+    /// answers against it, and discards it — no evidence is committed
+    /// and concurrent readers of the original snapshot are unaffected.
+    pub fn given(mut self, delta: EvidenceDelta) -> Query {
+        self.given = Some(delta);
+        self
+    }
+
+    /// Overrides the WalkSAT parameters for this query (MAP and the MAP
+    /// conditioning pass of cut-clause marginals). Defaults to the
+    /// engine configuration's `search`.
+    pub fn with_search(mut self, params: WalkSatParams) -> Query {
+        self.search = Some(params);
+        self
+    }
+
+    /// Overrides the MC-SAT parameters for this query (marginal and
+    /// top-k). Defaults to the engine configuration's `mcsat`.
+    pub fn with_mcsat(mut self, params: McSatParams) -> Query {
+        self.mcsat = Some(params);
+        self
+    }
+
+    /// The ephemeral conditioning delta, if any.
+    pub fn given_delta(&self) -> Option<&EvidenceDelta> {
+        self.given.as_ref()
+    }
+
+    /// Whether this is a plain MAP query (no conditioning delta) — the
+    /// shape [`crate::Session::query`] can warm-start.
+    pub(crate) fn is_plain_map(&self) -> bool {
+        matches!(self.kind, QueryKind::Map) && self.given.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_the_kind() {
+        assert!(matches!(Query::map().kind, QueryKind::Map));
+        assert!(
+            matches!(Query::marginal(["cat"]).kind, QueryKind::Marginal(p) if p == vec!["cat"])
+        );
+        assert!(matches!(Query::marginal_all().kind, QueryKind::Marginal(p) if p.is_empty()));
+        assert!(
+            matches!(Query::top_k("cat", 3).kind, QueryKind::TopK { predicate, k } if predicate == "cat" && k == 3)
+        );
+    }
+
+    #[test]
+    fn plain_map_detection() {
+        assert!(Query::map().is_plain_map());
+        assert!(!Query::map().given(Default::default()).is_plain_map());
+        assert!(!Query::marginal_all().is_plain_map());
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 use tuffy_grounder::{AtomRegistry, GroundingStats};
+use tuffy_mln::fxhash::FxHashMap;
 use tuffy_mln::ground::GroundAtom;
 use tuffy_mln::program::MlnProgram;
 use tuffy_mrf::Cost;
@@ -152,15 +153,165 @@ pub struct MarginalResult {
     pub names: Vec<String>,
     /// Run measurements.
     pub report: InferenceReport,
+    /// Rendered name → index into `marginals`, built once at
+    /// construction so [`MarginalResult::probability_of`] is a hash
+    /// lookup instead of a linear scan per call.
+    index: FxHashMap<String, usize>,
 }
 
 impl MarginalResult {
-    /// The marginal probability of a specific atom, if it was a query atom.
+    /// Assembles a result, indexing the marginals by rendered atom name
+    /// up front (repeated [`MarginalResult::probability_of`] lookups
+    /// never re-scan the name list).
+    pub(crate) fn new(
+        marginals: Vec<(GroundAtom, f64)>,
+        names: Vec<String>,
+        report: InferenceReport,
+    ) -> MarginalResult {
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        MarginalResult {
+            marginals,
+            names,
+            report,
+            index,
+        }
+    }
+
+    /// The marginal probability of a specific atom, if it was a query
+    /// atom. O(1): answered from the name index built at construction.
     pub fn probability_of(&self, predicate: &str, args: &[&str]) -> Option<f64> {
         let rendered = format!("{predicate}({})", args.join(", "));
-        self.names
-            .iter()
-            .position(|n| *n == rendered)
-            .map(|i| self.marginals[i].1)
+        self.index.get(&rendered).map(|&i| self.marginals[i].1)
+    }
+}
+
+/// One entry of a [`TopKResult`].
+#[derive(Clone, Debug)]
+pub struct TopEntry {
+    /// The ground atom.
+    pub atom: GroundAtom,
+    /// Its rendered name (`pred(arg, ...)`).
+    pub name: String,
+    /// Its marginal probability.
+    pub probability: f64,
+}
+
+/// The `k` most probable atoms of one predicate
+/// ([`crate::Query::top_k`]), descending by probability with ties broken
+/// deterministically by atom id.
+#[derive(Clone, Debug)]
+pub struct TopKResult {
+    /// The ranked entries (at most `k`; fewer if the predicate has fewer
+    /// query atoms).
+    pub entries: Vec<TopEntry>,
+    /// Run measurements of the underlying marginal pass.
+    pub report: InferenceReport,
+}
+
+/// The answer to one [`crate::Query`], shaped by the query kind.
+#[derive(Debug)]
+pub enum QueryAnswer {
+    /// Answer to [`crate::Query::map`].
+    Map(MapResult),
+    /// Answer to [`crate::Query::marginal`].
+    Marginal(MarginalResult),
+    /// Answer to [`crate::Query::top_k`].
+    TopK(TopKResult),
+}
+
+impl QueryAnswer {
+    /// The MAP result, if this answered a MAP query.
+    pub fn as_map(&self) -> Option<&MapResult> {
+        match self {
+            QueryAnswer::Map(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The marginal result, if this answered a marginal query.
+    pub fn as_marginal(&self) -> Option<&MarginalResult> {
+        match self {
+            QueryAnswer::Marginal(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The top-k result, if this answered a top-k query.
+    pub fn as_top_k(&self) -> Option<&TopKResult> {
+        match self {
+            QueryAnswer::TopK(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Unwraps a MAP answer; `None` for other kinds.
+    pub fn into_map(self) -> Option<MapResult> {
+        match self {
+            QueryAnswer::Map(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Unwraps a marginal answer; `None` for other kinds.
+    pub fn into_marginal(self) -> Option<MarginalResult> {
+        match self {
+            QueryAnswer::Marginal(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Unwraps a top-k answer; `None` for other kinds.
+    pub fn into_top_k(self) -> Option<TopKResult> {
+        match self {
+            QueryAnswer::TopK(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuffy_mln::schema::PredicateId;
+    use tuffy_mln::symbols::Symbol;
+
+    fn synthetic(n: u32) -> MarginalResult {
+        let marginals: Vec<(GroundAtom, f64)> = (0..n)
+            .map(|i| {
+                (
+                    GroundAtom::new(PredicateId(0), vec![Symbol(i)]),
+                    f64::from(i) / f64::from(n),
+                )
+            })
+            .collect();
+        let names = (0..n).map(|i| format!("cat(P{i})")).collect();
+        MarginalResult::new(marginals, names, InferenceReport::default())
+    }
+
+    #[test]
+    fn probability_lookup_hits_every_entry() {
+        let r = synthetic(100);
+        for i in 0..100u32 {
+            let p = r.probability_of("cat", &[&format!("P{i}")]).unwrap();
+            assert!((p - f64::from(i) / 100.0).abs() < 1e-12);
+        }
+        assert!(r.probability_of("cat", &["P100"]).is_none());
+        assert!(r.probability_of("dog", &["P1"]).is_none());
+    }
+
+    /// Repeated lookups must not re-scan the name list: the index is
+    /// built once at construction, so lookups keep answering even after
+    /// the (public) name vector is emptied.
+    #[test]
+    fn probability_lookup_does_not_rescan_names() {
+        let mut r = synthetic(10);
+        assert!(r.probability_of("cat", &["P3"]).is_some());
+        r.names.clear();
+        let p = r.probability_of("cat", &["P3"]).unwrap();
+        assert!((p - 0.3).abs() < 1e-12);
     }
 }

@@ -1,40 +1,46 @@
-//! Long-lived inference sessions: ground once, serve many queries.
+//! Lightweight per-caller sessions: warm-start state over a shared
+//! snapshot.
 //!
-//! Grounding dominates end-to-end inference time (§3.1 — the reason it
-//! belongs in a relational engine at all), yet a one-shot API pays it on
-//! every call. A [`Session`] amortizes it: [`Tuffy::open_session`]
-//! parses and grounds once, then
+//! Since the serving redesign a [`Session`] owns almost nothing: an
+//! `Arc` of the [`Snapshot`] it is currently reading, the best truth
+//! assignment of its previous `map()` (the warm start), and a
+//! copy-on-write handle on the program (grown only if
+//! [`Session::parse_delta`] interns new constants). Opening a session
+//! from an [`Engine`](crate::Engine) is two reference-count bumps.
 //!
 //! * [`Session::map`] answers repeated MAP queries, warm-starting
 //!   WalkSAT from the previous best truth assignment;
-//! * [`Session::marginal`] answers marginal queries over the same
-//!   grounded store;
-//! * [`Session::apply`] edits the evidence between queries — the
-//!   grounding is *patched* in place when the delta is in the
-//!   provably-exact incremental fragment
-//!   ([`tuffy_grounder::incremental`]), and re-ground from the merged
-//!   evidence otherwise;
+//! * [`Session::query`] runs any [`Query`] (MAP queries warm-start the
+//!   same way; marginal/top-k/conditioned queries are stateless);
+//! * [`Session::apply`] edits the evidence between queries by *forking a
+//!   new generation* — the grounding is patched copy-on-write when the
+//!   delta is in the provably-exact incremental fragment
+//!   ([`tuffy_grounder::incremental`]) and rebuilt from the merged
+//!   evidence otherwise. Either way the previous generation is
+//!   untouched: queries in flight on other sessions (or other threads
+//!   of this snapshot) keep reading the store they started on;
 //! * [`Session::explain`] reports the session state: grounding, last
 //!   delta outcome, warm-start status, and the partition schedule.
 //!
-//! The one-shot methods ([`Tuffy::map_inference`],
-//! [`Tuffy::marginal_inference`]) survive as deprecated wrappers over a
-//! single-use session.
+//! [`Tuffy::open_session`] remains as the engine-of-one spelling: it
+//! builds a private [`Engine`](crate::Engine) and opens its single
+//! session, bit-identical to the pre-engine behavior.
 
-use crate::config::{Architecture, PartitionStrategy, TuffyConfig};
 use crate::pipeline::Tuffy;
-use crate::result::{render_atom, InferenceReport, MapResult, MarginalResult};
-use std::time::{Duration, Instant};
-use tuffy_grounder::incremental::{apply_delta_grounding, DeltaOutcome, PatchStats};
-use tuffy_grounder::{ground_bottom_up, ground_top_down, GroundingResult};
+use crate::query::Query;
+use crate::result::{MapResult, MarginalResult, QueryAnswer};
+use crate::snapshot::{ForkWarm, Snapshot};
+use std::sync::Arc;
+use std::time::Duration;
+use tuffy_grounder::incremental::PatchStats;
+use tuffy_grounder::GroundingResult;
 use tuffy_mln::evidence::{EvidenceDelta, EvidenceSet};
 use tuffy_mln::program::MlnProgram;
 use tuffy_mln::MlnError;
-use tuffy_mrf::memory::MemoryFootprint;
-use tuffy_mrf::ComponentSet;
-use tuffy_search::mcsat::{McSat, McSatParams};
-use tuffy_search::rdbms_search::RdbmsSearch;
-use tuffy_search::{Scheduler, TimeCostTrace, WalkSat};
+use tuffy_search::mcsat::McSatParams;
+use tuffy_search::Scheduler;
+
+use crate::config::TuffyConfig;
 
 /// What one [`Session::apply`] call did to the grounded store.
 #[derive(Clone, Debug)]
@@ -57,55 +63,30 @@ pub struct ApplyReport {
     pub atoms: usize,
 }
 
-/// A long-lived inference session over one program: evidence, grounding,
-/// and warm-start search state. Created by [`Tuffy::open_session`].
+/// A per-caller inference session: warm-start search state plus an
+/// `Arc`-shared [`Snapshot`]. Created by
+/// [`Engine::open_session`](crate::Engine::open_session) (or the
+/// engine-of-one [`Tuffy::open_session`]).
 pub struct Session {
-    program: MlnProgram,
-    evidence: EvidenceSet,
-    config: TuffyConfig,
-    grounding: GroundingResult,
+    /// Copy-on-write program handle: shared with the snapshot until
+    /// [`Session::parse_delta`] needs to intern new constants.
+    program: Arc<MlnProgram>,
+    snapshot: Snapshot,
     /// Best truth assignment of the previous `map()` call, aligned with
     /// the current registry; seeds the next search.
     warm: Option<Vec<bool>>,
-    /// Cached partition schedule for the current grounding (repeated
-    /// maps skip Algorithm 3 + FFD re-planning); invalidated by apply.
-    plan: Option<tuffy_search::Schedule>,
-    /// Cached nontrivial component count; invalidated by apply.
-    components: Option<usize>,
     maps_run: usize,
     last_apply: Option<ApplyReport>,
 }
 
 impl Session {
-    pub(crate) fn open(
-        program: MlnProgram,
-        evidence: EvidenceSet,
-        config: TuffyConfig,
-    ) -> Result<Session, MlnError> {
-        let grounding = Self::ground(&program, &evidence, &config)?;
-        Ok(Session {
-            program,
-            evidence,
-            config,
-            grounding,
+    pub(crate) fn from_snapshot(snapshot: Snapshot) -> Session {
+        Session {
+            program: snapshot.program_arc(),
+            snapshot,
             warm: None,
-            plan: None,
-            components: None,
             maps_run: 0,
             last_apply: None,
-        })
-    }
-
-    pub(crate) fn ground(
-        program: &MlnProgram,
-        evidence: &EvidenceSet,
-        config: &TuffyConfig,
-    ) -> Result<GroundingResult, MlnError> {
-        match config.architecture {
-            Architecture::InMemory => ground_top_down(program, evidence, config.grounding),
-            Architecture::Hybrid | Architecture::RdbmsOnly => {
-                ground_bottom_up(program, evidence, config.grounding, &config.optimizer)
-            }
         }
     }
 
@@ -116,22 +97,33 @@ impl Session {
 
     /// The current evidence (base evidence plus every applied delta).
     pub fn evidence(&self) -> &EvidenceSet {
-        &self.evidence
+        self.snapshot.evidence()
     }
 
     /// The active configuration.
     pub fn config(&self) -> &TuffyConfig {
-        &self.config
+        self.snapshot.config()
     }
 
     /// The current grounded store.
     pub fn grounding(&self) -> &GroundingResult {
-        &self.grounding
+        self.snapshot.grounding()
     }
 
-    /// Consumes the session, returning its grounded store.
+    /// The snapshot this session currently reads — hand clones of it to
+    /// other threads to run [`Snapshot::query`] concurrently against
+    /// this session's generation.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Consumes the session, returning its grounded store. The MRF's
+    /// clause and occurrence arenas — the dominant storage — are
+    /// `Arc`-shared, so they are never deep-copied; the atom registry
+    /// (one map entry per query atom) is copied if other snapshots of
+    /// this generation are still alive.
     pub fn into_grounding(self) -> GroundingResult {
-        self.grounding
+        self.snapshot.grounding().clone()
     }
 
     /// The outcome of the most recent [`Session::apply`], if any.
@@ -141,204 +133,71 @@ impl Session {
 
     /// Parses delta text (see [`tuffy_mln::parser::parse_delta`] for the
     /// syntax) against this session's program, interning any new
-    /// constants.
+    /// constants into the session's private copy-on-write program fork
+    /// (the engine's shared program is never mutated).
     pub fn parse_delta(&mut self, src: &str) -> Result<EvidenceDelta, MlnError> {
-        tuffy_mln::parser::parse_delta(&mut self.program, src)
+        tuffy_mln::parser::parse_delta(Arc::make_mut(&mut self.program), src)
     }
 
-    /// Applies an evidence delta to the session: updates the evidence
-    /// set, then patches the grounding incrementally when the delta is
-    /// in the exact fragment and re-grounds from the merged evidence
-    /// otherwise. Warm-start state survives either way (carried through
-    /// the atom remap).
+    /// Applies an evidence delta to the session by forking a new
+    /// generation: the grounding is patched copy-on-write when the delta
+    /// is in the exact fragment and rebuilt from the merged evidence
+    /// otherwise. The previous generation is untouched — concurrent
+    /// readers of [`Session::snapshot`] clones keep their store — and
+    /// warm-start state survives either way (carried through the atom
+    /// remap).
     ///
     /// Transactional: on any error (invalid delta, grounding failure)
     /// the session — evidence, grounding, warm state — is unchanged.
     pub fn apply(&mut self, delta: &EvidenceDelta) -> Result<ApplyReport, MlnError> {
-        let start = Instant::now();
-        // Stage the evidence edit; committed only once the grounding
-        // update has succeeded, so a failure cannot desynchronize the
-        // evidence from the grounded store.
-        let mut staged = self.evidence.clone();
-        let changes = staged.apply(&self.program, delta)?;
-        let report = match apply_delta_grounding(&self.program, &self.grounding, &changes) {
-            DeltaOutcome::Unchanged => ApplyReport {
-                incremental: true,
-                reason: None,
-                changes: changes.len(),
-                wall: start.elapsed(),
-                patch: None,
-                clauses: self.grounding.mrf.clauses().len(),
-                atoms: self.grounding.registry.len(),
-            },
-            DeltaOutcome::Patched(patched) => {
-                if let Some(old_warm) = self.warm.take() {
-                    let mut warm = vec![false; patched.grounding.registry.len()];
-                    for (old_id, new_id) in patched.remap.iter().enumerate() {
+        let (snapshot, report, warm_carry) = self.snapshot.fork(&self.program, delta)?;
+        if let Some(old_warm) = self.warm.take() {
+            self.warm = match warm_carry {
+                ForkWarm::Unchanged => Some(old_warm),
+                ForkWarm::Remap(remap) => {
+                    let mut warm = vec![false; snapshot.grounding().registry.len()];
+                    for (old_id, new_id) in remap.iter().enumerate() {
                         if let Some(new_id) = new_id {
                             warm[*new_id as usize] = old_warm[old_id];
                         }
                     }
-                    self.warm = Some(warm);
+                    Some(warm)
                 }
-                let report = ApplyReport {
-                    incremental: true,
-                    reason: None,
-                    changes: changes.len(),
-                    wall: start.elapsed(),
-                    patch: Some(patched.stats),
-                    clauses: patched.grounding.mrf.clauses().len(),
-                    atoms: patched.grounding.registry.len(),
-                };
-                self.grounding = patched.grounding;
-                self.plan = None;
-                self.components = None;
-                report
-            }
-            DeltaOutcome::NeedsFullReground { reason } => {
-                let fresh = Self::ground(&self.program, &staged, &self.config)?;
-                if let Some(old_warm) = self.warm.take() {
+                ForkWarm::Reground => {
                     // Carry search state across by ground-atom identity.
+                    let fresh = snapshot.grounding();
+                    let old = self.snapshot.grounding();
                     let mut warm = vec![false; fresh.registry.len()];
                     for (new_id, pred, args) in fresh.registry.iter() {
-                        if let Some(old_id) = self.grounding.registry.get(pred, args) {
+                        if let Some(old_id) = old.registry.get(pred, args) {
                             warm[new_id as usize] = old_warm[old_id as usize];
                         }
                     }
-                    self.warm = Some(warm);
+                    Some(warm)
                 }
-                let report = ApplyReport {
-                    incremental: false,
-                    reason: Some(reason),
-                    changes: changes.len(),
-                    wall: start.elapsed(),
-                    patch: None,
-                    clauses: fresh.mrf.clauses().len(),
-                    atoms: fresh.registry.len(),
-                };
-                self.grounding = fresh;
-                self.plan = None;
-                self.components = None;
-                report
-            }
-        };
-        self.evidence = staged;
+            };
+        }
+        self.snapshot = snapshot;
         self.last_apply = Some(report.clone());
         Ok(report)
     }
 
-    /// Runs MAP inference over the session's grounded store. The first
-    /// call searches from the LazySAT all-false state (identical to the
-    /// one-shot pipeline); later calls warm-start from the previous best
-    /// truth, so small evidence deltas re-converge in a fraction of the
-    /// flips.
+    /// Runs MAP inference over the session's current generation. The
+    /// first call searches from the LazySAT all-false state (identical
+    /// to the stateless [`Snapshot::query`] path); later calls
+    /// warm-start from the previous best truth, so small evidence deltas
+    /// re-converge in a fraction of the flips.
     pub fn map(&mut self) -> Result<MapResult, MlnError> {
-        let grounding = &self.grounding;
-        let mrf = &grounding.mrf;
-        let mut report = InferenceReport {
-            grounding: grounding.stats.clone(),
-            clauses: mrf.clauses().len(),
-            atoms: grounding.registry.len(),
-            clause_table_bytes: mrf.clause_bytes(),
-            ..Default::default()
-        };
-        // The paper's time axis includes grounding (Figure 3's curves
-        // begin when grounding completes).
-        let mut trace = TimeCostTrace::with_offset(grounding.stats.wall);
-        let search_started = Instant::now();
-        let init = self
-            .warm
-            .clone()
-            .unwrap_or_else(|| vec![false; mrf.num_atoms()]);
-        // Repeated maps over an unchanged store reuse the component
-        // analysis; `apply` invalidates it.
-        let components = match self.components {
-            Some(c) => c,
-            None => {
-                let c = ComponentSet::detect(mrf).nontrivial_count();
-                self.components = Some(c);
-                c
-            }
-        };
-        report.components = components;
+        let search = self.config().search;
+        self.map_with(&search)
+    }
 
-        let (truth, cost) = match self.config.architecture {
-            Architecture::RdbmsOnly => {
-                // Tuffy-mm keeps its state in the buffer pool; it always
-                // searches cold.
-                let mut search = RdbmsSearch::new(
-                    mrf,
-                    self.config.pool_pages,
-                    self.config.disk,
-                    self.config.search.seed,
-                );
-                let r = search.run(
-                    self.config.search.max_flips,
-                    self.config.search.noise,
-                    None,
-                    Some(&mut trace),
-                );
-                report.flips = r.flips;
-                report.search_time = r.wall + r.simulated_io;
-                report.flips_per_sec = r.flips_per_sec;
-                report.search_ram = mrf.num_atoms() * 2; // truth arrays only
-                (r.truth, r.cost)
-            }
-            Architecture::InMemory => {
-                // Alchemy-style: monolithic WalkSAT, not component-aware.
-                report.search_ram = MemoryFootprint::of(mrf).total();
-                let ws = WalkSat::run_from(mrf, init, &self.config.search, Some(&mut trace));
-                report.flips = ws.flips();
-                (ws.best_truth().to_vec(), ws.best_cost())
-            }
-            Architecture::Hybrid => {
-                match self.config.partitioning {
-                    PartitionStrategy::None => {
-                        report.search_ram = MemoryFootprint::of(mrf).total();
-                        let ws =
-                            WalkSat::run_from(mrf, init, &self.config.search, Some(&mut trace));
-                        report.flips = ws.flips();
-                        (ws.best_truth().to_vec(), ws.best_cost())
-                    }
-                    // The PartitionedInference stage: components (or
-                    // budget-bounded Algorithm 3 partitions) → FFD bins →
-                    // worker pool → Gauss-Seidel rounds over cut clauses.
-                    PartitionStrategy::Components | PartitionStrategy::Budget(_) => {
-                        // The session holds the planned schedule across
-                        // queries: repeated maps skip Algorithm 3 + FFD.
-                        let cfg = self.config.scheduler_config();
-                        let scheduler = match self.plan.take() {
-                            Some(plan) => Scheduler::with_schedule(mrf, plan, cfg),
-                            None => Scheduler::new(mrf, cfg),
-                        };
-                        let r = scheduler.run_from(&init, Some(&mut trace));
-                        report.flips = r.flips;
-                        report.search_ram = r.peak_partition_bytes;
-                        report.partitions = scheduler.schedule().units.len();
-                        report.bins = scheduler.schedule().bins.len();
-                        report.rounds = r.rounds_run;
-                        self.plan = Some(scheduler.into_schedule());
-                        (r.truth, r.cost)
-                    }
-                }
-            }
-        };
-
-        if report.search_time.is_zero() {
-            report.search_time = search_started.elapsed();
-        }
-        if report.flips_per_sec == 0.0 {
-            let secs = report.search_time.as_secs_f64();
-            report.flips_per_sec = if secs > 0.0 {
-                report.flips as f64 / secs
-            } else {
-                f64::INFINITY
-            };
-        }
+    fn map_with(&mut self, search: &tuffy_search::WalkSatParams) -> Result<MapResult, MlnError> {
+        let (truth, cost, trace, report) = self.snapshot.execute_map(self.warm.clone(), search);
         self.maps_run += 1;
         let result = MapResult::new(
             &self.program,
-            &grounding.registry,
+            &self.snapshot.grounding().registry,
             &truth,
             cost,
             trace,
@@ -348,73 +207,66 @@ impl Session {
         Ok(result)
     }
 
+    /// Executes a [`Query`] against the session's current generation.
+    /// Plain MAP queries warm-start from (and update) the session's
+    /// search state exactly like [`Session::map`]; marginal, top-k, and
+    /// [`Query::given`]-conditioned queries are stateless and leave the
+    /// session untouched.
+    pub fn query(&mut self, query: &Query) -> Result<QueryAnswer, MlnError> {
+        if query.is_plain_map() {
+            let search = query.search.unwrap_or(self.config().search);
+            return Ok(QueryAnswer::Map(self.map_with(&search)?));
+        }
+        if let Some(delta) = query.given_delta() {
+            // Fork with the *session's* program, not the snapshot's:
+            // `parse_delta` may have interned constants into the
+            // session's copy-on-write fork that the snapshot's program
+            // has never seen.
+            let (fork, _, _) = self.snapshot.fork(&self.program, delta)?;
+            return fork.answer(query);
+        }
+        self.snapshot.query(query)
+    }
+
     /// Runs marginal inference with MC-SAT (Appendix A.5) over the
-    /// session's grounded store. With worker threads or a memory budget
-    /// configured, MC-SAT runs per partition through the scheduler
-    /// (exact factorization over components; cut clauses are
-    /// conditioned on a MAP mode); otherwise one sampler covers the
-    /// whole MRF.
+    /// session's current generation.
+    #[deprecated(
+        since = "0.3.0",
+        note = "run a query instead: `session.query(&Query::marginal_all().with_mcsat(params))` — \
+                or omit `with_mcsat` to read `TuffyConfig::mcsat` implicitly, the same way MAP \
+                queries read `TuffyConfig::search`"
+    )]
     pub fn marginal(&self, params: &McSatParams) -> Result<MarginalResult, MlnError> {
-        let grounding = &self.grounding;
-        let mrf = &grounding.mrf;
-        let sample_started = Instant::now();
-        let partitioned = match self.config.partitioning {
-            PartitionStrategy::None => false, // monolithic by request
-            PartitionStrategy::Components => self.config.threads > 1,
-            PartitionStrategy::Budget(_) => true,
-        };
-        let (probs, flips) = if partitioned {
-            let samples =
-                Scheduler::new(mrf, self.config.scheduler_config()).run_marginal(params)?;
-            (samples.probs, samples.flips)
-        } else {
-            let mut mc = McSat::new(mrf, params.seed)?;
-            let probs = mc.marginals(params);
-            (probs, mc.flips())
-        };
-        let search_time = sample_started.elapsed();
+        let (probs, report) = self.snapshot.execute_marginal(params)?;
+        let registry = &self.snapshot.grounding().registry;
         let mut marginals = Vec::with_capacity(probs.len());
         let mut names = Vec::with_capacity(probs.len());
         for (i, p) in probs.into_iter().enumerate() {
-            let ga = grounding.registry.ground_atom(i as u32);
-            names.push(render_atom(&self.program, &ga));
+            let ga = registry.ground_atom(i as u32);
+            names.push(crate::result::render_atom(&self.program, &ga));
             marginals.push((ga, p));
         }
-        let secs = search_time.as_secs_f64();
-        let report = InferenceReport {
-            grounding: grounding.stats.clone(),
-            clauses: mrf.clauses().len(),
-            atoms: grounding.registry.len(),
-            clause_table_bytes: mrf.clause_bytes(),
-            components: ComponentSet::detect(mrf).nontrivial_count(),
-            flips,
-            search_time,
-            flips_per_sec: if secs > 0.0 {
-                flips as f64 / secs
-            } else {
-                f64::INFINITY
-            },
-            ..Default::default()
-        };
-        Ok(MarginalResult {
-            marginals,
-            names,
-            report,
-        })
+        Ok(MarginalResult::new(marginals, names, report))
     }
 
-    /// Renders the session state — grounded store, last delta outcome,
-    /// warm-start status, and the partition schedule — in the same tree
-    /// style as the grounding and scheduling `EXPLAIN` reports.
+    /// Renders the session state — grounded store, generation, last
+    /// delta outcome, warm-start status, and the partition schedule — in
+    /// the same tree style as the grounding and scheduling `EXPLAIN`
+    /// reports.
     pub fn explain(&self) -> String {
-        let g = &self.grounding;
+        let g = self.snapshot.grounding();
         let mut out = format!(
             "Session: {} clauses over {} atoms, {} evidence tuples, {} map call(s)\n",
             g.mrf.clauses().len(),
             g.registry.len(),
-            self.evidence.len(),
+            self.evidence().len(),
             self.maps_run,
         );
+        out.push_str(&format!(
+            "├─ generation: {} ({} grounding run(s) in this engine lineage)\n",
+            self.snapshot.generation(),
+            self.snapshot.counters().groundings(),
+        ));
         out.push_str(&format!(
             "├─ grounding: {:?} ({} closure rounds, {} queries)\n",
             g.stats.wall, g.stats.rounds, g.stats.queries
@@ -448,7 +300,12 @@ impl Session {
             ),
             None => "├─ warm start: cold (no map run yet)\n".to_string(),
         });
-        let schedule = Scheduler::new(&g.mrf, self.config.scheduler_config()).explain();
+        let schedule = Scheduler::with_schedule(
+            &g.mrf,
+            self.snapshot.schedule(),
+            self.config().scheduler_config(),
+        )
+        .explain();
         out.push_str("└─ ");
         out.push_str(&schedule.replace('\n', "\n   "));
         out.truncate(out.trim_end().len());
@@ -462,11 +319,15 @@ impl Tuffy {
     /// repeated and incrementally-updated queries skip straight to
     /// search. The first `map()` of a fresh session produces exactly
     /// what the one-shot pipeline did.
+    ///
+    /// **Deprecation note:** this is now sugar for an engine of one —
+    /// `tuffy.build_engine()?.open_session()`, bit-identical to the
+    /// pre-engine behavior. Prefer [`Tuffy::build_engine`] when more
+    /// than one caller (or thread) will query the same program: the
+    /// engine grounds once and serves any number of sessions and
+    /// [`Snapshot`]s concurrently, where repeated `open_session()` calls
+    /// on `Tuffy` re-ground every time.
     pub fn open_session(&self) -> Result<Session, MlnError> {
-        Session::open(
-            self.program().clone(),
-            self.evidence().clone(),
-            *self.config(),
-        )
+        Ok(self.build_engine()?.open_session())
     }
 }

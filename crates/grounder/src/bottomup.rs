@@ -28,6 +28,11 @@ use tuffy_rdbms::OptimizerConfig;
 
 /// The output of grounding: the MRF, the atom registry mapping dense atom
 /// ids back to ground atoms, and run statistics.
+///
+/// Cloning is cheap by design: the [`Mrf`] arenas are `Arc` slices, so a
+/// clone shares every clause column — the serving layer hands one
+/// grounded generation to many concurrent readers this way.
+#[derive(Clone)]
 pub struct GroundingResult {
     /// The ground network.
     pub mrf: Mrf,
@@ -45,6 +50,7 @@ pub fn ground_bottom_up(
     mode: GroundingMode,
     config: &OptimizerConfig,
 ) -> Result<GroundingResult, MlnError> {
+    crate::stats::record_grounding();
     let start = Instant::now();
     let domains = evidence.merged_domains(program);
     let ev = EvidenceIndex::build(program, evidence)?;

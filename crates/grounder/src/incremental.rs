@@ -146,8 +146,20 @@ fn has_negative_rule_with_negated_open(program: &MlnProgram) -> bool {
 }
 
 /// Attempts to patch `previous` under the net evidence `changes` (as
-/// returned by [`tuffy_mln::evidence::EvidenceSet::apply`]). Never
-/// mutates `previous`; on success the returned grounding replaces it.
+/// returned by [`tuffy_mln::evidence::EvidenceSet::apply`]).
+///
+/// Non-destructive by contract: `previous` is never mutated, so callers
+/// holding it — concurrent readers of an older generation — keep a valid
+/// grounded store while the patched copy becomes the next generation.
+/// When the delta has no grounding effect ([`DeltaOutcome::Unchanged`])
+/// the caller should keep sharing `previous` outright (its
+/// [`tuffy_mrf::Mrf`] arenas are `Arc` slices, so "sharing" is
+/// reference counting, not copying). A patch compacts atom ids
+/// (clamped and orphaned atoms leave
+/// the registry), which shifts every surviving literal and occurrence
+/// entry — the patched copy therefore carries fresh arenas, and the
+/// structural sharing happens at whole-generation granularity rather
+/// than per column.
 pub fn apply_delta_grounding(
     program: &MlnProgram,
     previous: &GroundingResult,

@@ -48,5 +48,5 @@ pub use bottomup::{explain_grounding, ground_bottom_up, GroundingResult};
 pub use compile::GroundingMode;
 pub use incremental::{apply_delta_grounding, DeltaOutcome, PatchStats, PatchedGrounding};
 pub use registry::{AtomRegistry, EvidenceIndex};
-pub use stats::GroundingStats;
+pub use stats::{groundings_performed, GroundingStats};
 pub use topdown::ground_top_down;

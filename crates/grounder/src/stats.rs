@@ -1,7 +1,28 @@
 //! Grounding statistics (feeds Tables 1, 2, 4, 6).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tuffy_rdbms::IoStats;
+
+/// Process-wide count of full grounding runs (bottom-up or top-down).
+///
+/// Grounding is the expensive, shareable step of inference (§3.1); the
+/// serving engine exists so it happens once per program rather than once
+/// per caller. This counter is the instrumentation behind that claim:
+/// stress tests pin "N threads × M queries performed zero re-grounds"
+/// against it. Monotonic and global — tests that assert on deltas must
+/// not share a process with unrelated grounding work.
+static GROUNDINGS: AtomicU64 = AtomicU64::new(0);
+
+/// Total full grounding runs this process has performed.
+pub fn groundings_performed() -> u64 {
+    GROUNDINGS.load(Ordering::Relaxed)
+}
+
+/// Records one full grounding run (called by both grounders on entry).
+pub(crate) fn record_grounding() {
+    GROUNDINGS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Counters collected during one grounding run.
 #[derive(Clone, Debug, Default)]

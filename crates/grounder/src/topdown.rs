@@ -85,6 +85,7 @@ pub fn ground_top_down(
     evidence: &EvidenceSet,
     mode: GroundingMode,
 ) -> Result<GroundingResult, MlnError> {
+    crate::stats::record_grounding();
     let start = Instant::now();
     let domains = evidence.merged_domains(program);
     let ev = EvidenceIndex::build(program, evidence)?;

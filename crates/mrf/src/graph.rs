@@ -19,6 +19,7 @@
 use crate::clause::{ClauseRef, GroundClause};
 use crate::cost::Cost;
 use crate::lit::{AtomId, Lit};
+use std::sync::Arc;
 use tuffy_mln::fxhash::FxHashMap;
 use tuffy_mln::weight::Weight;
 
@@ -169,30 +170,38 @@ impl PackedViolation {
 
 /// A ground Markov Random Field over atoms `0..num_atoms`, stored as CSR
 /// arenas (see the module docs for the layout rationale).
+///
+/// Every arena is an `Arc` slice: the columns are immutable once
+/// assembled, so [`Mrf::clone`] is a handful of reference-count bumps
+/// rather than a deep copy. This is what lets the serving layer hand one
+/// grounded generation to many concurrent readers — a
+/// `Snapshot`/`GroundingResult` clone shares every column — and makes
+/// copy-on-write generation forks cheap when a delta leaves the MRF
+/// untouched.
 #[derive(Clone, Debug, Default)]
 pub struct Mrf {
     num_atoms: usize,
     /// Literal-arena bounds: clause `ci`'s literals are
     /// `lit_arena[lit_start[ci]..lit_start[ci + 1]]`.
-    lit_start: Vec<u32>,
+    lit_start: Arc<[u32]>,
     /// All clause literals, clause by clause.
-    lit_arena: Vec<Lit>,
+    lit_arena: Arc<[Lit]>,
     /// Per-clause weight, aligned with the clause index.
-    weights: Vec<Weight>,
+    weights: Arc<[Weight]>,
     /// Per-clause violation cost *and* polarity packed into one 16-byte
     /// record, so a flip-loop visit pays a single random load.
-    violation: Vec<PackedViolation>,
+    violation: Arc<[PackedViolation]>,
     /// Per-clause contribution split, aligned with the clause index.
-    provenance: Vec<ClauseProvenance>,
+    provenance: Arc<[ClauseProvenance]>,
     /// Occurrence-arena bounds: atom `a`'s occurrences are
     /// `occ_arena[occ_start[a]..occ_start[a + 1]]`.
-    occ_start: Vec<u32>,
+    occ_start: Arc<[u32]>,
     /// Clause-index + sign entries, atom by atom, ascending clause index
     /// within each atom.
-    occ_arena: Vec<Occurrence>,
+    occ_arena: Arc<[Occurrence]>,
     /// Atoms whose clause set cannot be patched incrementally because a
     /// clause over them merged to exactly weight 0 and was dropped.
-    opaque_atoms: Vec<bool>,
+    opaque_atoms: Arc<[bool]>,
     /// Constant cost from clauses already decided by evidence (empty
     /// clauses after literal deletion).
     pub base_cost: Cost,
@@ -498,14 +507,14 @@ impl ClauseColumns {
         }
         Mrf {
             num_atoms,
-            lit_start,
-            lit_arena: self.lit_arena,
-            weights: self.weights,
-            violation: self.violation,
-            provenance: self.provenance,
-            occ_start,
-            occ_arena,
-            opaque_atoms,
+            lit_start: lit_start.into(),
+            lit_arena: self.lit_arena.into(),
+            weights: self.weights.into(),
+            violation: self.violation.into(),
+            provenance: self.provenance.into(),
+            occ_start: occ_start.into(),
+            occ_arena: occ_arena.into(),
+            opaque_atoms: opaque_atoms.into(),
             base_cost,
         }
     }

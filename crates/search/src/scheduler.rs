@@ -31,6 +31,7 @@ use crate::mcsat::{McSat, McSatParams};
 use crate::timecost::TimeCostTrace;
 use crate::walksat::{WalkSat, WalkSatParams};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use tuffy_mln::fxhash::FxHashMap;
 use tuffy_mln::MlnError;
 use tuffy_mrf::binpack::{first_fit_decreasing, Bin};
@@ -208,24 +209,26 @@ struct UnitOutcome {
 /// Partition-aware parallel inference over one MRF.
 pub struct Scheduler<'a> {
     mrf: &'a Mrf,
-    schedule: Schedule,
+    schedule: Arc<Schedule>,
     config: SchedulerConfig,
 }
 
 impl<'a> Scheduler<'a> {
     /// Plans a schedule for `mrf` under the given configuration.
     pub fn new(mrf: &'a Mrf, config: SchedulerConfig) -> Scheduler<'a> {
-        let schedule = Schedule::plan(mrf, config.mem_budget);
+        let schedule = Arc::new(Schedule::plan(mrf, config.mem_budget));
         Scheduler::with_schedule(mrf, schedule, config)
     }
 
-    /// Wraps an already-planned schedule — the session API's cached-plan
-    /// path, where repeated queries over an unchanged MRF should not
-    /// re-run partitioning and bin packing. The schedule must have been
-    /// planned for this `mrf` under this configuration's budget.
+    /// Wraps an already-planned schedule — the serving API's cached-plan
+    /// path, where repeated queries over an unchanged grounded generation
+    /// should not re-run partitioning and bin packing. Shared by `Arc`:
+    /// any number of concurrent queries over one generation can hold the
+    /// same plan without cloning it. The schedule must have been planned
+    /// for this `mrf` under this configuration's budget.
     pub fn with_schedule(
         mrf: &'a Mrf,
-        schedule: Schedule,
+        schedule: Arc<Schedule>,
         config: SchedulerConfig,
     ) -> Scheduler<'a> {
         Scheduler {
@@ -236,7 +239,7 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Consumes the scheduler, handing its schedule back for reuse.
-    pub fn into_schedule(self) -> Schedule {
+    pub fn into_schedule(self) -> Arc<Schedule> {
         self.schedule
     }
 

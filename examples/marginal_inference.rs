@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release --example marginal_inference`.
 
-use tuffy::{McSatParams, Tuffy};
+use tuffy::{McSatParams, Query, Tuffy};
 
 fn main() {
     // A small smoking-network-style program: smoking is likely to spread
@@ -21,16 +21,20 @@ fn main() {
     "#;
 
     let tuffy = Tuffy::from_sources(program, evidence).expect("parse");
-    let session = tuffy.open_session().expect("grounding");
-    let result = session
-        .marginal(&McSatParams {
+    // Ground once into a shared engine; marginals are one query shape.
+    let engine = tuffy.build_engine().expect("grounding");
+    let result = engine
+        .snapshot()
+        .query(&Query::marginal_all().with_mcsat(McSatParams {
             samples: 1000,
             burn_in: 100,
             sample_sat_steps: 300,
             seed: 5,
             ..Default::default()
-        })
-        .expect("MC-SAT");
+        }))
+        .expect("MC-SAT")
+        .into_marginal()
+        .expect("marginal answer");
 
     println!("atom marginals (MC-SAT, 1000 samples):");
     for (name, (_, p)) in result.names.iter().zip(result.marginals.iter()) {

@@ -2,7 +2,7 @@
 //! and unsupported feature combinations all surface as errors — never
 //! panics or silent misbehavior.
 
-use tuffy::{McSatParams, Tuffy};
+use tuffy::{Query, Tuffy};
 
 #[test]
 fn malformed_programs_error_with_line_numbers() {
@@ -76,9 +76,10 @@ fn marginal_rejects_negative_weights_cleanly() {
     )
     .unwrap();
     let err = t
-        .open_session()
+        .build_engine()
         .unwrap()
-        .marginal(&McSatParams::default())
+        .snapshot()
+        .query(&Query::marginal_all())
         .unwrap_err();
     assert!(err.to_string().contains("non-negative"), "{err}");
 }

@@ -1,6 +1,6 @@
 //! Marginal inference (MC-SAT) against analytically solvable programs.
 
-use tuffy::{McSatParams, Tuffy};
+use tuffy::{McSatParams, Query, Tuffy};
 
 /// One unit rule `w q(A)`: the two worlds have costs 0 and w, so
 /// P(q) = e^w / (1 + e^w).
@@ -10,15 +10,18 @@ fn single_atom_marginal_matches_closed_form() {
         let t = Tuffy::from_sources(&format!("*seen(thing)\nq(thing)\n{w} q(x)\n"), "seen(A)\n")
             .unwrap();
         let r = t
-            .open_session()
+            .build_engine()
             .unwrap()
-            .marginal(&McSatParams {
+            .snapshot()
+            .query(&Query::marginal_all().with_mcsat(McSatParams {
                 samples: 1500,
                 burn_in: 100,
                 sample_sat_steps: 30,
                 seed: 11,
                 ..Default::default()
-            })
+            }))
+            .unwrap()
+            .into_marginal()
             .unwrap();
         let p = r.probability_of("q", &["A"]).unwrap();
         let expected = w.exp() / (1.0 + w.exp());
@@ -39,15 +42,18 @@ fn symmetric_atoms_get_symmetric_marginals() {
     )
     .unwrap();
     let r = t
-        .open_session()
+        .build_engine()
         .unwrap()
-        .marginal(&McSatParams {
+        .snapshot()
+        .query(&Query::marginal_all().with_mcsat(McSatParams {
             samples: 1200,
             burn_in: 80,
             sample_sat_steps: 40,
             seed: 2,
             ..Default::default()
-        })
+        }))
+        .unwrap()
+        .into_marginal()
         .unwrap();
     let probs: Vec<f64> = r.marginals.iter().map(|(_, p)| *p).collect();
     let mean = probs.iter().sum::<f64>() / probs.len() as f64;
@@ -72,15 +78,18 @@ fn hard_rules_restrict_samples() {
     )
     .unwrap();
     let r = t
-        .open_session()
+        .build_engine()
         .unwrap()
-        .marginal(&McSatParams {
+        .snapshot()
+        .query(&Query::marginal_all().with_mcsat(McSatParams {
             samples: 1000,
             burn_in: 100,
             sample_sat_steps: 60,
             seed: 23,
             ..Default::default()
-        })
+        }))
+        .unwrap()
+        .into_marginal()
         .unwrap();
     let pa = r.probability_of("a", &["T"]).unwrap();
     let pb = r.probability_of("b", &["T"]).unwrap();
@@ -103,8 +112,9 @@ fn negative_weights_rejected_for_marginals() {
     )
     .unwrap();
     assert!(t
-        .open_session()
+        .build_engine()
         .unwrap()
-        .marginal(&McSatParams::default())
+        .snapshot()
+        .query(&Query::marginal_all())
         .is_err());
 }

@@ -3,7 +3,7 @@
 //! Seidel rounds — end to end, pinning cost and marginal sanity bounds
 //! so each scenario exercises the scheduler on every change.
 
-use tuffy::{McSatParams, PartitionStrategy, Tuffy, TuffyConfig, WalkSatParams};
+use tuffy::{McSatParams, PartitionStrategy, Query, Tuffy, TuffyConfig, WalkSatParams};
 use tuffy_datagen::Dataset;
 
 /// The partitioned configuration under test: a budget small enough to
@@ -66,15 +66,18 @@ fn ie_partitioned_solves_components_and_samples_sane_marginals() {
         Tuffy::from_parts(ds.program, ds.evidence)
     }
     .with_config(partitioned(4_000, 10_000))
-    .open_session()
+    .build_engine()
     .unwrap()
-    .marginal(&McSatParams {
+    .snapshot()
+    .query(&Query::marginal_all().with_mcsat(McSatParams {
         samples: 150,
         burn_in: 15,
         sample_sat_steps: 150,
         seed: 2024,
         ..Default::default()
-    })
+    }))
+    .unwrap()
+    .into_marginal()
     .unwrap();
     assert!(!m.marginals.is_empty());
     for (ga, p) in &m.marginals {

@@ -1,0 +1,206 @@
+//! Concurrent serving stress test: one engine, many threads, zero
+//! re-grounding, bit-identical answers.
+//!
+//! The acceptance bar of the serving redesign, measured rather than
+//! assumed: a determinism matrix over worker counts {1, 2, 4, 8} ×
+//! query kinds {map, marginal, top_k, given-delta} where every
+//! concurrent execution must reproduce the sequential baseline *bit for
+//! bit* (costs, flip counts, and raw `f64` probability bits), while the
+//! grounding instrumentation — both the engine-lineage counter and the
+//! process-wide one in `tuffy_grounder` — pins that not a single
+//! re-ground happened after the engine was built.
+//!
+//! This file deliberately holds exactly one `#[test]`: the process-wide
+//! grounding counter is monotonic, so the delta assertion is only
+//! meaningful while no unrelated test grounds concurrently in the same
+//! process.
+
+use tuffy::{McSatParams, Query, QueryAnswer, Tuffy, TuffyConfig, WalkSatParams};
+
+const PROGRAM: &str = r#"
+    *wrote(person, paper)
+    *refers(paper, paper)
+    cat(paper, category)
+    5 cat(p, c1), cat(p, c2) => c1 = c2
+    1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)
+    2 cat(p1, c), refers(p1, p2) => cat(p2, c)
+"#;
+
+const EVIDENCE: &str = r#"
+    wrote(Joe, P1)
+    wrote(Joe, P2)
+    wrote(Ann, P4)
+    wrote(Ann, P5)
+    refers(P1, P3)
+    refers(P4, P6)
+    cat(P2, DB)
+    cat(P5, AI)
+"#;
+
+/// Canonical, bit-exact rendering of a query answer. Probabilities are
+/// compared through their raw bits — "close enough" is not the claim,
+/// bit-identical is.
+fn canon(answer: &QueryAnswer) -> String {
+    match answer {
+        QueryAnswer::Map(r) => format!(
+            "map cost={} flips={} atoms={:?}",
+            r.cost,
+            r.report.flips,
+            r.true_atoms()
+        ),
+        QueryAnswer::Marginal(r) => {
+            let probs: Vec<(String, u64)> = r
+                .names
+                .iter()
+                .zip(r.marginals.iter())
+                .map(|(n, (_, p))| (n.clone(), p.to_bits()))
+                .collect();
+            format!("marginal flips={} probs={probs:?}", r.report.flips)
+        }
+        QueryAnswer::TopK(r) => {
+            let entries: Vec<(String, u64)> = r
+                .entries
+                .iter()
+                .map(|e| (e.name.clone(), e.probability.to_bits()))
+                .collect();
+            format!("top_k {entries:?}")
+        }
+    }
+}
+
+#[test]
+fn one_engine_serves_concurrent_threads_bit_identically_with_zero_regrounds() {
+    let mcsat = McSatParams {
+        samples: 120,
+        burn_in: 10,
+        sample_sat_steps: 60,
+        seed: 7,
+        ..Default::default()
+    };
+    let config = TuffyConfig {
+        search: WalkSatParams {
+            max_flips: 20_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let tuffy = Tuffy::from_sources(PROGRAM, EVIDENCE)
+        .unwrap()
+        .with_config(config);
+    let engine = tuffy.build_engine().unwrap();
+    assert_eq!(
+        engine.groundings_performed(),
+        1,
+        "build grounds exactly once"
+    );
+    let groundings_after_build = tuffy_grounder::groundings_performed();
+
+    // The given-delta query conditions on an *active* open atom —
+    // cat(P1, DB) is activated through Joe's coauthorship with the
+    // labeled P2 — so the ephemeral fork stays in the exact incremental
+    // fragment and never re-grounds.
+    let delta = {
+        let mut probe = engine.open_session();
+        probe.parse_delta("cat(P1, DB)\n").unwrap()
+    };
+
+    let queries: Vec<(&str, Query)> = vec![
+        ("map", Query::map()),
+        ("marginal", Query::marginal_all().with_mcsat(mcsat)),
+        ("top_k", Query::top_k("cat", 3).with_mcsat(mcsat)),
+        ("given-delta", Query::map().given(delta)),
+    ];
+
+    // Sequential baseline: one execution of each query kind.
+    let snapshot = engine.snapshot();
+    let baseline: Vec<String> = queries
+        .iter()
+        .map(|(kind, q)| {
+            let answer = snapshot.query(q).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            canon(&answer)
+        })
+        .collect();
+
+    // The matrix: N threads × M queries, every answer pinned to the
+    // sequential baseline.
+    const QUERIES_PER_THREAD: usize = 4;
+    for threads in [1usize, 2, 4, 8] {
+        let results: Vec<Vec<(usize, String)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let snapshot = snapshot.clone();
+                    let queries = &queries;
+                    scope.spawn(move || {
+                        (0..QUERIES_PER_THREAD)
+                            .map(|i| {
+                                // Stagger the kinds so every thread mix
+                                // runs every query shape.
+                                let k = (t + i) % queries.len();
+                                let answer = snapshot
+                                    .query(&queries[k].1)
+                                    .unwrap_or_else(|e| panic!("{}: {e}", queries[k].0));
+                                (k, canon(&answer))
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for per_thread in results {
+            for (k, rendered) in per_thread {
+                assert_eq!(
+                    rendered, baseline[k],
+                    "threads={threads}: {} diverged from sequential baseline",
+                    queries[k].0
+                );
+            }
+        }
+    }
+
+    // ≥ 8 concurrent *sessions* over the same engine: each session maps
+    // (warm-started, independently) and must land on the sequential
+    // session answer.
+    let session_baseline = {
+        let mut s = engine.open_session();
+        let first = s.map().unwrap();
+        let second = s.map().unwrap();
+        (
+            canon(&QueryAnswer::Map(first)),
+            canon(&QueryAnswer::Map(second)),
+        )
+    };
+    let session_results: Vec<(String, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let engine = engine.clone();
+                scope.spawn(move || {
+                    let mut s = engine.open_session();
+                    let first = s.map().unwrap();
+                    let second = s.map().unwrap();
+                    (
+                        canon(&QueryAnswer::Map(first)),
+                        canon(&QueryAnswer::Map(second)),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &session_results {
+        assert_eq!(*r, session_baseline, "concurrent session diverged");
+    }
+
+    // The whole storm — 4 thread counts × threads × 4 queries plus 8
+    // sessions × 2 maps — re-used the one grounding the build paid for.
+    assert_eq!(
+        engine.groundings_performed(),
+        1,
+        "serving must not re-ground"
+    );
+    assert_eq!(
+        tuffy_grounder::groundings_performed(),
+        groundings_after_build,
+        "no grounding ran anywhere in the process after the engine build"
+    );
+}
