@@ -22,6 +22,7 @@ fn main() {
         ("session", tuffy_bench::experiments::session::report),
         ("serve", tuffy_bench::experiments::serve::report),
         ("flips", tuffy_bench::experiments::flips::report),
+        ("ground", tuffy_bench::experiments::ground::report),
     ];
     for (name, f) in experiments {
         eprintln!("=== running {name} ===");

@@ -1,0 +1,12 @@
+//! Regenerates the cold-start grounding report and `BENCH_ground.json`.
+//!
+//! `--smoke` runs bench-scale datasets with one rep and skips the JSON
+//! write — the CI variant that validates the harness without
+//! overwriting committed numbers.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    tuffy_bench::emit(
+        "ground",
+        &tuffy_bench::experiments::ground::report_with(smoke),
+    );
+}

@@ -9,6 +9,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig8;
 pub mod flips;
+pub mod ground;
 pub mod scaling;
 pub mod serve;
 pub mod session;

@@ -9,7 +9,8 @@
 //!       [--flips N] [--parallel N] [--no-partition] [--mem-budget BYTES] \
 //!       [--partition-rounds N] [--seed N] [--arch hybrid|inmemory|rdbms] \
 //!       [--explain] [--explain-schedule] [--join-order auto|program] \
-//!       [--join-algo auto|nl] [--no-pushdown]
+//!       [--join-algo auto|nl] [--no-pushdown] [--no-stats] \
+//!       [--ground-threads N]
 //! ```
 //!
 //! All inference runs inside one long-lived session (ground once, query
@@ -60,6 +61,8 @@ struct Args {
     join_order: JoinOrderPolicy,
     join_algorithm: JoinAlgorithmPolicy,
     pushdown: bool,
+    use_stats: bool,
+    ground_threads: usize,
 }
 
 fn usage() -> &'static str {
@@ -69,7 +72,7 @@ fn usage() -> &'static str {
      \x20       [--mem-budget BYTES] [--partition-rounds N] [--seed N]\n\
      \x20       [--arch hybrid|inmemory|rdbms] [--explain] [--explain-schedule]\n\
      \x20       [--join-order auto|program] [--join-algo auto|nl]\n\
-     \x20       [--no-pushdown]"
+     \x20       [--no-pushdown] [--no-stats] [--ground-threads N]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -92,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
         join_order: JoinOrderPolicy::Auto,
         join_algorithm: JoinAlgorithmPolicy::Auto,
         pushdown: true,
+        use_stats: true,
+        ground_threads: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,6 +122,12 @@ fn parse_args() -> Result<Args, String> {
             "--explain" => args.explain = true,
             "--explain-schedule" => args.explain_schedule = true,
             "--no-pushdown" => args.pushdown = false,
+            "--no-stats" => args.use_stats = false,
+            "--ground-threads" => {
+                args.ground_threads = value("--ground-threads")?
+                    .parse()
+                    .map_err(|e| format!("--ground-threads: {e}"))?;
+            }
             "--join-order" => {
                 args.join_order = match value("--join-order")?.as_str() {
                     "auto" => JoinOrderPolicy::Auto,
@@ -359,10 +370,16 @@ fn run() -> Result<(), String> {
         partitioning: args.partition,
         partition_rounds: args.partition_rounds,
         threads: args.threads,
+        ground_threads: args.ground_threads,
         optimizer: tuffy::OptimizerConfig {
             join_order: args.join_order,
             join_algorithm: args.join_algorithm,
             pushdown: args.pushdown,
+            // `--no-stats` is the full statistics lesion: estimates fall
+            // back to raw table lengths and adaptive re-planning (which
+            // exists to correct statistics) is disabled with it.
+            use_stats: args.use_stats,
+            replan: args.use_stats,
         },
         search: WalkSatParams {
             max_flips: args.flips,

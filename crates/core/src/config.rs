@@ -49,6 +49,12 @@ pub struct TuffyConfig {
     pub partitioning: PartitionStrategy,
     /// Worker threads for per-component search (1 = sequential).
     pub threads: usize,
+    /// Worker threads for parallel bottom-up grounding; `0` (the
+    /// default) resolves to the machine's available parallelism. The
+    /// grounding result is byte-identical at every thread count (see
+    /// `tuffy_grounder::bottomup` for the deterministic-merge contract),
+    /// so this is purely a performance knob.
+    pub ground_threads: usize,
     /// WalkSAT parameters.
     pub search: WalkSatParams,
     /// MC-SAT parameters for marginal queries. Like [`Self::search`] for
@@ -74,6 +80,7 @@ impl Default for TuffyConfig {
             architecture: Architecture::Hybrid,
             partitioning: PartitionStrategy::Components,
             threads: 1,
+            ground_threads: 0,
             search: WalkSatParams::default(),
             mcsat: McSatParams::default(),
             partition_rounds: 3,

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use tuffy_grounder::incremental::{apply_delta_grounding, DeltaOutcome};
-use tuffy_grounder::{ground_bottom_up, ground_top_down, GroundingResult};
+use tuffy_grounder::{ground_bottom_up_threaded, ground_top_down, GroundingResult};
 use tuffy_mln::evidence::{EvidenceDelta, EvidenceSet};
 use tuffy_mln::program::MlnProgram;
 use tuffy_mln::MlnError;
@@ -45,9 +45,23 @@ pub(crate) fn ground(
 ) -> Result<GroundingResult, MlnError> {
     match config.architecture {
         Architecture::InMemory => ground_top_down(program, evidence, config.grounding),
-        Architecture::Hybrid | Architecture::RdbmsOnly => {
-            ground_bottom_up(program, evidence, config.grounding, &config.optimizer)
-        }
+        Architecture::Hybrid | Architecture::RdbmsOnly => ground_bottom_up_threaded(
+            program,
+            evidence,
+            config.grounding,
+            &config.optimizer,
+            resolve_ground_threads(config.ground_threads),
+        ),
+    }
+}
+
+/// Resolves the configured grounding thread count: `0` means "use the
+/// machine's available parallelism".
+pub(crate) fn resolve_ground_threads(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     }
 }
 

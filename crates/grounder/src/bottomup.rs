@@ -1,30 +1,72 @@
 //! Bottom-up (RDBMS-backed) grounding — §3.1.
 //!
-//! Every clause's binding query runs inside the relational engine through
-//! the explicit two-phase API: [`tuffy_rdbms::plan_analyzed`] produces a
-//! costed physical-plan tree (join orders and algorithms chosen by the
-//! optimizer — the source of the orders-of-magnitude grounding speedups
-//! of Table 2), then [`tuffy_rdbms::execute_profiled`] walks it. The lazy
-//! closure of Appendix A.3 iterates: grounding restricted to *reachable*
-//! atoms, newly activated atoms appended to the reachable tables, repeat
-//! to fixpoint. Use [`explain_grounding`] to dump the plans without
-//! executing anything.
+//! Every clause's binding query runs inside the relational engine: the
+//! cost-based planner chooses join orders and algorithms (the source of
+//! the orders-of-magnitude grounding speedups of Table 2) and
+//! [`tuffy_rdbms::execute_adaptive`] executes step-wise, re-ordering the
+//! remaining joins when observed cardinalities diverge from the
+//! estimates. The lazy closure of Appendix A.3 iterates: grounding
+//! restricted to *reachable* atoms, newly activated atoms appended to the
+//! reachable tables, repeat to fixpoint. Use [`explain_grounding`] to
+//! dump the plans without executing anything.
+//!
+//! # Parallel grounding and the deterministic-merge contract
+//!
+//! [`ground_bottom_up_threaded`] parallelizes each closure round over a
+//! worker pool while keeping the [`GroundingResult`] **byte-identical at
+//! every thread count**, including 1. The design:
+//!
+//! 1. **Snapshot-per-round.** Each round first refreshes table statistics
+//!    ([`tuffy_rdbms::Database::analyze_all`]) and enumerates an ordered
+//!    task list — one task per clause variant, split further into
+//!    value-range chunks for large driving tables. All tasks of a round
+//!    query the *start-of-round* database state; activations become
+//!    visible only in the next round. The least fixpoint is unchanged —
+//!    bindings discovered late in a round are re-discovered from the
+//!    delta tables a round later.
+//! 2. **Deterministic task decomposition.** Chunking decisions depend
+//!    only on table contents (row counts, sorted column quantiles),
+//!    *never* on the thread count, so every thread count executes the
+//!    identical task list. A chunk restricts the driving atom's first
+//!    bound variable to an inclusive value range
+//!    ([`tuffy_rdbms::ConjunctiveQuery::ranges`]); disjoint ranges
+//!    covering the whole `u32` domain partition the variant's binding
+//!    multiset exactly.
+//! 3. **Canonical row order.** Every task's result batch is sorted
+//!    lexicographically by row content ([`Batch::sort_rows`]) before
+//!    emission, and a chunked variant's sorted chunks are k-way merged
+//!    back into one content-ordered stream. Emission order therefore
+//!    depends only on the binding *set* of each variant — never on the
+//!    join order, join algorithm, statistics, or adaptive re-planning
+//!    that produced it — which keeps atom numbering stable under
+//!    optimizer changes and under evidence deltas that merely prune
+//!    bindings (the incremental patch path relies on this).
+//! 4. **Ordered merge.** Workers execute tasks from a shared queue, but
+//!    results are buffered per task and consumed strictly in task-list
+//!    order. Emission (atom numbering, clause construction, activation)
+//!    stays sequential, so first-encounter atom ids, the clause multiset,
+//!    provenance, and the CSR arena layout never depend on scheduling.
+//! 5. **Round-boundary feedback.** Observed join-prefix cardinalities
+//!    from the adaptive executor are folded into the catalog during the
+//!    ordered merge — after all of the round's queries have executed —
+//!    so planning inputs are also identical at every thread count.
 
 use crate::compile::{compile_clause, CompiledClause, GroundingMode};
 use crate::dbload::GroundingDb;
 use crate::emit::{constant_cost, Emitter, Grounded};
 use crate::registry::{AtomRegistry, EvidenceIndex};
 use crate::stats::GroundingStats;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tuffy_mln::clausify::clausify_program;
 use tuffy_mln::evidence::EvidenceSet;
 use tuffy_mln::fxhash::FxHashSet;
 use tuffy_mln::program::MlnProgram;
 use tuffy_mln::MlnError;
 use tuffy_mrf::{Mrf, MrfBuilder};
-use tuffy_rdbms::executor::execute_profiled;
-use tuffy_rdbms::optimizer::plan_analyzed;
-use tuffy_rdbms::OptimizerConfig;
+use tuffy_rdbms::exec::Batch;
+use tuffy_rdbms::optimizer::{execute_adaptive, plan_analyzed, AdaptiveReport};
+use tuffy_rdbms::query::VarId;
+use tuffy_rdbms::{ConjunctiveQuery, Database, OptimizerConfig};
 
 /// The output of grounding: the MRF, the atom registry mapping dense atom
 /// ids back to ground atoms, and run statistics.
@@ -43,12 +85,172 @@ pub struct GroundingResult {
 }
 
 /// Grounds `program` under `evidence` bottom-up through the embedded
-/// RDBMS.
+/// RDBMS, single-threaded. Equivalent to
+/// [`ground_bottom_up_threaded`] with one thread — and, by the
+/// deterministic-merge contract (module docs), produces the identical
+/// [`GroundingResult`].
 pub fn ground_bottom_up(
     program: &MlnProgram,
     evidence: &EvidenceSet,
     mode: GroundingMode,
     config: &OptimizerConfig,
+) -> Result<GroundingResult, MlnError> {
+    ground_bottom_up_threaded(program, evidence, mode, config, 1)
+}
+
+/// Minimum driving-table rows before a binding query is split into
+/// value-range chunks.
+const CHUNK_MIN_ROWS: usize = 2048;
+/// Rows per chunk targeted by the quantile split.
+const CHUNK_TARGET_ROWS: usize = 1024;
+/// Maximum chunks per query variant.
+const CHUNK_MAX: usize = 16;
+
+/// One unit of parallel work within a closure round: a clause variant
+/// (possibly restricted to one value-range chunk), or the empty binding
+/// for clauses with no universal variables.
+struct RoundTask {
+    /// Index into the compiled-clause list.
+    clause: usize,
+    /// Variant-group id: the chunks of one clause variant share a group
+    /// and are k-way merged back into a single content-ordered stream
+    /// before emission.
+    group: usize,
+    /// The binding query; `None` grounds once with the empty binding.
+    query: Option<ConjunctiveQuery>,
+}
+
+/// Merges row-sorted batches (the chunks of one variant) into one
+/// content-ordered batch. Chunks partition bindings by a value range, so
+/// a simple smallest-head k-way merge (k ≤ [`CHUNK_MAX`]) reproduces
+/// exactly the order [`Batch::sort_rows`] would give the unchunked
+/// result. Equal rows can occur across chunks when the chunked variable
+/// is projected away — they come out adjacent and the emitter's
+/// first-encounter dedup drops them, as it would for the unchunked
+/// variant's `DISTINCT`.
+fn merge_sorted(mut batches: Vec<Batch>) -> Batch {
+    if batches.len() == 1 {
+        return batches.pop().expect("checked non-empty");
+    }
+    let width = batches[0].width();
+    let total = batches.iter().map(Batch::len).sum();
+    let mut out = Batch::with_capacity(width, total);
+    let mut pos = vec![0usize; batches.len()];
+    loop {
+        let mut best: Option<(usize, &[u32])> = None;
+        for (bi, b) in batches.iter().enumerate() {
+            if pos[bi] < b.len() {
+                let r = b.row(pos[bi]);
+                if best.map_or(true, |(_, br)| r < br) {
+                    best = Some((bi, r));
+                }
+            }
+        }
+        match best {
+            Some((bi, r)) => {
+                out.push(r);
+                pos[bi] += 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Splits a binding query into value-range chunks on the first bound
+/// variable of its largest atom (classic parallel-hash-join
+/// partitioning: only the big side is split; small sides are re-scanned
+/// per chunk). Returns `None` when the query is too small to be worth
+/// splitting. Depends only on table contents — never on the thread
+/// count — so the task decomposition is identical for every thread
+/// count (the determinism contract).
+fn chunk_ranges(db: &Database, q: &ConjunctiveQuery) -> Option<(VarId, Vec<(u32, u32)>)> {
+    let mut best: Option<(usize, usize)> = None; // (atom index, rows)
+    for (i, a) in q.atoms.iter().enumerate() {
+        if a.var_columns().is_empty() {
+            continue;
+        }
+        let rows = db.table(a.table).len();
+        if best.map_or(true, |(_, b)| rows > b) {
+            best = Some((i, rows));
+        }
+    }
+    let (ai, rows) = best?;
+    if rows < CHUNK_MIN_ROWS {
+        return None;
+    }
+    let atom = &q.atoms[ai];
+    let (v, c) = atom.var_columns()[0];
+    if q.ranges.iter().any(|&(w, _, _)| w == v) {
+        return None;
+    }
+    let mut vals: Vec<u32> = db.scan(atom.table).map(|r| r[c]).collect();
+    vals.sort_unstable();
+    let k = (rows / CHUNK_TARGET_ROWS).clamp(2, CHUNK_MAX);
+    let mut splits: Vec<u32> = (1..k).map(|i| vals[i * vals.len() / k]).collect();
+    splits.sort_unstable();
+    splits.dedup();
+    // Inclusive, disjoint ranges covering the full u32 domain: every
+    // binding lands in exactly one chunk, so the chunk multiset union is
+    // exactly the unchunked multiset.
+    let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(splits.len() + 1);
+    let mut lo = 0u32;
+    for &s in &splits {
+        if s < lo || s == u32::MAX {
+            continue;
+        }
+        ranges.push((lo, s));
+        lo = s + 1;
+    }
+    ranges.push((lo, u32::MAX));
+    if ranges.len() < 2 {
+        return None;
+    }
+    Some((v, ranges))
+}
+
+/// Maps `f` over `0..n` on a transient work-stealing pool, returning the
+/// results in index order regardless of which worker ran each job.
+fn pool_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if j >= n {
+                    break;
+                }
+                *slots[j].lock() = Some(f(j));
+            });
+        }
+    })
+    .expect("grounding worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("missing worker result"))
+        .collect()
+}
+
+/// Grounds `program` under `evidence` bottom-up, running each closure
+/// round's binding queries on `threads` worker threads. The result is
+/// byte-identical to the single-threaded run at any thread count — see
+/// the module docs for the deterministic-merge contract.
+pub fn ground_bottom_up_threaded(
+    program: &MlnProgram,
+    evidence: &EvidenceSet,
+    mode: GroundingMode,
+    config: &OptimizerConfig,
+    threads: usize,
 ) -> Result<GroundingResult, MlnError> {
     crate::stats::record_grounding();
     let start = Instant::now();
@@ -76,19 +278,22 @@ pub fn ground_bottom_up(
 
     let mut round = 0usize;
     loop {
-        let mut round_activations: Vec<(tuffy_mln::schema::PredicateId, Vec<u32>)> = Vec::new();
-        for cc in &compiled {
+        // Phase A: refresh statistics, then enumerate this round's tasks
+        // against the start-of-round table state. Round 0 runs each
+        // clause's full query. Later (semi-naive) rounds run one variant
+        // per reachable atom with that atom's table swapped for the last
+        // round's delta: any genuinely new binding must use at least one
+        // newly activated atom. Negative-weight all-positive clauses
+        // instead run one union variant per literal, restricted to
+        // reachable (round 0) or newly-reachable (later rounds) atoms.
+        // Large variants are further split into value-range chunks.
+        gdb.db.analyze_all();
+        let mut tasks: Vec<RoundTask> = Vec::new();
+        for (ci, cc) in compiled.iter().enumerate() {
             if round > 0 && !cc.uses_reachable {
                 continue;
             }
-            // Round 0 runs the full query. Later (semi-naive) rounds run
-            // one variant per reachable atom with that atom's table
-            // swapped for the last round's delta: any genuinely new
-            // binding must use at least one newly activated atom.
-            // Negative-weight all-positive clauses instead run one union
-            // variant per literal, restricted to reachable (round 0) or
-            // newly-reachable (later rounds) atoms.
-            let variants: Vec<Option<tuffy_rdbms::ConjunctiveQuery>> = match &cc.query {
+            let variants: Vec<Option<ConjunctiveQuery>> = match &cc.query {
                 None => {
                     if round > 0 {
                         continue;
@@ -124,47 +329,128 @@ pub fn ground_bottom_up(
                 }
             };
             for variant in variants {
-                let empty_binding = [[0u32; 0]; 1];
-                let batch;
-                let rows: &mut dyn Iterator<Item = &[u32]> = match &variant {
-                    None => &mut empty_binding.iter().map(|r| &r[..]),
-                    Some(q) => {
-                        // Plan explicitly, then execute: the plan is an
-                        // inspectable tree (see `explain_grounding`) and
-                        // the profile feeds the grounding statistics.
-                        let plan = plan_analyzed(&mut gdb.db, q, config).map_err(to_mln)?;
-                        let (result, profile) = execute_profiled(&gdb.db, &plan).map_err(to_mln)?;
-                        stats.queries += 1;
-                        stats.query_exec += profile.total_elapsed();
-                        batch = result;
-                        peak_result_bytes = peak_result_bytes.max(batch.bytes());
-                        &mut batch.iter()
-                    }
-                };
-                for row in rows {
-                    stats.bindings_considered += 1;
-                    let key = (cc.rule_index as u32, Box::<[u32]>::from(row));
-                    if !seen.insert(key) {
-                        continue;
-                    }
-                    new_atoms.clear();
-                    match emitter.emit(cc, row, &mut registry, &mut new_atoms) {
-                        Grounded::Satisfied => {
-                            let c = constant_cost(cc.weight, true);
-                            builder_add_base(&mut builder, c);
-                        }
-                        Grounded::EmptyClause => {
-                            let c = constant_cost(cc.weight, false);
-                            builder_add_base(&mut builder, c);
-                        }
-                        Grounded::Clause(lits) => {
-                            builder.add_clause(lits, cc.weight);
-                            for &aid in &new_atoms {
-                                let (pred, args) = registry.atom(aid);
-                                let args = args.to_vec();
-                                gdb.activate(pred, &args);
-                                round_activations.push((pred, args));
+                let group = tasks.last().map_or(0, |t| t.group + 1);
+                match variant {
+                    None => tasks.push(RoundTask {
+                        clause: ci,
+                        group,
+                        query: None,
+                    }),
+                    Some(q) => match chunk_ranges(&gdb.db, &q) {
+                        Some((v, ranges)) => {
+                            for (lo, hi) in ranges {
+                                let mut cq = q.clone();
+                                cq.ranges.push((v, lo, hi));
+                                tasks.push(RoundTask {
+                                    clause: ci,
+                                    group,
+                                    query: Some(cq),
+                                });
                             }
+                        }
+                        None => tasks.push(RoundTask {
+                            clause: ci,
+                            group,
+                            query: Some(q),
+                        }),
+                    },
+                }
+            }
+        }
+        if tasks.is_empty() {
+            round += 1;
+            break;
+        }
+
+        // Phase B: execute every task against the shared start-of-round
+        // snapshot. Workers pull tasks from a shared counter; results
+        // land in per-task slots.
+        type TaskResult = Result<Option<(Batch, AdaptiveReport, Duration)>, tuffy_rdbms::DbError>;
+        let results: Vec<TaskResult> = {
+            let db = &gdb.db;
+            pool_map(tasks.len(), threads, |ti| match &tasks[ti].query {
+                None => Ok(None),
+                Some(q) => {
+                    let t0 = Instant::now();
+                    execute_adaptive(db, q, config).map(|(mut b, rep)| {
+                        // Canonical row order (contract part 3), computed
+                        // on the worker so the sort parallelizes too.
+                        b.sort_rows();
+                        Some((b, rep, t0.elapsed()))
+                    })
+                }
+            })
+        };
+
+        // Phase C: ordered merge. Consume results strictly in task-list
+        // order so atom numbering, clause order, and catalog feedback are
+        // independent of scheduling; a chunked variant's sorted chunks
+        // are k-way merged back into one content-ordered batch first.
+        let mut round_activations: Vec<(tuffy_mln::schema::PredicateId, Vec<u32>)> = Vec::new();
+        // (clause index, merged batch; `None` = one empty binding)
+        let mut groups: Vec<(usize, Option<Batch>)> = Vec::new();
+        {
+            let mut pending: Vec<Batch> = Vec::new();
+            let mut pending_clause = 0usize;
+            let mut pending_group = usize::MAX;
+            for (ti, result) in results.into_iter().enumerate() {
+                let task = &tasks[ti];
+                if task.group != pending_group && !pending.is_empty() {
+                    groups.push((
+                        pending_clause,
+                        Some(merge_sorted(std::mem::take(&mut pending))),
+                    ));
+                }
+                pending_group = task.group;
+                pending_clause = task.clause;
+                match result.map_err(to_mln)? {
+                    None => groups.push((task.clause, None)),
+                    Some((result_batch, report, took)) => {
+                        stats.queries += 1;
+                        stats.query_exec += took;
+                        stats.replans += report.replans as u64;
+                        if config.use_stats {
+                            report.fold_into(&mut gdb.db);
+                        }
+                        peak_result_bytes = peak_result_bytes.max(result_batch.bytes());
+                        pending.push(result_batch);
+                    }
+                }
+            }
+            if !pending.is_empty() {
+                groups.push((pending_clause, Some(merge_sorted(pending))));
+            }
+        }
+        for (clause, batch) in groups {
+            let cc = &compiled[clause];
+            let empty_binding = [[0u32; 0]; 1];
+            let rows: &mut dyn Iterator<Item = &[u32]> = match &batch {
+                None => &mut empty_binding.iter().map(|r| &r[..]),
+                Some(batch) => &mut batch.iter(),
+            };
+            for row in rows {
+                stats.bindings_considered += 1;
+                let key = (cc.rule_index as u32, Box::<[u32]>::from(row));
+                if !seen.insert(key) {
+                    continue;
+                }
+                new_atoms.clear();
+                match emitter.emit(cc, row, &mut registry, &mut new_atoms) {
+                    Grounded::Satisfied => {
+                        let c = constant_cost(cc.weight, true);
+                        builder_add_base(&mut builder, c);
+                    }
+                    Grounded::EmptyClause => {
+                        let c = constant_cost(cc.weight, false);
+                        builder_add_base(&mut builder, c);
+                    }
+                    Grounded::Clause(lits) => {
+                        builder.add_clause(lits, cc.weight);
+                        for &aid in &new_atoms {
+                            let (pred, args) = registry.atom(aid);
+                            let args = args.to_vec();
+                            gdb.activate(pred, &args);
+                            round_activations.push((pred, args));
                         }
                     }
                 }
@@ -405,14 +691,19 @@ mod tests {
                 JoinAlgorithmPolicy::NestedLoopOnly,
             ] {
                 for pushdown in [true, false] {
-                    let cfg = OptimizerConfig {
-                        join_order,
-                        join_algorithm,
-                        pushdown,
-                    };
-                    let r = ground_bottom_up(&p, &ev, GroundingMode::LazyClosure, &cfg).unwrap();
-                    assert_eq!(r.stats.clauses, reference.stats.clauses);
-                    assert_eq!(r.stats.atoms, reference.stats.atoms);
+                    for use_stats in [true, false] {
+                        let cfg = OptimizerConfig {
+                            join_order,
+                            join_algorithm,
+                            pushdown,
+                            use_stats,
+                            ..Default::default()
+                        };
+                        let r =
+                            ground_bottom_up(&p, &ev, GroundingMode::LazyClosure, &cfg).unwrap();
+                        assert_eq!(r.stats.clauses, reference.stats.clauses);
+                        assert_eq!(r.stats.atoms, reference.stats.atoms);
+                    }
                 }
             }
         }

@@ -465,6 +465,7 @@ pub fn compile_clause(
             anti_atoms,
             neq,
             neq_const,
+            ranges: vec![],
             output: (0..univ.len()).collect(),
             // Outputs are unique per binding combination (all universal
             // variables are projected), and the grounder's seen-set

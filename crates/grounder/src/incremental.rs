@@ -410,6 +410,7 @@ pub fn apply_delta_grounding(
         atoms: registry.len(),
         bindings_considered: 0,
         queries: 0,
+        replans: 0,
         query_exec: std::time::Duration::ZERO,
         io: Default::default(),
         peak_bytes: previous.stats.peak_bytes,

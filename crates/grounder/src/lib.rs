@@ -44,7 +44,9 @@ pub mod registry;
 pub mod stats;
 pub mod topdown;
 
-pub use bottomup::{explain_grounding, ground_bottom_up, GroundingResult};
+pub use bottomup::{
+    explain_grounding, ground_bottom_up, ground_bottom_up_threaded, GroundingResult,
+};
 pub use compile::GroundingMode;
 pub use incremental::{apply_delta_grounding, DeltaOutcome, PatchStats, PatchedGrounding};
 pub use registry::{AtomRegistry, EvidenceIndex};

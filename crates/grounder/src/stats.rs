@@ -38,8 +38,13 @@ pub struct GroundingStats {
     /// Candidate bindings inspected by emission.
     pub bindings_considered: u64,
     /// Binding queries planned and executed in the RDBMS (bottom-up
-    /// only): one per clause variant per closure round.
+    /// only): one per clause variant per closure round — or per
+    /// value-range chunk of a variant when the parallel grounder splits
+    /// a large query.
     pub queries: u64,
+    /// Mid-execution join re-orderings performed by the adaptive
+    /// executor across all binding queries (bottom-up only).
+    pub replans: u64,
     /// Total wall time spent inside the plan executor (bottom-up only),
     /// summed from per-node runtime counters.
     pub query_exec: Duration,

@@ -23,20 +23,35 @@ const EVIDENCE: &str = "wrote(Joe, P1)\n\
                         refers(P1, P3)\n\
                         cat(P2, DB)\n";
 
-fn plan_for_rule(rule: usize) -> String {
+fn grounding_db() -> (tuffy_mln::program::MlnProgram, GroundingDb) {
     let mut p = parse_program(PROGRAM).unwrap();
     let set = parse_evidence(&mut p, EVIDENCE).unwrap();
     let domains = set.merged_domains(&p);
     let ev = EvidenceIndex::build(&p, &set).unwrap();
-    let mut gdb = GroundingDb::build(&p, &ev, &domains).unwrap();
-    let clauses = clausify_program(&p);
-    let cc = compile_clause(&p, &gdb, &clauses[rule], GroundingMode::LazyClosure)
+    let gdb = GroundingDb::build(&p, &ev, &domains).unwrap();
+    (p, gdb)
+}
+
+fn query_for_rule(
+    p: &tuffy_mln::program::MlnProgram,
+    gdb: &GroundingDb,
+    rule: usize,
+) -> tuffy_rdbms::ConjunctiveQuery {
+    let clauses = clausify_program(p);
+    let cc = compile_clause(p, gdb, &clauses[rule], GroundingMode::LazyClosure)
         .unwrap()
         .unwrap();
-    let q = cc.query.expect("rule has universal variables");
-    plan_analyzed(&mut gdb.db, &q, &OptimizerConfig::default())
-        .unwrap()
-        .explain()
+    cc.query.expect("rule has universal variables")
+}
+
+fn plan_with_config(rule: usize, config: &OptimizerConfig) -> String {
+    let (p, mut gdb) = grounding_db();
+    let q = query_for_rule(&p, &gdb, rule);
+    plan_analyzed(&mut gdb.db, &q, config).unwrap().explain()
+}
+
+fn plan_for_rule(rule: usize) -> String {
+    plan_with_config(rule, &OptimizerConfig::default())
 }
 
 /// F2 of Figure 1: `wrote(x,p1), wrote(x,p2), cat(p1,c) => cat(p2,c)`.
@@ -76,4 +91,75 @@ Query (rows=1 cost=9 output=[v0, v1, v2])
    └─ SeqScan evt_cat  (rows=1 cost=1 width=2 vars=[2, 1])
 ";
     assert_eq!(plan_for_rule(1), expected);
+}
+
+/// Lesion: the same F2 query planned with table statistics disabled.
+/// Estimates fall back to schema defaults; on this tiny fixture the join
+/// order survives but the cost arithmetic shifts (cost=20 vs the
+/// stats-on cost=21 above) — the regression guard that grounding plans
+/// actually consume [`tuffy_rdbms::stats::TableStats`] end to end.
+#[test]
+fn stats_lesion_changes_the_plan() {
+    let no_stats = OptimizerConfig {
+        use_stats: false,
+        ..Default::default()
+    };
+    let lesioned = plan_with_config(0, &no_stats);
+    let expected = "\
+Query (rows=1 cost=20 output=[v0, v1, v2, v3])
+└─ AntiJoin keys=[v2, v3]  (rows=1 cost=20 width=4 vars=[1, 3, 0, 2])
+   ├─ HashJoin keys=[v0]  (rows=1 cost=18 width=4 vars=[1, 3, 0, 2])
+   │  ├─ HashJoin keys=[v1]  (rows=1 cost=10 width=3 vars=[1, 3, 0])
+   │  │  ├─ AntiJoin keys=[v1, v3]  (rows=1 cost=2 width=2 vars=[1, 3])
+   │  │  │  ├─ SeqScan reach_cat  (rows=1 cost=1 width=2 vars=[1, 3])
+   │  │  │  └─ SeqScan evf_cat  (rows=0 cost=0 width=2 vars=[1, 3])
+   │  │  └─ SeqScan evt_wrote  (rows=3 cost=3 width=2 vars=[0, 1])
+   │  └─ SeqScan evt_wrote  (rows=3 cost=3 width=2 vars=[0, 2])
+   └─ SeqScan evt_cat  (rows=1 cost=1 width=2 vars=[2, 3])
+";
+    assert_eq!(lesioned, expected);
+    assert_ne!(
+        lesioned,
+        plan_for_rule(0),
+        "disabling statistics did not change the plan: stats are not being consumed"
+    );
+}
+
+/// `EXPLAIN ANALYZE` for F3: estimated versus actual rows per node,
+/// pinned with the (nondeterministic) timings stripped. The estimates
+/// come from [`tuffy_rdbms::stats::TableStats`]; the actuals from
+/// profiled execution of the same plan.
+#[test]
+fn est_vs_actual_rendering_is_pinned() {
+    let (p, mut gdb) = grounding_db();
+    let q = query_for_rule(&p, &gdb, 1);
+    let plan = plan_analyzed(&mut gdb.db, &q, &OptimizerConfig::default()).unwrap();
+    let (_, profile) = tuffy_rdbms::execute_profiled(&gdb.db, &plan).unwrap();
+    let rendered: String = profile
+        .explain_analyze(&plan)
+        .lines()
+        .map(|l| match l.split_once(" elapsed=") {
+            Some((head, _)) => format!("{}\n", head.trim_end()),
+            None => format!("{l}\n"),
+        })
+        .collect();
+    let expected = "\
+Query (rows=1 cost=9 output=[v0, v1, v2])
+└─ AntiJoin keys=[v2, v1]  (rows=1 cost=9 width=3 vars=[0, 1, 2])
+   ├─ HashJoin keys=[v0]  (rows=1 cost=6 width=3 vars=[0, 1, 2])
+   │  ├─ AntiJoin keys=[v0, v1]  (rows=1 cost=2 width=2 vars=[0, 1])
+   │  │  ├─ SeqScan reach_cat  (rows=1 cost=1 width=2 vars=[0, 1])
+   │  │  └─ SeqScan evf_cat  (rows=0 cost=0 width=2 vars=[0, 1])
+   │  └─ SeqScan evt_refers  (rows=1 cost=1 width=2 vars=[0, 2])
+   └─ SeqScan evt_cat  (rows=1 cost=1 width=2 vars=[2, 1])
+-- est vs actual --
+node  0 AntiJoin         est_rows=1        actual_rows=0        rows_in=1
+node  1 HashJoin         est_rows=1        actual_rows=0        rows_in=2
+node  2 AntiJoin         est_rows=1        actual_rows=1        rows_in=1
+node  3 SeqScan          est_rows=1        actual_rows=1        rows_in=1
+node  4 SeqScan          est_rows=0        actual_rows=0        rows_in=0
+node  5 SeqScan          est_rows=1        actual_rows=1        rows_in=1
+node  6 SeqScan          est_rows=1        actual_rows=1        rows_in=1
+";
+    assert_eq!(rendered, expected);
 }

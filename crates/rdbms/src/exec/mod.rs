@@ -127,6 +127,32 @@ impl Batch {
         out
     }
 
+    /// Sorts the rows lexicographically by content. This is the
+    /// *canonical row order* the grounder emits bindings in: it depends
+    /// only on the result **set**, never on the join order, join
+    /// algorithm, or statistics that produced it, so consumers that need
+    /// run-to-run stable output (atom numbering, parallel merge) get it
+    /// regardless of how the optimizer planned the query. Width-0
+    /// batches are already canonical (every row is the empty tuple).
+    pub fn sort_rows(&mut self) {
+        if self.width == 0 || self.rows <= 1 {
+            return;
+        }
+        let w = self.width;
+        let mut idx: Vec<u32> = (0..self.rows as u32).collect();
+        let data = &self.data;
+        idx.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize * w, b as usize * w);
+            data[a..a + w].cmp(&data[b..b + w])
+        });
+        let mut out = Vec::with_capacity(self.data.len());
+        for &i in &idx {
+            let i = i as usize * w;
+            out.extend_from_slice(&self.data[i..i + w]);
+        }
+        self.data = out;
+    }
+
     /// Heap footprint in bytes.
     pub fn bytes(&self) -> usize {
         self.data.capacity() * 4

@@ -51,18 +51,21 @@ impl ExecProfile {
     }
 
     /// Renders the plan annotated with this profile's actual row counts
-    /// and timings (`EXPLAIN ANALYZE`).
+    /// and timings (`EXPLAIN ANALYZE`): each node shows the optimizer's
+    /// estimate next to what execution actually produced, so estimation
+    /// error is readable per operator.
     pub fn explain_analyze(&self, plan: &QueryPlan) -> String {
         let mut out = plan.to_string();
-        out.push_str("-- actual --\n");
+        out.push_str("-- est vs actual --\n");
         plan.root.visit(&mut |node| {
             let m = self.nodes.get(node.info.id).copied().unwrap_or_default();
             out.push_str(&format!(
-                "node {:>2} {:<16} rows_in={:<8} rows_out={:<8} elapsed={:?}\n",
+                "node {:>2} {:<16} est_rows={:<8} actual_rows={:<8} rows_in={:<8} elapsed={:?}\n",
                 node.info.id,
                 node.name(),
-                m.rows_in,
+                format!("{:.0}", node.info.est_rows),
                 m.rows_out,
+                m.rows_in,
                 m.elapsed,
             ));
         });

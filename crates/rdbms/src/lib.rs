@@ -49,7 +49,8 @@ pub use catalog::{Database, TableId};
 pub use error::DbError;
 pub use executor::{execute, execute_into, execute_profiled, ExecProfile, NodeMetrics};
 pub use optimizer::{
-    plan_analyzed, plan_query, run_query, JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig,
+    execute_adaptive, join_prefix_sig, plan_analyzed, plan_query, run_query, AdaptiveReport,
+    JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig, StepObservation, REPLAN_DIVERGENCE,
 };
 pub use plan::{NodeId, NodeInfo, PhysicalPlan, PlanColumn, PlanOp, QueryPlan};
 pub use pred::Pred;

@@ -266,6 +266,7 @@ fn fmt_preds(preds: &[Pred]) -> String {
             Pred::ColNeConst { col, value } => format!("c{col}!={value}"),
             Pred::ColEqCol { a, b } => format!("c{a}=c{b}"),
             Pred::ColNeCol { a, b } => format!("c{a}!=c{b}"),
+            Pred::ColInRange { col, lo, hi } => format!("c{col} in [{lo},{hi}]"),
         })
         .collect();
     format!("[{}]", parts.join(", "))

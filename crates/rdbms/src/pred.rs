@@ -31,6 +31,17 @@ pub enum Pred {
         /// Second column.
         b: usize,
     },
+    /// `lo <= row[col] <= hi` (inclusive). Emitted by the parallel
+    /// grounder's value-range chunking, where disjoint ranges partition a
+    /// driving table's first bound column across worker tasks.
+    ColInRange {
+        /// Column index.
+        col: usize,
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
 }
 
 impl Pred {
@@ -42,6 +53,7 @@ impl Pred {
             Pred::ColNeConst { col, value } => row[col] != value,
             Pred::ColEqCol { a, b } => row[a] == row[b],
             Pred::ColNeCol { a, b } => row[a] != row[b],
+            Pred::ColInRange { col, lo, hi } => (lo..=hi).contains(&row[col]),
         }
     }
 
@@ -62,6 +74,11 @@ impl Pred {
                 1.0 / d as f64
             }
             Pred::ColNeCol { .. } => 0.9,
+            // Without a histogram the NDV vector says nothing about a
+            // value range; the planner refines this with
+            // [`crate::stats::TableStats::range_selectivity`] when real
+            // statistics are available.
+            Pred::ColInRange { .. } => 0.5,
         }
     }
 }

@@ -72,6 +72,13 @@ pub struct ConjunctiveQuery {
     pub neq: Vec<(VarId, VarId)>,
     /// Variables required to differ from a constant.
     pub neq_const: Vec<(VarId, u32)>,
+    /// Inclusive value-range restrictions `lo <= var <= hi`. Unlike the
+    /// lesion-controlled constant filters these are *structural*: the
+    /// planner pushes them into every scan binding the variable
+    /// regardless of the pushdown knob, because the parallel grounder
+    /// relies on disjoint ranges partitioning a query's result multiset
+    /// exactly.
+    pub ranges: Vec<(VarId, u32, u32)>,
     /// Output projection, as variable ids.
     pub output: Vec<VarId>,
     /// Whether to deduplicate the output.
@@ -128,6 +135,7 @@ mod tests {
             anti_atoms: vec![],
             neq: vec![],
             neq_const: vec![],
+            ranges: vec![],
             output: vec![0, 2],
             distinct: false,
         };

@@ -17,6 +17,10 @@ pub struct TableStats {
     pub row_count: usize,
     /// Distinct values per column.
     pub ndv: Vec<usize>,
+    /// Smallest value per column (`u32::MAX` for empty tables).
+    pub min: Vec<u32>,
+    /// Largest value per column (`0` for empty tables).
+    pub max: Vec<u32>,
 }
 
 impl TableStats {
@@ -24,16 +28,22 @@ impl TableStats {
     pub fn compute(table: &Table, pool: &BufferPool) -> TableStats {
         let width = table.width();
         let mut sets: Vec<FxHashSet<u32>> = (0..width).map(|_| FxHashSet::default()).collect();
+        let mut min = vec![u32::MAX; width];
+        let mut max = vec![0u32; width];
         let mut rows = 0usize;
         for row in table.scan(pool) {
             rows += 1;
             for (c, &v) in row.iter().enumerate() {
                 sets[c].insert(v);
+                min[c] = min[c].min(v);
+                max[c] = max[c].max(v);
             }
         }
         TableStats {
             row_count: rows,
             ndv: sets.into_iter().map(|s| s.len()).collect(),
+            min,
+            max,
         }
     }
 
@@ -51,6 +61,27 @@ impl TableStats {
     pub fn join_cardinality(&self, col: usize, other: &TableStats, ocol: usize) -> f64 {
         let denom = self.ndv[col].max(other.ndv[ocol]).max(1) as f64;
         (self.row_count as f64) * (other.row_count as f64) / denom
+    }
+
+    /// Estimated selectivity of an inclusive range predicate
+    /// `lo <= col <= hi` under a uniform-distribution assumption over
+    /// the column's observed `[min, max]` span. Used by the parallel
+    /// grounder's value-range partitioning.
+    pub fn range_selectivity(&self, col: usize, lo: u32, hi: u32) -> f64 {
+        if self.row_count == 0 || hi < lo {
+            return 0.0;
+        }
+        let (cmin, cmax) = (self.min[col], self.max[col]);
+        if cmin > cmax {
+            return 0.0;
+        }
+        let span = (cmax as f64) - (cmin as f64) + 1.0;
+        let lo = lo.max(cmin);
+        let hi = hi.min(cmax);
+        if hi < lo {
+            return 0.0;
+        }
+        (((hi as f64) - (lo as f64) + 1.0) / span).clamp(0.0, 1.0)
     }
 }
 

@@ -1,0 +1,173 @@
+//! Adaptive re-planning: when an intermediate join result diverges from
+//! the optimizer's estimate, `execute_adaptive` re-orders the remaining
+//! joins using *observed* cardinality and per-variable NDV, visits fewer
+//! intermediate rows than the static plan, and feeds the corrected
+//! cardinality back into the catalog for future plans.
+//!
+//! The fixture is built so the independence assumption fails exactly
+//! once: `A.y` takes only two values while `B.y` takes ten, so the
+//! estimate for `A ⋈ B` (192 rows) undershoots the actual result
+//! (800 rows) past the 4× re-plan threshold. The static tail order
+//! `[C, D]` looks right under catalog NDVs (`ndv(B.z) = 10`), but the
+//! join has collapsed `z` to two observed values, making `C` (which fans
+//! out 30× per `z`-match) far more expensive than `D` — the re-plan can
+//! only discover the flip from the observed NDV.
+
+use tuffy_rdbms::optimizer::{execute_adaptive, join_prefix_sig};
+use tuffy_rdbms::query::{ColumnBinding, ConjunctiveQuery, QueryAtom};
+use tuffy_rdbms::{Database, OptimizerConfig, TableSchema};
+
+const X: usize = 0;
+const Y: usize = 1;
+const Z: usize = 2;
+const C: usize = 3;
+const W: usize = 4;
+
+/// A(x, y): 40 rows, y = x mod 2          → ndv(x)=40, ndv(y)=2
+/// B(y, z): 48 rows; y ∈ {0,1} carry 20 duplicates of z = y each,
+///          y ∈ 2..10 one row z = y       → ndv(y)=10, ndv(z)=10
+/// C(z, c): 60 rows, z ∈ {0,1} × 30 distinct c → ndv(z)=2, ndv(c)=60
+/// D(x, w): 320 rows, 8 distinct w per x  → ndv(x)=40, ndv(w)=320
+fn build_db() -> (Database, ConjunctiveQuery) {
+    let mut db = Database::in_memory();
+    let a = db
+        .create_table("a", TableSchema::new(vec!["x", "y"]))
+        .unwrap();
+    let b = db
+        .create_table("b", TableSchema::new(vec!["y", "z"]))
+        .unwrap();
+    let c = db
+        .create_table("c", TableSchema::new(vec!["z", "c"]))
+        .unwrap();
+    let d = db
+        .create_table("d", TableSchema::new(vec!["x", "w"]))
+        .unwrap();
+    for i in 0..40u32 {
+        db.insert(a, &[i, i % 2]).unwrap();
+    }
+    for y in 0..2u32 {
+        for _ in 0..20 {
+            db.insert(b, &[y, y]).unwrap();
+        }
+    }
+    for y in 2..10u32 {
+        db.insert(b, &[y, y]).unwrap();
+    }
+    for z in 0..2u32 {
+        for j in 0..30u32 {
+            db.insert(c, &[z, 100 + z * 30 + j]).unwrap();
+        }
+    }
+    for x in 0..40u32 {
+        for j in 0..8u32 {
+            db.insert(d, &[x, 1000 + x * 8 + j]).unwrap();
+        }
+    }
+    db.analyze_all();
+    let atom = |table, u, v| QueryAtom {
+        table,
+        bindings: vec![ColumnBinding::Var(u), ColumnBinding::Var(v)],
+    };
+    let query = ConjunctiveQuery {
+        atoms: vec![atom(a, X, Y), atom(b, Y, Z), atom(c, Z, C), atom(d, X, W)],
+        anti_atoms: vec![],
+        neq: vec![],
+        neq_const: vec![],
+        ranges: vec![],
+        output: vec![X, Y, Z, C, W],
+        distinct: false,
+    };
+    (db, query)
+}
+
+#[test]
+fn divergence_triggers_replan_and_reduces_intermediate_rows() {
+    let (db, query) = build_db();
+
+    let (mut adaptive_out, adaptive) =
+        execute_adaptive(&db, &query, &OptimizerConfig::default()).unwrap();
+    let static_config = OptimizerConfig {
+        replan: false,
+        ..Default::default()
+    };
+    let (mut static_out, static_run) = execute_adaptive(&db, &query, &static_config).unwrap();
+
+    // The A ⋈ B step blows past the estimate (192 est vs 800 actual)...
+    let step = &adaptive.steps[1];
+    assert_eq!(step.actual_rows, 800);
+    assert!(
+        step.actual_rows as f64 / step.est_rows > 4.0,
+        "fixture lost its divergence: est {} vs actual {}",
+        step.est_rows,
+        step.actual_rows
+    );
+    // ...which re-orders the tail exactly once; the static run never does.
+    assert_eq!(adaptive.replans, 1);
+    assert_eq!(static_run.replans, 0);
+
+    // The re-planned order joins D (8× fan-out) before C (30× fan-out):
+    // 40 + 800 + 6400 + 192000 rows versus 40 + 800 + 24000 + 192000.
+    assert_eq!(adaptive.intermediate_rows, 199_240);
+    assert_eq!(static_run.intermediate_rows, 216_840);
+    assert!(adaptive.intermediate_rows < static_run.intermediate_rows);
+
+    // Join order is result-invariant: same multiset either way.
+    adaptive_out.sort_rows();
+    static_out.sort_rows();
+    assert_eq!(adaptive_out, static_out);
+    assert_eq!(adaptive_out.len(), 192_000);
+}
+
+#[test]
+fn observed_cardinality_lands_in_catalog() {
+    let (mut db, query) = build_db();
+    let (_, report) = execute_adaptive(&db, &query, &OptimizerConfig::default()).unwrap();
+
+    assert!(db.feedback_len() == 0);
+    report.fold_into(&mut db);
+    assert!(db.feedback_len() > 0);
+
+    // The corrected A ⋈ B cardinality is keyed by the prefix signature
+    // the planner consults, so the next static plan of this shape starts
+    // from 800 observed rows instead of the 192-row NDV estimate.
+    let sig = join_prefix_sig(&query, &[0, 1]);
+    assert_eq!(db.feedback(&sig), Some(800));
+}
+
+/// Re-planning never fires when the estimates are good: a uniform,
+/// independence-respecting database executes with zero re-plans.
+#[test]
+fn well_estimated_queries_never_replan() {
+    let mut db = Database::in_memory();
+    let t0 = db
+        .create_table("u0", TableSchema::new(vec!["x", "y"]))
+        .unwrap();
+    let t1 = db
+        .create_table("u1", TableSchema::new(vec!["y", "z"]))
+        .unwrap();
+    let t2 = db
+        .create_table("u2", TableSchema::new(vec!["z", "w"]))
+        .unwrap();
+    for i in 0..64u32 {
+        db.insert(t0, &[i, i]).unwrap();
+        db.insert(t1, &[i, i]).unwrap();
+        db.insert(t2, &[i, i]).unwrap();
+    }
+    db.analyze_all();
+    let atom = |table, u, v| QueryAtom {
+        table,
+        bindings: vec![ColumnBinding::Var(u), ColumnBinding::Var(v)],
+    };
+    let query = ConjunctiveQuery {
+        atoms: vec![atom(t0, X, Y), atom(t1, Y, Z), atom(t2, Z, W)],
+        anti_atoms: vec![],
+        neq: vec![],
+        neq_const: vec![],
+        ranges: vec![],
+        output: vec![X, W],
+        distinct: false,
+    };
+    let (out, report) = execute_adaptive(&db, &query, &OptimizerConfig::default()).unwrap();
+    assert_eq!(report.replans, 0);
+    assert_eq!(out.len(), 64);
+}

@@ -12,8 +12,9 @@ use tuffy_rdbms::optimizer::plan_analyzed;
 use tuffy_rdbms::query::{ColumnBinding, ConjunctiveQuery, QueryAtom};
 use tuffy_rdbms::{Database, JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig, TableSchema};
 
-/// All eight lesion configurations; index 0 is the all-on default and the
-/// last is the paper's fully-lesioned Alchemy-like baseline.
+/// All sixteen lesion configurations (join order × algorithm × pushdown ×
+/// statistics); index 0 is the all-on default and the last is the paper's
+/// fully-lesioned Alchemy-like baseline.
 fn all_configs() -> Vec<OptimizerConfig> {
     let mut out = Vec::new();
     for join_order in [JoinOrderPolicy::Auto, JoinOrderPolicy::Program] {
@@ -22,11 +23,15 @@ fn all_configs() -> Vec<OptimizerConfig> {
             JoinAlgorithmPolicy::NestedLoopOnly,
         ] {
             for pushdown in [true, false] {
-                out.push(OptimizerConfig {
-                    join_order,
-                    join_algorithm,
-                    pushdown,
-                });
+                for use_stats in [true, false] {
+                    out.push(OptimizerConfig {
+                        join_order,
+                        join_algorithm,
+                        pushdown,
+                        use_stats,
+                        ..Default::default()
+                    });
+                }
             }
         }
     }
@@ -83,6 +88,7 @@ fn build_query(
         anti_atoms: vec![],
         neq: vec![],
         neq_const: vec![],
+        ranges: vec![],
         output: vec![],
         distinct,
     };

@@ -85,6 +85,7 @@ impl RdbmsSearch {
             anti_atoms: vec![],
             neq: vec![],
             neq_const: vec![],
+            ranges: vec![],
             output: vec![0, 1],
             distinct: false,
         };

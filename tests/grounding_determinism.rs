@@ -1,0 +1,161 @@
+//! Parallel-grounding determinism: [`ground_bottom_up_threaded`] must
+//! produce a [`GroundingResult`] **identical at every thread count** —
+//! same atom numbering, same clause order, same weights, provenance,
+//! occurrence lists, and base cost (the deterministic-merge contract in
+//! `tuffy_grounder::bottomup`). Checked on all four scenario generators
+//! at threads {1, 2, 4, 8}, and property-tested against randomized
+//! dataset shapes. The single-threaded entry point
+//! [`ground_bottom_up`] is pinned equivalent to `threads = 1`.
+
+use proptest::prelude::*;
+use tuffy_datagen::Dataset;
+use tuffy_grounder::{ground_bottom_up, ground_bottom_up_threaded, GroundingMode, GroundingResult};
+use tuffy_rdbms::OptimizerConfig;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A deep, order-sensitive fingerprint of everything a search or serving
+/// consumer can observe in a grounding.
+fn fingerprint(g: &GroundingResult) -> Vec<String> {
+    let mut v = Vec::new();
+    v.push(format!(
+        "atoms={} clauses={} base={:?}",
+        g.mrf.num_atoms(),
+        g.mrf.num_clauses(),
+        g.mrf.base_cost
+    ));
+    for (aid, pred, args) in g.registry.iter() {
+        v.push(format!("atom {aid}: {}#{args:?}", pred.0));
+    }
+    for ci in 0..g.mrf.num_clauses() {
+        let p = g.mrf.provenance(ci);
+        v.push(format!(
+            "clause {ci}: {:?} w={:?} prov=({},{},{},{})",
+            g.mrf.clause_lits(ci),
+            g.mrf.clause_weight(ci),
+            p.pos_soft,
+            p.neg_soft,
+            p.hard,
+            p.neg_hard
+        ));
+    }
+    for a in 0..g.mrf.num_atoms() as u32 {
+        v.push(format!("occ {a}: {:?}", g.mrf.occurrences(a)));
+    }
+    v
+}
+
+fn ground(ds: &Dataset, threads: usize) -> GroundingResult {
+    ground_bottom_up_threaded(
+        &ds.program,
+        &ds.evidence,
+        GroundingMode::LazyClosure,
+        &OptimizerConfig::default(),
+        threads,
+    )
+    .expect("grounding failed")
+}
+
+fn assert_thread_invariant(ds: Dataset) {
+    let reference = fingerprint(&ground(&ds, 1));
+    assert!(
+        reference.len() > 1,
+        "degenerate fixture: nothing got grounded"
+    );
+    for t in THREADS {
+        let got = fingerprint(&ground(&ds, t));
+        assert_eq!(got, reference, "threads={t} diverged from threads=1");
+    }
+    // The convenience entry point is the threads=1 run.
+    let single = ground_bottom_up(
+        &ds.program,
+        &ds.evidence,
+        GroundingMode::LazyClosure,
+        &OptimizerConfig::default(),
+    )
+    .expect("grounding failed");
+    assert_eq!(fingerprint(&single), reference);
+}
+
+#[test]
+fn er_grounding_is_thread_invariant() {
+    assert_thread_invariant(tuffy_datagen::er(8, 24, 7));
+}
+
+#[test]
+fn lp_grounding_is_thread_invariant() {
+    assert_thread_invariant(tuffy_datagen::lp(4, 6, 7));
+}
+
+#[test]
+fn rc_grounding_is_thread_invariant() {
+    assert_thread_invariant(tuffy_datagen::rc(6, 8, 7));
+}
+
+#[test]
+fn ie_grounding_is_thread_invariant() {
+    assert_thread_invariant(tuffy_datagen::ie(24, 12, 7));
+}
+
+/// Lesion interplay: determinism must hold with statistics and adaptive
+/// re-planning disabled too (the `--no-stats` path).
+#[test]
+fn determinism_holds_without_stats() {
+    let ds = tuffy_datagen::er(8, 24, 11);
+    let config = OptimizerConfig {
+        use_stats: false,
+        replan: false,
+        ..Default::default()
+    };
+    let reference = fingerprint(
+        &ground_bottom_up_threaded(
+            &ds.program,
+            &ds.evidence,
+            GroundingMode::LazyClosure,
+            &config,
+            1,
+        )
+        .unwrap(),
+    );
+    for t in THREADS {
+        let got = fingerprint(
+            &ground_bottom_up_threaded(
+                &ds.program,
+                &ds.evidence,
+                GroundingMode::LazyClosure,
+                &config,
+                t,
+            )
+            .unwrap(),
+        );
+        assert_eq!(got, reference, "no-stats threads={t} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel ≡ sequential on randomized dataset shapes and sizes,
+    /// across every generator family.
+    #[test]
+    fn parallel_grounding_matches_sequential(
+        family in 0usize..4,
+        scale in 2usize..8,
+        seed in 0u64..64,
+    ) {
+        let ds = match family {
+            0 => tuffy_datagen::er(scale, 4 * scale, seed),
+            1 => tuffy_datagen::lp(scale, scale + 1, seed),
+            2 => tuffy_datagen::rc(scale, scale + 2, seed),
+            _ => tuffy_datagen::ie(4 * scale, 2 * scale, seed),
+        };
+        let reference = fingerprint(&ground(&ds, 1));
+        for t in [2usize, 8] {
+            prop_assert_eq!(
+                &fingerprint(&ground(&ds, t)),
+                &reference,
+                "family={} scale={} seed={} threads={}", family, scale, seed, t
+            );
+        }
+    }
+}

@@ -114,7 +114,12 @@ proptest! {
         for join_order in [JoinOrderPolicy::Auto, JoinOrderPolicy::Program] {
             for join_algorithm in [JoinAlgorithmPolicy::Auto, JoinAlgorithmPolicy::NestedLoopOnly] {
                 for pushdown in [true, false] {
-                    let cfg = OptimizerConfig { join_order, join_algorithm, pushdown };
+                    let cfg = OptimizerConfig {
+                        join_order,
+                        join_algorithm,
+                        pushdown,
+                        ..Default::default()
+                    };
                     let r =
                         ground_bottom_up(&program, &evidence, GroundingMode::LazyClosure, &cfg)
                             .unwrap();
