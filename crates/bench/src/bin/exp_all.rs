@@ -21,6 +21,7 @@ fn main() {
         ("scaling", tuffy_bench::experiments::scaling::report),
         ("session", tuffy_bench::experiments::session::report),
         ("serve", tuffy_bench::experiments::serve::report),
+        ("net", tuffy_bench::experiments::net::report),
         ("flips", tuffy_bench::experiments::flips::report),
         ("ground", tuffy_bench::experiments::ground::report),
     ];

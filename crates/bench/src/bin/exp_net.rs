@@ -1,0 +1,11 @@
+//! Regenerates the networked-serving latency report and
+//! `BENCH_net.json`.
+//!
+//! `--smoke` runs two tiny connection levels and skips the JSON write —
+//! the CI variant that validates the harness (server start, protocol
+//! round trips, load-generator plumbing) without overwriting committed
+//! numbers.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    tuffy_bench::emit("net", &tuffy_bench::experiments::net::report_with(smoke));
+}

@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig8;
 pub mod flips;
 pub mod ground;
+pub mod net;
 pub mod scaling;
 pub mod serve;
 pub mod session;

@@ -1,0 +1,236 @@
+//! Networked serving: latency and throughput over the `tuffyd` wire
+//! protocol vs connection count.
+//!
+//! The load generator drives N concurrent [`tuffy_serve::Client`]s over
+//! loopback against one [`tuffy_serve::Server`] (grounding-scale RC,
+//! grounded once). Every client runs M plain MAP queries with distinct
+//! WalkSAT seeds and a small explicit flip budget; latency is measured
+//! from first send to answer, **including** any `busy` backpressure
+//! retries — the user-visible time-to-answer under load. The server
+//! runs its default admission control (8 in-flight requests), so the
+//! high-connection levels exercise the typed-`Busy` retry path rather
+//! than an unbounded queue.
+//!
+//! Throughput on this testbed is bounded by min(connections, host CPUs)
+//! — the JSON records `host_cpus` so numbers from different hosts are
+//! not compared naively. Writes `BENCH_net.json` at the repository root
+//! (`cargo run --release -p tuffy-bench --bin exp_net`; `--smoke` runs
+//! two tiny levels and skips the JSON write).
+
+use crate::format::TextTable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tuffy::Tuffy;
+use tuffy_serve::{Client, ClientError, ServeConfig, Server, WireQuery, WireQueryKind};
+
+/// Concurrent-connection levels measured (the top level is the
+/// "hundreds of clients" point; all levels share one grounded engine).
+pub const CONNECTIONS: [usize; 4] = [1, 8, 64, 256];
+
+/// MAP queries per connection.
+pub const QUERIES_PER_CONN: usize = 8;
+
+/// Flip budget per query — small, so a level is dominated by
+/// request/response traffic rather than one long search.
+const FLIPS: u64 = 10_000;
+
+/// One connection level's measurement.
+pub struct NetRate {
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Total queries answered (conns × queries/conn).
+    pub queries: usize,
+    /// Wall seconds for the whole batch (connect + query + drain).
+    pub wall_secs: f64,
+    /// Median time-to-answer.
+    pub p50: Duration,
+    /// 99th-percentile time-to-answer.
+    pub p99: Duration,
+    /// `busy` frames answered with a retry (admission backpressure).
+    pub busy_retries: u64,
+}
+
+impl NetRate {
+    /// Answered queries per wall second.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall_secs.max(1e-12)
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    assert!(!sorted.is_empty());
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Issues one MAP query, retrying through `busy` backpressure with
+/// exponential backoff (a tight retry loop from hundreds of clients
+/// would starve the server's search threads on a small host); returns
+/// the time from first send to answer and the number of retries.
+fn timed_query(client: &mut Client, query: &WireQuery) -> (Duration, u64) {
+    let t0 = Instant::now();
+    let mut retries = 0u64;
+    let mut backoff = Duration::from_millis(2);
+    loop {
+        match client.query(query) {
+            Ok(_) => return (t0.elapsed(), retries),
+            Err(ClientError::Busy(_)) => {
+                retries += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(200));
+            }
+            Err(e) => panic!("load-generator query failed: {e}"),
+        }
+    }
+}
+
+/// Runs the load generator at every connection level against one
+/// shared server.
+pub fn measure(smoke: bool) -> Vec<NetRate> {
+    let ds = crate::datasets::rc_ground();
+    let engine = Tuffy::from_parts(ds.program, ds.evidence)
+        .with_config(crate::tuffy_config(FLIPS))
+        .build_engine()
+        .expect("grounding");
+    // Room for the top level plus stragglers; admission control (the
+    // default 8 in-flight requests) is the contended resource.
+    let config = ServeConfig {
+        max_connections: 512,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(engine, "127.0.0.1:0", config).expect("server start");
+    let addr = server.local_addr();
+
+    let levels: &[usize] = if smoke { &[1, 4] } else { &CONNECTIONS };
+    let per_conn = if smoke { 2 } else { QUERIES_PER_CONN };
+
+    let mut out = Vec::new();
+    for &conns in levels {
+        let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+        let busy = AtomicU64::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for conn in 0..conns {
+                let latencies = &latencies;
+                let busy = &busy;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut mine = Vec::with_capacity(per_conn);
+                    for i in 0..per_conn {
+                        let query = WireQuery {
+                            kind: WireQueryKind::Map,
+                            predicates: Vec::new(),
+                            given: None,
+                            search: Some((
+                                FLIPS,
+                                1,
+                                0.5,
+                                crate::SEED + (conn * per_conn + i) as u64,
+                            )),
+                            mcsat: None,
+                        };
+                        let (latency, retries) = timed_query(&mut client, &query);
+                        mine.push(latency);
+                        busy.fetch_add(retries, Ordering::Relaxed);
+                    }
+                    latencies.lock().unwrap().extend(mine);
+                });
+            }
+        });
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let mut lat = latencies.into_inner().unwrap();
+        lat.sort_unstable();
+        out.push(NetRate {
+            conns,
+            queries: conns * per_conn,
+            wall_secs,
+            p50: percentile(&lat, 50.0),
+            p99: percentile(&lat, 99.0),
+            busy_retries: busy.load(Ordering::Relaxed),
+        });
+    }
+    assert_eq!(
+        server.engine().groundings_performed(),
+        1,
+        "plain MAP serving must never re-ground"
+    );
+    out
+}
+
+/// Renders the measurements as the `BENCH_net.json` document.
+pub fn to_json(rates: &[NetRate]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut body = String::from("{\n  \"bench\": \"net_serving\",\n  \"unit\": \"seconds\",\n");
+    body.push_str(&format!(
+        "  \"host_cpus\": {cpus},\n  \"queries_per_conn\": {QUERIES_PER_CONN},\n  \
+         \"flip_budget\": {FLIPS},\n  \"levels\": [\n"
+    ));
+    for (i, r) in rates.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"connections\": {}, \"queries\": {}, \"wall_secs\": {:.6}, \
+             \"qps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"busy_retries\": {}}}{}\n",
+            r.conns,
+            r.queries,
+            r.wall_secs,
+            r.qps(),
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.busy_retries,
+            if i + 1 == rates.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    body
+}
+
+/// Builds the networked-serving report; unless `smoke`, also writes
+/// `BENCH_net.json` at the repository root (the current directory of
+/// every `exp_*` binary).
+pub fn report_with(smoke: bool) -> String {
+    let rates = measure(smoke);
+    if !smoke {
+        let json = to_json(&rates);
+        if let Err(e) = std::fs::write("BENCH_net.json", &json) {
+            eprintln!("warning: could not write BENCH_net.json: {e}");
+        } else {
+            eprintln!("(written to BENCH_net.json)");
+        }
+    }
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = format!(
+        "Networked serving over the tuffyd wire protocol (grounding-scale RC,\n\
+         one engine; N loopback clients x {} MAP queries each at {} flips;\n\
+         latency includes busy-retry wait; throughput is bounded by\n\
+         min(connections, host_cpus) — this host has {} CPU(s); regenerate\n\
+         with `cargo run --release -p tuffy-bench --bin exp_net`)\n\n",
+        if smoke { 2 } else { QUERIES_PER_CONN },
+        FLIPS,
+        cpus
+    );
+    let mut t = TextTable::new(vec![
+        "connections",
+        "queries",
+        "qps",
+        "p50 ms",
+        "p99 ms",
+        "busy retries",
+    ]);
+    for r in &rates {
+        t.row(vec![
+            r.conns.to_string(),
+            r.queries.to_string(),
+            format!("{:.2}", r.qps()),
+            format!("{:.3}", r.p50.as_secs_f64() * 1e3),
+            format!("{:.3}", r.p99.as_secs_f64() * 1e3),
+            r.busy_retries.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// [`report_with`] at full scale.
+pub fn report() -> String {
+    report_with(false)
+}

@@ -86,6 +86,22 @@ impl Engine {
     pub fn groundings_performed(&self) -> u64 {
         self.base.counters().groundings()
     }
+
+    /// Generations this engine lineage has created: 1 after
+    /// `build_engine` (the base generation), +1 for every
+    /// [`Session::apply`] or [`crate::Query::given`] fork that produced
+    /// a new generation (incrementally patched *or* re-ground; not
+    /// no-op deltas, which share the parent generation).
+    ///
+    /// Like [`Engine::groundings_performed`] this is **per-engine**
+    /// instrumentation, unlike the process-global counter behind
+    /// `tuffy_grounder::stats` — suites asserting on it stay meaningful
+    /// when the harness runs test files concurrently (e.g. under
+    /// `--test-threads=8`), because engines built by other tests cannot
+    /// perturb it.
+    pub fn generations_created(&self) -> u64 {
+        self.base.counters().generations()
+    }
 }
 
 impl Tuffy {

@@ -98,6 +98,10 @@ impl EngineCounters {
     pub(crate) fn groundings(&self) -> u64 {
         self.groundings.load(Ordering::Relaxed)
     }
+
+    pub(crate) fn generations(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
+    }
 }
 
 /// How a [`Snapshot::fork`] caller should carry warm-start search state

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! tuffy -i prog.mln -e evidence.db [-r result.out] [--marginal] \
-//!       [--delta d.db ...] [--session] [--serve N] \
+//!       [--delta d.db ...] [--session] [--serve N] [--connect ADDR] \
 //!       [--flips N] [--parallel N] [--no-partition] [--mem-budget BYTES] \
 //!       [--partition-rounds N] [--seed N] [--arch hybrid|inmemory|rdbms] \
 //!       [--explain] [--explain-schedule] [--join-order auto|program] \
@@ -28,6 +28,12 @@
 //! snapshot, the outputs are verified bit-identical, and the measured
 //! queries/sec is reported — zero re-grounding, one shared store.
 //!
+//! `--connect HOST:PORT` talks to a running `tuffyd` instead of loading
+//! a program: no `-i`/`-e`, inference runs server-side against the
+//! connection's session, and `--delta`/`--session` commit deltas over
+//! the wire (forking that session's generation copy-on-write, invisible
+//! to other clients). Local-engine flags are rejected in this mode.
+//!
 //! `--explain` prints the physical plan (`EXPLAIN`) of every grounding
 //! query under the selected lesion knobs and exits without running
 //! inference; the three lesion flags mirror the paper's Table 6 study.
@@ -41,6 +47,8 @@ use tuffy::{
     Architecture, JoinAlgorithmPolicy, JoinOrderPolicy, McSatParams, PartitionStrategy, Query,
     Session, Tuffy, TuffyConfig, WalkSatParams,
 };
+use tuffy_serve::client::{Client, WireAnswer};
+use tuffy_serve::wire::{WireQuery, WireQueryKind};
 
 struct Args {
     program: String,
@@ -49,6 +57,7 @@ struct Args {
     deltas: Vec<String>,
     session: bool,
     serve: usize,
+    connect: Option<String>,
     marginal: bool,
     explain: bool,
     explain_schedule: bool,
@@ -68,7 +77,7 @@ struct Args {
 fn usage() -> &'static str {
     "usage: tuffy -i <prog.mln> [-e <evidence.db>] [-r <result.out>]\n\
      \x20       [--marginal] [--delta <delta.db>]... [--session] [--serve N]\n\
-     \x20       [--flips N] [--parallel N] [--no-partition]\n\
+     \x20       [--connect HOST:PORT] [--flips N] [--parallel N] [--no-partition]\n\
      \x20       [--mem-budget BYTES] [--partition-rounds N] [--seed N]\n\
      \x20       [--arch hybrid|inmemory|rdbms] [--explain] [--explain-schedule]\n\
      \x20       [--join-order auto|program] [--join-algo auto|nl]\n\
@@ -83,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         deltas: Vec::new(),
         session: false,
         serve: 1,
+        connect: None,
         marginal: false,
         explain: false,
         explain_schedule: false,
@@ -110,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
             "-r" => args.result = Some(value("-r")?),
             "--delta" => args.deltas.push(value("--delta")?),
             "--session" => args.session = true,
+            "--connect" => args.connect = Some(value("--connect")?),
             "--serve" => {
                 args.serve = value("--serve")?
                     .parse()
@@ -178,7 +189,14 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
-    if args.program.is_empty() {
+    if args.connect.is_some() {
+        if !args.program.is_empty() || args.evidence.is_some() {
+            return Err("--connect talks to a running tuffyd; drop -i/-e".to_string());
+        }
+        if args.explain || args.explain_schedule {
+            return Err("--explain requires a local engine, not --connect".to_string());
+        }
+    } else if args.program.is_empty() {
         return Err(format!("missing -i <prog.mln>\n{}", usage()));
     }
     Ok(args)
@@ -357,8 +375,174 @@ fn repl(session: &mut Session, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Networked mode (`--connect`)
+// ---------------------------------------------------------------------
+
+/// The wire mirror of [`cli_query`]: the same MAP / seeded-marginal
+/// request, with `--flips`/`--seed` carried as explicit per-request
+/// overrides (a remote server doesn't share this process's config).
+fn net_query(marginal: bool, flips: u64, seed: u64) -> WireQuery {
+    if marginal {
+        let m = McSatParams {
+            seed,
+            ..Default::default()
+        };
+        WireQuery {
+            kind: WireQueryKind::Marginal,
+            mcsat: Some((
+                m.samples as u64,
+                m.burn_in as u64,
+                m.sample_sat_steps,
+                m.p_anneal,
+                m.temperature,
+                m.seed,
+            )),
+            ..WireQuery::default()
+        }
+    } else {
+        let w = WalkSatParams {
+            max_flips: flips,
+            seed,
+            ..Default::default()
+        };
+        WireQuery {
+            kind: WireQueryKind::Map,
+            search: Some((w.max_flips, w.max_tries, w.noise, w.seed)),
+            ..WireQuery::default()
+        }
+    }
+}
+
+/// Renders a wire answer in the same output format as the local path:
+/// evidence-syntax atom lines for MAP, `prob\tatom` rows for
+/// marginal/top-k. Probabilities and costs arrive as exact IEEE bits.
+fn render_wire_answer(answer: &WireAnswer, quiet: bool) -> String {
+    match answer {
+        WireAnswer::Map(a) => {
+            if !quiet {
+                let cost = tuffy::Cost {
+                    hard: a.cost_hard,
+                    soft: f64::from_bits(a.cost_soft_bits),
+                };
+                eprintln!(
+                    "search (remote, generation {}): {} flips, solution cost {}",
+                    a.generation, a.flips, cost
+                );
+            }
+            let mut out = String::new();
+            for atom in &a.atoms {
+                out.push_str(atom);
+                out.push('\n');
+            }
+            out
+        }
+        WireAnswer::Marginal(a) | WireAnswer::TopK(a) => {
+            if !quiet {
+                eprintln!(
+                    "marginals (remote, generation {}): {} entries, {} flips",
+                    a.generation,
+                    a.entries.len(),
+                    a.flips
+                );
+            }
+            let mut out = String::new();
+            for e in &a.entries {
+                out.push_str(&format!(
+                    "{:.4}\t{}\n",
+                    f64::from_bits(e.probability_bits),
+                    e.atom
+                ));
+            }
+            out
+        }
+    }
+}
+
+fn net_infer(client: &mut Client, marginal: bool, args: &Args) -> Result<String, String> {
+    let answer = client
+        .query(&net_query(marginal, args.flips, args.seed))
+        .map_err(|e| e.to_string())?;
+    Ok(render_wire_answer(&answer, false))
+}
+
+fn net_apply_and_report(
+    client: &mut Client,
+    delta_src: &str,
+    args: &Args,
+) -> Result<String, String> {
+    let applied = client.apply(delta_src).map_err(|e| e.to_string())?;
+    eprintln!(
+        "delta: {} change(s), {} — generation {} ({} clauses over {} atoms)",
+        applied.changes,
+        if applied.incremental {
+            "patched incrementally"
+        } else {
+            "full re-ground"
+        },
+        applied.generation,
+        applied.clauses,
+        applied.atoms,
+    );
+    net_infer(client, args.marginal, args)
+}
+
+fn net_repl(client: &mut Client, args: &Args) -> Result<(), String> {
+    eprintln!(
+        "remote session REPL: evidence edits re-run inference server-side; :map :marginal :quit"
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let trimmed = line.trim();
+        let outcome = match trimmed {
+            "" => continue,
+            ":quit" | ":q" => break,
+            ":explain" => {
+                eprintln!("error: :explain requires a local engine");
+                continue;
+            }
+            ":map" => net_infer(client, false, args),
+            ":marginal" => net_infer(client, true, args),
+            _ => net_apply_and_report(client, trimmed, args),
+        };
+        match outcome {
+            Ok(output) => emit(args, &output)?,
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// The `--connect` path: same CLI surface, inference runs in `tuffyd`.
+fn run_connect(addr: &str, args: &Args) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    eprintln!(
+        "connected to tuffyd at {addr} (protocol {}, generation {})",
+        client.protocol(),
+        client.generation(),
+    );
+    let output = net_infer(&mut client, args.marginal, args)?;
+    emit(args, &output)?;
+
+    for path in &args.deltas {
+        let delta_src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("applying delta {path}");
+        let output = net_apply_and_report(&mut client, &delta_src, args)?;
+        emit(args, &output)?;
+    }
+
+    if args.session {
+        net_repl(&mut client, args)?;
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if let Some(addr) = &args.connect {
+        return run_connect(addr, &args);
+    }
     let program_src =
         std::fs::read_to_string(&args.program).map_err(|e| format!("{}: {e}", args.program))?;
     let evidence_src = match &args.evidence {

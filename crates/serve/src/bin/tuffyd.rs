@@ -1,0 +1,153 @@
+//! `tuffyd`: the Tuffy inference server.
+//!
+//! Loads a program + evidence, grounds **once** into an
+//! [`tuffy::Engine`], and serves the wire protocol on a TCP listener
+//! until stdin closes (or `quit` is typed). Clients connect with
+//! `tuffy --connect HOST:PORT` or [`tuffy_serve::Client`].
+//!
+//! ```text
+//! tuffyd -i prog.mln [-e evidence.db] [--listen ADDR]
+//!        [--flips N] [--seed N] [--parallel N] [--ground-threads N]
+//!        [--max-connections N] [--max-inflight N] [--max-heavy N]
+//!        [--max-frame-bytes N] [--frame-deadline-ms N]
+//! ```
+//!
+//! Runtime commands on stdin: `stats` prints the serving counters,
+//! `quit` (or EOF) shuts down cleanly.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::time::Duration;
+use tuffy::{Tuffy, TuffyConfig, WalkSatParams};
+use tuffy_serve::{explain_stats, ServeConfig, Server};
+
+struct Args {
+    program: String,
+    evidence: Option<String>,
+    listen: String,
+    flips: u64,
+    seed: u64,
+    threads: usize,
+    ground_threads: usize,
+    serve: ServeConfig,
+}
+
+fn usage() -> &'static str {
+    "usage: tuffyd -i <prog.mln> [-e <evidence.db>] [--listen ADDR]\n\
+     \x20       [--flips N] [--seed N] [--parallel N] [--ground-threads N]\n\
+     \x20       [--max-connections N] [--max-inflight N] [--max-heavy N]\n\
+     \x20       [--max-frame-bytes N] [--frame-deadline-ms N]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        program: String::new(),
+        evidence: None,
+        listen: "127.0.0.1:7090".to_string(),
+        flips: 1_000_000,
+        seed: 42,
+        threads: 1,
+        ground_threads: 0,
+        serve: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value\n{}", usage()))
+        };
+        fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("{flag}: {e}"))
+        }
+        match flag.as_str() {
+            "-i" => args.program = value("-i")?,
+            "-e" => args.evidence = Some(value("-e")?),
+            "--listen" => args.listen = value("--listen")?,
+            "--flips" => args.flips = num(&flag, value(&flag)?)?,
+            "--seed" => args.seed = num(&flag, value(&flag)?)?,
+            "--parallel" | "--threads" => args.threads = num(&flag, value(&flag)?)?,
+            "--ground-threads" => args.ground_threads = num(&flag, value(&flag)?)?,
+            "--max-connections" => args.serve.max_connections = num(&flag, value(&flag)?)?,
+            "--max-inflight" => args.serve.max_inflight = num(&flag, value(&flag)?)?,
+            "--max-heavy" => args.serve.max_heavy = num(&flag, value(&flag)?)?,
+            "--max-frame-bytes" => args.serve.max_frame_bytes = num(&flag, value(&flag)?)?,
+            "--frame-deadline-ms" => {
+                args.serve.frame_deadline = Duration::from_millis(num(&flag, value(&flag)?)?);
+            }
+            "-h" | "--help" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if args.program.is_empty() {
+        return Err(format!("missing -i <prog.mln>\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let program_src =
+        std::fs::read_to_string(&args.program).map_err(|e| format!("{}: {e}", args.program))?;
+    let evidence_src = match &args.evidence {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => String::new(),
+    };
+    let config = TuffyConfig {
+        threads: args.threads,
+        ground_threads: args.ground_threads,
+        search: WalkSatParams {
+            max_flips: args.flips,
+            seed: args.seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let engine = Tuffy::from_sources(&program_src, &evidence_src)
+        .map_err(|e| e.to_string())?
+        .with_config(config)
+        .build_engine()
+        .map_err(|e| e.to_string())?;
+    let snapshot = engine.snapshot();
+    eprintln!(
+        "grounded {} clauses over {} atoms; serving generation {}",
+        snapshot.grounding().mrf.clauses().len(),
+        snapshot.grounding().registry.len(),
+        snapshot.generation(),
+    );
+
+    let server =
+        Server::start(engine, args.listen.as_str(), args.serve).map_err(|e| e.to_string())?;
+    eprintln!(
+        "tuffyd listening on {} ({} connections, {} in-flight, {} heavy; `stats`, `quit`)",
+        server.local_addr(),
+        args.serve.max_connections,
+        args.serve.max_inflight,
+        args.serve.max_heavy,
+    );
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line.map_err(|e| e.to_string())?.trim() {
+            "" => {}
+            "stats" => eprint!("{}", explain_stats(&server.stats())),
+            "quit" | "q" => break,
+            other => eprintln!("unknown command `{other}` (try `stats` or `quit`)"),
+        }
+    }
+    eprint!("{}", explain_stats(&server.stats()));
+    server.shutdown();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! `tuffy-serve`: the networked serving layer over the Tuffy engine —
+//! the `tuffyd` server binary, its wire protocol, and a blocking client.
+//!
+//! PR 5 made in-process concurrent serving cheap: an [`tuffy::Engine`]
+//! grounds once, [`tuffy::Snapshot`]s share it Arc-style, and
+//! [`tuffy::Session`]s fork copy-on-write generations. This crate puts
+//! that contract behind a socket, in the spirit of the paper's thesis
+//! that inference belongs inside a long-running data-management
+//! process: `tuffyd` loads a program once and answers query streams
+//! from many clients.
+//!
+//! # Wire protocol (version 1)
+//!
+//! The protocol is length-prefixed and line-based, over TCP, built only
+//! on `std::net` (the deployment target has no network crates).
+//!
+//! **Preamble.** On accept the server writes the 8-byte magic
+//! `TUFFYD/1`; the client must answer with the same 8 bytes. Anything
+//! else draws a typed `bad-magic` error frame and a close — version
+//! drift fails at the preamble, not mid-frame. The server then sends a
+//! `welcome` frame carrying the protocol version and the generation the
+//! connection's session starts on.
+//!
+//! **Framing.** Every subsequent message is one frame: a 4-byte
+//! big-endian payload length, then that many bytes of UTF-8 payload.
+//! Zero-length frames are malformed; payloads above the receiver's cap
+//! (4 MiB by default) are rejected *without reading* — and since the
+//! unread payload makes the stream unsyncable, the connection closes.
+//!
+//! **Payloads.** A payload is newline-separated lines; the first token
+//! of the first line names the message. Floating-point values never
+//! cross as decimal text: they are formatted as 16 lowercase hex digits
+//! of their IEEE-754 bits (`f64::to_bits`), so a marginal probability
+//! or a soft cost survives the round trip *bit-identically* — the
+//! property the end-to-end suite pins against in-process
+//! [`tuffy::Snapshot::query`] answers. String fields (atom names, delta
+//! text, error messages) are backslash-escaped (`\\`, `\n`, `\r`) and
+//! placed last on their line. Requests are `query` (with `kind`,
+//! `pred`, `given`, `search`, `mcsat` detail lines), `apply` (delta
+//! source text), and `ping`; responses are `welcome`, `answer.map`,
+//! `answer.marginal`, `answer.topk`, `applied`, `pong`, `busy`, and
+//! `error`. [`wire`] documents the exact grammar; the golden tests in
+//! `tests/protocol_roundtrip.rs` pin the bytes.
+//!
+//! # Backpressure
+//!
+//! Admission control is typed, not implicit: when a limit is hit the
+//! server answers a `busy` frame naming the saturated class —
+//! [`wire::BusyClass::Connections`] (connection cap, closes),
+//! [`wire::BusyClass::Queue`] (total in-flight cap), or
+//! [`wire::BusyClass::Heavy`] (marginal / top-k / `given` / apply cap)
+//! — plus the observed in-flight count and the limit. Queue and heavy
+//! rejections keep the connection open; the client retries. Because the
+//! heavy cap is strictly below the total cap, saturating the server
+//! with marginals still leaves admission slots for cheap MAP lookups.
+//! Per-request `search`/`mcsat` overrides are clamped to server caps.
+//!
+//! # Generations: committed vs. `given` deltas
+//!
+//! The server reproduces the in-process generation rules exactly:
+//!
+//! * an **apply** commits a delta to *this connection's* session,
+//!   forking a copy-on-write generation — other connections (and the
+//!   engine's base snapshot) never observe it; the `applied` frame
+//!   reports the new generation;
+//! * a **`given`** delta conditions one query on an ephemeral fork that
+//!   is discarded after the answer — the connection's generation does
+//!   not advance;
+//! * plain queries are answered statelessly off the connection's
+//!   current snapshot, so answers are bit-identical to
+//!   [`tuffy::Snapshot::query`] regardless of connection history or
+//!   interleaving.
+//!
+//! # Faults
+//!
+//! Every protocol failure is contained to its connection and typed
+//! where the peer can still hear it: garbage preambles (`bad-magic`),
+//! unparseable or zero-length frames (`malformed`, connection kept —
+//! the length prefix preserves sync), oversized prefixes (`too-large`,
+//! close), slow-loris mid-frame stalls (`timeout` after the frame
+//! deadline, close), and torn frames or mid-request disconnects (clean
+//! drop). `tests/net_serve.rs` injects each of these against a live
+//! server and asserts no panic, no wedged worker, and no
+//! cross-connection corruption.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, WireAnswer};
+pub use server::{explain_stats, ServeConfig, Server, ServerStats};
+pub use wire::{Busy, BusyClass, ErrorCode, Request, Response, WireQuery, WireQueryKind};

@@ -1,0 +1,467 @@
+//! Satellite: the wire protocol cannot drift silently.
+//!
+//! Two layers of pinning:
+//!
+//! * **Property roundtrips** — every [`Request`] and [`Response`]
+//!   variant (including error and busy frames), with adversarial string
+//!   fields (backslashes, newlines, CRs, spaces, unicode) and
+//!   adversarial f64 bit patterns (NaN, -0.0, infinities), survives
+//!   encode→decode bit-identically.
+//! * **Byte goldens** — hand-written wire bytes for each frame kind.
+//!   A refactor that changes the encoding breaks a golden even if it
+//!   changes encode and decode symmetrically, which a roundtrip test
+//!   alone would miss.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use tuffy_serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Applied, Busy, BusyClass, ErrorCode, FrameReadError, Request, Response, WireFault,
+    WireMapAnswer, WireProbAnswer, WireProbEntry, WireQuery, WireQueryKind, MAGIC,
+};
+
+/// Builds a string from seed bytes over an alphabet chosen to stress
+/// the escaping layer: backslashes, both escaped control characters,
+/// spaces (field-splitting), parens/commas (atom syntax), and
+/// multi-byte unicode.
+fn gnarly(seed: &[u8]) -> String {
+    const ALPHABET: [char; 16] = [
+        'a', 'Z', '0', '_', '(', ')', ',', ' ', '\\', '\n', '\r', 'é', 'λ', '"', '\t', '.',
+    ];
+    seed.iter()
+        .map(|&b| ALPHABET[b as usize % ALPHABET.len()])
+        .collect()
+}
+
+/// A gnarly string that is guaranteed non-empty and does not *start*
+/// with a space (a leading space would merge with the field separator
+/// and is not produced by any real renderer).
+fn gnarly_name(seed: &[u8]) -> String {
+    format!("x{}", gnarly(seed))
+}
+
+fn roundtrip_request(req: &Request) -> Request {
+    let bytes = encode_request(req);
+    let decoded = decode_request(&bytes).expect("encoded request must decode");
+    // Re-encoding must reproduce the exact bytes: with f64s carried as
+    // IEEE bits this holds even for NaN payloads, where struct equality
+    // (`NaN != NaN`) cannot be asserted directly.
+    assert_eq!(encode_request(&decoded), bytes);
+    decoded
+}
+
+fn roundtrip_response(resp: &Response) -> Response {
+    let bytes = encode_response(resp);
+    let decoded = decode_response(&bytes).expect("encoded response must decode");
+    assert_eq!(encode_response(&decoded), bytes);
+    decoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn query_roundtrips_bit_identically(
+        kind_sel in 0u8..3,
+        topk_k in any::<u64>(),
+        pred_seeds in proptest::collection::vec(
+            proptest::collection::vec(0u8..255, 0..10), 0..4),
+        given_seed in proptest::collection::vec(0u8..255, 0..32),
+        has_given in any::<bool>(),
+        search_raw in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        has_search in any::<bool>(),
+        mcsat_raw in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        has_mcsat in any::<bool>(),
+    ) {
+        let kind = match kind_sel {
+            0 => WireQueryKind::Map,
+            1 => WireQueryKind::Marginal,
+            _ => WireQueryKind::TopK {
+                predicate: gnarly_name(&given_seed),
+                k: topk_k,
+            },
+        };
+        let predicates = if kind_sel == 1 {
+            pred_seeds.iter().map(|s| gnarly_name(s)).collect()
+        } else {
+            Vec::new()
+        };
+        // f64 fields from raw bits: exercises NaN payloads, -0.0,
+        // infinities, and subnormals, not just round numbers.
+        let (sf, st, sn, ss) = search_raw;
+        let (ma, mb, mc, md, me) = mcsat_raw;
+        let query = WireQuery {
+            kind,
+            predicates,
+            given: has_given.then(|| gnarly(&given_seed)),
+            search: has_search.then(|| (sf, st as u32, f64::from_bits(sn), ss)),
+            mcsat: has_mcsat.then(|| (ma, mb, mc, f64::from_bits(md), f64::from_bits(me), ma ^ me)),
+        };
+        let decoded = roundtrip_request(&Request::Query(query.clone()));
+        let Request::Query(q2) = decoded else {
+            return Err(TestCaseError::fail("query decoded as a different request"));
+        };
+        prop_assert_eq!(&q2.kind, &query.kind);
+        prop_assert_eq!(&q2.predicates, &query.predicates);
+        prop_assert_eq!(&q2.given, &query.given);
+        // Compare parameter overrides bitwise (NaN-proof).
+        prop_assert_eq!(
+            q2.search.map(|(f, t, n, s)| (f, t, n.to_bits(), s)),
+            query.search.map(|(f, t, n, s)| (f, t, n.to_bits(), s))
+        );
+        prop_assert_eq!(
+            q2.mcsat.map(|(a, b, c, d, e, s)| (a, b, c, d.to_bits(), e.to_bits(), s)),
+            query.mcsat.map(|(a, b, c, d, e, s)| (a, b, c, d.to_bits(), e.to_bits(), s))
+        );
+    }
+
+    #[test]
+    fn apply_and_ping_roundtrip(
+        delta_seed in proptest::collection::vec(0u8..255, 0..80),
+        token in any::<u64>(),
+    ) {
+        let apply = Request::Apply { delta: gnarly(&delta_seed) };
+        prop_assert_eq!(roundtrip_request(&apply), apply.clone());
+        let ping = Request::Ping { token };
+        prop_assert_eq!(roundtrip_request(&ping), ping.clone());
+    }
+
+    #[test]
+    fn every_response_roundtrips(
+        sel in 0u8..8,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        flag in any::<bool>(),
+        entry_seeds in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(0u8..255, 0..10)), 0..5),
+        msg_seed in proptest::collection::vec(0u8..255, 0..40),
+    ) {
+        // Probability/cost bits live as u64 on the wire structs, so
+        // direct equality is exact even for NaN bit patterns.
+        let entries: Vec<WireProbEntry> = entry_seeds
+            .iter()
+            .map(|(bits, seed)| WireProbEntry {
+                probability_bits: *bits,
+                atom: gnarly_name(seed),
+            })
+            .collect();
+        let resp = match sel {
+            0 => Response::Welcome { protocol: a as u32, generation: b },
+            1 => Response::Map(WireMapAnswer {
+                generation: a,
+                cost_hard: b,
+                cost_soft_bits: c,
+                flips: a ^ b,
+                atoms: entries.iter().map(|e| e.atom.clone()).collect(),
+            }),
+            2 => Response::Marginal(WireProbAnswer { generation: a, flips: b, entries }),
+            3 => Response::TopK(WireProbAnswer { generation: a, flips: b, entries }),
+            4 => Response::Applied(Applied {
+                generation: a,
+                incremental: flag,
+                changes: b,
+                clauses: c,
+                atoms: a.wrapping_add(b),
+            }),
+            5 => Response::Pong { token: a },
+            6 => Response::Busy(Busy {
+                class: match a % 3 {
+                    0 => BusyClass::Connections,
+                    1 => BusyClass::Queue,
+                    _ => BusyClass::Heavy,
+                },
+                inflight: b,
+                limit: c,
+            }),
+            _ => Response::Error(WireFault {
+                code: match a % 6 {
+                    0 => ErrorCode::BadMagic,
+                    1 => ErrorCode::Malformed,
+                    2 => ErrorCode::TooLarge,
+                    3 => ErrorCode::Timeout,
+                    4 => ErrorCode::Query,
+                    _ => ErrorCode::Shutdown,
+                },
+                message: gnarly(&msg_seed),
+            }),
+        };
+        prop_assert_eq!(roundtrip_response(&resp), resp.clone());
+    }
+
+    #[test]
+    fn frames_roundtrip_any_payload(
+        payload in proptest::collection::vec(0u8..255, 1..200),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        prop_assert_eq!(buf.len(), payload.len() + 4);
+        let mut r = &buf[..];
+        prop_assert_eq!(read_frame(&mut r, 1024).unwrap(), payload);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Byte goldens: the wire format, spelled out
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_magic() {
+    assert_eq!(&MAGIC, b"TUFFYD/1");
+}
+
+#[test]
+fn golden_frame_bytes() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, b"ping 7\n").unwrap();
+    assert_eq!(buf, b"\x00\x00\x00\x07ping 7\n");
+}
+
+#[test]
+fn golden_request_bytes() {
+    let cases: Vec<(Request, &[u8])> = vec![
+        (Request::Ping { token: 7 }, b"ping 7\n"),
+        (Request::Query(WireQuery::default()), b"query\nkind map\n"),
+        (
+            Request::Query(WireQuery {
+                kind: WireQueryKind::TopK {
+                    predicate: "cat".into(),
+                    k: 5,
+                },
+                ..WireQuery::default()
+            }),
+            b"query\nkind topk 5 cat\n",
+        ),
+        (
+            // The kitchen sink: marginal with predicate filter, an
+            // escaped given delta, and both parameter overrides
+            // (0.5 = 0x3fe0000000000000).
+            Request::Query(WireQuery {
+                kind: WireQueryKind::Marginal,
+                predicates: vec!["cat".into(), "wrote".into()],
+                given: Some("+p(A)\n!q(B)".into()),
+                search: Some((100_000, 1, 0.5, 42)),
+                mcsat: Some((200, 20, 2000, 0.5, 0.25, 42)),
+            }),
+            b"query\nkind marginal\npred cat\npred wrote\ngiven +p(A)\\n!q(B)\n\
+              search 100000 1 3fe0000000000000 42\n\
+              mcsat 200 20 2000 3fe0000000000000 3fd0000000000000 42\n",
+        ),
+        (
+            Request::Apply {
+                delta: "a(b)\n!c(d)".into(),
+            },
+            b"apply\ndelta a(b)\\n!c(d)\n",
+        ),
+    ];
+    for (req, bytes) in cases {
+        assert_eq!(encode_request(&req), bytes, "encode golden for {req:?}");
+        assert_eq!(decode_request(bytes).unwrap(), req, "decode golden");
+    }
+}
+
+#[test]
+fn golden_response_bytes() {
+    let cases: Vec<(Response, &[u8])> = vec![
+        (
+            Response::Welcome {
+                protocol: 1,
+                generation: 0,
+            },
+            b"welcome 1 0\n",
+        ),
+        (
+            // 1.5 = 0x3ff8000000000000.
+            Response::Map(WireMapAnswer {
+                generation: 3,
+                cost_hard: 2,
+                cost_soft_bits: 1.5f64.to_bits(),
+                flips: 77,
+                atoms: vec!["wrote(P1, Pap)".into(), "cat(Pap, DB)".into()],
+            }),
+            b"answer.map 3 2 3ff8000000000000 77\natom wrote(P1, Pap)\natom cat(Pap, DB)\n",
+        ),
+        (
+            Response::Marginal(WireProbAnswer {
+                generation: 0,
+                flips: 10,
+                entries: vec![WireProbEntry {
+                    probability_bits: 0.25f64.to_bits(),
+                    atom: "cat(A, B)".into(),
+                }],
+            }),
+            b"answer.marginal 0 10\nentry 3fd0000000000000 cat(A, B)\n",
+        ),
+        (
+            Response::TopK(WireProbAnswer {
+                generation: 1,
+                flips: 5,
+                entries: vec![WireProbEntry {
+                    probability_bits: 0.5f64.to_bits(),
+                    atom: "p(X)".into(),
+                }],
+            }),
+            b"answer.topk 1 5\nentry 3fe0000000000000 p(X)\n",
+        ),
+        (
+            Response::Applied(Applied {
+                generation: 4,
+                incremental: true,
+                changes: 3,
+                clauses: 10,
+                atoms: 7,
+            }),
+            b"applied 4 1 3 10 7\n",
+        ),
+        (Response::Pong { token: 99 }, b"pong 99\n"),
+        (
+            Response::Busy(Busy {
+                class: BusyClass::Connections,
+                inflight: 256,
+                limit: 256,
+            }),
+            b"busy conn 256 256\n",
+        ),
+        (
+            Response::Busy(Busy {
+                class: BusyClass::Queue,
+                inflight: 8,
+                limit: 8,
+            }),
+            b"busy queue 8 8\n",
+        ),
+        (
+            Response::Busy(Busy {
+                class: BusyClass::Heavy,
+                inflight: 4,
+                limit: 4,
+            }),
+            b"busy heavy 4 4\n",
+        ),
+        (
+            Response::Error(WireFault {
+                code: ErrorCode::TooLarge,
+                message: "frame of 9000000 bytes exceeds the cap".into(),
+            }),
+            b"error too-large frame of 9000000 bytes exceeds the cap\n",
+        ),
+        (
+            // Escaped newline inside an error message.
+            Response::Error(WireFault {
+                code: ErrorCode::Malformed,
+                message: "bad\nline".into(),
+            }),
+            b"error malformed bad\\nline\n",
+        ),
+    ];
+    for (resp, bytes) in cases {
+        assert_eq!(encode_response(&resp), bytes, "encode golden for {resp:?}");
+        assert_eq!(decode_response(bytes).unwrap(), resp, "decode golden");
+    }
+    // Every error code has a stable wire token.
+    for (code, token) in [
+        (ErrorCode::BadMagic, "bad-magic"),
+        (ErrorCode::Malformed, "malformed"),
+        (ErrorCode::TooLarge, "too-large"),
+        (ErrorCode::Timeout, "timeout"),
+        (ErrorCode::Query, "query"),
+        (ErrorCode::Shutdown, "shutdown"),
+    ] {
+        let resp = Response::Error(WireFault {
+            code,
+            message: "m".into(),
+        });
+        assert_eq!(
+            encode_response(&resp),
+            format!("error {token} m\n").into_bytes()
+        );
+    }
+}
+
+#[test]
+fn malformed_payloads_are_rejected() {
+    let bad_requests: &[&[u8]] = &[
+        b"",
+        b"\n",
+        b"bogus\n",
+        b"query\n",                                          // no kind
+        b"query\nkind map\nkind map\n",                      // duplicate kind
+        b"query\nkind warp\n",                               // unknown kind
+        b"query extra\nkind map\n",                          // inline fields on query
+        b"query\nkind topk 5\n",                             // topk without predicate
+        b"query\nkind topk five cat\n",                      // non-numeric k
+        b"query\nkind map\npred cat\n",                      // pred outside marginal
+        b"query\nkind map\nsearch 1 2 3\n",                  // wrong arity
+        b"query\nkind map\nsearch 1 2 3fe0000000000000 x\n", // bad seed
+        b"query\nkind map\nmystery line\n",                  // unknown detail line
+        b"apply\n",                                          // missing delta
+        b"apply\ndelta a\ndelta b\n",                        // two deltas
+        b"apply\ndelta bad\\q\n",                            // unknown escape
+        b"ping\n",                                           // missing token
+        b"ping 1 2\n",                                       // extra field
+        b"ping abc\n",                                       // non-numeric token
+        b"welcome 1 0\n",                                    // a response, not a request
+        &[0xff, 0xfe, b'\n'],                                // not UTF-8
+    ];
+    for payload in bad_requests {
+        assert!(
+            decode_request(payload).is_err(),
+            "request payload should be rejected: {payload:?}"
+        );
+    }
+
+    let bad_responses: &[&[u8]] = &[
+        b"",
+        b"bogus\n",
+        b"welcome 1\n",                                   // wrong arity
+        b"welcome 1 0 9\n",                               // wrong arity
+        b"welcome 1 0\nextra\n",                          // trailing lines on a single-line frame
+        b"answer.map 1 2 zz 3\n",                         // bad soft-cost bits
+        b"answer.map 1 2 3ff8000000000000 3\nrow x\n",    // bad row tag
+        b"answer.marginal 1 2\nentry 3fe0000000000000\n", // entry without atom
+        b"applied 1 2 3 4 5\n",                           // non-boolean incremental flag
+        b"busy wat 1 2\n",                                // unknown busy class
+        b"error nope m\n",                                // unknown error code
+        b"pong\n",                                        // missing token
+        b"ping 7\n",                                      // a request, not a response
+    ];
+    for payload in bad_responses {
+        assert!(
+            decode_response(payload).is_err(),
+            "response payload should be rejected: {payload:?}"
+        );
+    }
+}
+
+#[test]
+fn frame_reader_reports_typed_faults() {
+    // Torn frame: prefix promises 10 bytes, stream carries 3.
+    let torn = [&4u32.to_be_bytes()[..], b"abc"].concat();
+    let torn = [&10u32.to_be_bytes()[..], &torn[4..]].concat();
+    assert!(matches!(
+        read_frame(&mut &torn[..], 1024),
+        Err(FrameReadError::Truncated)
+    ));
+    // Oversized prefix: rejected without reading the payload.
+    let huge = 5_000_000u32.to_be_bytes();
+    assert!(matches!(
+        read_frame(&mut &huge[..], 1024),
+        Err(FrameReadError::TooLarge(5_000_000))
+    ));
+    // Zero-length frame.
+    let empty = 0u32.to_be_bytes();
+    assert!(matches!(
+        read_frame(&mut &empty[..], 1024),
+        Err(FrameReadError::Empty)
+    ));
+    // Clean close between frames.
+    assert!(matches!(
+        read_frame(&mut &[][..], 1024),
+        Err(FrameReadError::Closed)
+    ));
+    // Mid-prefix close is torn, not clean.
+    assert!(matches!(
+        read_frame(&mut &[0u8, 0][..], 1024),
+        Err(FrameReadError::Truncated)
+    ));
+}

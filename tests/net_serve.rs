@@ -1,0 +1,688 @@
+//! End-to-end fault injection against a live `tuffyd` server over
+//! loopback, plus the served-answer identity pin: every answer a client
+//! receives must be **bit-identical** to asking the in-process
+//! [`tuffy::Snapshot::query`] directly — costs, flip counts, atom
+//! renderings, and raw `f64` probability bits.
+//!
+//! Unlike `serve_stress.rs`, this file intentionally holds many
+//! `#[test]`s that the harness may run concurrently (CI runs it with
+//! `--test-threads=8`): every assertion uses the **per-engine**
+//! counters ([`tuffy::Engine::groundings_performed`],
+//! [`tuffy::Engine::generations_created`]) rather than the
+//! process-global grounder counter, so tests grounding in parallel in
+//! the same process cannot perturb each other.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use tuffy::{Engine, McSatParams, Query, QueryAnswer, Tuffy, TuffyConfig, WalkSatParams};
+use tuffy_serve::client::{Client, ClientError, WireAnswer};
+use tuffy_serve::wire::{
+    decode_response, read_frame, write_frame, BusyClass, ErrorCode, Response, WireQuery,
+    WireQueryKind, MAGIC,
+};
+use tuffy_serve::{ServeConfig, Server};
+
+const PROGRAM: &str = r#"
+    *wrote(person, paper)
+    *refers(paper, paper)
+    cat(paper, category)
+    5 cat(p, c1), cat(p, c2) => c1 = c2
+    1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)
+    2 cat(p1, c), refers(p1, p2) => cat(p2, c)
+"#;
+
+const EVIDENCE: &str = r#"
+    wrote(Joe, P1)
+    wrote(Joe, P2)
+    wrote(Ann, P4)
+    wrote(Ann, P5)
+    refers(P1, P3)
+    refers(P4, P6)
+    cat(P2, DB)
+    cat(P5, AI)
+"#;
+
+/// The delta used by apply/given tests: conditions on an active open
+/// atom, so forks stay inside the incremental patch fragment and never
+/// re-ground (the per-engine grounding counter must stay at 1).
+const DELTA: &str = "cat(P1, DB)\n";
+
+fn mcsat() -> McSatParams {
+    McSatParams {
+        samples: 60,
+        burn_in: 5,
+        sample_sat_steps: 50,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+fn engine() -> Engine {
+    let config = TuffyConfig {
+        search: WalkSatParams {
+            max_flips: 20_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Tuffy::from_sources(PROGRAM, EVIDENCE)
+        .unwrap()
+        .with_config(config)
+        .build_engine()
+        .unwrap()
+}
+
+fn serve(config: ServeConfig) -> Server {
+    Server::start(engine(), "127.0.0.1:0", config).unwrap()
+}
+
+/// The wire mirror of [`mcsat`], sent as an explicit per-request
+/// override so server answers use the exact parameters of the
+/// in-process baseline.
+fn wire_mcsat() -> (u64, u64, u64, f64, f64, u64) {
+    let m = mcsat();
+    (
+        m.samples as u64,
+        m.burn_in as u64,
+        m.sample_sat_steps,
+        m.p_anneal,
+        m.temperature,
+        m.seed,
+    )
+}
+
+fn wire_map() -> WireQuery {
+    WireQuery::default()
+}
+
+fn wire_marginal() -> WireQuery {
+    WireQuery {
+        kind: WireQueryKind::Marginal,
+        mcsat: Some(wire_mcsat()),
+        ..WireQuery::default()
+    }
+}
+
+fn wire_topk() -> WireQuery {
+    WireQuery {
+        kind: WireQueryKind::TopK {
+            predicate: "cat".into(),
+            k: 3,
+        },
+        mcsat: Some(wire_mcsat()),
+        ..WireQuery::default()
+    }
+}
+
+fn wire_given_map() -> WireQuery {
+    WireQuery {
+        given: Some(DELTA.into()),
+        ..WireQuery::default()
+    }
+}
+
+/// Canonical bit-exact rendering of a served answer.
+fn wire_canon(a: &WireAnswer) -> String {
+    match a {
+        WireAnswer::Map(m) => format!(
+            "map hard={} soft={:016x} flips={} atoms={:?}",
+            m.cost_hard, m.cost_soft_bits, m.flips, m.atoms
+        ),
+        WireAnswer::Marginal(p) => {
+            let rows: Vec<(&str, u64)> = p
+                .entries
+                .iter()
+                .map(|e| (e.atom.as_str(), e.probability_bits))
+                .collect();
+            format!("marginal flips={} probs={rows:?}", p.flips)
+        }
+        WireAnswer::TopK(p) => {
+            let rows: Vec<(&str, u64)> = p
+                .entries
+                .iter()
+                .map(|e| (e.atom.as_str(), e.probability_bits))
+                .collect();
+            format!("top_k probs={rows:?}")
+        }
+    }
+}
+
+/// Canonical rendering of an in-process answer, producing the *same*
+/// string as [`wire_canon`] when the served answer is bit-identical.
+fn local_canon(engine: &Engine, a: &QueryAnswer) -> String {
+    let program = engine.program();
+    match a {
+        QueryAnswer::Map(r) => {
+            let atoms: Vec<String> = r
+                .true_atoms()
+                .iter()
+                .map(|ga| tuffy::render_atom(program, ga))
+                .collect();
+            format!(
+                "map hard={} soft={:016x} flips={} atoms={:?}",
+                r.cost.hard,
+                r.cost.soft.to_bits(),
+                r.report.flips,
+                atoms
+            )
+        }
+        QueryAnswer::Marginal(r) => {
+            let rows: Vec<(&str, u64)> = r
+                .names
+                .iter()
+                .zip(r.marginals.iter())
+                .map(|(n, (_, p))| (n.as_str(), p.to_bits()))
+                .collect();
+            format!("marginal flips={} probs={rows:?}", r.report.flips)
+        }
+        QueryAnswer::TopK(r) => {
+            let rows: Vec<(&str, u64)> = r
+                .entries
+                .iter()
+                .map(|e| (e.name.as_str(), e.probability.to_bits()))
+                .collect();
+            format!("top_k probs={rows:?}")
+        }
+    }
+}
+
+/// The four in-process baselines, canonicalized.
+fn baselines(engine: &Engine) -> Vec<String> {
+    let delta = {
+        let mut probe = engine.open_session();
+        probe.parse_delta(DELTA).unwrap()
+    };
+    let snapshot = engine.snapshot();
+    [
+        Query::map(),
+        Query::marginal_all().with_mcsat(mcsat()),
+        Query::top_k("cat", 3).with_mcsat(mcsat()),
+        Query::map().given(delta),
+    ]
+    .iter()
+    .map(|q| local_canon(engine, &snapshot.query(q).unwrap()))
+    .collect()
+}
+
+fn wire_queries() -> Vec<WireQuery> {
+    vec![wire_map(), wire_marginal(), wire_topk(), wire_given_map()]
+}
+
+/// A raw socket that has completed the preamble (magic exchange +
+/// welcome frame) and can now inject arbitrary bytes.
+fn raw_handshake(server: &Server) -> TcpStream {
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).unwrap();
+    assert_eq!(magic, MAGIC);
+    stream.write_all(&MAGIC).unwrap();
+    let welcome = read_frame(&mut stream, 1 << 20).unwrap();
+    assert!(matches!(
+        decode_response(&welcome).unwrap(),
+        Response::Welcome { protocol: 1, .. }
+    ));
+    stream
+}
+
+/// Reads the next typed error frame off a raw socket.
+fn expect_error(stream: &mut TcpStream, code: ErrorCode) {
+    let frame = read_frame(stream, 1 << 20).unwrap();
+    match decode_response(&frame).unwrap() {
+        Response::Error(f) => assert_eq!(f.code, code, "unexpected error: {}", f.message),
+        other => panic!("expected an `error {}` frame, got {other:?}", code.as_str()),
+    }
+}
+
+/// Asserts the server still answers a fresh, well-behaved client with
+/// the exact baseline MAP answer — the "no wedged worker, no
+/// cross-connection corruption" probe run after every injected fault.
+fn assert_server_healthy(server: &Server, map_baseline: &str) {
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let answer = client.query(&wire_map()).unwrap();
+    assert_eq!(wire_canon(&answer), map_baseline);
+}
+
+// ---------------------------------------------------------------------
+// Identity: served answers == in-process answers, bit for bit
+// ---------------------------------------------------------------------
+
+#[test]
+fn served_answers_are_bit_identical_to_in_process_queries() {
+    let server = serve(ServeConfig::default());
+    let baseline = baselines(server.engine());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for (q, expected) in wire_queries().iter().zip(&baseline) {
+        let answer = client.query(q).unwrap();
+        assert_eq!(&wire_canon(&answer), expected, "served answer diverged");
+        assert_eq!(answer.generation(), 0, "queries must not fork generations");
+    }
+    // Re-running after the whole mix must reproduce the same bits:
+    // served queries are stateless, so history cannot leak into answers.
+    for (q, expected) in wire_queries().iter().zip(&baseline) {
+        assert_eq!(&wire_canon(&client.query(q).unwrap()), expected);
+    }
+    assert_eq!(server.engine().groundings_performed(), 1);
+    // Two passes over [map, marginal, topk, given-map]: the plain MAP
+    // is light; marginal, top-k, and `given` take heavy slots.
+    assert_eq!(server.stats().queries_light, 2);
+    assert_eq!(server.stats().queries_heavy, 6);
+}
+
+#[test]
+fn concurrent_clients_all_receive_the_sequential_baseline() {
+    let server = serve(ServeConfig {
+        // Wide admission: this test measures identity under
+        // interleaving, not backpressure.
+        max_inflight: 64,
+        max_heavy: 32,
+        ..ServeConfig::default()
+    });
+    let baseline = baselines(server.engine());
+    let gen_before = server.engine().generations_created();
+    let queries = wire_queries();
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 8;
+    const QUERIES_PER_CLIENT: usize = 4;
+    let results: Vec<Vec<(usize, String)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    (0..QUERIES_PER_CLIENT)
+                        .map(|i| {
+                            // Stagger kinds so every interleaving mixes
+                            // light and heavy requests.
+                            let k = (c + i) % queries.len();
+                            (k, wire_canon(&client.query(&queries[k]).unwrap()))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for per_client in results {
+        for (k, rendered) in per_client {
+            assert_eq!(
+                rendered, baseline[k],
+                "a concurrent client diverged from the sequential baseline"
+            );
+        }
+    }
+    // The storm re-used the one grounding the engine build paid for —
+    // asserted on the per-engine counter, which concurrent tests in
+    // this same process cannot perturb. Each of the 8 `given` queries
+    // consumed one ephemeral generation id (copy-on-write forks), on
+    // top of the one the baseline's `given` run consumed.
+    assert_eq!(server.engine().groundings_performed(), 1);
+    assert_eq!(server.engine().generations_created(), gen_before + 8);
+}
+
+#[test]
+fn committed_applies_fork_private_generations() {
+    let server = serve(ServeConfig::default());
+    let engine = server.engine().clone();
+    let baseline_map = baselines(&engine).remove(0);
+
+    // In-process expectation for the post-apply world.
+    let expected_after = {
+        let mut s = engine.open_session();
+        let delta = s.parse_delta(DELTA).unwrap();
+        s.apply(&delta).unwrap();
+        let answer = s.snapshot().query(&Query::map()).unwrap();
+        local_canon(&engine, &answer)
+    };
+
+    let mut writer = Client::connect(server.local_addr()).unwrap();
+    let mut reader = Client::connect(server.local_addr()).unwrap();
+
+    let applied = writer.apply(DELTA).unwrap();
+    assert!(applied.generation > 0, "apply must fork a new generation");
+    assert_eq!(writer.generation(), applied.generation);
+
+    // The writer sees the new world...
+    let after = writer.query(&wire_map()).unwrap();
+    assert_eq!(after.generation(), applied.generation);
+    assert_eq!(wire_canon(&after), expected_after);
+
+    // ...while the reader's connection still serves the base
+    // generation, bit-identical to the pre-apply baseline: committed
+    // deltas are per-connection, never global.
+    let still_base = reader.query(&wire_map()).unwrap();
+    assert_eq!(still_base.generation(), 0);
+    assert_eq!(wire_canon(&still_base), baseline_map);
+
+    // A fresh connection also starts from the base generation.
+    assert_server_healthy(&server, &baseline_map);
+
+    assert_eq!(
+        engine.groundings_performed(),
+        1,
+        "apply patched, not re-ground"
+    );
+    assert!(engine.generations_created() >= 2);
+    assert_eq!(server.stats().applies, 1);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+#[test]
+fn garbage_preamble_draws_bad_magic_and_close() {
+    let server = serve(ServeConfig::default());
+    let baseline_map = baselines(server.engine()).remove(0);
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).unwrap();
+    stream.write_all(b"GARBAGE!").unwrap();
+    expect_error(&mut stream, ErrorCode::BadMagic);
+    // ...then a clean close.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    // The client library reports the same violation as a typed error.
+    match Client::connect(server.local_addr()) {
+        Ok(_) => {}
+        Err(e) => panic!("well-behaved connect must still work: {e}"),
+    }
+    assert_server_healthy(&server, &baseline_map);
+    assert!(server.stats().protocol_errors >= 1);
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_reading() {
+    let server = serve(ServeConfig::default());
+    let baseline_map = baselines(server.engine()).remove(0);
+
+    let mut stream = raw_handshake(&server);
+    // Promise 64 MiB (over the 4 MiB cap). The server must answer
+    // `too-large` immediately — not try to read, not allocate 64 MiB.
+    stream.write_all(&(64u32 << 20).to_be_bytes()).unwrap();
+    let t0 = Instant::now();
+    expect_error(&mut stream, ErrorCode::TooLarge);
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "too-large must be rejected from the prefix alone"
+    );
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "unsyncable stream must be closed");
+
+    assert_server_healthy(&server, &baseline_map);
+}
+
+#[test]
+fn zero_length_and_malformed_frames_keep_the_connection_usable() {
+    let server = serve(ServeConfig::default());
+    let baseline_map = baselines(server.engine()).remove(0);
+
+    let mut stream = raw_handshake(&server);
+    // Zero-length frame: malformed, but framing is still in sync.
+    stream.write_all(&0u32.to_be_bytes()).unwrap();
+    expect_error(&mut stream, ErrorCode::Malformed);
+    // Unparseable payload: same.
+    write_frame(&mut stream, b"utter nonsense\n").unwrap();
+    expect_error(&mut stream, ErrorCode::Malformed);
+    // A response frame sent as a request: typed rejection, not a panic.
+    write_frame(&mut stream, b"welcome 1 0\n").unwrap();
+    expect_error(&mut stream, ErrorCode::Malformed);
+    // The same connection still answers real requests afterwards.
+    write_frame(&mut stream, b"ping 41\n").unwrap();
+    let frame = read_frame(&mut stream, 1 << 20).unwrap();
+    assert_eq!(
+        decode_response(&frame).unwrap(),
+        Response::Pong { token: 41 }
+    );
+
+    assert_server_healthy(&server, &baseline_map);
+    assert_eq!(server.stats().protocol_errors, 3);
+}
+
+#[test]
+fn torn_frames_and_mid_request_disconnects_drop_cleanly() {
+    let server = serve(ServeConfig::default());
+    let baseline_map = baselines(server.engine()).remove(0);
+
+    // Torn frame: promise 100 bytes, send 10, vanish.
+    {
+        let mut stream = raw_handshake(&server);
+        stream.write_all(&100u32.to_be_bytes()).unwrap();
+        stream.write_all(b"query\nkind").unwrap();
+    } // dropped here — mid-request disconnect
+
+    // Disconnect mid-prefix.
+    {
+        let mut stream = raw_handshake(&server);
+        stream.write_all(&[0u8, 0]).unwrap();
+    }
+
+    // Disconnect between preamble and first frame.
+    {
+        let _stream = raw_handshake(&server);
+    }
+
+    // Give the handlers a few ticks to observe the drops, then verify
+    // nothing is wedged and no slot leaked.
+    let t0 = Instant::now();
+    while server.stats().active_connections > 0 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        server.stats().active_connections,
+        0,
+        "connection slot leaked"
+    );
+    assert_eq!(server.stats().inflight, 0, "request slot leaked");
+    assert_server_healthy(&server, &baseline_map);
+}
+
+#[test]
+fn slow_loris_hits_the_frame_deadline() {
+    let server = serve(ServeConfig {
+        frame_deadline: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let baseline_map = baselines(server.engine()).remove(0);
+
+    let mut stream = raw_handshake(&server);
+    // Start a frame, then stall: two prefix bytes, then silence while
+    // holding the connection open.
+    stream.write_all(&[0u8, 0]).unwrap();
+    let t0 = Instant::now();
+    expect_error(&mut stream, ErrorCode::Timeout);
+    let waited = t0.elapsed();
+    assert!(
+        waited >= Duration::from_millis(250),
+        "deadline fired too early: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_secs(5),
+        "deadline fired far too late: {waited:?}"
+    );
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "slow-loris connection must be dropped");
+
+    assert_server_healthy(&server, &baseline_map);
+    assert!(server.stats().timeouts >= 1);
+}
+
+#[test]
+fn query_level_failures_are_typed_not_fatal() {
+    let server = serve(ServeConfig::default());
+    let baseline_map = baselines(server.engine()).remove(0);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Unknown predicate in top-k.
+    let err = client
+        .query(&WireQuery {
+            kind: WireQueryKind::TopK {
+                predicate: "unknown_pred".into(),
+                k: 3,
+            },
+            mcsat: Some(wire_mcsat()),
+            ..WireQuery::default()
+        })
+        .unwrap_err();
+    assert!(
+        matches!(&err, ClientError::Server(f) if f.code == ErrorCode::Query),
+        "expected a typed query error, got {err:?}"
+    );
+
+    // Unparseable delta text in a given.
+    let err = client
+        .query(&WireQuery {
+            given: Some("((((not a delta".into()),
+            ..WireQuery::default()
+        })
+        .unwrap_err();
+    assert!(matches!(&err, ClientError::Server(f) if f.code == ErrorCode::Query));
+
+    // Unparseable delta in an apply; the session must survive it.
+    let err = client.apply("((((not a delta").unwrap_err();
+    assert!(matches!(&err, ClientError::Server(f) if f.code == ErrorCode::Query));
+    assert_eq!(client.generation(), 0, "failed apply must not fork");
+
+    // The same connection still serves the exact baseline afterwards.
+    let answer = client.query(&wire_map()).unwrap();
+    assert_eq!(wire_canon(&answer), baseline_map);
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+/// A heavy query sized to stay in flight for a while (tens of millions
+/// of SampleSAT steps) so admission probes can run against it.
+fn long_heavy_query() -> WireQuery {
+    WireQuery {
+        kind: WireQueryKind::Marginal,
+        mcsat: Some((400, 10, 60_000, 0.5, 0.5, 7)),
+        ..WireQuery::default()
+    }
+}
+
+#[test]
+fn heavy_requests_cannot_starve_light_maps() {
+    let server = serve(ServeConfig {
+        max_inflight: 2,
+        max_heavy: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        // Occupy the single heavy slot with a long marginal.
+        let occupant = scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.query(&long_heavy_query()).unwrap()
+        });
+
+        // Deterministic gate: wait until the server reports the heavy
+        // request in flight (not a sleep-and-hope race).
+        let t0 = Instant::now();
+        while server.stats().inflight_heavy == 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(30),
+                "heavy query never became in-flight"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // A second heavy is turned away with a typed `busy heavy`...
+        let mut prober = Client::connect(addr).unwrap();
+        let err = prober.query(&wire_marginal()).unwrap_err();
+        match &err {
+            ClientError::Busy(b) => {
+                assert_eq!(b.class, BusyClass::Heavy);
+                assert_eq!(b.limit, 1);
+            }
+            other => panic!("expected busy(heavy), got {other:?}"),
+        }
+
+        // ...but a cheap MAP still gets the reserved light slot: the
+        // heavy cap sitting below the total cap is exactly what keeps
+        // marginals from starving MAP lookups.
+        let answer = prober.query(&wire_map()).unwrap();
+        assert!(matches!(answer, WireAnswer::Map(_)));
+
+        // The busy rejection left the connection usable (retryable).
+        let answer = prober.query(&wire_map()).unwrap();
+        assert!(matches!(answer, WireAnswer::Map(_)));
+
+        occupant.join().unwrap();
+    });
+
+    assert!(server.stats().busy_rejections >= 1);
+    assert_eq!(server.stats().inflight, 0, "admission slot leaked");
+    assert_eq!(server.stats().inflight_heavy, 0, "heavy slot leaked");
+}
+
+#[test]
+fn connection_cap_answers_typed_busy() {
+    let server = serve(ServeConfig {
+        max_connections: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let held = Client::connect(addr).unwrap();
+    // Second connection: refused with `busy conn` — distinguishable
+    // from a dead server — and closed.
+    let t0 = Instant::now();
+    loop {
+        match Client::connect(addr) {
+            Err(ClientError::Busy(b)) => {
+                assert_eq!(b.class, BusyClass::Connections);
+                assert_eq!(b.limit, 1);
+                break;
+            }
+            // The accept loop may briefly lag the active-connection
+            // bookkeeping; admitted extras just mean we retry.
+            Ok(_) | Err(_) => assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "never saw busy(conn) at the connection cap"
+            ),
+        }
+    }
+    drop(held);
+
+    // Once the held connection is gone, new clients are admitted again.
+    let t0 = Instant::now();
+    loop {
+        match Client::connect(addr) {
+            Ok(mut c) => {
+                c.ping(1).unwrap();
+                break;
+            }
+            Err(_) => assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "connection slot never freed"
+            ),
+        }
+    }
+    assert!(server.stats().rejected_connections >= 1);
+}
+
+#[test]
+fn shutdown_is_clean_with_connected_clients() {
+    let server = serve(ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping(7).unwrap();
+    let addr = server.local_addr();
+    server.shutdown();
+    // The lingering client observes shutdown (typed frame or clean
+    // close), never a hang.
+    match client.ping(8) {
+        Err(_) => {}
+        Ok(()) => panic!("ping succeeded after shutdown"),
+    }
+    // The listener is gone.
+    assert!(Client::connect(addr).is_err());
+}

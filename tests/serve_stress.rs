@@ -13,7 +13,11 @@
 //! This file deliberately holds exactly one `#[test]`: the process-wide
 //! grounding counter is monotonic, so the delta assertion is only
 //! meaningful while no unrelated test grounds concurrently in the same
-//! process.
+//! process. Suites that need many tests in one binary (e.g.
+//! `tests/net_serve.rs`) assert on the per-engine counters instead
+//! (`Engine::groundings_performed` / `Engine::generations_created`),
+//! which other tests' engines cannot perturb even under
+//! `--test-threads=8`.
 
 use tuffy::{McSatParams, Query, QueryAnswer, Tuffy, TuffyConfig, WalkSatParams};
 
