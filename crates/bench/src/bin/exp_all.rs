@@ -24,6 +24,7 @@ fn main() {
         ("net", tuffy_bench::experiments::net::report),
         ("flips", tuffy_bench::experiments::flips::report),
         ("ground", tuffy_bench::experiments::ground::report),
+        ("outofcore", tuffy_bench::experiments::outofcore::report),
     ];
     for (name, f) in experiments {
         eprintln!("=== running {name} ===");

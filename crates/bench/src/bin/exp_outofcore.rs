@@ -1,0 +1,7 @@
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    tuffy_bench::emit(
+        "outofcore",
+        &tuffy_bench::experiments::outofcore::report_with(smoke),
+    );
+}

@@ -11,6 +11,7 @@ pub mod fig8;
 pub mod flips;
 pub mod ground;
 pub mod net;
+pub mod outofcore;
 pub mod scaling;
 pub mod serve;
 pub mod session;

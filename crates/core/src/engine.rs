@@ -47,6 +47,13 @@ impl Engine {
         })
     }
 
+    /// Wraps a snapshot rebuilt from a store file (see
+    /// [`Engine::load`](crate::persist)): same shape as [`Engine::build`]
+    /// minus the grounding run it exists to avoid.
+    pub(crate) fn from_loaded_parts(base: Snapshot) -> Engine {
+        Engine { base }
+    }
+
     /// The engine's base snapshot (generation 0) — the view every new
     /// session starts from. Cheap: one `Arc` bump.
     pub fn snapshot(&self) -> Snapshot {

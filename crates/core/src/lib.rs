@@ -117,6 +117,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod persist;
 pub mod pipeline;
 pub mod query;
 pub mod result;
@@ -125,6 +126,7 @@ pub mod snapshot;
 
 pub use config::{Architecture, PartitionStrategy, TuffyConfig};
 pub use engine::Engine;
+pub use persist::GENERATION_FILE;
 pub use pipeline::Tuffy;
 pub use query::Query;
 pub use result::{
@@ -142,3 +144,4 @@ pub use tuffy_search::mcsat::McSatParams;
 pub use tuffy_search::{
     Schedule, ScheduleResult, Scheduler, SchedulerConfig, TimeCostTrace, WalkSatParams,
 };
+pub use tuffy_store::StoreError;

@@ -87,6 +87,17 @@ impl EngineCounters {
         })
     }
 
+    /// Counters for an engine re-hydrated from a store file: its base
+    /// generation exists but *no* grounding run was paid for — the whole
+    /// point of loading. [`crate::Engine::groundings_performed`] reads 0
+    /// until a session delta forces a re-ground.
+    pub(crate) fn for_loaded_engine() -> Arc<EngineCounters> {
+        Arc::new(EngineCounters {
+            generations: AtomicU64::new(1),
+            groundings: AtomicU64::new(0),
+        })
+    }
+
     fn next_generation(&self) -> u64 {
         self.generations.fetch_add(1, Ordering::Relaxed)
     }

@@ -27,11 +27,11 @@ pub mod lp;
 pub mod rc;
 pub mod table1;
 
-pub use er::er;
+pub use er::{er, er_scaled};
 pub use example1::example1;
 pub use ie::ie;
 pub use lp::lp;
-pub use rc::{rc, rc_with_labels};
+pub use rc::{rc, rc_scaled, rc_with_labels};
 pub use table1::{paper_table1, Table1Row};
 
 use tuffy_mln::evidence::EvidenceSet;

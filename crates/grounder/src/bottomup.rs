@@ -66,7 +66,10 @@ use tuffy_mrf::{Mrf, MrfBuilder};
 use tuffy_rdbms::exec::Batch;
 use tuffy_rdbms::optimizer::{execute_adaptive, plan_analyzed, AdaptiveReport};
 use tuffy_rdbms::query::VarId;
-use tuffy_rdbms::{ConjunctiveQuery, Database, OptimizerConfig};
+use tuffy_rdbms::{
+    execute_spill, merge_cursor, ConjunctiveQuery, Database, OptimizerConfig, SpillManager,
+    SpillableBatch,
+};
 
 /// The output of grounding: the MRF, the atom registry mapping dense atom
 /// ids back to ground atoms, and run statistics.
@@ -118,6 +121,25 @@ struct RoundTask {
     group: usize,
     /// The binding query; `None` grounds once with the empty binding.
     query: Option<ConjunctiveQuery>,
+}
+
+/// One task's query result: materialized in memory (default path, with
+/// the adaptive executor's report) or possibly spilled to backend runs
+/// (out-of-core path under a memory budget).
+enum TaskBatch {
+    Mem(Batch, AdaptiveReport),
+    Spilled(SpillableBatch),
+}
+
+/// One variant group's merged binding rows, ready for ordered emission.
+enum GroupRows {
+    /// The clause grounds once with the empty binding.
+    Empty,
+    /// In-memory content-ordered batch (chunks already k-way merged).
+    Mem(Batch),
+    /// Out-of-core chunks, merged lazily by [`merge_cursor`] so the
+    /// merged relation is never materialized.
+    Spilled(Vec<SpillableBatch>),
 }
 
 /// Merges row-sorted batches (the chunks of one variant) into one
@@ -276,6 +298,18 @@ pub fn ground_bottom_up_threaded(
 
     let to_mln = |e: tuffy_rdbms::DbError| MlnError::general(e.to_string());
 
+    // Out-of-core mode: a non-zero budget routes every binding query
+    // through the spill executor, which grace-hash-partitions oversized
+    // joins to disk-backed sorted runs. Sorted runs + the lazy k-way
+    // merge below reproduce exactly the canonical row order of the
+    // in-memory path, so the deterministic-merge contract — and the
+    // grounded output — are unchanged by spilling.
+    let spill_mgr: Option<SpillManager> = if config.mem_budget_bytes > 0 {
+        Some(SpillManager::file_backed(config.mem_budget_bytes).map_err(to_mln)?)
+    } else {
+        None
+    };
+
     let mut round = 0usize;
     loop {
         // Phase A: refresh statistics, then enumerate this round's tasks
@@ -364,20 +398,28 @@ pub fn ground_bottom_up_threaded(
 
         // Phase B: execute every task against the shared start-of-round
         // snapshot. Workers pull tasks from a shared counter; results
-        // land in per-task slots.
-        type TaskResult = Result<Option<(Batch, AdaptiveReport, Duration)>, tuffy_rdbms::DbError>;
+        // land in per-task slots. With a memory budget the spill
+        // executor runs instead of the adaptive one (its step-wise
+        // re-planning assumes materialized intermediates).
+        type TaskResult = Result<Option<(TaskBatch, Duration)>, tuffy_rdbms::DbError>;
         let results: Vec<TaskResult> = {
             let db = &gdb.db;
+            let mgr = spill_mgr.as_ref();
             pool_map(tasks.len(), threads, |ti| match &tasks[ti].query {
                 None => Ok(None),
                 Some(q) => {
                     let t0 = Instant::now();
-                    execute_adaptive(db, q, config).map(|(mut b, rep)| {
-                        // Canonical row order (contract part 3), computed
-                        // on the worker so the sort parallelizes too.
-                        b.sort_rows();
-                        Some((b, rep, t0.elapsed()))
-                    })
+                    match mgr {
+                        Some(mgr) => execute_spill(db, q, config, mgr)
+                            .map(|sb| Some((TaskBatch::Spilled(sb), t0.elapsed()))),
+                        None => execute_adaptive(db, q, config).map(|(mut b, rep)| {
+                            // Canonical row order (contract part 3),
+                            // computed on the worker so the sort
+                            // parallelizes too.
+                            b.sort_rows();
+                            Some((TaskBatch::Mem(b, rep), t0.elapsed()))
+                        }),
+                    }
                 }
             })
         };
@@ -387,52 +429,73 @@ pub fn ground_bottom_up_threaded(
         // independent of scheduling; a chunked variant's sorted chunks
         // are k-way merged back into one content-ordered batch first.
         let mut round_activations: Vec<(tuffy_mln::schema::PredicateId, Vec<u32>)> = Vec::new();
-        // (clause index, merged batch; `None` = one empty binding)
-        let mut groups: Vec<(usize, Option<Batch>)> = Vec::new();
+        let mut groups: Vec<(usize, GroupRows)> = Vec::new();
         {
-            let mut pending: Vec<Batch> = Vec::new();
+            let mut pending_mem: Vec<Batch> = Vec::new();
+            let mut pending_spill: Vec<SpillableBatch> = Vec::new();
             let mut pending_clause = 0usize;
             let mut pending_group = usize::MAX;
+            let flush = |groups: &mut Vec<(usize, GroupRows)>,
+                         clause: usize,
+                         mem: &mut Vec<Batch>,
+                         spill: &mut Vec<SpillableBatch>| {
+                if !mem.is_empty() {
+                    groups.push((clause, GroupRows::Mem(merge_sorted(std::mem::take(mem)))));
+                }
+                if !spill.is_empty() {
+                    groups.push((clause, GroupRows::Spilled(std::mem::take(spill))));
+                }
+            };
             for (ti, result) in results.into_iter().enumerate() {
                 let task = &tasks[ti];
-                if task.group != pending_group && !pending.is_empty() {
-                    groups.push((
+                if task.group != pending_group {
+                    flush(
+                        &mut groups,
                         pending_clause,
-                        Some(merge_sorted(std::mem::take(&mut pending))),
-                    ));
+                        &mut pending_mem,
+                        &mut pending_spill,
+                    );
                 }
                 pending_group = task.group;
                 pending_clause = task.clause;
                 match result.map_err(to_mln)? {
-                    None => groups.push((task.clause, None)),
-                    Some((result_batch, report, took)) => {
+                    None => groups.push((task.clause, GroupRows::Empty)),
+                    Some((task_batch, took)) => {
                         stats.queries += 1;
                         stats.query_exec += took;
-                        stats.replans += report.replans as u64;
-                        if config.use_stats {
-                            report.fold_into(&mut gdb.db);
+                        match task_batch {
+                            TaskBatch::Mem(result_batch, report) => {
+                                stats.replans += report.replans as u64;
+                                if config.use_stats {
+                                    report.fold_into(&mut gdb.db);
+                                }
+                                peak_result_bytes = peak_result_bytes.max(result_batch.bytes());
+                                pending_mem.push(result_batch);
+                            }
+                            TaskBatch::Spilled(sb) => {
+                                if let SpillableBatch::Mem(b) = &sb {
+                                    peak_result_bytes = peak_result_bytes.max(b.bytes());
+                                }
+                                pending_spill.push(sb);
+                            }
                         }
-                        peak_result_bytes = peak_result_bytes.max(result_batch.bytes());
-                        pending.push(result_batch);
                     }
                 }
             }
-            if !pending.is_empty() {
-                groups.push((pending_clause, Some(merge_sorted(pending))));
-            }
+            flush(
+                &mut groups,
+                pending_clause,
+                &mut pending_mem,
+                &mut pending_spill,
+            );
         }
-        for (clause, batch) in groups {
+        for (clause, rows) in groups {
             let cc = &compiled[clause];
-            let empty_binding = [[0u32; 0]; 1];
-            let rows: &mut dyn Iterator<Item = &[u32]> = match &batch {
-                None => &mut empty_binding.iter().map(|r| &r[..]),
-                Some(batch) => &mut batch.iter(),
-            };
-            for row in rows {
+            let mut emit_row = |row: &[u32]| {
                 stats.bindings_considered += 1;
                 let key = (cc.rule_index as u32, Box::<[u32]>::from(row));
                 if !seen.insert(key) {
-                    continue;
+                    return;
                 }
                 new_atoms.clear();
                 match emitter.emit(cc, row, &mut registry, &mut new_atoms) {
@@ -454,6 +517,24 @@ pub fn ground_bottom_up_threaded(
                         }
                     }
                 }
+            };
+            match &rows {
+                GroupRows::Empty => emit_row(&[]),
+                GroupRows::Mem(batch) => {
+                    for row in batch.iter() {
+                        emit_row(row);
+                    }
+                }
+                GroupRows::Spilled(parts) => {
+                    // Stream the lazily-merged canonical order: at most
+                    // one read buffer per spilled run is resident.
+                    let mgr = spill_mgr.as_ref().expect("spilled rows require a manager");
+                    let mut cur = merge_cursor(parts, mgr).map_err(to_mln)?;
+                    let mut row: Vec<u32> = Vec::new();
+                    while cur.next_into(&mut row).map_err(to_mln)? {
+                        emit_row(&row);
+                    }
+                }
             }
         }
         round += 1;
@@ -471,6 +552,9 @@ pub fn ground_bottom_up_threaded(
     stats.atoms = registry.len();
     stats.io = gdb.db.io_stats();
     stats.peak_bytes = registry.bytes() + peak_result_bytes;
+    if let Some(mgr) = &spill_mgr {
+        stats.spill = mgr.stats();
+    }
     Ok(GroundingResult {
         mrf,
         registry,
@@ -672,6 +756,39 @@ mod tests {
         .unwrap();
         assert_eq!(r.mrf.base_cost.hard, 1);
         assert_eq!(r.stats.clauses, 0);
+    }
+
+    #[test]
+    fn spilled_grounding_is_bit_identical_to_in_memory() {
+        let (p, ev) = figure1_program();
+        let reference = ground_bottom_up(
+            &p,
+            &ev,
+            GroundingMode::LazyClosure,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        // A budget small enough that even this toy workload spills.
+        for budget in [64usize, 4096] {
+            let cfg = OptimizerConfig {
+                mem_budget_bytes: budget,
+                ..Default::default()
+            };
+            let r = ground_bottom_up(&p, &ev, GroundingMode::LazyClosure, &cfg).unwrap();
+            assert_eq!(r.stats.clauses, reference.stats.clauses);
+            assert_eq!(r.stats.atoms, reference.stats.atoms);
+            // Identical atom numbering and clause arenas, bit for bit.
+            for aid in 0..reference.registry.len() {
+                let aid = aid as tuffy_mrf::AtomId;
+                assert_eq!(r.registry.atom(aid), reference.registry.atom(aid));
+            }
+            let (a, b) = (r.mrf.export_columns(), reference.mrf.export_columns());
+            assert_eq!(a.lit_start, b.lit_start);
+            assert_eq!(a.lit_arena, b.lit_arena);
+            assert_eq!(a.weights, b.weights);
+            assert_eq!(a.provenance, b.provenance);
+            assert_eq!(a.base_cost, b.base_cost);
+        }
     }
 
     #[test]

@@ -414,6 +414,7 @@ pub fn apply_delta_grounding(
         query_exec: std::time::Duration::ZERO,
         io: Default::default(),
         peak_bytes: previous.stats.peak_bytes,
+        spill: Default::default(),
     };
     DeltaOutcome::Patched(Box::new(PatchedGrounding {
         grounding: GroundingResult {

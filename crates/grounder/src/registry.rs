@@ -36,6 +36,26 @@ impl AtomRegistry {
         self.atoms.is_empty()
     }
 
+    /// Rebuilds a registry from its `(predicate, args)` entries in id
+    /// order — the persistence path: `tuffy-store` serializes
+    /// [`AtomRegistry::iter`]'s output and reconstructs the identical
+    /// registry (same dense ids, same lookup map) here. Errors if two
+    /// entries collide on `(predicate, args)`, which would silently remap
+    /// atom ids.
+    pub fn from_entries(entries: Vec<(PredicateId, Box<[u32]>)>) -> Result<AtomRegistry, String> {
+        let mut map: FxHashMap<(u32, Box<[u32]>), AtomId> = FxHashMap::default();
+        map.reserve(entries.len());
+        for (i, (pred, args)) in entries.iter().enumerate() {
+            if map.insert((pred.0, args.clone()), i as AtomId).is_some() {
+                return Err(format!("duplicate registry entry at atom {i}"));
+            }
+        }
+        Ok(AtomRegistry {
+            map,
+            atoms: entries,
+        })
+    }
+
     /// Returns the id for `(pred, args)`, registering it if new.
     pub fn intern(&mut self, pred: PredicateId, args: &[u32]) -> AtomId {
         if let Some(&id) = self.map.get(&(pred.0, args.into())) {
@@ -184,6 +204,28 @@ mod tests {
             .add(&p, GroundAtom::new(cat, vec![p1, db]), true)
             .is_err());
         assert!(EvidenceIndex::build(&p, &set).is_ok());
+    }
+
+    #[test]
+    fn from_entries_rebuilds_identical_registry() {
+        let mut r = AtomRegistry::new();
+        r.intern(PredicateId(0), &[1, 2]);
+        r.intern(PredicateId(1), &[7]);
+        r.intern(PredicateId(0), &[2, 1]);
+        let entries: Vec<_> = r
+            .iter()
+            .map(|(_, p, args)| (p, args.to_vec().into_boxed_slice()))
+            .collect();
+        let r2 = AtomRegistry::from_entries(entries.clone()).unwrap();
+        assert_eq!(r2.len(), r.len());
+        for (id, p, args) in r.iter() {
+            assert_eq!(r2.atom(id), (p, args));
+            assert_eq!(r2.get(p, args), Some(id));
+        }
+        // Duplicates would silently remap ids — rejected instead.
+        let mut dup = entries;
+        dup.push((PredicateId(0), vec![1, 2].into_boxed_slice()));
+        assert!(AtomRegistry::from_entries(dup).is_err());
     }
 
     #[test]

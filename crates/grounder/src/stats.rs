@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use tuffy_rdbms::IoStats;
+use tuffy_rdbms::{IoStats, SpillStats};
 
 /// Process-wide count of full grounding runs (bottom-up or top-down).
 ///
@@ -55,4 +55,7 @@ pub struct GroundingStats {
     /// hold throughout; for bottom-up it is the registry plus the largest
     /// single query result (intermediate state lives in the RDBMS).
     pub peak_bytes: usize,
+    /// Out-of-core spill counters (bottom-up only; all zero when no
+    /// memory budget is configured or nothing exceeded it).
+    pub spill: SpillStats,
 }

@@ -437,6 +437,177 @@ impl Mrf {
             + self.weights.len() * std::mem::size_of::<Weight>()
             + self.violation.len() * std::mem::size_of::<PackedViolation>()
     }
+
+    /// Exports the MRF's *persisted* columns — the minimal set from which
+    /// [`Mrf::from_columns`] reconstructs the rest (packed violation
+    /// records and the occurrence CSR are derived, not stored). Cheap:
+    /// every field is an `Arc` bump.
+    pub fn export_columns(&self) -> MrfColumns {
+        MrfColumns {
+            num_atoms: self.num_atoms,
+            lit_start: Arc::clone(&self.lit_start),
+            lit_arena: Arc::clone(&self.lit_arena),
+            weights: Arc::clone(&self.weights),
+            provenance: Arc::clone(&self.provenance),
+            opaque_atoms: Arc::clone(&self.opaque_atoms),
+            base_cost: self.base_cost,
+        }
+    }
+
+    /// Rebuilds an [`Mrf`] from persisted columns, *validating* every
+    /// structural invariant the builder normally guarantees — the input
+    /// may come from a corrupted or adversarial store file, so any
+    /// violation is a typed error, never a panic or an aliased index.
+    /// The violation column and the occurrence CSR are re-derived
+    /// deterministically (same counting sort as the builder), so a
+    /// round-trip is bit-identical to the source MRF.
+    pub fn from_columns(cols: MrfColumns) -> Result<Mrf, String> {
+        let MrfColumns {
+            num_atoms,
+            lit_start,
+            lit_arena,
+            weights,
+            provenance,
+            opaque_atoms,
+            base_cost,
+        } = cols;
+        let num_clauses = weights.len();
+        if lit_start.len() != num_clauses + 1 {
+            return Err(format!(
+                "lit_start has {} bounds for {} clauses",
+                lit_start.len(),
+                num_clauses
+            ));
+        }
+        if provenance.len() != num_clauses {
+            return Err(format!(
+                "provenance column has {} rows for {} clauses",
+                provenance.len(),
+                num_clauses
+            ));
+        }
+        if opaque_atoms.len() != num_atoms {
+            return Err(format!(
+                "opaque column has {} rows for {} atoms",
+                opaque_atoms.len(),
+                num_atoms
+            ));
+        }
+        if num_clauses as u64 > Occurrence::MAX_CLAUSE as u64 {
+            return Err("clause count exceeds packed-occurrence capacity".into());
+        }
+        if lit_arena.len() as u64 > u32::MAX as u64 {
+            return Err("literal arena exceeds u32 bounds".into());
+        }
+        if lit_start[0] != 0 {
+            return Err("lit_start does not begin at 0".into());
+        }
+        if lit_start[num_clauses] as usize != lit_arena.len() {
+            return Err(format!(
+                "lit_start ends at {} but the arena holds {} literals",
+                lit_start[num_clauses],
+                lit_arena.len()
+            ));
+        }
+        for ci in 0..num_clauses {
+            let (s, e) = (lit_start[ci], lit_start[ci + 1]);
+            if s > e {
+                return Err(format!("clause {ci} has descending bounds {s}..{e}"));
+            }
+            if s == e {
+                return Err(format!(
+                    "clause {ci} is empty (empty clauses fold into base_cost)"
+                ));
+            }
+            let lits = &lit_arena[s as usize..e as usize];
+            for pair in lits.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!("clause {ci} literals not strictly sorted"));
+                }
+                if pair[0].atom() == pair[1].atom() {
+                    return Err(format!("clause {ci} is a tautology or repeats an atom"));
+                }
+            }
+            if weights[ci].signum() == 0 {
+                return Err(format!(
+                    "clause {ci} has a sign-less weight (builder drops these)"
+                ));
+            }
+            if let Weight::Soft(w) = weights[ci] {
+                if !w.is_finite() {
+                    return Err(format!(
+                        "clause {ci} has non-finite soft weight (builder normalizes to hard)"
+                    ));
+                }
+            }
+        }
+        for (i, l) in lit_arena.iter().enumerate() {
+            if l.atom() as usize >= num_atoms {
+                return Err(format!(
+                    "literal {i} references atom {} past num_atoms {num_atoms}",
+                    l.atom()
+                ));
+            }
+        }
+        if !base_cost.soft.is_finite() || base_cost.soft < 0.0 {
+            return Err("base_cost soft component is not a finite non-negative value".into());
+        }
+        // Derived columns: same construction as `ClauseColumns::assemble`.
+        let violation: Vec<PackedViolation> =
+            weights.iter().map(|&w| PackedViolation::of(w)).collect();
+        let mut occ_start = vec![0u32; num_atoms + 1];
+        for l in lit_arena.iter() {
+            occ_start[l.atom() as usize + 1] += 1;
+        }
+        for a in 0..num_atoms {
+            occ_start[a + 1] += occ_start[a];
+        }
+        let mut cursor = occ_start.clone();
+        let mut occ_arena = vec![Occurrence::default(); lit_arena.len()];
+        for ci in 0..num_clauses {
+            for l in &lit_arena[lit_start[ci] as usize..lit_start[ci + 1] as usize] {
+                let a = l.atom() as usize;
+                occ_arena[cursor[a] as usize] = Occurrence::new(ci as u32, l.is_positive());
+                cursor[a] += 1;
+            }
+        }
+        Ok(Mrf {
+            num_atoms,
+            lit_start,
+            lit_arena,
+            weights,
+            violation: violation.into(),
+            provenance,
+            occ_start: occ_start.into(),
+            occ_arena: occ_arena.into(),
+            opaque_atoms,
+            base_cost,
+        })
+    }
+}
+
+/// The persisted columns of an [`Mrf`] — what `tuffy-store` lays out as
+/// raw little-endian segments on disk. Only *source* columns appear: the
+/// packed violation records and the occurrence CSR are functions of the
+/// weight and literal columns and are rebuilt on load by
+/// [`Mrf::from_columns`], which also re-validates every structural
+/// invariant (a store file is untrusted input).
+#[derive(Clone, Debug)]
+pub struct MrfColumns {
+    /// Number of atoms (`0..num_atoms`).
+    pub num_atoms: usize,
+    /// Literal-arena bounds, `num_clauses + 1` entries starting at 0.
+    pub lit_start: Arc<[u32]>,
+    /// All clause literals, clause by clause, sorted within each clause.
+    pub lit_arena: Arc<[Lit]>,
+    /// Per-clause merged weight.
+    pub weights: Arc<[Weight]>,
+    /// Per-clause contribution split.
+    pub provenance: Arc<[ClauseProvenance]>,
+    /// Per-atom incremental-patch opacity flags.
+    pub opaque_atoms: Arc<[bool]>,
+    /// Constant cost from clauses already decided by evidence.
+    pub base_cost: Cost,
 }
 
 /// The growable clause columns shared by [`MrfBuilder::finish`] and
@@ -872,6 +1043,68 @@ mod tests {
         assert!(m.clauses().is_empty());
         assert!(m.patch_opaque(0));
         assert_eq!(m.cost(&[true]), Cost::ZERO);
+    }
+
+    #[test]
+    fn export_import_columns_roundtrip() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0), Lit::neg(1)], Weight::Soft(1.5));
+        b.add_clause(vec![Lit::pos(1)], Weight::Soft(-0.5));
+        b.add_clause(vec![Lit::pos(2)], Weight::Hard);
+        b.add_clause(vec![], Weight::Soft(2.0));
+        b.add_clause(vec![Lit::pos(3)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(3)], Weight::Soft(-1.0)); // drops → atom 3 opaque
+        let m = b.finish();
+        let m2 = Mrf::from_columns(m.export_columns()).expect("round-trip");
+        assert_eq!(m2.num_atoms(), m.num_atoms());
+        assert_eq!(m2.num_clauses(), m.num_clauses());
+        assert_eq!(m2.base_cost, m.base_cost);
+        for ci in 0..m.num_clauses() {
+            assert_eq!(m2.clause_lits(ci), m.clause_lits(ci));
+            assert_eq!(m2.clause_weight(ci), m.clause_weight(ci));
+            assert_eq!(m2.violation_cost(ci), m.violation_cost(ci));
+            assert_eq!(m2.provenance(ci), m.provenance(ci));
+            for satisfied in [false, true] {
+                assert_eq!(
+                    m2.clause_violated_when(ci, satisfied),
+                    m.clause_violated_when(ci, satisfied)
+                );
+            }
+        }
+        for a in 0..m.num_atoms() as AtomId {
+            assert_eq!(m2.occurrences(a), m.occurrences(a));
+            assert_eq!(m2.patch_opaque(a), m.patch_opaque(a));
+        }
+    }
+
+    #[test]
+    fn from_columns_rejects_malformed_input() {
+        let mut b = MrfBuilder::new();
+        b.add_clause(vec![Lit::pos(0), Lit::pos(1)], Weight::Soft(1.0));
+        let good = b.finish().export_columns();
+
+        let mut bad = good.clone();
+        bad.num_atoms = 1; // literal references atom 1
+        bad.opaque_atoms = vec![false].into();
+        assert!(Mrf::from_columns(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.lit_start = vec![0u32, 5].into(); // bound past arena end
+        assert!(Mrf::from_columns(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.weights = vec![Weight::Soft(0.0)].into(); // sign-less weight
+        assert!(Mrf::from_columns(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.lit_arena = vec![Lit::pos(1), Lit::pos(0)].into(); // unsorted
+        assert!(Mrf::from_columns(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.lit_arena = vec![Lit::pos(0), Lit::neg(0)].into(); // tautology
+        assert!(Mrf::from_columns(bad).is_err());
+
+        assert!(Mrf::from_columns(good).is_ok());
     }
 
     #[test]

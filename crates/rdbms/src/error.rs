@@ -25,6 +25,9 @@ pub enum DbError {
     UnboundVariable(usize),
     /// The query was malformed (empty, inconsistent, …).
     BadQuery(String),
+    /// An out-of-core storage operation failed (spill I/O). Carries the
+    /// rendered `std::io::Error` so the type stays `Eq`-comparable.
+    Io(String),
 }
 
 impl fmt::Display for DbError {
@@ -39,6 +42,7 @@ impl fmt::Display for DbError {
             }
             DbError::UnboundVariable(v) => write!(f, "variable v{v} is never bound by an atom"),
             DbError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            DbError::Io(msg) => write!(f, "spill storage I/O: {msg}"),
         }
     }
 }

@@ -158,6 +158,36 @@ impl Batch {
         self.data.capacity() * 4
     }
 
+    /// The flat row-major word storage (row `i` occupies words
+    /// `i*width..(i+1)*width`) — what the spill layer writes to a
+    /// storage-backend run.
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Rebuilds a batch from flat row-major words (the inverse of
+    /// [`Batch::words`], used when reading spilled runs back).
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `words.len()` is not a multiple of
+    /// `width` (zero-width relations are never spilled).
+    pub fn from_words(width: usize, words: Vec<u32>) -> Batch {
+        assert!(width > 0, "zero-width batches cannot round-trip words");
+        assert_eq!(words.len() % width, 0, "words must be whole rows");
+        Batch {
+            width,
+            rows: words.len() / width,
+            data: words,
+        }
+    }
+
+    /// Consumes the batch into its flat word storage (see
+    /// [`Batch::words`]), letting spill readers recycle the allocation.
+    pub fn into_words(self) -> Vec<u32> {
+        self.data
+    }
+
     /// Empties the batch and sets a new row width, keeping the allocated
     /// capacity — the reuse hook for operators that re-materialize the
     /// same relation repeatedly (e.g. the RDBMS-resident search's

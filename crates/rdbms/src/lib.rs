@@ -31,6 +31,7 @@
 //! never sees strings (mirroring Tuffy's bulk-loading of integer-encoded
 //! tuples).
 
+pub mod backend;
 pub mod bufferpool;
 pub mod catalog;
 pub mod error;
@@ -41,9 +42,11 @@ pub mod plan;
 pub mod pred;
 pub mod query;
 pub mod schema;
+pub mod spill;
 pub mod stats;
 pub mod storage;
 
+pub use backend::{FileBackend, MemBackend, RunHandle, StorageBackend};
 pub use bufferpool::{BufferPool, DiskModel, IoStats};
 pub use catalog::{Database, TableId};
 pub use error::DbError;
@@ -56,4 +59,5 @@ pub use plan::{NodeId, NodeInfo, PhysicalPlan, PlanColumn, PlanOp, QueryPlan};
 pub use pred::Pred;
 pub use query::{ConjunctiveQuery, QueryAtom, VarId};
 pub use schema::TableSchema;
+pub use spill::{execute_spill, merge_cursor, RowCursor, SpillManager, SpillStats, SpillableBatch};
 pub use storage::{Row, Table, PAGE_ROWS};

@@ -99,6 +99,13 @@ pub struct OptimizerConfig {
     /// order, which isolates the re-planning mechanism for tests and
     /// lesion runs.
     pub replan: bool,
+    /// Memory budget in bytes for intermediate join state; `0` disables
+    /// spilling entirely (everything materializes in RAM, the historical
+    /// behavior). When non-zero, the grounder routes clause-instantiation
+    /// queries through [`crate::spill::execute_spill`], which grace-hash
+    /// partitions oversized joins and streams results as sorted on-disk
+    /// runs instead of materializing them.
+    pub mem_budget_bytes: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -109,6 +116,7 @@ impl Default for OptimizerConfig {
             pushdown: true,
             use_stats: true,
             replan: true,
+            mem_budget_bytes: 0,
         }
     }
 }

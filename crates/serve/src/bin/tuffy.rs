@@ -72,6 +72,7 @@ struct Args {
     pushdown: bool,
     use_stats: bool,
     ground_threads: usize,
+    mem_budget_bytes: usize,
 }
 
 fn usage() -> &'static str {
@@ -81,7 +82,8 @@ fn usage() -> &'static str {
      \x20       [--mem-budget BYTES] [--partition-rounds N] [--seed N]\n\
      \x20       [--arch hybrid|inmemory|rdbms] [--explain] [--explain-schedule]\n\
      \x20       [--join-order auto|program] [--join-algo auto|nl]\n\
-     \x20       [--no-pushdown] [--no-stats] [--ground-threads N]"
+     \x20       [--no-pushdown] [--no-stats] [--ground-threads N]\n\
+     \x20       [--mem-budget-bytes N]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -107,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
         pushdown: true,
         use_stats: true,
         ground_threads: 0,
+        mem_budget_bytes: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -158,6 +161,13 @@ fn parse_args() -> Result<Args, String> {
                 let v = value(&flag)?;
                 let bytes: usize = v.parse().map_err(|e| format!("{flag}: {e}"))?;
                 args.partition = PartitionStrategy::Budget(bytes);
+            }
+            // Note: distinct from `--mem-budget`, which bounds the
+            // *search* partitioning; this bounds grounding-time join
+            // state and spills the excess to disk.
+            "--mem-budget-bytes" => {
+                args.mem_budget_bytes =
+                    value(&flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
             }
             "--partition-rounds" => {
                 args.partition_rounds = value("--partition-rounds")?
@@ -564,6 +574,7 @@ fn run() -> Result<(), String> {
             // exists to correct statistics) is disabled with it.
             use_stats: args.use_stats,
             replan: args.use_stats,
+            mem_budget_bytes: args.mem_budget_bytes,
         },
         search: WalkSatParams {
             max_flips: args.flips,

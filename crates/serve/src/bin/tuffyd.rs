@@ -6,35 +6,53 @@
 //! `tuffy --connect HOST:PORT` or [`tuffy_serve::Client`].
 //!
 //! ```text
-//! tuffyd -i prog.mln [-e evidence.db] [--listen ADDR]
+//! tuffyd -i prog.mln [-e evidence.db] [--listen ADDR] [--store DIR]
 //!        [--flips N] [--seed N] [--parallel N] [--ground-threads N]
+//!        [--mem-budget-bytes N]
 //!        [--max-connections N] [--max-inflight N] [--max-heavy N]
 //!        [--max-frame-bytes N] [--frame-deadline-ms N]
 //! ```
+//!
+//! `--store DIR` makes the grounded generation durable: if `DIR`
+//! already holds a generation file, the server warm-starts from it in
+//! milliseconds — no re-grounding, bit-identical answers, and the saved
+//! engine configuration applies (the CLI's config flags only matter on
+//! the run that grounds). Otherwise the server grounds as usual and
+//! saves the result into `DIR` (atomically; a crash mid-save leaves the
+//! previous state). A corrupt or truncated store file is reported and
+//! re-ground from sources, never served.
+//!
+//! `--mem-budget-bytes N` bounds grounding-time join state: oversized
+//! intermediate results spill to sorted on-disk runs instead of
+//! materializing in RAM (out-of-core grounding; the result is
+//! bit-identical to the in-memory path).
 //!
 //! Runtime commands on stdin: `stats` prints the serving counters,
 //! `quit` (or EOF) shuts down cleanly.
 
 use std::io::BufRead;
 use std::process::ExitCode;
-use std::time::Duration;
-use tuffy::{Tuffy, TuffyConfig, WalkSatParams};
+use std::time::{Duration, Instant};
+use tuffy::{Engine, Tuffy, TuffyConfig, WalkSatParams};
 use tuffy_serve::{explain_stats, ServeConfig, Server};
 
 struct Args {
     program: String,
     evidence: Option<String>,
     listen: String,
+    store: Option<String>,
     flips: u64,
     seed: u64,
     threads: usize,
     ground_threads: usize,
+    mem_budget_bytes: usize,
     serve: ServeConfig,
 }
 
 fn usage() -> &'static str {
-    "usage: tuffyd -i <prog.mln> [-e <evidence.db>] [--listen ADDR]\n\
+    "usage: tuffyd -i <prog.mln> [-e <evidence.db>] [--listen ADDR] [--store DIR]\n\
      \x20       [--flips N] [--seed N] [--parallel N] [--ground-threads N]\n\
+     \x20       [--mem-budget-bytes N]\n\
      \x20       [--max-connections N] [--max-inflight N] [--max-heavy N]\n\
      \x20       [--max-frame-bytes N] [--frame-deadline-ms N]"
 }
@@ -44,10 +62,12 @@ fn parse_args() -> Result<Args, String> {
         program: String::new(),
         evidence: None,
         listen: "127.0.0.1:7090".to_string(),
+        store: None,
         flips: 1_000_000,
         seed: 42,
         threads: 1,
         ground_threads: 0,
+        mem_budget_bytes: 0,
         serve: ServeConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -66,6 +86,8 @@ fn parse_args() -> Result<Args, String> {
             "-i" => args.program = value("-i")?,
             "-e" => args.evidence = Some(value("-e")?),
             "--listen" => args.listen = value("--listen")?,
+            "--store" => args.store = Some(value("--store")?),
+            "--mem-budget-bytes" => args.mem_budget_bytes = num(&flag, value(&flag)?)?,
             "--flips" => args.flips = num(&flag, value(&flag)?)?,
             "--seed" => args.seed = num(&flag, value(&flag)?)?,
             "--parallel" | "--threads" => args.threads = num(&flag, value(&flag)?)?,
@@ -87,17 +109,56 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
+/// Warm-starts from `dir` when it holds a generation, otherwise grounds
+/// from sources and saves the result there. Load failures (missing file,
+/// corruption) fall back to grounding — a broken store is reported, never
+/// served.
+fn engine_with_store(args: &Args, config: TuffyConfig, dir: &str) -> Result<Engine, String> {
+    let dir = std::path::Path::new(dir);
+    if dir.join(tuffy::GENERATION_FILE).exists() {
+        let t0 = Instant::now();
+        match Engine::load(dir) {
+            Ok(engine) => {
+                eprintln!(
+                    "warm-started from {} in {:?} (no re-grounding; saved config applies)",
+                    dir.display(),
+                    t0.elapsed(),
+                );
+                return Ok(engine);
+            }
+            Err(e) => eprintln!("store at {} unusable ({e}); re-grounding", dir.display()),
+        }
+    }
+    let engine = build_engine(args, config)?;
+    let path = engine.save(dir).map_err(|e| e.to_string())?;
+    eprintln!("saved grounded generation to {}", path.display());
+    Ok(engine)
+}
+
+/// Grounds from the program/evidence sources.
+fn build_engine(args: &Args, config: TuffyConfig) -> Result<Engine, String> {
     let program_src =
         std::fs::read_to_string(&args.program).map_err(|e| format!("{}: {e}", args.program))?;
     let evidence_src = match &args.evidence {
         Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
         None => String::new(),
     };
+    Tuffy::from_sources(&program_src, &evidence_src)
+        .map_err(|e| e.to_string())?
+        .with_config(config)
+        .build_engine()
+        .map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
     let config = TuffyConfig {
         threads: args.threads,
         ground_threads: args.ground_threads,
+        optimizer: tuffy::OptimizerConfig {
+            mem_budget_bytes: args.mem_budget_bytes,
+            ..Default::default()
+        },
         search: WalkSatParams {
             max_flips: args.flips,
             seed: args.seed,
@@ -105,11 +166,10 @@ fn run() -> Result<(), String> {
         },
         ..Default::default()
     };
-    let engine = Tuffy::from_sources(&program_src, &evidence_src)
-        .map_err(|e| e.to_string())?
-        .with_config(config)
-        .build_engine()
-        .map_err(|e| e.to_string())?;
+    let engine = match &args.store {
+        Some(dir) => engine_with_store(&args, config, dir)?,
+        None => build_engine(&args, config)?,
+    };
     let snapshot = engine.snapshot();
     eprintln!(
         "grounded {} clauses over {} atoms; serving generation {}",

@@ -1,0 +1,306 @@
+//! Owned byte windows and little-endian primitive codecs.
+//!
+//! The container has no mmap crate, so a loaded store file lives in one
+//! heap buffer shared behind an [`Arc`]; [`OwnedBytes`] is a cheap view
+//! into it — the same shape an mmap-backed implementation would expose,
+//! so swapping the buffer for a mapping later changes nothing above this
+//! module.
+
+use std::sync::Arc;
+
+use crate::error::StoreError;
+
+/// A cheaply-cloneable window into a shared immutable byte buffer.
+#[derive(Clone, Debug)]
+pub struct OwnedBytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl OwnedBytes {
+    /// Wraps an entire buffer.
+    pub fn new(data: Vec<u8>) -> OwnedBytes {
+        let end = data.len();
+        OwnedBytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+
+    /// A sub-window of this window (both bounds relative to it).
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > self.len()` — windows are cut
+    /// from already-validated TOC ranges, so an out-of-range slice is a
+    /// loader bug, not a corrupt-input condition.
+    pub fn slice(&self, start: usize, end: usize) -> OwnedBytes {
+        assert!(start <= end && self.start + end <= self.end);
+        OwnedBytes {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// The viewed bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Window length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// FNV-1a 64-bit hash — the store's checksum. Not cryptographic; it
+/// detects the failure modes a local file actually has (truncation,
+/// torn pages, bit flips), costs nothing to compute, and needs no
+/// external crate.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Append-only little-endian encoder over a `Vec<u8>`.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Finishes, yielding the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact: NaN
+    /// payloads and signed zeros round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_u32(v);
+        }
+    }
+}
+
+/// Bounds-checked little-endian decoder over a segment's bytes. Every
+/// overrun is a typed [`StoreError::Truncated`], never a panic.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    segment: &'a str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, reporting errors against `segment`.
+    pub fn new(buf: &'a [u8], segment: &'a str) -> ByteReader<'a> {
+        ByteReader {
+            buf,
+            pos: 0,
+            segment,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.buf.len() - self.pos < n {
+            return Err(StoreError::Truncated {
+                context: format!(
+                    "segment `{}`: need {n} bytes at offset {}, have {}",
+                    self.segment,
+                    self.pos,
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`, rejecting values that
+    /// would not fit (32-bit hosts reading a 64-bit-scale file).
+    pub fn get_len(&mut self) -> Result<usize, StoreError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| {
+            StoreError::malformed(format!(
+                "segment `{}`: length {v} exceeds usize",
+                self.segment
+            ))
+        })
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, StoreError> {
+        let n = self.get_u32()? as usize;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes).map_err(|_| {
+            StoreError::malformed(format!("segment `{}`: invalid UTF-8 string", self.segment))
+        })
+    }
+
+    /// Reads a length-prefixed `u32` vector.
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, StoreError> {
+        let n = self.get_len()?;
+        // Guard the reservation against absurd declared lengths: the
+        // remaining bytes bound the real element count.
+        if self.buf.len() - self.pos < n.saturating_mul(4) {
+            return Err(StoreError::Truncated {
+                context: format!(
+                    "segment `{}`: u32 vector of {n} elements overruns",
+                    self.segment
+                ),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Asserts the segment was consumed exactly.
+    pub fn expect_end(&self) -> Result<(), StoreError> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::TrailingBytes {
+                segment: self.segment.to_string(),
+                remaining: self.buf.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_str("héllo");
+        w.put_u32_slice(&[1, 2, 3]);
+        let bytes = w.finish();
+
+        let mut r = ByteReader::new(&bytes, "test");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        let z = r.get_f64().unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits(), "signed zero preserved");
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn overrun_is_truncated_error() {
+        let mut r = ByteReader::new(&[1, 2], "seg");
+        match r.get_u32() {
+            Err(StoreError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut r = ByteReader::new(&[0; 5], "seg");
+        r.get_u32().unwrap();
+        match r.expect_end() {
+            Err(StoreError::TrailingBytes { remaining: 1, .. }) => {}
+            other => panic!("expected TrailingBytes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn owned_bytes_windows() {
+        let b = OwnedBytes::new(vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 6);
+        let s = b.slice(2, 5);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        let ss = s.slice(1, 2);
+        assert_eq!(ss.as_slice(), &[3]);
+        assert!(!ss.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Typed store errors.
+//!
+//! Every way a store file can be wrong — truncated by a crash, torn by a
+//! partial write, bit-flipped by the medium, or structurally inconsistent
+//! after decoding — maps to a distinct [`StoreError`] variant. Corrupt
+//! input is *never* a panic: the loader validates before it constructs.
+
+use std::fmt;
+
+/// Everything that can go wrong saving or loading a generation.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the store was doing (e.g. `"write temp file"`).
+        context: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the `TUFFYST1` magic — it is not a
+    /// store file at all (or its first page was destroyed).
+    BadMagic {
+        /// The eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// The file is shorter than its header or TOC declares — the
+    /// signature of a torn write or a crash mid-copy.
+    Truncated {
+        /// Which structure ran off the end.
+        context: String,
+    },
+    /// A segment's stored FNV-1a checksum does not match its bytes —
+    /// the signature of a bit flip.
+    ChecksumMismatch {
+        /// The segment (or `"toc"`) that failed verification.
+        segment: String,
+    },
+    /// A segment the decoder requires is absent from the TOC.
+    MissingSegment {
+        /// The missing segment's name.
+        name: String,
+    },
+    /// A segment decoded structurally but violates a model invariant
+    /// (bad enum tag, non-dense symbol ids, inconsistent arena bounds…).
+    Malformed {
+        /// What was violated, with enough detail to locate it.
+        context: String,
+    },
+    /// A segment decoded cleanly but left unread bytes behind — the
+    /// encoder and decoder disagree about the segment's grammar.
+    TrailingBytes {
+        /// The offending segment.
+        segment: String,
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "i/o error ({context}): {source}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a tuffy store file (magic bytes {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported store format version {found}")
+            }
+            StoreError::Truncated { context } => write!(f, "store file truncated: {context}"),
+            StoreError::ChecksumMismatch { segment } => {
+                write!(f, "checksum mismatch in segment `{segment}`")
+            }
+            StoreError::MissingSegment { name } => write!(f, "missing segment `{name}`"),
+            StoreError::Malformed { context } => write!(f, "malformed store data: {context}"),
+            StoreError::TrailingBytes { segment, remaining } => {
+                write!(f, "segment `{segment}` has {remaining} trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StoreError {
+    /// Wraps an I/O error with a description of the failed operation.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> StoreError {
+        StoreError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// A model-invariant violation.
+    pub fn malformed(context: impl Into<String>) -> StoreError {
+        StoreError::Malformed {
+            context: context.into(),
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! The segment-file container.
+//!
+//! Grammar (all integers little-endian):
+//!
+//! ```text
+//! file    := header toc pad segment*
+//! header  := magic:8 version:u32 seg_count:u32 toc_len:u64
+//!            toc_checksum:u64 file_len:u64          ; 40 bytes
+//! toc     := entry{seg_count}
+//! entry   := name_len:u32 name:bytes offset:u64 len:u64 checksum:u64
+//! pad     := zero bytes up to the first PAGE boundary
+//! segment := raw bytes, PAGE-aligned start, zero-padded tail
+//! ```
+//!
+//! * `magic` is [`MAGIC`] (`TUFFYST1`); `version` is [`VERSION`].
+//! * `toc_checksum` is FNV-1a-64 over the TOC bytes; each entry's
+//!   `checksum` is FNV-1a-64 over that segment's `len` payload bytes.
+//! * `file_len` is the total file size — a cheap truncation tripwire
+//!   checked before anything else is parsed.
+//! * Every segment starts on a [`PAGE`]-byte boundary so a future
+//!   mmap-backed loader can hand out aligned views without copying.
+//! * All padding bytes must be zero and segments must not overlap —
+//!   checksums do not cover the alignment gaps, so the zero rule is
+//!   what makes *any* single-byte corruption detectable.
+//!
+//! Writes are crash-safe: the full image is assembled in memory, written
+//! to a sibling `*.tmp` file, fsync'd, atomically renamed over the
+//! destination, and the parent directory is fsync'd. A reader therefore
+//! sees either the old generation or the new one, never a tear.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::bytes::{fnv1a, ByteReader, ByteWriter, OwnedBytes};
+use crate::error::StoreError;
+
+/// File magic: identifies a Tuffy store segment file, version 1 family.
+pub const MAGIC: [u8; 8] = *b"TUFFYST1";
+/// Format version readers of this build understand.
+pub const VERSION: u32 = 1;
+/// Segment alignment in bytes.
+pub const PAGE: usize = 4096;
+/// Fixed header size in bytes.
+const HEADER_LEN: usize = 40;
+
+/// Collects named segments and writes them atomically as one file.
+#[derive(Default)]
+pub struct SegmentFileWriter {
+    segments: Vec<(String, Vec<u8>)>,
+}
+
+impl SegmentFileWriter {
+    /// A writer with no segments yet.
+    pub fn new() -> SegmentFileWriter {
+        SegmentFileWriter::default()
+    }
+
+    /// Adds a segment. Order is preserved; names must be unique.
+    ///
+    /// # Panics
+    /// Panics on a duplicate name — segment names are compile-time
+    /// constants, so a collision is a programming error.
+    pub fn add(&mut self, name: &str, payload: Vec<u8>) {
+        assert!(
+            self.segments.iter().all(|(n, _)| n != name),
+            "duplicate segment `{name}`"
+        );
+        self.segments.push((name.to_string(), payload));
+    }
+
+    /// Assembles the complete file image.
+    fn assemble(&self) -> Vec<u8> {
+        // TOC first (its size decides where segments start).
+        let mut toc = ByteWriter::new();
+        let toc_len: usize = self
+            .segments
+            .iter()
+            .map(|(n, _)| 4 + n.len() + 8 + 8 + 8)
+            .sum();
+        let mut offset = (HEADER_LEN + toc_len).div_ceil(PAGE) * PAGE;
+        for (name, payload) in &self.segments {
+            toc.put_str(name);
+            toc.put_u64(offset as u64);
+            toc.put_u64(payload.len() as u64);
+            toc.put_u64(fnv1a(payload));
+            offset += payload.len().div_ceil(PAGE) * PAGE;
+        }
+        let toc = toc.finish();
+        debug_assert_eq!(toc.len(), toc_len);
+        let file_len = offset;
+
+        let mut image = Vec::with_capacity(file_len);
+        image.extend_from_slice(&MAGIC);
+        image.extend_from_slice(&VERSION.to_le_bytes());
+        image.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        image.extend_from_slice(&(toc.len() as u64).to_le_bytes());
+        image.extend_from_slice(&fnv1a(&toc).to_le_bytes());
+        image.extend_from_slice(&(file_len as u64).to_le_bytes());
+        debug_assert_eq!(image.len(), HEADER_LEN);
+        image.extend_from_slice(&toc);
+        for (_, payload) in &self.segments {
+            image.resize(image.len().div_ceil(PAGE) * PAGE, 0);
+            image.extend_from_slice(payload);
+        }
+        image.resize(file_len, 0);
+        image
+    }
+
+    /// Writes the file atomically at `path`: temp sibling → fsync →
+    /// rename → fsync parent directory.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), StoreError> {
+        let image = self.assemble();
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)
+                .map_err(|e| StoreError::io(format!("create temp file {}", tmp.display()), e))?;
+            f.write_all(&image)
+                .map_err(|e| StoreError::io("write temp file", e))?;
+            f.sync_all()
+                .map_err(|e| StoreError::io("fsync temp file", e))?;
+        }
+        fs::rename(&tmp, path).map_err(|e| {
+            // Best effort: do not leave the temp file behind.
+            let _ = fs::remove_file(&tmp);
+            StoreError::io(format!("rename into {}", path.display()), e)
+        })?;
+        if let Some(dir) = dir {
+            // Directory fsync makes the rename itself durable. Failure
+            // here is surfaced: an un-fsync'd rename can be lost.
+            let d = fs::File::open(dir)
+                .map_err(|e| StoreError::io(format!("open dir {}", dir.display()), e))?;
+            d.sync_all()
+                .map_err(|e| StoreError::io("fsync parent directory", e))?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed, checksum-verified segment file held in memory.
+pub struct SegmentFile {
+    bytes: OwnedBytes,
+    /// `(name, start, end)` per segment, TOC order.
+    toc: Vec<(String, usize, usize)>,
+}
+
+impl std::fmt::Debug for SegmentFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentFile")
+            .field("bytes", &self.bytes.len())
+            .field("segments", &self.toc)
+            .finish()
+    }
+}
+
+impl SegmentFile {
+    /// Reads and fully validates `path`: magic, version, declared file
+    /// length, TOC checksum, per-segment bounds and checksums. Any
+    /// mismatch is a typed error; no segment content is interpreted yet.
+    pub fn open(path: &Path) -> Result<SegmentFile, StoreError> {
+        let raw =
+            fs::read(path).map_err(|e| StoreError::io(format!("read {}", path.display()), e))?;
+        Self::parse(raw)
+    }
+
+    /// Validates an in-memory file image (the read path of
+    /// [`SegmentFile::open`], split out for tests).
+    pub fn parse(raw: Vec<u8>) -> Result<SegmentFile, StoreError> {
+        if raw.len() < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                context: format!("file is {} bytes, header needs {HEADER_LEN}", raw.len()),
+            });
+        }
+        let magic: [u8; 8] = raw[0..8].try_into().unwrap();
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let mut hdr = ByteReader::new(&raw[8..HEADER_LEN], "header");
+        let version = hdr.get_u32()?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let seg_count = hdr.get_u32()? as usize;
+        let toc_len = hdr.get_len()?;
+        let toc_checksum = hdr.get_u64()?;
+        let file_len = hdr.get_len()?;
+        if raw.len() != file_len {
+            return Err(StoreError::Truncated {
+                context: format!("file is {} bytes but declares {file_len}", raw.len()),
+            });
+        }
+        if raw.len() - HEADER_LEN < toc_len {
+            return Err(StoreError::Truncated {
+                context: format!("TOC of {toc_len} bytes overruns the file"),
+            });
+        }
+        let toc_bytes = &raw[HEADER_LEN..HEADER_LEN + toc_len];
+        if fnv1a(toc_bytes) != toc_checksum {
+            return Err(StoreError::ChecksumMismatch {
+                segment: "toc".into(),
+            });
+        }
+        let mut toc = Vec::with_capacity(seg_count);
+        let mut r = ByteReader::new(toc_bytes, "toc");
+        for _ in 0..seg_count {
+            let name = r.get_str()?.to_string();
+            let offset = r.get_len()?;
+            let len = r.get_len()?;
+            let checksum = r.get_u64()?;
+            if offset % PAGE != 0 {
+                return Err(StoreError::malformed(format!(
+                    "segment `{name}` offset {offset} is not {PAGE}-aligned"
+                )));
+            }
+            let end = offset.checked_add(len).ok_or_else(|| {
+                StoreError::malformed(format!("segment `{name}` bounds overflow"))
+            })?;
+            if end > raw.len() {
+                return Err(StoreError::Truncated {
+                    context: format!("segment `{name}` ({offset}..{end}) overruns the file"),
+                });
+            }
+            if fnv1a(&raw[offset..end]) != checksum {
+                return Err(StoreError::ChecksumMismatch { segment: name });
+            }
+            toc.push((name, offset, end));
+        }
+        r.expect_end()?;
+        // Padding discipline: every byte outside the header+TOC and the
+        // segment payloads must be zero, and payloads must not overlap.
+        // Checksums do not cover padding, so this is what catches a bit
+        // flip (or smuggled data) in the alignment gaps.
+        let mut regions: Vec<(usize, usize)> = toc.iter().map(|&(_, s, e)| (s, e)).collect();
+        regions.push((0, HEADER_LEN + toc_len));
+        regions.sort_unstable();
+        let mut covered = 0usize;
+        for (start, end) in regions {
+            if start < covered {
+                return Err(StoreError::malformed(format!(
+                    "segment regions overlap at byte {start}"
+                )));
+            }
+            if raw[covered..start].iter().any(|&b| b != 0) {
+                return Err(StoreError::malformed(format!(
+                    "nonzero padding in {covered}..{start}"
+                )));
+            }
+            covered = covered.max(end);
+        }
+        if raw[covered..].iter().any(|&b| b != 0) {
+            return Err(StoreError::malformed(format!(
+                "nonzero padding after byte {covered}"
+            )));
+        }
+        Ok(SegmentFile {
+            bytes: OwnedBytes::new(raw),
+            toc,
+        })
+    }
+
+    /// The named segment's payload bytes.
+    pub fn segment(&self, name: &str) -> Result<OwnedBytes, StoreError> {
+        self.toc
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, s, e)| self.bytes.slice(s, e))
+            .ok_or_else(|| StoreError::MissingSegment { name: name.into() })
+    }
+
+    /// Segment names in file order.
+    pub fn segment_names(&self) -> impl Iterator<Item = &str> {
+        self.toc.iter().map(|(n, _, _)| n.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SegmentFileWriter::new();
+        w.add("alpha", vec![1, 2, 3]);
+        w.add("beta", (0..5000u32).flat_map(|v| v.to_le_bytes()).collect());
+        w.add("empty", Vec::new());
+        w.assemble()
+    }
+
+    #[test]
+    fn round_trip_segments() {
+        let f = SegmentFile::parse(sample()).unwrap();
+        assert_eq!(
+            f.segment_names().collect::<Vec<_>>(),
+            ["alpha", "beta", "empty"]
+        );
+        assert_eq!(f.segment("alpha").unwrap().as_slice(), &[1, 2, 3]);
+        assert_eq!(f.segment("beta").unwrap().len(), 20_000);
+        assert!(f.segment("empty").unwrap().is_empty());
+        match f.segment("gamma") {
+            Err(StoreError::MissingSegment { name }) => assert_eq!(name, "gamma"),
+            other => panic!("expected MissingSegment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn segments_are_page_aligned() {
+        let f = SegmentFile::parse(sample()).unwrap();
+        for (_, start, _) in &f.toc {
+            assert_eq!(start % PAGE, 0);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut raw = sample();
+        raw[0] = b'X';
+        match SegmentFile::parse(raw) {
+            Err(StoreError::BadMagic { .. }) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut raw = sample();
+        raw[8] = 99;
+        match SegmentFile::parse(raw) {
+            Err(StoreError::UnsupportedVersion { found: 99 }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let mut raw = sample();
+        raw.truncate(raw.len() - 1);
+        match SegmentFile::parse(raw) {
+            Err(StoreError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_segment_is_rejected() {
+        let raw = sample();
+        let f = SegmentFile::parse(raw.clone()).unwrap();
+        let (_, start, _) = f.toc[1];
+        let mut evil = raw;
+        evil[start + 100] ^= 0x40;
+        match SegmentFile::parse(evil) {
+            Err(StoreError::ChecksumMismatch { segment }) => assert_eq!(segment, "beta"),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_padding_is_rejected() {
+        let raw = sample();
+        let f = SegmentFile::parse(raw.clone()).unwrap();
+        // Last byte before the first segment is alignment padding.
+        let (_, start, _) = f.toc[0];
+        let mut evil = raw;
+        evil[start - 1] ^= 0x40;
+        match SegmentFile::parse(evil) {
+            Err(StoreError::Malformed { context }) => {
+                assert!(context.contains("padding"), "{context}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_toc_is_rejected() {
+        let mut raw = sample();
+        raw[HEADER_LEN + 2] ^= 0x01;
+        match SegmentFile::parse(raw) {
+            Err(StoreError::ChecksumMismatch { segment }) => assert_eq!(segment, "toc"),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_write_then_open() {
+        let dir = std::env::temp_dir().join(format!("tuffy-store-fmt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.tst");
+        let mut w = SegmentFileWriter::new();
+        w.add("one", vec![9; 10]);
+        w.write_atomic(&path).unwrap();
+        // Overwrite with new content: readers see old or new, never a tear.
+        let mut w2 = SegmentFileWriter::new();
+        w2.add("one", vec![7; 20]);
+        w2.write_atomic(&path).unwrap();
+        let f = SegmentFile::open(&path).unwrap();
+        assert_eq!(f.segment("one").unwrap().as_slice(), &[7; 20]);
+        assert!(!path.with_extension("tmp").exists(), "temp file cleaned up");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

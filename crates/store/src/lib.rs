@@ -1,0 +1,66 @@
+//! # tuffy-store — durable grounded generations
+//!
+//! Grounding is the expensive step of MLN inference (paper §3.1); the
+//! serving engine amortizes it across queries, and this crate amortizes
+//! it across **process lifetimes**: a grounded generation — program,
+//! evidence, atom registry, MRF clause arenas, statistics — is written
+//! once to a single segment file and reloaded in milliseconds, with the
+//! loaded snapshot answering queries **bit-identically** (every atom id,
+//! every `f64` bit pattern) to the engine that saved it.
+//!
+//! ## File format
+//!
+//! One file, extension-agnostic (the engine uses `generation.tst`), laid
+//! out as checksummed, page-aligned segments. All integers are
+//! **little-endian**; `f64`s are stored as raw IEEE-754 bit patterns so
+//! NaNs and signed zeros round-trip exactly.
+//!
+//! ```text
+//! file    := header toc pad segment*
+//! header  := "TUFFYST1" version:u32 seg_count:u32 toc_len:u64
+//!            toc_checksum:u64 file_len:u64            ; 40 bytes
+//! toc     := entry{seg_count}
+//! entry   := name_len:u32 name:bytes offset:u64 len:u64 checksum:u64
+//! segment := raw bytes at a 4096-aligned offset, zero-padded tail
+//! ```
+//!
+//! Checksums are **FNV-1a-64** — over the TOC bytes for `toc_checksum`,
+//! over each segment's payload for its entry. [`format::SegmentFile::open`]
+//! verifies the magic, version, declared file length, and *every*
+//! checksum before any segment is interpreted, so truncation (crash),
+//! torn writes, and bit flips all surface as typed [`StoreError`]s —
+//! never panics, never silently-wrong answers.
+//!
+//! The segments of a generation, in file order: `symbols` (strings in id
+//! order, re-interned densely on load), `types`, `predicates`, `rules`,
+//! `domains`, `evidence` (insertion order), `registry` (ground atoms in
+//! atom-id order), `mrf` (the persisted clause columns of
+//! [`tuffy_mrf::MrfColumns`]; the violation column and occurrence CSR are
+//! re-derived on load), `stats`, and `config` (opaque engine bytes).
+//!
+//! ## Crash safety
+//!
+//! [`format::SegmentFileWriter::write_atomic`] assembles the full image
+//! in memory, writes it to a sibling `*.tmp` file, `fsync`s it, renames
+//! it over the destination, and `fsync`s the parent directory. A crash
+//! at any point leaves either the previous generation or the new one —
+//! a reader can never observe a tear, and a leftover `*.tmp` is ignored
+//! by loads and overwritten by the next save.
+//!
+//! ## Relation to out-of-core grounding
+//!
+//! This crate persists *finished* generations. Its sibling mechanism —
+//! spilling *in-flight* join state to sorted on-disk runs when grounding
+//! exceeds a memory budget — lives in [`tuffy_rdbms::spill`] behind the
+//! [`tuffy_rdbms::StorageBackend`] trait; see those docs for the backend
+//! contract and spill semantics.
+
+pub mod bytes;
+pub mod error;
+pub mod format;
+pub mod model;
+
+pub use bytes::OwnedBytes;
+pub use error::StoreError;
+pub use format::{SegmentFile, SegmentFileWriter, MAGIC, PAGE, VERSION};
+pub use model::{load_generation, save_generation, LoadedGeneration};
