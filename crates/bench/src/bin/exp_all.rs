@@ -25,6 +25,7 @@ fn main() {
         ("flips", tuffy_bench::experiments::flips::report),
         ("ground", tuffy_bench::experiments::ground::report),
         ("outofcore", tuffy_bench::experiments::outofcore::report),
+        ("recovery", tuffy_bench::experiments::recovery::report),
     ];
     for (name, f) in experiments {
         eprintln!("=== running {name} ===");

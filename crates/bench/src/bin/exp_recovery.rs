@@ -1,0 +1,12 @@
+//! Regenerates the crash-recovery report and `BENCH_recover.json`.
+//!
+//! `--smoke` runs two tiny WAL-length levels and skips the JSON write —
+//! the CI variant that validates the harness (lineage creation, delta
+//! commits, cold recovery) without overwriting committed numbers.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    tuffy_bench::emit(
+        "recovery",
+        &tuffy_bench::experiments::recovery::report_with(smoke),
+    );
+}

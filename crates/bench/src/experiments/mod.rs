@@ -12,6 +12,7 @@ pub mod flips;
 pub mod ground;
 pub mod net;
 pub mod outofcore;
+pub mod recovery;
 pub mod scaling;
 pub mod serve;
 pub mod session;

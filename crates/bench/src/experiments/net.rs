@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tuffy::Tuffy;
-use tuffy_serve::{Client, ClientError, ServeConfig, Server, WireQuery, WireQueryKind};
+use tuffy_serve::{Client, RetryPolicy, ServeConfig, Server, WireQuery, WireQueryKind};
 
 /// Concurrent-connection levels measured (the top level is the
 /// "hundreds of clients" point; all levels share one grounded engine).
@@ -64,24 +64,21 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Issues one MAP query, retrying through `busy` backpressure with
-/// exponential backoff (a tight retry loop from hundreds of clients
-/// would starve the server's search threads on a small host); returns
-/// the time from first send to answer and the number of retries.
+/// Issues one MAP query, retrying through `busy` backpressure with the
+/// client's typed retry budget (a tight retry loop from hundreds of
+/// clients would starve the server's search threads on a small host);
+/// returns the time from first send to answer and the retry count.
 fn timed_query(client: &mut Client, query: &WireQuery) -> (Duration, u64) {
+    // Effectively unbounded attempts: the load generator must ride out
+    // arbitrary backpressure, and a non-busy error is a bench bug.
+    let policy = RetryPolicy {
+        max_attempts: u32::MAX,
+        ..RetryPolicy::default()
+    };
     let t0 = Instant::now();
-    let mut retries = 0u64;
-    let mut backoff = Duration::from_millis(2);
-    loop {
-        match client.query(query) {
-            Ok(_) => return (t0.elapsed(), retries),
-            Err(ClientError::Busy(_)) => {
-                retries += 1;
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(200));
-            }
-            Err(e) => panic!("load-generator query failed: {e}"),
-        }
+    match client.query_with_retry(query, &policy) {
+        Ok((_, retries)) => (t0.elapsed(), u64::from(retries)),
+        Err(e) => panic!("load-generator query failed: {e}"),
     }
 }
 

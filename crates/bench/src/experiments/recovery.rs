@@ -1,0 +1,200 @@
+//! Crash recovery: restart time vs delta-WAL length, and what
+//! checkpointing buys.
+//!
+//! A durable `tuffyd` lineage recovers by loading its base generation
+//! and replaying the delta WAL (parse + incremental fork per record),
+//! so recovery time grows with the number of unfolded records. The
+//! experiment commits N flip deltas (cycling over the evidence atoms —
+//! flips are always valid and never idempotent, so every replayed
+//! record does real work) into a fresh store per level, then measures a
+//! cold [`DurableEngine::open`]:
+//!
+//! * **no checkpoint** — the whole WAL replays; the linear-in-N cost
+//!   a serving process pays if it never folds;
+//! * **checkpoint every 16** — auto-checkpoints fold the log into the
+//!   base as it grows, so recovery replays at most 15 records and the
+//!   restart time stays flat regardless of commit history.
+//!
+//! Writes `BENCH_recover.json` at the repository root
+//! (`cargo run --release -p tuffy-bench --bin exp_recovery`; `--smoke`
+//! runs two tiny levels and skips the JSON write).
+
+use crate::format::TextTable;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use tuffy::{DurableEngine, Engine, Tuffy};
+
+/// WAL lengths (committed records) measured at full scale.
+pub const LEVELS: [u64; 4] = [0, 16, 64, 256];
+
+/// Auto-checkpoint threshold for the amortized variant.
+pub const CHECKPOINT_EVERY: u64 = 16;
+
+/// One WAL-length level's measurement.
+pub struct RecoveryPoint {
+    /// Deltas committed before the simulated crash.
+    pub records: u64,
+    /// WAL size in bytes at the crash (no-checkpoint variant).
+    pub wal_bytes: u64,
+    /// Cold recovery time with the full WAL unfolded.
+    pub recover: Duration,
+    /// Cold recovery time when auto-checkpoints folded the log.
+    pub recover_ckpt: Duration,
+    /// Records the checkpointed variant actually replayed.
+    pub replayed_ckpt: u64,
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tuffy-bench-recover-{}-{tag}", std::process::id()))
+}
+
+/// Flip deltas cycling over the evidence atoms — always valid, never
+/// idempotent, and mostly in the incremental fragment, so replay cost
+/// is the realistic per-record patch cost rather than N re-grounds.
+fn flip_deltas(n: u64) -> Vec<String> {
+    let ds = dataset();
+    let atoms: Vec<String> = ds
+        .evidence
+        .iter()
+        .map(|ev| tuffy::render_atom(&ds.program, &ev.atom))
+        .collect();
+    (0..n)
+        .map(|i| format!("~{}", atoms[i as usize % atoms.len()]))
+        .collect()
+}
+
+fn dataset() -> tuffy_datagen::Dataset {
+    tuffy_datagen::er(16, 60, crate::SEED)
+}
+
+fn build_engine() -> Engine {
+    let ds = dataset();
+    Tuffy::from_parts(ds.program, ds.evidence)
+        .with_config(crate::tuffy_config(10_000))
+        .build_engine()
+        .expect("grounding")
+}
+
+/// Commits `records` deltas into a fresh store with the given
+/// checkpoint threshold, drops the lineage (the simulated crash), and
+/// times a cold open. Returns (recovery wall, WAL bytes at the crash,
+/// records replayed).
+fn crash_and_recover(
+    engine: &Engine,
+    tag: &str,
+    records: u64,
+    checkpoint_every: u64,
+) -> (Duration, u64, u64) {
+    let dir = scratch_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut durable =
+        DurableEngine::create(engine.clone(), &dir, checkpoint_every).expect("create lineage");
+    for delta in flip_deltas(records) {
+        durable.apply(&delta).expect("apply");
+        assert!(durable.take_checkpoint_error().is_none());
+    }
+    let wal_bytes = durable.wal_len_bytes();
+    drop(durable); // the crash: no checkpoint, no goodbye
+
+    let t0 = Instant::now();
+    let (recovered, report) = DurableEngine::open(&dir, checkpoint_every).expect("recover");
+    let wall = t0.elapsed();
+    assert_eq!(report.seq, records, "recovery must land on the crash point");
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    (wall, wal_bytes, report.replayed)
+}
+
+/// Measures every WAL-length level, both unfolded and checkpointed.
+pub fn measure(smoke: bool) -> Vec<RecoveryPoint> {
+    let levels: &[u64] = if smoke { &[0, 4] } else { &LEVELS };
+    let engine = build_engine();
+    levels
+        .iter()
+        .map(|&records| {
+            let (recover, wal_bytes, replayed) =
+                crash_and_recover(&engine, &format!("plain-{records}"), records, 0);
+            assert_eq!(replayed, records);
+            let (recover_ckpt, _, replayed_ckpt) = crash_and_recover(
+                &engine,
+                &format!("ckpt-{records}"),
+                records,
+                CHECKPOINT_EVERY,
+            );
+            assert!(replayed_ckpt < CHECKPOINT_EVERY.max(1));
+            RecoveryPoint {
+                records,
+                wal_bytes,
+                recover,
+                recover_ckpt,
+                replayed_ckpt,
+            }
+        })
+        .collect()
+}
+
+/// Renders the measurements as the `BENCH_recover.json` document.
+pub fn to_json(points: &[RecoveryPoint]) -> String {
+    let mut body = String::from("{\n  \"bench\": \"crash_recovery\",\n  \"unit\": \"seconds\",\n");
+    body.push_str(&format!(
+        "  \"checkpoint_every\": {CHECKPOINT_EVERY},\n  \"levels\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"wal_records\": {}, \"wal_bytes\": {}, \"recover_secs\": {:.6}, \
+             \"recover_checkpointed_secs\": {:.6}, \"replayed_after_checkpoint\": {}}}{}\n",
+            p.records,
+            p.wal_bytes,
+            p.recover.as_secs_f64(),
+            p.recover_ckpt.as_secs_f64(),
+            p.replayed_ckpt,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    body
+}
+
+/// Builds the recovery report; unless `smoke`, also writes
+/// `BENCH_recover.json` at the repository root.
+pub fn report_with(smoke: bool) -> String {
+    let points = measure(smoke);
+    if !smoke {
+        let json = to_json(&points);
+        if let Err(e) = std::fs::write("BENCH_recover.json", &json) {
+            eprintln!("warning: could not write BENCH_recover.json: {e}");
+        } else {
+            eprintln!("(written to BENCH_recover.json)");
+        }
+    }
+    let mut out = format!(
+        "Crash recovery time vs delta-WAL length (ER testbed; flip deltas;\n\
+         cold DurableEngine::open = base load + WAL replay). Checkpointing\n\
+         every {CHECKPOINT_EVERY} records folds the log into the base, so restart time\n\
+         stays flat regardless of commit history; regenerate with\n\
+         `cargo run --release -p tuffy-bench --bin exp_recovery`.\n\n"
+    );
+    let mut t = TextTable::new(vec![
+        "wal records",
+        "wal bytes",
+        "recover ms",
+        "recover ms (ckpt)",
+        "replayed (ckpt)",
+    ]);
+    for p in &points {
+        t.row(vec![
+            p.records.to_string(),
+            p.wal_bytes.to_string(),
+            format!("{:.3}", p.recover.as_secs_f64() * 1e3),
+            format!("{:.3}", p.recover_ckpt.as_secs_f64() * 1e3),
+            p.replayed_ckpt.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// [`report_with`] at full scale.
+pub fn report() -> String {
+    report_with(false)
+}

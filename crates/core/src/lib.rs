@@ -116,6 +116,7 @@
 //! unaffected by both.
 
 pub mod config;
+pub mod durable;
 pub mod engine;
 pub mod persist;
 pub mod pipeline;
@@ -125,6 +126,7 @@ pub mod session;
 pub mod snapshot;
 
 pub use config::{Architecture, PartitionStrategy, TuffyConfig};
+pub use durable::{ApplyOutcome, DurableEngine, DurableError, RecoveryReport, WAL_FILE};
 pub use engine::Engine;
 pub use persist::GENERATION_FILE;
 pub use pipeline::Tuffy;

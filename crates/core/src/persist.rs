@@ -31,8 +31,10 @@ use tuffy_store::{load_generation, save_generation, StoreError};
 pub const GENERATION_FILE: &str = "generation.tst";
 
 /// Version of the engine-config blob inside the store's `config`
-/// segment (independent of the store's container version).
-const CONFIG_VERSION: u32 = 1;
+/// segment (independent of the store's container version). Version 2
+/// appended the folded WAL sequence; version-1 files (written before
+/// the WAL existed) still load, with an implied fold of 0.
+const CONFIG_VERSION: u32 = 2;
 
 impl Engine {
     /// Saves this engine's base generation into `dir` (created if
@@ -40,18 +42,7 @@ impl Engine {
     /// leaves the previous generation (or nothing), never a torn file.
     /// Returns the path written.
     pub fn save(&self, dir: &Path) -> Result<PathBuf, StoreError> {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| StoreError::io(format!("create store dir {}", dir.display()), e))?;
-        let path = dir.join(GENERATION_FILE);
-        let snapshot = self.snapshot();
-        save_generation(
-            &path,
-            snapshot.program(),
-            snapshot.evidence(),
-            snapshot.grounding(),
-            &encode_config(snapshot.config()),
-        )?;
-        Ok(path)
+        save_snapshot(&self.snapshot(), dir, 0)
     }
 
     /// Loads an engine saved by [`Engine::save`] from `dir` — no
@@ -59,16 +50,43 @@ impl Engine {
     /// grounding time. The loaded engine's base snapshot answers queries
     /// bit-identically to the saved one's.
     pub fn load(dir: &Path) -> Result<Engine, StoreError> {
-        let gen = load_generation(&dir.join(GENERATION_FILE))?;
-        let config = decode_config(&gen.config)?;
-        Ok(Engine::from_loaded_parts(Snapshot::root(
-            Arc::new(gen.program),
-            gen.evidence,
-            config,
-            Arc::new(gen.result),
-            EngineCounters::for_loaded_engine(),
-        )))
+        Ok(load_with_folded_seq(dir)?.0)
     }
+}
+
+/// Saves `snapshot` as `dir`'s base generation, recording `folded_seq`
+/// as the last WAL sequence folded into it (0 for a plain save). The
+/// durable engine checkpoints through this.
+pub(crate) fn save_snapshot(
+    snapshot: &Snapshot,
+    dir: &Path,
+    folded_seq: u64,
+) -> Result<PathBuf, StoreError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| StoreError::io(format!("create store dir {}", dir.display()), e))?;
+    let path = dir.join(GENERATION_FILE);
+    save_generation(
+        &path,
+        snapshot.program(),
+        snapshot.evidence(),
+        snapshot.grounding(),
+        &encode_config(snapshot.config(), folded_seq),
+    )?;
+    Ok(path)
+}
+
+/// Loads a base generation plus the WAL sequence it has folded.
+pub(crate) fn load_with_folded_seq(dir: &Path) -> Result<(Engine, u64), StoreError> {
+    let gen = load_generation(&dir.join(GENERATION_FILE))?;
+    let (config, folded_seq) = decode_config(&gen.config)?;
+    let engine = Engine::from_loaded_parts(Snapshot::root(
+        Arc::new(gen.program),
+        gen.evidence,
+        config,
+        Arc::new(gen.result),
+        EngineCounters::for_loaded_engine(),
+    ));
+    Ok((engine, folded_seq))
 }
 
 /// Enum tags. Every `match` below is exhaustive *without* a wildcard on
@@ -87,8 +105,9 @@ const JO_PROGRAM: u8 = 1;
 const JA_AUTO: u8 = 0;
 const JA_NESTED_LOOP: u8 = 1;
 
-/// Encodes a full [`TuffyConfig`] as the store's opaque config blob.
-pub(crate) fn encode_config(c: &TuffyConfig) -> Vec<u8> {
+/// Encodes a full [`TuffyConfig`] (plus the folded WAL sequence) as the
+/// store's opaque config blob.
+pub(crate) fn encode_config(c: &TuffyConfig, folded_seq: u64) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u32(CONFIG_VERSION);
     w.put_u8(match c.grounding {
@@ -137,14 +156,17 @@ pub(crate) fn encode_config(c: &TuffyConfig) -> Vec<u8> {
     w.put_u64(c.disk.read_latency_ns);
     w.put_u64(c.disk.write_latency_ns);
     w.put_u64(c.pool_pages as u64);
+    w.put_u64(folded_seq);
     w.finish()
 }
 
-/// Decodes the config blob written by [`encode_config`].
-pub(crate) fn decode_config(bytes: &[u8]) -> Result<TuffyConfig, StoreError> {
+/// Decodes the config blob written by [`encode_config`], returning the
+/// config and the folded WAL sequence (0 for version-1 blobs, which
+/// predate the WAL).
+pub(crate) fn decode_config(bytes: &[u8]) -> Result<(TuffyConfig, u64), StoreError> {
     let mut r = ByteReader::new(bytes, "config");
     let version = r.get_u32()?;
-    if version != CONFIG_VERSION {
+    if version != 1 && version != CONFIG_VERSION {
         return Err(StoreError::malformed(format!(
             "unsupported engine-config version {version}"
         )));
@@ -216,8 +238,9 @@ pub(crate) fn decode_config(bytes: &[u8]) -> Result<TuffyConfig, StoreError> {
         },
         pool_pages: r.get_len()?,
     };
+    let folded_seq = if version >= 2 { r.get_u64()? } else { 0 };
     r.expect_end()?;
-    Ok(config)
+    Ok((config, folded_seq))
 }
 
 fn tag_bool(v: u8, what: &str) -> Result<bool, StoreError> {
@@ -269,7 +292,8 @@ mod tests {
             },
             pool_pages: 256,
         };
-        let back = decode_config(&encode_config(&config)).unwrap();
+        let (back, folded) = decode_config(&encode_config(&config, 42)).unwrap();
+        assert_eq!(folded, 42);
         assert_eq!(back.grounding, config.grounding);
         assert_eq!(back.optimizer, config.optimizer);
         assert_eq!(back.architecture, config.architecture);
@@ -294,15 +318,28 @@ mod tests {
     #[test]
     fn default_config_round_trips() {
         let config = TuffyConfig::default();
-        let back = decode_config(&encode_config(&config)).unwrap();
+        let (back, folded) = decode_config(&encode_config(&config, 0)).unwrap();
+        assert_eq!(folded, 0);
         assert_eq!(back.optimizer, config.optimizer);
         assert_eq!(back.architecture, config.architecture);
         assert_eq!(back.partitioning, config.partitioning);
     }
 
     #[test]
+    fn version_1_blob_without_fold_still_decodes() {
+        // A pre-WAL (version-1) blob is the version-2 encoding minus the
+        // trailing folded-sequence u64, with the version field rewritten.
+        let mut bytes = encode_config(&TuffyConfig::default(), 0);
+        bytes.truncate(bytes.len() - 8);
+        bytes[..4].copy_from_slice(&1u32.to_le_bytes());
+        let (back, folded) = decode_config(&bytes).unwrap();
+        assert_eq!(folded, 0);
+        assert_eq!(back.optimizer, TuffyConfig::default().optimizer);
+    }
+
+    #[test]
     fn bad_tag_is_typed_error() {
-        let mut bytes = encode_config(&TuffyConfig::default());
+        let mut bytes = encode_config(&TuffyConfig::default(), 0);
         bytes[4] = 0xff; // grounding tag
         match decode_config(&bytes) {
             Err(StoreError::Malformed { .. }) => {}

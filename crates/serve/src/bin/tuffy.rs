@@ -47,7 +47,7 @@ use tuffy::{
     Architecture, JoinAlgorithmPolicy, JoinOrderPolicy, McSatParams, PartitionStrategy, Query,
     Session, Tuffy, TuffyConfig, WalkSatParams,
 };
-use tuffy_serve::client::{Client, WireAnswer};
+use tuffy_serve::client::{Client, RetryPolicy, WireAnswer};
 use tuffy_serve::wire::{WireQuery, WireQueryKind};
 
 struct Args {
@@ -470,10 +470,29 @@ fn render_wire_answer(answer: &WireAnswer, quiet: bool) -> String {
 }
 
 fn net_infer(client: &mut Client, marginal: bool, args: &Args) -> Result<String, String> {
-    let answer = client
-        .query(&net_query(marginal, args.flips, args.seed))
+    // Ride out transient backpressure (`busy queue` / `busy heavy`)
+    // with the shared typed retry budget instead of failing the CLI.
+    let (answer, retries) = client
+        .query_with_retry(
+            &net_query(marginal, args.flips, args.seed),
+            &RetryPolicy::default(),
+        )
         .map_err(|e| e.to_string())?;
+    if retries > 0 {
+        eprintln!(
+            "server busy: answered after {retries} retr{}",
+            plural_y(retries)
+        );
+    }
     Ok(render_wire_answer(&answer, false))
+}
+
+fn plural_y(n: u32) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
 }
 
 fn net_apply_and_report(

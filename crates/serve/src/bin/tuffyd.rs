@@ -7,20 +7,27 @@
 //!
 //! ```text
 //! tuffyd -i prog.mln [-e evidence.db] [--listen ADDR] [--store DIR]
+//!        [--checkpoint-every N] [--drain-ms N]
 //!        [--flips N] [--seed N] [--parallel N] [--ground-threads N]
 //!        [--mem-budget-bytes N]
 //!        [--max-connections N] [--max-inflight N] [--max-heavy N]
 //!        [--max-frame-bytes N] [--frame-deadline-ms N]
 //! ```
 //!
-//! `--store DIR` makes the grounded generation durable: if `DIR`
+//! `--store DIR` makes the serving lineage durable: committed applies
+//! append to a delta write-ahead log in `DIR` **before** they are
+//! acknowledged, and on restart the server replays base + WAL back to
+//! the exact pre-crash generation (torn WAL tails from a crash
+//! mid-append are truncated; a recovery report is printed). If `DIR`
 //! already holds a generation file, the server warm-starts from it in
 //! milliseconds — no re-grounding, bit-identical answers, and the saved
 //! engine configuration applies (the CLI's config flags only matter on
 //! the run that grounds). Otherwise the server grounds as usual and
 //! saves the result into `DIR` (atomically; a crash mid-save leaves the
 //! previous state). A corrupt or truncated store file is reported and
-//! re-ground from sources, never served.
+//! re-ground from sources, never served. Every `--checkpoint-every`
+//! WAL records (default 64; 0 disables) the log is folded into a new
+//! base generation so recovery time stays bounded.
 //!
 //! `--mem-budget-bytes N` bounds grounding-time join state: oversized
 //! intermediate results spill to sorted on-disk runs instead of
@@ -28,12 +35,14 @@
 //! bit-identical to the in-memory path).
 //!
 //! Runtime commands on stdin: `stats` prints the serving counters,
-//! `quit` (or EOF) shuts down cleanly.
+//! `quit` (or EOF) shuts down gracefully — in-flight requests drain
+//! under `--drain-ms` (default 5000), late clients see `busy shutdown`,
+//! and the WAL is fsynced before exit.
 
 use std::io::BufRead;
 use std::process::ExitCode;
-use std::time::{Duration, Instant};
-use tuffy::{Engine, Tuffy, TuffyConfig, WalkSatParams};
+use std::time::Duration;
+use tuffy::{DurableEngine, Engine, Tuffy, TuffyConfig, WalkSatParams};
 use tuffy_serve::{explain_stats, ServeConfig, Server};
 
 struct Args {
@@ -41,6 +50,7 @@ struct Args {
     evidence: Option<String>,
     listen: String,
     store: Option<String>,
+    checkpoint_every: u64,
     flips: u64,
     seed: u64,
     threads: usize,
@@ -51,6 +61,7 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: tuffyd -i <prog.mln> [-e <evidence.db>] [--listen ADDR] [--store DIR]\n\
+     \x20       [--checkpoint-every N] [--drain-ms N]\n\
      \x20       [--flips N] [--seed N] [--parallel N] [--ground-threads N]\n\
      \x20       [--mem-budget-bytes N]\n\
      \x20       [--max-connections N] [--max-inflight N] [--max-heavy N]\n\
@@ -63,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         evidence: None,
         listen: "127.0.0.1:7090".to_string(),
         store: None,
+        checkpoint_every: 64,
         flips: 1_000_000,
         seed: 42,
         threads: 1,
@@ -87,6 +99,10 @@ fn parse_args() -> Result<Args, String> {
             "-e" => args.evidence = Some(value("-e")?),
             "--listen" => args.listen = value("--listen")?,
             "--store" => args.store = Some(value("--store")?),
+            "--checkpoint-every" => args.checkpoint_every = num(&flag, value(&flag)?)?,
+            "--drain-ms" => {
+                args.serve.drain_deadline = Duration::from_millis(num(&flag, value(&flag)?)?);
+            }
             "--mem-budget-bytes" => args.mem_budget_bytes = num(&flag, value(&flag)?)?,
             "--flips" => args.flips = num(&flag, value(&flag)?)?,
             "--seed" => args.seed = num(&flag, value(&flag)?)?,
@@ -109,30 +125,44 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Warm-starts from `dir` when it holds a generation, otherwise grounds
-/// from sources and saves the result there. Load failures (missing file,
-/// corruption) fall back to grounding — a broken store is reported, never
-/// served.
-fn engine_with_store(args: &Args, config: TuffyConfig, dir: &str) -> Result<Engine, String> {
+/// Recovers the durable lineage from `dir` when it holds a generation
+/// (replaying the delta WAL back to the pre-crash generation), otherwise
+/// grounds from sources and creates a fresh lineage there. Load
+/// failures (missing file, corruption) fall back to grounding — a
+/// broken store is reported, never served.
+fn durable_with_store(
+    args: &Args,
+    config: TuffyConfig,
+    dir: &str,
+) -> Result<DurableEngine, String> {
     let dir = std::path::Path::new(dir);
     if dir.join(tuffy::GENERATION_FILE).exists() {
-        let t0 = Instant::now();
-        match Engine::load(dir) {
-            Ok(engine) => {
+        match DurableEngine::open(dir, args.checkpoint_every) {
+            Ok((durable, recovery)) => {
                 eprintln!(
-                    "warm-started from {} in {:?} (no re-grounding; saved config applies)",
+                    "recovered from {} in {:?}: generation {} (replayed {} WAL deltas, \
+                     skipped {} checkpointed{}; no re-grounding; saved config applies)",
                     dir.display(),
-                    t0.elapsed(),
+                    recovery.wall,
+                    recovery.generation,
+                    recovery.replayed,
+                    recovery.skipped,
+                    if recovery.truncated_tail {
+                        "; truncated a torn WAL tail"
+                    } else {
+                        ""
+                    },
                 );
-                return Ok(engine);
+                return Ok(durable);
             }
             Err(e) => eprintln!("store at {} unusable ({e}); re-grounding", dir.display()),
         }
     }
     let engine = build_engine(args, config)?;
-    let path = engine.save(dir).map_err(|e| e.to_string())?;
-    eprintln!("saved grounded generation to {}", path.display());
-    Ok(engine)
+    let durable =
+        DurableEngine::create(engine, dir, args.checkpoint_every).map_err(|e| e.to_string())?;
+    eprintln!("saved grounded generation to {}", dir.display());
+    Ok(durable)
 }
 
 /// Grounds from the program/evidence sources.
@@ -166,20 +196,34 @@ fn run() -> Result<(), String> {
         },
         ..Default::default()
     };
-    let engine = match &args.store {
-        Some(dir) => engine_with_store(&args, config, dir)?,
-        None => build_engine(&args, config)?,
+    let server = match &args.store {
+        Some(dir) => {
+            let durable = durable_with_store(&args, config, dir)?;
+            let reader = durable.reader();
+            let snapshot = reader.snapshot();
+            eprintln!(
+                "grounded {} clauses over {} atoms; serving generation {} (durable, \
+                 checkpoint every {} deltas)",
+                snapshot.grounding().mrf.clauses().len(),
+                snapshot.grounding().registry.len(),
+                snapshot.generation(),
+                args.checkpoint_every,
+            );
+            Server::start_durable(durable, args.listen.as_str(), args.serve)
+                .map_err(|e| e.to_string())?
+        }
+        None => {
+            let engine = build_engine(&args, config)?;
+            let snapshot = engine.snapshot();
+            eprintln!(
+                "grounded {} clauses over {} atoms; serving generation {}",
+                snapshot.grounding().mrf.clauses().len(),
+                snapshot.grounding().registry.len(),
+                snapshot.generation(),
+            );
+            Server::start(engine, args.listen.as_str(), args.serve).map_err(|e| e.to_string())?
+        }
     };
-    let snapshot = engine.snapshot();
-    eprintln!(
-        "grounded {} clauses over {} atoms; serving generation {}",
-        snapshot.grounding().mrf.clauses().len(),
-        snapshot.grounding().registry.len(),
-        snapshot.generation(),
-    );
-
-    let server =
-        Server::start(engine, args.listen.as_str(), args.serve).map_err(|e| e.to_string())?;
     eprintln!(
         "tuffyd listening on {} ({} connections, {} in-flight, {} heavy; `stats`, `quit`)",
         server.local_addr(),
@@ -197,8 +241,9 @@ fn run() -> Result<(), String> {
             other => eprintln!("unknown command `{other}` (try `stats` or `quit`)"),
         }
     }
-    eprint!("{}", explain_stats(&server.stats()));
-    server.shutdown();
+    // Drain before the final report so `drained` / `aborted` are real.
+    let final_stats = server.shutdown();
+    eprint!("{}", explain_stats(&final_stats));
     Ok(())
 }
 

@@ -17,7 +17,7 @@ use crate::wire::{
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -252,6 +252,99 @@ impl Client {
         };
         decode_response(&payload)
             .map_err(|e| ClientError::Protocol(format!("undecodable response: {}", e.message)))
+    }
+}
+
+/// A typed retry budget for [`Client::query_with_retry`]: exponential
+/// backoff with a cap, bounded by attempts and an optional wall-clock
+/// deadline.
+///
+/// The jitter that de-synchronizes competing clients is derived from
+/// the **attempt count**, not the wall clock, so a run's retry
+/// schedule is a pure function of its inputs — load-generator
+/// experiments stay reproducible.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included); 0 behaves as 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry after.
+    pub base_delay: Duration,
+    /// Cap on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Optional wall-clock budget: a retry whose sleep would overrun it
+    /// is not taken and the last `Busy` error is returned instead.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    /// 16 attempts, 2 ms doubling to a 200 ms cap, no deadline — the
+    /// shape the `exp_net` load generator always used.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 16,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(200),
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (0-based): exponential
+    /// from `base_delay`, capped at `max_delay`, jittered into
+    /// `[cap/2, cap]` by a hash of the retry count.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(retry.min(31)).unwrap_or(u32::MAX));
+        let capped = exp.min(self.max_delay);
+        let half = capped / 2;
+        if half.is_zero() {
+            return capped;
+        }
+        // SplitMix64-style mix of the attempt count — deterministic,
+        // but decorrelated across attempts and across policies.
+        let mut h = (retry as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        let jitter_ns = h % (half.as_nanos() as u64 + 1);
+        half + Duration::from_nanos(jitter_ns)
+    }
+}
+
+impl Client {
+    /// [`Client::query`] with retries on [`ClientError::Busy`] under a
+    /// [`RetryPolicy`]. Any other error returns immediately (a `busy
+    /// shutdown` retries like any backpressure, then surfaces as
+    /// [`ClientError::Closed`] once the draining server hangs up).
+    /// Returns the answer and how many retries it took.
+    pub fn query_with_retry(
+        &mut self,
+        query: &WireQuery,
+        policy: &RetryPolicy,
+    ) -> Result<(WireAnswer, u32), ClientError> {
+        let start = Instant::now();
+        let mut retries = 0u32;
+        loop {
+            match self.query(query) {
+                Ok(answer) => return Ok((answer, retries)),
+                Err(e @ ClientError::Busy(_)) => {
+                    if retries + 1 >= policy.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    let sleep = policy.backoff(retries);
+                    if let Some(deadline) = policy.deadline {
+                        if start.elapsed() + sleep > deadline {
+                            return Err(e);
+                        }
+                    }
+                    std::thread::sleep(sleep);
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 

@@ -47,13 +47,20 @@
 //! Admission control is typed, not implicit: when a limit is hit the
 //! server answers a `busy` frame naming the saturated class —
 //! [`wire::BusyClass::Connections`] (connection cap, closes),
-//! [`wire::BusyClass::Queue`] (total in-flight cap), or
-//! [`wire::BusyClass::Heavy`] (marginal / top-k / `given` / apply cap)
-//! — plus the observed in-flight count and the limit. Queue and heavy
+//! [`wire::BusyClass::Queue`] (total in-flight cap),
+//! [`wire::BusyClass::Heavy`] (marginal / top-k / `given` / apply cap),
+//! or [`wire::BusyClass::Shutdown`] (the server is draining, closes) —
+//! plus the observed in-flight count and the limit. Queue and heavy
 //! rejections keep the connection open; the client retries. Because the
 //! heavy cap is strictly below the total cap, saturating the server
 //! with marginals still leaves admission slots for cheap MAP lookups.
 //! Per-request `search`/`mcsat` overrides are clamped to server caps.
+//!
+//! [`client::RetryPolicy`] packages the retry side of this contract: a
+//! typed budget (max attempts, base/cap delay, optional deadline) with
+//! exponential backoff whose jitter derives from the attempt count —
+//! deterministic, no wall-clock sampling — consumed by
+//! [`Client::query_with_retry`].
 //!
 //! # Generations: committed vs. `given` deltas
 //!
@@ -62,7 +69,11 @@
 //! * an **apply** commits a delta to *this connection's* session,
 //!   forking a copy-on-write generation — other connections (and the
 //!   engine's base snapshot) never observe it; the `applied` frame
-//!   reports the new generation;
+//!   reports the new generation. Under [`Server::start_durable`] the
+//!   apply instead appends to the store's delta write-ahead log
+//!   *before* it is acknowledged and advances one shared serving head
+//!   visible to every connection — a crash replays to the acked
+//!   generation on restart;
 //! * a **`given`** delta conditions one query on an ephemeral fork that
 //!   is discarded after the answer — the connection's generation does
 //!   not advance;
@@ -82,11 +93,21 @@
 //! drop). `tests/net_serve.rs` injects each of these against a live
 //! server and asserts no panic, no wedged worker, and no
 //! cross-connection corruption.
+//!
+//! Beyond the protocol layer, request execution runs under
+//! `catch_unwind`: a panicking handler answers a typed
+//! [`wire::ErrorCode::Internal`] error, releases its admission slots,
+//! and leaves every connection serving. At shutdown the server *drains*
+//! — in-flight requests finish and deliver their answers, subsequent
+//! reads answer `busy shutdown`, the WAL is fsynced last — under
+//! [`ServeConfig::drain_deadline`]; `tests/chaos_recovery.rs` pins
+//! panic isolation, drain accounting, and crash/recovery equivalence
+//! with injected storage faults.
 
 pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, WireAnswer};
+pub use client::{Client, ClientError, RetryPolicy, WireAnswer};
 pub use server::{explain_stats, ServeConfig, Server, ServerStats};
 pub use wire::{Busy, BusyClass, ErrorCode, Request, Response, WireQuery, WireQueryKind};

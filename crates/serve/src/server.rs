@@ -41,6 +41,35 @@
 //! payloads keep the connection open — the length prefix preserves
 //! resynchronization — while framing-level faults close it, since the
 //! byte stream can no longer be trusted.
+//!
+//! Request execution itself runs under `catch_unwind`: a panic inside
+//! inference (or the chaos hook, [`ServeConfig::chaos_panic_token`])
+//! answers a typed `error internal` frame, releases its admission slots
+//! (guards are RAII), and leaves the connection, its session, and every
+//! other connection serving — snapshots are immutable, so a panicked
+//! request cannot have half-mutated shared state.
+//!
+//! # Durable lineage
+//!
+//! [`Server::start_durable`] fronts a [`tuffy::DurableEngine`] instead
+//! of per-connection sessions: committed applies from *any* connection
+//! append to the store's delta write-ahead log **before** the `applied`
+//! frame is sent, advance one shared serving head, and become visible to
+//! all connections' subsequent queries. A crash after the ack therefore
+//! always replays to (at least) the acked generation on restart. WAL
+//! append failures answer `error internal` and leave the head on the
+//! previous committed generation — a delta that was not made durable is
+//! never served.
+//!
+//! # Graceful drain
+//!
+//! [`Server::shutdown`] stops accepting, then *drains*: in-flight
+//! requests run to completion (their answers are delivered), each
+//! connection's next read answers `busy shutdown` and closes, and the
+//! WAL is fsynced last. Handlers still running after
+//! [`ServeConfig::drain_deadline`] are abandoned (counted in
+//! [`ServerStats::aborted`]) so a wedged peer cannot hold the process
+//! hostage.
 
 use crate::wire::{
     decode_request, encode_response, Applied, Busy, BusyClass, ErrorCode, Request, Response,
@@ -50,10 +79,12 @@ use crate::wire::{
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tuffy::{Engine, McSatParams, Query, QueryAnswer, Session, WalkSatParams};
+use tuffy::{
+    DurableEngine, DurableError, Engine, McSatParams, Query, QueryAnswer, Session, WalkSatParams,
+};
 
 /// Server limits and timeouts; see the module docs for the admission
 /// model.
@@ -82,6 +113,16 @@ pub struct ServeConfig {
     /// Slow-loris deadline: maximum wall time to deliver one complete
     /// frame once its first byte arrived.
     pub frame_deadline: Duration,
+    /// Graceful-drain budget: at shutdown, in-flight requests get this
+    /// long to finish (each connection's next read answers
+    /// `busy shutdown` and closes). Handlers still running at the
+    /// deadline are abandoned and counted in [`ServerStats::aborted`].
+    pub drain_deadline: Duration,
+    /// Chaos hook for the fault-containment suite: a `ping` carrying
+    /// this token panics *inside* the request handler, exercising the
+    /// `catch_unwind` isolation path. `None` (always, outside tests)
+    /// disables it.
+    pub chaos_panic_token: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +137,8 @@ impl Default for ServeConfig {
             max_sample_steps: 1_000_000,
             read_timeout: Duration::from_millis(100),
             frame_deadline: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            chaos_panic_token: None,
         }
     }
 }
@@ -125,6 +168,14 @@ pub struct ServerStats {
     pub inflight: u64,
     /// Heavy requests executing right now.
     pub inflight_heavy: u64,
+    /// Requests whose handler panicked or whose WAL append failed —
+    /// each answered with a typed `error internal` frame.
+    pub internal_errors: u64,
+    /// Connections that finished their in-flight work within the drain
+    /// deadline at shutdown.
+    pub drained: u64,
+    /// Connections abandoned at the drain deadline.
+    pub aborted: u64,
 }
 
 #[derive(Default)]
@@ -138,6 +189,9 @@ struct Counters {
     busy_rejections: AtomicU64,
     protocol_errors: AtomicU64,
     timeouts: AtomicU64,
+    internal_errors: AtomicU64,
+    drained: AtomicU64,
+    aborted: AtomicU64,
 }
 
 /// The two-class admission gate. Guards release on drop, so a panic in
@@ -203,6 +257,17 @@ struct Shared {
     /// Handler threads, joined at shutdown. Finished threads park here
     /// until then; each costs a few KB, bounded by connection churn.
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// The durable serving lineage ([`Server::start_durable`]); `None`
+    /// for in-memory serving with per-connection sessions.
+    durable: Option<Mutex<DurableEngine>>,
+}
+
+/// Locks the durable lineage, clearing poison: `DurableEngine::apply`
+/// is transactional (the WAL append is the commit point; program and
+/// head advance only after it succeeds), so state behind a poisoned
+/// lock is always a consistent committed generation.
+fn lock_durable(durable: &Mutex<DurableEngine>) -> std::sync::MutexGuard<'_, DurableEngine> {
+    durable.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A running `tuffyd` server; see the module docs. Dropping (or calling
@@ -221,6 +286,33 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> std::io::Result<Server> {
+        Server::start_inner(engine, None, addr, config)
+    }
+
+    /// Binds `addr` and serves a durable lineage: applies from every
+    /// connection are WAL-logged before they are acknowledged and
+    /// advance one shared serving head (see the module docs). Build the
+    /// lineage with [`tuffy::DurableEngine::create`] or recover one with
+    /// [`tuffy::DurableEngine::open`].
+    pub fn start_durable(
+        durable: DurableEngine,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        // The lineage's engine is cloned out for instrumentation
+        // (`Server::engine`): its counters `Arc` is shared with every
+        // generation the durable head forks, so per-engine stats keep
+        // covering the whole lineage.
+        let engine = durable.engine().clone();
+        Server::start_inner(engine, Some(durable), addr, config)
+    }
+
+    fn start_inner(
+        engine: Engine,
+        durable: Option<DurableEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -235,6 +327,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
             handlers: Mutex::new(Vec::new()),
+            durable: durable.map(Mutex::new),
         });
         let accept_shared = shared.clone();
         let accept = std::thread::Builder::new()
@@ -276,13 +369,20 @@ impl Server {
             timeouts: c.timeouts.load(Ordering::Relaxed),
             inflight: self.shared.admission.inflight.load(Ordering::Relaxed),
             inflight_heavy: self.shared.admission.inflight_heavy.load(Ordering::Relaxed),
+            internal_errors: c.internal_errors.load(Ordering::Relaxed),
+            drained: c.drained.load(Ordering::Relaxed),
+            aborted: c.aborted.load(Ordering::Relaxed),
         }
     }
 
-    /// Stops accepting, wakes every handler (they notice within one
-    /// `read_timeout` tick), and joins all server threads.
-    pub fn shutdown(mut self) {
+    /// Stops accepting and drains: in-flight requests finish (their
+    /// answers are delivered), each connection's next read answers
+    /// `busy shutdown`, and the WAL is fsynced last. Handlers still
+    /// running after [`ServeConfig::drain_deadline`] are abandoned.
+    /// Returns the final counters (including `drained` / `aborted`).
+    pub fn shutdown(mut self) -> ServerStats {
         self.stop();
+        self.stats()
     }
 
     fn stop(&mut self) {
@@ -294,9 +394,38 @@ impl Server {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        let handlers = std::mem::take(&mut *self.shared.handlers.lock().unwrap());
-        for h in handlers {
-            let _ = h.join();
+        // Drain: handlers finish their in-flight request, answer
+        // `busy shutdown` to the next read, and exit (counting
+        // themselves as drained). Here we only wait, under the
+        // deadline.
+        let mut draining = std::mem::take(&mut *self.shared.handlers.lock().unwrap());
+        let deadline = Instant::now() + self.shared.config.drain_deadline;
+        loop {
+            let mut still_running = Vec::new();
+            for h in draining {
+                if h.is_finished() {
+                    let _ = h.join();
+                } else {
+                    still_running.push(h);
+                }
+            }
+            draining = still_running;
+            if draining.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Past the deadline: abandon what is left (a wedged peer or a
+        // runaway request must not hold shutdown hostage). The detached
+        // threads still release their admission slots on exit.
+        self.shared
+            .counters
+            .aborted
+            .fetch_add(draining.len() as u64, Ordering::Relaxed);
+        drop(draining);
+        // Final durability barrier: everything acked is on disk.
+        if let Some(durable) = &self.shared.durable {
+            let _ = lock_durable(durable).sync();
         }
     }
 }
@@ -340,6 +469,12 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
             .name("tuffyd-conn".into())
             .spawn(move || {
                 handle_connection(&conn_shared, stream);
+                // A connection that ends once shutdown has begun was
+                // drained — it finished (or was told `busy shutdown`)
+                // rather than being abandoned at the drain deadline.
+                if conn_shared.shutdown.load(Ordering::SeqCst) {
+                    conn_shared.counters.drained.fetch_add(1, Ordering::Relaxed);
+                }
                 conn_shared
                     .counters
                     .active_connections
@@ -518,12 +653,18 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 
     // The connection's session: committed applies fork generations here,
     // exactly like the in-process API; queries never touch its state.
+    // In durable mode the session is only a fallback — applies and
+    // queries route through the shared durable head instead.
     let mut session = shared.engine.open_session();
+    let generation = match &shared.durable {
+        Some(durable) => lock_durable(durable).generation(),
+        None => session.snapshot().generation(),
+    };
     if write_response(
         &mut stream,
         &Response::Welcome {
             protocol: PROTOCOL_VERSION,
-            generation: session.snapshot().generation(),
+            generation,
         },
     )
     .is_err()
@@ -589,9 +730,15 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 return;
             }
             FrameEvent::Shutdown => {
+                // Typed backpressure, not a fault: the server is
+                // draining, the client should reconnect elsewhere/later.
                 let _ = write_response(
                     &mut stream,
-                    &fault(ErrorCode::Shutdown, "server shutting down"),
+                    &Response::Busy(Busy {
+                        class: BusyClass::Shutdown,
+                        inflight: shared.admission.inflight.load(Ordering::Relaxed),
+                        limit: shared.config.max_inflight as u64,
+                    }),
                 );
                 return;
             }
@@ -613,7 +760,25 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             }
         };
 
-        let response = handle_request(shared, &mut session, request);
+        // Panic isolation: a handler panic (inference bug, chaos hook)
+        // must cost exactly one request. Admission guards release on
+        // unwind; snapshots are immutable, so no shared state can be
+        // left half-mutated — `AssertUnwindSafe` is sound here. The
+        // durable lock is poison-cleared by `lock_durable` because
+        // `DurableEngine::apply` commits atomically at the WAL append.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_request(shared, &mut session, request)
+        }))
+        .unwrap_or_else(|_| {
+            shared
+                .counters
+                .internal_errors
+                .fetch_add(1, Ordering::Relaxed);
+            fault(
+                ErrorCode::Internal,
+                "request handler panicked; the request was abandoned and no state changed",
+            )
+        });
         if write_response(&mut stream, &response).is_err() {
             return;
         }
@@ -628,7 +793,12 @@ fn is_heavy(q: &WireQuery) -> bool {
 
 fn handle_request(shared: &Shared, session: &mut Session, request: Request) -> Response {
     match request {
-        Request::Ping { token } => Response::Pong { token },
+        Request::Ping { token } => {
+            if shared.config.chaos_panic_token == Some(token) {
+                panic!("chaos: injected request-handler panic (token {token})");
+            }
+            Response::Pong { token }
+        }
         Request::Apply { delta } => {
             let guard = match shared.admission.try_acquire(true) {
                 Ok(guard) => guard,
@@ -641,6 +811,9 @@ fn handle_request(shared: &Shared, session: &mut Session, request: Request) -> R
                 }
             };
             let _guard = guard;
+            if let Some(durable) = &shared.durable {
+                return apply_durable(shared, durable, &delta);
+            }
             let parsed = match session.parse_delta(&delta) {
                 Ok(parsed) => parsed,
                 Err(e) => return fault(ErrorCode::Query, e.to_string()),
@@ -672,6 +845,17 @@ fn handle_request(shared: &Shared, session: &mut Session, request: Request) -> R
                 }
             };
             let _guard = guard;
+            // Durable mode: answer off a fresh reader of the shared
+            // committed head (the lock is held only to clone it; the
+            // query itself runs unlocked, concurrently with applies).
+            let mut reader;
+            let session: &mut Session = match &shared.durable {
+                Some(durable) => {
+                    reader = lock_durable(durable).reader();
+                    &mut reader
+                }
+                None => session,
+            };
             let query = match build_query(shared, session, &wq) {
                 Ok(query) => query,
                 Err(resp) => return resp,
@@ -703,6 +887,43 @@ fn handle_request(shared: &Shared, session: &mut Session, request: Request) -> R
                     .fetch_add(1, Ordering::Relaxed);
             }
             render_answer(session, generation, answer)
+        }
+    }
+}
+
+/// Commits a delta to the durable lineage: parse → fork → WAL append
+/// (the commit point, fsynced) → advance the shared head. A WAL failure
+/// answers `error internal` and the head stays on the previous
+/// committed generation — an unlogged delta is never served.
+fn apply_durable(shared: &Shared, durable: &Mutex<DurableEngine>, delta: &str) -> Response {
+    let mut durable = lock_durable(durable);
+    match durable.apply(delta) {
+        Ok(outcome) => {
+            if let Some(e) = durable.take_checkpoint_error() {
+                // The apply itself is durable in the WAL; folding it
+                // into the base merely didn't happen yet. Surface and
+                // keep serving — the next checkpoint retries.
+                eprintln!("tuffyd: checkpoint failed (will retry): {e}");
+            }
+            shared.counters.applies.fetch_add(1, Ordering::Relaxed);
+            Response::Applied(Applied {
+                generation: outcome.generation,
+                incremental: outcome.report.incremental,
+                changes: outcome.report.changes as u64,
+                clauses: outcome.report.clauses as u64,
+                atoms: outcome.report.atoms as u64,
+            })
+        }
+        Err(DurableError::Invalid(e)) => fault(ErrorCode::Query, e.to_string()),
+        Err(DurableError::Store(e)) => {
+            shared
+                .counters
+                .internal_errors
+                .fetch_add(1, Ordering::Relaxed);
+            fault(
+                ErrorCode::Internal,
+                format!("delta not committed (previous generation still serving): {e}"),
+            )
         }
     }
 }
@@ -797,7 +1018,8 @@ pub fn explain_stats(stats: &ServerStats) -> String {
          ├─ connections: {} accepted, {} active, {} rejected at cap\n\
          ├─ queries: {} light, {} heavy, {} applies\n\
          ├─ backpressure: {} busy rejections ({} in flight, {} heavy)\n\
-         └─ faults: {} protocol errors, {} frame timeouts\n",
+         ├─ faults: {} protocol errors, {} frame timeouts, {} internal errors\n\
+         └─ drain: {} drained, {} aborted\n",
         stats.accepted,
         stats.active_connections,
         stats.rejected_connections,
@@ -809,5 +1031,8 @@ pub fn explain_stats(stats: &ServerStats) -> String {
         stats.inflight_heavy,
         stats.protocol_errors,
         stats.timeouts,
+        stats.internal_errors,
+        stats.drained,
+        stats.aborted,
     )
 }

@@ -210,15 +210,21 @@ pub enum BusyClass {
     Queue,
     /// The heavy-request cap (marginal / top-k / `given` / `apply`).
     Heavy,
+    /// The server is draining for shutdown: in-flight requests finish,
+    /// new ones are refused. Retryable — against the replacement
+    /// process, not this connection.
+    Shutdown,
 }
 
 impl BusyClass {
-    /// The wire token of this class (`conn` / `queue` / `heavy`).
+    /// The wire token of this class (`conn` / `queue` / `heavy` /
+    /// `shutdown`).
     pub fn as_str(self) -> &'static str {
         match self {
             BusyClass::Connections => "conn",
             BusyClass::Queue => "queue",
             BusyClass::Heavy => "heavy",
+            BusyClass::Shutdown => "shutdown",
         }
     }
 }
@@ -253,6 +259,10 @@ pub enum ErrorCode {
     Query,
     /// The server is shutting down.
     Shutdown,
+    /// The request handler failed internally (a contained panic, or a
+    /// storage fault that prevented a durable commit). The connection's
+    /// session and the shared engine are unaffected.
+    Internal,
 }
 
 impl ErrorCode {
@@ -265,6 +275,7 @@ impl ErrorCode {
             ErrorCode::Timeout => "timeout",
             ErrorCode::Query => "query",
             ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Internal => "internal",
         }
     }
 }
@@ -773,6 +784,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 "conn" => BusyClass::Connections,
                 "queue" => BusyClass::Queue,
                 "heavy" => BusyClass::Heavy,
+                "shutdown" => BusyClass::Shutdown,
                 other => return Err(WireError::new(format!("unknown busy class `{other}`"))),
             };
             single(Response::Busy(Busy {
@@ -790,6 +802,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 "timeout" => ErrorCode::Timeout,
                 "query" => ErrorCode::Query,
                 "shutdown" => ErrorCode::Shutdown,
+                "internal" => ErrorCode::Internal,
                 other => return Err(WireError::new(format!("unknown error code `{other}`"))),
             };
             single(Response::Error(WireFault {

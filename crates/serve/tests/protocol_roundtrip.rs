@@ -166,22 +166,24 @@ proptest! {
             }),
             5 => Response::Pong { token: a },
             6 => Response::Busy(Busy {
-                class: match a % 3 {
+                class: match a % 4 {
                     0 => BusyClass::Connections,
                     1 => BusyClass::Queue,
-                    _ => BusyClass::Heavy,
+                    2 => BusyClass::Heavy,
+                    _ => BusyClass::Shutdown,
                 },
                 inflight: b,
                 limit: c,
             }),
             _ => Response::Error(WireFault {
-                code: match a % 6 {
+                code: match a % 7 {
                     0 => ErrorCode::BadMagic,
                     1 => ErrorCode::Malformed,
                     2 => ErrorCode::TooLarge,
                     3 => ErrorCode::Timeout,
                     4 => ErrorCode::Query,
-                    _ => ErrorCode::Shutdown,
+                    5 => ErrorCode::Shutdown,
+                    _ => ErrorCode::Internal,
                 },
                 message: gnarly(&msg_seed),
             }),
@@ -339,6 +341,15 @@ fn golden_response_bytes() {
             b"busy heavy 4 4\n",
         ),
         (
+            // The drain signal at shutdown: backpressure, not a fault.
+            Response::Busy(Busy {
+                class: BusyClass::Shutdown,
+                inflight: 2,
+                limit: 8,
+            }),
+            b"busy shutdown 2 8\n",
+        ),
+        (
             Response::Error(WireFault {
                 code: ErrorCode::TooLarge,
                 message: "frame of 9000000 bytes exceeds the cap".into(),
@@ -366,6 +377,7 @@ fn golden_response_bytes() {
         (ErrorCode::Timeout, "timeout"),
         (ErrorCode::Query, "query"),
         (ErrorCode::Shutdown, "shutdown"),
+        (ErrorCode::Internal, "internal"),
     ] {
         let resp = Response::Error(WireFault {
             code,

@@ -47,6 +47,20 @@
 //! a reader can never observe a tear, and a leftover `*.tmp` is ignored
 //! by loads and overwritten by the next save.
 //!
+//! ## Delta write-ahead log
+//!
+//! A serving engine commits incremental `apply` deltas *between* base
+//! generations; losing them on a crash would roll the lineage back to
+//! the last explicit save. The [`wal`] module closes that window: each
+//! committed delta is appended to a checksummed, length-prefixed log
+//! (`TUFFYWL1`) and `fsync`ed **before** the new generation is
+//! acknowledged, so replaying base + WAL lands on the exact pre-crash
+//! generation. Torn tail records are truncated, interior corruption is
+//! a typed error, and checkpoints fold the log into a fresh base. See
+//! the [`wal`] module docs for the record grammar, the torn-tail rule,
+//! and the [`wal::WalStorage`] fault-injection seam the chaos suite
+//! drives.
+//!
 //! ## Relation to out-of-core grounding
 //!
 //! This crate persists *finished* generations. Its sibling mechanism —
@@ -59,8 +73,13 @@ pub mod bytes;
 pub mod error;
 pub mod format;
 pub mod model;
+pub mod wal;
 
 pub use bytes::OwnedBytes;
 pub use error::StoreError;
 pub use format::{SegmentFile, SegmentFileWriter, MAGIC, PAGE, VERSION};
 pub use model::{load_generation, save_generation, LoadedGeneration};
+pub use wal::{
+    FaultPlan, FaultyStorage, FileStorage, MemStorage, Wal, WalOpenReport, WalRecord, WalStorage,
+    WAL_MAGIC, WAL_VERSION,
+};
