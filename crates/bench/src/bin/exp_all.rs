@@ -26,6 +26,7 @@ fn main() {
         ("ground", tuffy_bench::experiments::ground::report),
         ("outofcore", tuffy_bench::experiments::outofcore::report),
         ("recovery", tuffy_bench::experiments::recovery::report),
+        ("learn", tuffy_bench::experiments::learn::report),
     ];
     for (name, f) in experiments {
         eprintln!("=== running {name} ===");

@@ -1,0 +1,13 @@
+//! Regenerates the weight-learning report and `BENCH_learn.json`.
+//!
+//! `--smoke` runs tiny ER/RC instances with short fits and skips the
+//! JSON write — the CI variant that validates the harness (planted
+//! labels, training splits, both optimizers, relearn-only reweighting)
+//! without overwriting committed numbers.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    tuffy_bench::emit(
+        "learn",
+        &tuffy_bench::experiments::learn::report_with(smoke),
+    );
+}

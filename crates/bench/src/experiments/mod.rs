@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig8;
 pub mod flips;
 pub mod ground;
+pub mod learn;
 pub mod net;
 pub mod outofcore;
 pub mod recovery;

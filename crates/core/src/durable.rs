@@ -270,6 +270,30 @@ impl DurableEngine {
         })
     }
 
+    /// Commits learned rule weights durably: forks the head through
+    /// [`Snapshot::relearn`] (O(clauses), structural arenas shared, no
+    /// grounding) and immediately folds the new generation into the base
+    /// file. A weight change has no WAL-delta representation, so the
+    /// checkpoint *is* the commit point — on success the learned weight
+    /// columns are on disk and a crash recovers them; on `Err` before
+    /// the base save, nothing moved and the lineage still serves the
+    /// previous weights. Returns the new base path.
+    pub fn relearn(&mut self, rule_weights: &[tuffy_mln::Weight]) -> Result<PathBuf, DurableError> {
+        let head = self
+            .head
+            .relearn(rule_weights)
+            .map_err(DurableError::Invalid)?;
+        let folded = self.wal.next_seq() - 1;
+        let path = save_snapshot(&head, &self.dir, folded).map_err(DurableError::Store)?;
+        // The base is durable: advance the head before truncating the
+        // log, so a reset failure leaves a fully consistent lineage
+        // (replay skips records the base already folded).
+        self.program = head.program_arc();
+        self.head = head;
+        self.wal.reset().map_err(DurableError::Store)?;
+        Ok(path)
+    }
+
     /// Folds the lineage head into a new base generation (atomic
     /// replace, folded sequence recorded inside the file), then
     /// truncates the WAL. A crash between the steps is safe: replay

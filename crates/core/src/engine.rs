@@ -94,6 +94,27 @@ impl Engine {
         self.base.counters().groundings()
     }
 
+    /// Forks a new engine whose base generation carries `rule_weights`
+    /// (one [`Weight`](tuffy_mln::Weight) per program rule, in rule
+    /// order) — weight learning's iteration step. The rebuild is
+    /// O(clauses) through [`Snapshot::relearn`]: every structural arena,
+    /// the partition schedule, and the component analysis are shared
+    /// with this engine, no grounding happens
+    /// ([`Engine::groundings_performed`] is unchanged), and snapshots or
+    /// sessions already handed out keep serving their own generations.
+    pub fn relearn(&self, rule_weights: &[tuffy_mln::Weight]) -> Result<Engine, MlnError> {
+        Ok(Engine {
+            base: self.base.relearn(rule_weights)?,
+        })
+    }
+
+    /// Marginal-result cache hits served by the engine's base generation
+    /// cache set (shared across [`Engine::relearn`] forks; see
+    /// [`Snapshot::marginal_cache_hits`]).
+    pub fn marginal_cache_hits(&self) -> u64 {
+        self.base.marginal_cache_hits()
+    }
+
     /// Generations this engine lineage has created: 1 after
     /// `build_engine` (the base generation), +1 for every
     /// [`Session::apply`] or [`crate::Query::given`] fork that produced

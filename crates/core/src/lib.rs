@@ -140,10 +140,11 @@ pub use snapshot::Snapshot;
 // Re-exports so downstream users need only this crate.
 pub use tuffy_grounder::{GroundingMode, PatchStats};
 pub use tuffy_mln::{DeltaOp, EvidenceDelta, EvidenceSet, MlnError, MlnProgram, Weight};
-pub use tuffy_mrf::Cost;
+pub use tuffy_mrf::{Cost, RuleOrigin};
 pub use tuffy_rdbms::{DiskModel, JoinAlgorithmPolicy, JoinOrderPolicy, OptimizerConfig};
 pub use tuffy_search::mcsat::McSatParams;
 pub use tuffy_search::{
-    Schedule, ScheduleResult, Scheduler, SchedulerConfig, TimeCostTrace, WalkSatParams,
+    MarginalSamples, Schedule, ScheduleResult, Scheduler, SchedulerConfig, TimeCostTrace,
+    WalkSatParams,
 };
 pub use tuffy_store::StoreError;

@@ -22,18 +22,21 @@ use crate::result::{
 };
 use crate::session::ApplyReport;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use tuffy_grounder::incremental::{apply_delta_grounding, DeltaOutcome};
 use tuffy_grounder::{ground_bottom_up_threaded, ground_top_down, GroundingResult};
 use tuffy_mln::evidence::{EvidenceDelta, EvidenceSet};
+use tuffy_mln::fxhash::FxHashMap;
 use tuffy_mln::program::MlnProgram;
-use tuffy_mln::MlnError;
+use tuffy_mln::{MlnError, Weight};
 use tuffy_mrf::memory::MemoryFootprint;
 use tuffy_mrf::{AtomId, ComponentSet, Cost};
 use tuffy_search::mcsat::{McSat, McSatParams};
 use tuffy_search::rdbms_search::RdbmsSearch;
-use tuffy_search::{Schedule, Scheduler, SchedulerConfig, TimeCostTrace, WalkSat, WalkSatParams};
+use tuffy_search::{
+    MarginalSamples, Schedule, Scheduler, SchedulerConfig, TimeCostTrace, WalkSat, WalkSatParams,
+};
 
 /// Grounds `program` under `evidence` according to the configured
 /// architecture — the single grounding dispatch every path (engine
@@ -139,6 +142,35 @@ struct GenerationCaches {
     schedule: OnceLock<Arc<Schedule>>,
     /// Nontrivial component count, detected on first use.
     components: OnceLock<usize>,
+    /// Marginal-sampling results keyed on `(generation, McSatParams
+    /// fingerprint)`. Marginal inference is deterministic in (generation,
+    /// params), so a repeat query — the weight-learning loop re-issues
+    /// identical ones every iteration — returns the cached samples
+    /// instead of re-sampling. The generation is part of the key because
+    /// [`Snapshot::relearn`] forks share this cache set (their structural
+    /// analyses stay valid) while their weights — and thus marginals — do
+    /// not carry over.
+    marginals: Mutex<FxHashMap<(u64, u64), Arc<MarginalSamples>>>,
+    /// Marginal cache hits served (see [`Snapshot::marginal_cache_hits`]).
+    marginal_hits: AtomicU64,
+}
+
+/// FNV-style fingerprint over every MC-SAT parameter — the query half of
+/// the marginal cache key.
+fn mcsat_fingerprint(p: &McSatParams) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [
+        p.samples as u64,
+        p.burn_in as u64,
+        p.sample_sat_steps,
+        p.p_anneal.to_bits(),
+        p.temperature.to_bits(),
+        p.seed,
+    ] {
+        h ^= v;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
 }
 
 struct SnapshotInner {
@@ -474,30 +506,13 @@ impl Snapshot {
         &self,
         params: &McSatParams,
     ) -> Result<(Vec<f64>, InferenceReport), MlnError> {
-        let config = &self.inner.config;
         let grounding = &self.inner.grounding;
         let mrf = &grounding.mrf;
         let sample_started = Instant::now();
-        let partitioned = match config.partitioning {
-            PartitionStrategy::None => false, // monolithic by request
-            PartitionStrategy::Components => config.threads > 1,
-            PartitionStrategy::Budget(_) => true,
-        };
-        let (probs, flips) = if partitioned {
-            let scheduler = Scheduler::with_schedule(
-                mrf,
-                self.schedule(),
-                self.scheduler_config(&config.search),
-            );
-            let samples = scheduler.run_marginal(params)?;
-            (samples.probs, samples.flips)
-        } else {
-            let mut mc = McSat::new(mrf, params.seed)?;
-            let probs = mc.marginals(params);
-            (probs, mc.flips())
-        };
+        let samples = self.marginal_stats(params)?;
         let search_time = sample_started.elapsed();
         let secs = search_time.as_secs_f64();
+        let flips = samples.flips;
         let report = InferenceReport {
             grounding: grounding.stats.clone(),
             clauses: mrf.clauses().len(),
@@ -513,7 +528,148 @@ impl Snapshot {
             },
             ..Default::default()
         };
-        Ok((probs, report))
+        Ok((samples.probs.clone(), report))
+    }
+
+    /// Marginal sampling with full sufficient statistics: per-atom
+    /// probabilities *and* per-clause satisfaction probabilities — the
+    /// `E[nᵢ]` column weight learning reads. Results are cached per
+    /// `(generation, params fingerprint)`: marginal inference is
+    /// deterministic in those two, so a repeat call (the learning loop
+    /// re-issues identical queries every iteration, as does any client
+    /// polling a stable generation) returns the cached `Arc` without
+    /// re-sampling. [`Snapshot::marginal_cache_hits`] counts the hits.
+    ///
+    /// Routing matches [`Snapshot::query`]'s marginal path: per-partition
+    /// MC-SAT through the scheduler when threads or a memory budget are
+    /// configured, one monolithic sampler otherwise.
+    pub fn marginal_stats(&self, params: &McSatParams) -> Result<Arc<MarginalSamples>, MlnError> {
+        let caches = &self.inner.caches;
+        let key = (self.inner.generation, mcsat_fingerprint(params));
+        if let Some(hit) = caches.marginals.lock().expect("marginal cache").get(&key) {
+            let hit = Arc::clone(hit);
+            caches.marginal_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let samples = Arc::new(self.compute_marginal(params)?);
+        // First write wins under a race: both computations are
+        // bit-identical, so either Arc serves.
+        Ok(Arc::clone(
+            caches
+                .marginals
+                .lock()
+                .expect("marginal cache")
+                .entry(key)
+                .or_insert(samples),
+        ))
+    }
+
+    /// Marginal-cache hits served by this generation's cache set (shared
+    /// with same-generation clones and [`Snapshot::relearn`] forks).
+    pub fn marginal_cache_hits(&self) -> u64 {
+        self.inner.caches.marginal_hits.load(Ordering::Relaxed)
+    }
+
+    /// The uncached marginal computation behind
+    /// [`Snapshot::marginal_stats`].
+    fn compute_marginal(&self, params: &McSatParams) -> Result<MarginalSamples, MlnError> {
+        let config = &self.inner.config;
+        let mrf = &self.inner.grounding.mrf;
+        let partitioned = match config.partitioning {
+            PartitionStrategy::None => false, // monolithic by request
+            PartitionStrategy::Components => config.threads > 1,
+            PartitionStrategy::Budget(_) => true,
+        };
+        if partitioned {
+            let scheduler = Scheduler::with_schedule(
+                mrf,
+                self.schedule(),
+                self.scheduler_config(&config.search),
+            );
+            scheduler.run_marginal(params)
+        } else {
+            let mut mc = McSat::new(mrf, params.seed)?;
+            let (probs, clause_sat) = mc.marginals_with_clause_stats(params);
+            Ok(MarginalSamples {
+                probs,
+                clause_sat,
+                flips: mc.flips(),
+            })
+        }
+    }
+
+    /// Runs MAP search over this generation and returns the raw best
+    /// world plus its cost — the voted perceptron's inner call, which
+    /// needs atom truth values (to count satisfied clauses) rather than
+    /// the rendered [`crate::MapResult`].
+    pub fn map_world(&self, search: &WalkSatParams) -> (Vec<bool>, Cost) {
+        let (truth, cost, _, _) = self.execute_map(None, search);
+        (truth, cost)
+    }
+
+    /// Forks a new generation under a new per-rule weight vector —
+    /// weight learning's iteration step. O(clauses): the MRF's weight and
+    /// violation-cost columns are rebuilt through
+    /// [`tuffy_mrf::Mrf::reweight`] while every structural arena
+    /// (literals, occurrences, origins, registry, partition schedule,
+    /// component counts) is shared with this snapshot, which stays fully
+    /// usable — in-flight queries on any generation are undisturbed.
+    ///
+    /// The forked program carries the new weights on its rules, so a
+    /// later re-ground (or a persisted save) reproduces them. Non-finite
+    /// weights are hardened exactly like grounding-time merges:
+    /// `Soft(+∞)` → `Hard`, `Soft(−∞)` → `NegHard`, NaN → neutral
+    /// `Soft(0.0)`.
+    ///
+    /// Advances the generation counter but performs **no** grounding —
+    /// [`crate::Engine::groundings_performed`] is unaffected.
+    pub fn relearn(&self, rule_weights: &[Weight]) -> Result<Snapshot, MlnError> {
+        let inner = &self.inner;
+        if rule_weights.len() != inner.program.rules.len() {
+            return Err(MlnError::general(format!(
+                "relearn got {} weights for {} rules",
+                rule_weights.len(),
+                inner.program.rules.len()
+            )));
+        }
+        let sanitized: Vec<Weight> = rule_weights
+            .iter()
+            .map(|&w| match w {
+                Weight::Soft(v) if v == f64::INFINITY => Weight::Hard,
+                Weight::Soft(v) if v == f64::NEG_INFINITY => Weight::NegHard,
+                Weight::Soft(v) if v.is_nan() => Weight::Soft(0.0),
+                w => w,
+            })
+            .collect();
+        let mrf = inner
+            .grounding
+            .mrf
+            .reweight(&sanitized)
+            .map_err(MlnError::general)?;
+        let mut program = (*inner.program).clone();
+        for (rule, &w) in program.rules.iter_mut().zip(&sanitized) {
+            rule.weight = w;
+        }
+        let grounding = GroundingResult {
+            mrf,
+            registry: inner.grounding.registry.clone(),
+            stats: inner.grounding.stats.clone(),
+        };
+        Ok(Snapshot {
+            inner: Arc::new(SnapshotInner {
+                program: Arc::new(program),
+                evidence: inner.evidence.clone(),
+                config: inner.config,
+                grounding: Arc::new(grounding),
+                generation: inner.counters.next_generation(),
+                counters: inner.counters.clone(),
+                // Reweighting preserves every structural arena, so the
+                // schedule and component caches stay valid; the marginal
+                // cache keys on the generation, so stale samples cannot
+                // leak across the weight change.
+                caches: inner.caches.clone(),
+            }),
+        })
     }
 
     /// Forks this generation under an evidence delta, copy-on-write:

@@ -25,6 +25,7 @@ pub mod example1;
 pub mod ie;
 pub mod lp;
 pub mod rc;
+pub mod split;
 pub mod table1;
 
 pub use er::{er, er_scaled};
@@ -32,6 +33,7 @@ pub use example1::example1;
 pub use ie::ie;
 pub use lp::lp;
 pub use rc::{rc, rc_scaled, rc_with_labels};
+pub use split::LabelSplit;
 pub use table1::{paper_table1, Table1Row};
 
 use tuffy_mln::evidence::EvidenceSet;

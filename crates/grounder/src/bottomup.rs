@@ -508,7 +508,7 @@ pub fn ground_bottom_up_threaded(
                         builder_add_base(&mut builder, c);
                     }
                     Grounded::Clause(lits) => {
-                        builder.add_clause(lits, cc.weight);
+                        builder.add_clause_from_rule(lits, cc.weight, cc.rule_index as u32);
                         for &aid in &new_atoms {
                             let (pred, args) = registry.atom(aid);
                             let args = args.to_vec();

@@ -383,13 +383,15 @@ pub fn apply_delta_grounding(
                 )
             })
             .collect();
-        // Carry the contribution split verbatim: constants of a *later*
-        // patch must still see which part of a merged weight is negative
-        // or hard.
-        builder.add_clause_with_provenance(
+        // Carry the contribution split and rule attribution verbatim:
+        // constants of a *later* patch must still see which part of a
+        // merged weight is negative or hard, and a relearn after a patch
+        // must still know which rules fed each clause.
+        builder.add_clause_with_origins(
             remapped,
             mrf.clause_weight(lc.ci),
             mrf.provenance(lc.ci),
+            mrf.clause_origins(lc.ci),
         );
     }
     for (old_id, new_id) in remap.iter().enumerate() {

@@ -360,7 +360,7 @@ fn process_binding(
             add_base(builder, constant_cost(cc.weight, false));
         }
         Grounded::Clause(lits) => {
-            builder.add_clause(lits, cc.weight);
+            builder.add_clause_from_rule(lits, cc.weight, cc.rule_index as u32);
             for &aid in new_atoms.iter() {
                 let (pred, args) = registry.atom(aid);
                 let args: Vec<u32> = args.to_vec();

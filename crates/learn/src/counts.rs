@@ -1,0 +1,101 @@
+//! Per-rule sufficient statistics off the CSR provenance columns.
+//!
+//! A grounded clause records which rules produced it and with what
+//! multiplicity ([`Mrf::clause_origins`]): clause `c` carries pairs
+//! `{rule, share}`. The statistics weight learning needs are then single
+//! folds over the clause column, in CSR index order (which makes them
+//! bit-deterministic — no data-dependent reassociation of the `f64`
+//! sums):
+//!
+//! * exact counts of a world `y`:  `n_r(y) = Σ_c share_{c,r} · [c satisfied by y]`
+//! * expected counts under the model: `E[n_r] = Σ_c share_{c,r} · p_c`
+//! * diagonal curvature (variance approximation, clauses treated as
+//!   independent): `Var[n_r] ≈ Σ_c share²_{c,r} · p_c·(1 − p_c)`
+//!
+//! where `p_c = P(clause c satisfied)` comes from MC-SAT
+//! ([`MarginalSamples::clause_sat`](tuffy::MarginalSamples)).
+
+use tuffy_mrf::Mrf;
+
+/// A per-rule statistics column (`values[r]` belongs to program rule
+/// `r`), built by one of the three folds above.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClauseCounts {
+    values: Vec<f64>,
+}
+
+impl ClauseCounts {
+    /// Exact true-grounding counts of `world`:
+    /// `n_r = Σ_c share_{c,r} · [c satisfied]`.
+    ///
+    /// `world` must assign a truth value to every atom of `mrf`;
+    /// `num_rules` sizes the output column (rules that grounded no
+    /// clause read 0).
+    pub fn exact(mrf: &Mrf, world: &[bool], num_rules: usize) -> ClauseCounts {
+        assert_eq!(
+            world.len(),
+            mrf.num_atoms(),
+            "world must cover every query atom"
+        );
+        let mut values = vec![0.0; num_rules];
+        for (ci, clause) in mrf.clauses().iter().enumerate() {
+            if clause.satisfied(world) {
+                for o in mrf.clause_origins(ci) {
+                    values[o.rule as usize] += o.share;
+                }
+            }
+        }
+        ClauseCounts { values }
+    }
+
+    /// Expected counts under the model: `E[n_r] = Σ_c share_{c,r} · p_c`
+    /// with `p_c = clause_sat[c]`.
+    pub fn expected(mrf: &Mrf, clause_sat: &[f64], num_rules: usize) -> ClauseCounts {
+        assert_eq!(
+            clause_sat.len(),
+            mrf.num_clauses(),
+            "one satisfaction probability per clause"
+        );
+        let mut values = vec![0.0; num_rules];
+        for (ci, &p) in clause_sat.iter().enumerate() {
+            for o in mrf.clause_origins(ci) {
+                values[o.rule as usize] += o.share * p;
+            }
+        }
+        ClauseCounts { values }
+    }
+
+    /// Diagonal curvature: `Var[n_r] ≈ Σ_c share²_{c,r} · p_c·(1 − p_c)`.
+    pub fn curvature(mrf: &Mrf, clause_sat: &[f64], num_rules: usize) -> ClauseCounts {
+        assert_eq!(
+            clause_sat.len(),
+            mrf.num_clauses(),
+            "one satisfaction probability per clause"
+        );
+        let mut values = vec![0.0; num_rules];
+        for (ci, &p) in clause_sat.iter().enumerate() {
+            let var = p * (1.0 - p);
+            for o in mrf.clause_origins(ci) {
+                values[o.rule as usize] += o.share * o.share * var;
+            }
+        }
+        ClauseCounts { values }
+    }
+
+    /// The column as a slice, indexed by rule.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The column by value.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+impl std::ops::Index<usize> for ClauseCounts {
+    type Output = f64;
+    fn index(&self, rule: usize) -> &f64 {
+        &self.values[rule]
+    }
+}

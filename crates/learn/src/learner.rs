@@ -1,0 +1,313 @@
+//! The optimizers and the inference↔update fit loop.
+
+use crate::counts::ClauseCounts;
+use crate::training::TrainingSet;
+use tuffy::{Engine, McSatParams, MlnError, WalkSatParams, Weight};
+
+/// Everything an optimizer sees for one iteration's update.
+pub struct IterationStats<'a> {
+    /// Iteration number, 0-based.
+    pub iter: usize,
+    /// Current soft weights, by rule (hard rules carry 0.0 here and are
+    /// never read or written).
+    pub weights: &'a [f64],
+    /// Exact counts of the labeled world, `n_r(y)` — constant across
+    /// iterations (structure is fixed).
+    pub data: &'a [f64],
+    /// Model counts this iteration: MAP counts (voted perceptron) or
+    /// expected counts (diagonal Newton).
+    pub model: &'a [f64],
+    /// Per-rule diagonal curvature, present only for marginal-based
+    /// learners.
+    pub curvature: Option<&'a [f64]>,
+}
+
+/// One weight-update strategy; [`Learner::fit`] drives the loop and the
+/// inference calls, the strategy turns sufficient statistics into steps.
+pub trait WeightLearner {
+    /// Display name ("vp", "dn").
+    fn name(&self) -> &'static str;
+
+    /// Whether the fit loop must run marginal inference (expected counts
+    /// + curvature) instead of MAP inference for the model counts.
+    fn needs_marginals(&self) -> bool;
+
+    /// The per-rule weight delta for this iteration. Entries for hard
+    /// rules are ignored.
+    fn step(&self, stats: &IterationStats<'_>) -> Vec<f64>;
+
+    /// Projects an updated weight back into the learner's feasible set
+    /// (e.g. non-negative for marginal-based learners). Identity by
+    /// default.
+    fn clamp_weight(&self, w: f64) -> f64 {
+        w
+    }
+
+    /// Whether the final weights are the trajectory average (voted /
+    /// averaged perceptron) rather than the last iterate.
+    fn average_trajectory(&self) -> bool {
+        false
+    }
+}
+
+/// Collins-style voted perceptron: `Δw_r = η·(n_r(y) − n_r(MAP_w))`,
+/// clamped to `±max_step`; the returned weights are the average over
+/// iterations. MAP runs on WalkSAT, so negative weights are fine.
+#[derive(Clone, Copy, Debug)]
+pub struct VotedPerceptron {
+    /// Learning rate `η`.
+    pub rate: f64,
+    /// Per-rule, per-iteration step magnitude clamp.
+    pub max_step: f64,
+}
+
+impl Default for VotedPerceptron {
+    fn default() -> Self {
+        VotedPerceptron {
+            rate: 0.1,
+            max_step: 1.0,
+        }
+    }
+}
+
+impl WeightLearner for VotedPerceptron {
+    fn name(&self) -> &'static str {
+        "vp"
+    }
+
+    fn needs_marginals(&self) -> bool {
+        false
+    }
+
+    fn step(&self, stats: &IterationStats<'_>) -> Vec<f64> {
+        stats
+            .data
+            .iter()
+            .zip(stats.model.iter())
+            .map(|(&d, &m)| (self.rate * (d - m)).clamp(-self.max_step, self.max_step))
+            .collect()
+    }
+
+    fn average_trajectory(&self) -> bool {
+        true
+    }
+}
+
+/// Lowd & Domingos-style diagonal Newton:
+/// `Δw_r = η·(n_r(y) − E[n_r]) / max(Var[n_r], ε)` with
+/// `Var[n_r] ≈ Σ_c share²·p_c(1−p_c)`, steps clamped to `±max_step`.
+/// MC-SAT requires non-negative clause weights, so updated weights are
+/// clamped to `≥ min_weight` (which must be ≥ 0).
+#[derive(Clone, Copy, Debug)]
+pub struct DiagonalNewton {
+    /// Learning rate `η`.
+    pub rate: f64,
+    /// Per-rule, per-iteration step magnitude clamp.
+    pub max_step: f64,
+    /// Lower bound on learned weights (≥ 0 keeps MC-SAT applicable).
+    pub min_weight: f64,
+    /// Curvature floor `ε` guarding the Newton division.
+    pub curvature_floor: f64,
+}
+
+impl Default for DiagonalNewton {
+    fn default() -> Self {
+        DiagonalNewton {
+            rate: 1.0,
+            max_step: 1.0,
+            min_weight: 0.01,
+            curvature_floor: 1.0,
+        }
+    }
+}
+
+impl WeightLearner for DiagonalNewton {
+    fn name(&self) -> &'static str {
+        "dn"
+    }
+
+    fn needs_marginals(&self) -> bool {
+        true
+    }
+
+    fn step(&self, stats: &IterationStats<'_>) -> Vec<f64> {
+        let curvature = stats.curvature.expect("diagonal Newton needs curvature");
+        stats
+            .data
+            .iter()
+            .zip(stats.model.iter())
+            .zip(curvature.iter())
+            .map(|((&d, &m), &c)| {
+                (self.rate * (d - m) / c.max(self.curvature_floor))
+                    .clamp(-self.max_step, self.max_step)
+            })
+            .collect()
+    }
+
+    fn clamp_weight(&self, w: f64) -> f64 {
+        w.max(self.min_weight)
+    }
+}
+
+/// One fit iteration, recorded before its update was applied.
+#[derive(Clone, Debug)]
+pub struct FitIteration {
+    /// Iteration number, 0-based.
+    pub iter: usize,
+    /// Soft weights the inference of this iteration ran under.
+    pub weights: Vec<f64>,
+    /// Per-rule gradient `n_r(y) − model_r` (0.0 for hard rules).
+    pub gradient: Vec<f64>,
+    /// L2 norm of the gradient over soft rules.
+    pub grad_norm: f64,
+}
+
+/// What [`Learner::fit`] returns.
+pub struct FitResult {
+    /// Learned program weights, by rule: soft rules carry the fitted
+    /// value, hard rules their original `±∞`.
+    pub weights: Vec<Weight>,
+    /// The input engine relearned to [`FitResult::weights`] — serve or
+    /// persist it directly. Shares every structural arena with the input
+    /// engine; no grounding happened.
+    pub engine: Engine,
+    /// The deterministic iteration trace.
+    pub trace: Vec<FitIteration>,
+    /// Exact counts of the labeled world (the gradient's data term).
+    pub data_counts: Vec<f64>,
+}
+
+/// The fit driver: repeats inference with updated weights on the fixed
+/// grounding via [`Engine::relearn`], feeding sufficient statistics to a
+/// [`WeightLearner`]. All inference runs through the engine's configured
+/// scheduler, so fitting parallelizes with `TuffyConfig::threads` and
+/// stays bit-deterministic across thread counts (see the crate docs).
+#[derive(Clone, Copy, Debug)]
+pub struct Learner {
+    /// Number of inference↔update iterations.
+    pub iters: usize,
+    /// WalkSAT parameters for MAP-based learners.
+    pub search: WalkSatParams,
+    /// MC-SAT parameters for marginal-based learners.
+    pub mcsat: McSatParams,
+}
+
+impl Default for Learner {
+    fn default() -> Self {
+        Learner {
+            iters: 10,
+            search: WalkSatParams::default(),
+            mcsat: McSatParams::default(),
+        }
+    }
+}
+
+impl Learner {
+    /// Fits soft-rule weights to `training`'s labeled world, starting
+    /// from `engine`'s current weights. Hard rules are excluded from
+    /// learning and kept verbatim. The engine itself is untouched — the
+    /// fitted generation comes back in [`FitResult::engine`] — and no
+    /// call in the loop grounds: [`Engine::groundings_performed`] is the
+    /// same before and after.
+    pub fn fit(
+        &self,
+        engine: &Engine,
+        training: &TrainingSet,
+        learner: &dyn WeightLearner,
+    ) -> Result<FitResult, MlnError> {
+        let rules = &engine.program().rules;
+        let num_rules = rules.len();
+        let base = engine.snapshot();
+        let mrf = &base.grounding().mrf;
+        if training.world().len() != mrf.num_atoms() {
+            return Err(MlnError::general(format!(
+                "training world covers {} atoms, generation has {}",
+                training.world().len(),
+                mrf.num_atoms()
+            )));
+        }
+
+        // The data term is constant: structure (and therefore which
+        // clauses the labeled world satisfies) never changes.
+        let data = ClauseCounts::exact(mrf, training.world(), num_rules).into_vec();
+
+        let soft: Vec<bool> = rules.iter().map(|r| !r.weight.is_hard()).collect();
+        let mut w: Vec<f64> = rules
+            .iter()
+            .map(|r| match r.weight {
+                Weight::Soft(v) => learner.clamp_weight(v),
+                _ => 0.0,
+            })
+            .collect();
+
+        let mut trace = Vec::with_capacity(self.iters);
+        let mut sum_w = vec![0.0; num_rules];
+        for iter in 0..self.iters {
+            let current = engine.relearn(&assemble(&w, rules))?;
+            let snapshot = current.snapshot();
+            let (model, curvature) = if learner.needs_marginals() {
+                let samples = snapshot.marginal_stats(&self.mcsat)?;
+                let model = ClauseCounts::expected(mrf, &samples.clause_sat, num_rules);
+                let curv = ClauseCounts::curvature(mrf, &samples.clause_sat, num_rules);
+                (model.into_vec(), Some(curv.into_vec()))
+            } else {
+                let (map_world, _cost) = snapshot.map_world(&self.search);
+                let model = ClauseCounts::exact(mrf, &map_world, num_rules);
+                (model.into_vec(), None)
+            };
+
+            let gradient: Vec<f64> = (0..num_rules)
+                .map(|r| if soft[r] { data[r] - model[r] } else { 0.0 })
+                .collect();
+            let grad_norm = gradient.iter().map(|g| g * g).sum::<f64>().sqrt();
+            trace.push(FitIteration {
+                iter,
+                weights: w.clone(),
+                gradient,
+                grad_norm,
+            });
+
+            let delta = learner.step(&IterationStats {
+                iter,
+                weights: &w,
+                data: &data,
+                model: &model,
+                curvature: curvature.as_deref(),
+            });
+            for r in 0..num_rules {
+                if soft[r] {
+                    w[r] = learner.clamp_weight(w[r] + delta[r]);
+                    sum_w[r] += w[r];
+                }
+            }
+        }
+
+        let final_w: Vec<f64> = if learner.average_trajectory() && self.iters > 0 {
+            // Average of clamped iterates stays in the feasible set.
+            sum_w.iter().map(|s| s / self.iters as f64).collect()
+        } else {
+            w
+        };
+        let weights = assemble(&final_w, rules);
+        let fitted = engine.relearn(&weights)?;
+        Ok(FitResult {
+            weights,
+            engine: fitted,
+            trace,
+            data_counts: data,
+        })
+    }
+}
+
+/// Reassembles a full per-rule [`Weight`] vector: soft rules take the
+/// learned value, hard rules keep their original `±∞`.
+fn assemble(w: &[f64], rules: &[tuffy_mln::ast::Rule]) -> Vec<Weight> {
+    rules
+        .iter()
+        .zip(w.iter())
+        .map(|(rule, &v)| match rule.weight {
+            Weight::Soft(_) => Weight::Soft(v),
+            hard => hard,
+        })
+        .collect()
+}

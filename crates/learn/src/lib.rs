@@ -1,0 +1,105 @@
+//! # tuffy-learn — weight learning over fixed groundings
+//!
+//! Every weight the engine reasons with so far is hand-written. This
+//! crate learns soft-rule weights from labeled evidence, exploiting the
+//! property the CSR architecture was built around: *structure never
+//! changes between iterations*. Discriminative MLN learners repeat
+//! MAP/marginal inference with updated weights on a fixed grounding, and
+//! [`tuffy::Engine::relearn`] makes the weight update O(clauses) — a new
+//! generation sharing every structural arena, no re-grounding
+//! ([`tuffy::Engine::groundings_performed`] stays at 1 for the whole fit
+//! loop).
+//!
+//! ## The objective and its sufficient statistics
+//!
+//! For a world `y` and per-rule true-grounding counts `n_r(y)`, the MLN
+//! log-likelihood gradient with respect to rule weight `w_r` is
+//!
+//! ```text
+//! ∂/∂w_r  log P_w(y)  =  n_r(y) − E_w[n_r]
+//! ```
+//!
+//! Both terms are per-rule columns ([`ClauseCounts`]) folded off the CSR
+//! provenance columns ([`tuffy_mrf::Mrf::clause_origins`]): a clause
+//! produced by rule `r` with grounding multiplicity `share` contributes
+//! `share·[clause satisfied]` exactly, or `share·P(clause satisfied)` in
+//! expectation (estimated from MC-SAT's
+//! [`tuffy::MarginalSamples::clause_sat`]).
+//!
+//! ## The two optimizers
+//!
+//! * [`VotedPerceptron`] — Collins-style: approximate `E_w[n_r]` with
+//!   the counts of the current MAP world, step `η·(n_r(y) − n_r(MAP))`
+//!   clamped to `±max_step`, and return the *average* weight vector over
+//!   iterations (the "voting" that damps oscillation on separable
+//!   problems). Works with negative weights: MAP runs on WalkSAT, which
+//!   has no weight-sign restriction.
+//! * [`DiagonalNewton`] — Lowd & Domingos-style: use true expected
+//!   counts from MC-SAT and scale each step by the inverse per-rule
+//!   curvature, `η·(n_r(y) − E[n_r]) / max(Var[n_r], ε)` with the
+//!   diagonal variance approximation `Var[n_r] ≈ Σ_c share²·p_c(1−p_c)`.
+//!   Because MC-SAT requires non-negative clause weights, learned
+//!   weights are clamped to `≥ min_weight ≥ 0` after every step.
+//!
+//! Hard rules (`Weight::Hard` / `Weight::NegHard`) are never updated:
+//! they are constraints, not parameters, and their `±∞` weights carry no
+//! gradient.
+//!
+//! ## Determinism contract
+//!
+//! [`Learner::fit`] is bit-deterministic: for a fixed engine lineage,
+//! [`TrainingSet`], learner parameters, and seeds, the iteration trace —
+//! every weight, gradient, and count, compared by `f64::to_bits` — is
+//! identical across `TuffyConfig::threads` ∈ {1, 2, 4, 8, …}. This
+//! holds because (a) counts fold clauses in CSR index order with no
+//! data-dependent reassociation, (b) MAP and marginal inference run
+//! through the scheduler, whose merge order is the schedule order
+//! regardless of worker count, and (c) the fit loop itself is
+//! sequential — parallelism lives entirely inside each inference call.
+//!
+//! One routing caveat, inherited from the serving path: under
+//! `PartitionStrategy::Components` a marginal query with `threads == 1`
+//! runs the *monolithic* MC-SAT sampler instead of the scheduler — a
+//! different (equally deterministic) estimator, so a marginal-based fit
+//! at one thread is not bit-comparable to the same fit at two. To
+//! compare [`DiagonalNewton`] trajectories across thread counts
+//! *including one*, pin a partitioning that always schedules (e.g.
+//! `PartitionStrategy::Budget`). MAP-based fits ([`VotedPerceptron`])
+//! route through the scheduler at every thread count and need no
+//! special configuration.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tuffy::{Query, Tuffy};
+//! use tuffy_learn::{Learner, TrainingSet, VotedPerceptron, WeightLearner};
+//!
+//! let program = "p(x)\nq(x)\n1 p(x) => q(x)\n0.5 q(x)\n";
+//! let evidence = "p(A)\np(B)\n!p(C)\n";
+//! let engine = Tuffy::from_sources(program, evidence)
+//!     .unwrap()
+//!     .build_engine()
+//!     .unwrap();
+//!
+//! // Label every query atom true: the learner should drive the soft
+//! // weights up rather than down.
+//! let world = vec![true; engine.snapshot().grounding().mrf.num_atoms()];
+//! let training = TrainingSet::from_world(world);
+//!
+//! let learner = VotedPerceptron::default();
+//! let fit = Learner::default().fit(&engine, &training, &learner).unwrap();
+//! assert_eq!(fit.trace.len(), Learner::default().iters);
+//! assert_eq!(engine.groundings_performed(), 1); // never re-grounds
+//! let _ = fit.engine.snapshot().query(&Query::map()).unwrap();
+//! ```
+
+pub mod counts;
+pub mod learner;
+pub mod training;
+
+pub use counts::ClauseCounts;
+pub use learner::{
+    DiagonalNewton, FitIteration, FitResult, IterationStats, Learner, VotedPerceptron,
+    WeightLearner,
+};
+pub use training::TrainingSet;

@@ -1,0 +1,80 @@
+//! Training data: a labeled world over one grounded generation.
+
+use tuffy::Snapshot;
+use tuffy_mln::evidence::Evidence;
+
+/// The ground-truth world a learner fits against: one truth value per
+/// query atom of a grounded generation, in [`AtomId`] order.
+///
+/// Labels usually cover only part of the query atoms (a
+/// `tuffy_datagen::LabelSplit` keeps a held-out fraction back, and some
+/// labeled atoms may not even ground into the MRF).
+/// [`TrainingSet::from_labels`] resolves each label through the
+/// generation's atom registry and defaults every unlabeled query atom to
+/// *false* — the closed-world assumption standard in discriminative MLN
+/// learning.
+///
+/// [`AtomId`]: tuffy_mrf::AtomId
+#[derive(Clone, Debug)]
+pub struct TrainingSet {
+    world: Vec<bool>,
+    labeled: usize,
+    unresolved: usize,
+}
+
+impl TrainingSet {
+    /// Wraps a complete truth assignment (one `bool` per query atom of
+    /// the target generation, in atom-id order) — e.g. a MAP world under
+    /// planted weights in a recovery experiment.
+    pub fn from_world(world: Vec<bool>) -> TrainingSet {
+        let labeled = world.len();
+        TrainingSet {
+            world,
+            labeled,
+            unresolved: 0,
+        }
+    }
+
+    /// Builds the labeled world for `snapshot`'s generation from ground
+    /// labels: each label is resolved through the atom registry; query
+    /// atoms without a label default to false (closed-world assumption).
+    /// Labels whose atom is not a query atom of this generation (pruned
+    /// by grounding, or itself evidence) are counted in
+    /// [`TrainingSet::unresolved`] and otherwise ignored.
+    pub fn from_labels(snapshot: &Snapshot, labels: &[Evidence]) -> TrainingSet {
+        let grounding = snapshot.grounding();
+        let mut world = vec![false; grounding.mrf.num_atoms()];
+        let mut labeled = 0usize;
+        let mut unresolved = 0usize;
+        for ev in labels {
+            let args: Vec<u32> = ev.atom.args.iter().map(|s| s.0).collect();
+            match grounding.registry.get(ev.atom.predicate, &args) {
+                Some(id) => {
+                    world[id as usize] = ev.positive;
+                    labeled += 1;
+                }
+                None => unresolved += 1,
+            }
+        }
+        TrainingSet {
+            world,
+            labeled,
+            unresolved,
+        }
+    }
+
+    /// The labeled world, one truth per query atom in atom-id order.
+    pub fn world(&self) -> &[bool] {
+        &self.world
+    }
+
+    /// Number of atoms set by an explicit label.
+    pub fn labeled(&self) -> usize {
+        self.labeled
+    }
+
+    /// Labels that resolved to no query atom of the generation.
+    pub fn unresolved(&self) -> usize {
+        self.unresolved
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests pinning [`ClauseCounts::exact`] against a brute-force
+//! evaluator that never touches the CSR columns: per-rule counts are
+//! computed straight off the *input* clause soup (pre-merge, pre-drop),
+//! replicating only the builder's documented canonicalization
+//! (tautologies produce no clause; duplicate groundings merge into
+//! origin shares). Equality is exact `f64` equality — counts are sums of
+//! small integers, which f64 represents exactly.
+
+use proptest::prelude::*;
+use tuffy_learn::ClauseCounts;
+use tuffy_mln::weight::Weight;
+use tuffy_mrf::{Lit, Mrf, MrfBuilder};
+
+const ATOMS: u32 = 10;
+const RULES: usize = 5;
+
+type Soup = Vec<(Vec<(u8, bool)>, u8, u8)>;
+
+/// Builds the MRF through the grounders' attribution path.
+fn build(clauses: &Soup) -> Mrf {
+    let mut b = MrfBuilder::new();
+    b.reserve_atoms(ATOMS as usize);
+    for (lits, w, rule) in clauses {
+        let lits: Vec<Lit> = lits
+            .iter()
+            .map(|&(a, pos)| Lit::new(u32::from(a) % ATOMS, pos))
+            .collect();
+        let weight = Weight::Soft(f64::from(*w % 3 + 1));
+        b.add_clause_from_rule(lits, weight, u32::from(*rule) % RULES as u32);
+    }
+    b.finish()
+}
+
+/// The canonical literal set of one input clause, or `None` when it is
+/// a tautology (contains both `a` and `¬a`) and grounds no clause.
+fn canonical(lits: &[(u8, bool)]) -> Option<Vec<(u32, bool)>> {
+    let mut set: Vec<(u32, bool)> = lits
+        .iter()
+        .map(|&(a, pos)| (u32::from(a) % ATOMS, pos))
+        .collect();
+    set.sort_unstable();
+    set.dedup();
+    for w in set.windows(2) {
+        if w[0].0 == w[1].0 {
+            return None; // a ∨ ¬a
+        }
+    }
+    Some(set)
+}
+
+/// Per-rule counts straight off the input soup: one unit of share per
+/// non-tautological input clause satisfied by `world`.
+fn brute_force(clauses: &Soup, world: &[bool]) -> Vec<f64> {
+    let mut counts = vec![0.0; RULES];
+    for (lits, _, rule) in clauses {
+        let Some(set) = canonical(lits) else { continue };
+        if set.iter().any(|&(a, pos)| world[a as usize] == pos) {
+            counts[usize::from(*rule) % RULES] += 1.0;
+        }
+    }
+    counts
+}
+
+proptest! {
+    #[test]
+    fn exact_counts_agree_with_brute_force(
+        clauses in proptest::collection::vec(
+            (proptest::collection::vec((0u8..10, any::<bool>()), 1..4), any::<u8>(), any::<u8>()),
+            1..40,
+        ),
+        worlds in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 10..11), 1..4,
+        ),
+    ) {
+        let mrf = build(&clauses);
+        for world in &worlds {
+            let exact = ClauseCounts::exact(&mrf, world, RULES);
+            let brute = brute_force(&clauses, world);
+            prop_assert_eq!(exact.as_slice(), &brute[..]);
+        }
+    }
+
+    /// With degenerate satisfaction probabilities (the indicator vector
+    /// of a concrete world), expected counts collapse to exact counts
+    /// and the curvature column is identically zero.
+    #[test]
+    fn expected_counts_collapse_on_indicator_probabilities(
+        clauses in proptest::collection::vec(
+            (proptest::collection::vec((0u8..10, any::<bool>()), 1..4), any::<u8>(), any::<u8>()),
+            1..30,
+        ),
+        world in proptest::collection::vec(any::<bool>(), 10..11),
+    ) {
+        let mrf = build(&clauses);
+        let indicator: Vec<f64> = (0..mrf.num_clauses())
+            .map(|ci| if mrf.clause(ci).satisfied(&world) { 1.0 } else { 0.0 })
+            .collect();
+        let exact = ClauseCounts::exact(&mrf, &world, RULES);
+        let expected = ClauseCounts::expected(&mrf, &indicator, RULES);
+        let curvature = ClauseCounts::curvature(&mrf, &indicator, RULES);
+        prop_assert_eq!(exact.as_slice(), expected.as_slice());
+        prop_assert!(curvature.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -86,6 +86,26 @@ impl ClauseProvenance {
     }
 }
 
+/// One rule's contribution to a ground clause: the rule index and the
+/// grounding multiplicity (`share`) it contributed. A clause produced by
+/// one binding of rule `r` carries `{rule: r, share: 1.0}`; duplicate
+/// bindings merge by summing shares, so a merged clause's weight is
+/// exactly `Σ share · w_rule` over its origins (plus hard absorptions).
+///
+/// This column is what makes weight *learning* O(clauses) instead of
+/// O(re-ground): [`Mrf::reweight`] folds a new per-rule weight vector
+/// through the origins to rebuild the weight/violation/provenance
+/// columns without touching structure, and per-rule sufficient
+/// statistics (`n_r = Σ_clauses share · [clause satisfied]`) read
+/// straight off it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RuleOrigin {
+    /// Index of the originating rule in the program's rule list.
+    pub rule: u32,
+    /// Summed grounding multiplicity the rule contributed.
+    pub share: f64,
+}
+
 /// One entry of the atom→clause adjacency arena: a clause index plus the
 /// sign the atom's literal carries in that clause, packed DIMACS-style
 /// into one `u32` (mirroring [`Lit`]'s packing). The flip loop reads
@@ -199,6 +219,14 @@ pub struct Mrf {
     /// Clause-index + sign entries, atom by atom, ascending clause index
     /// within each atom.
     occ_arena: Arc<[Occurrence]>,
+    /// Origin-arena bounds: clause `ci`'s rule origins are
+    /// `origin_arena[origin_start[ci]..origin_start[ci + 1]]`.
+    origin_start: Arc<[u32]>,
+    /// Per-clause rule-origin lists, sorted by rule index within each
+    /// clause. Clauses added without rule attribution (projected
+    /// sub-MRFs built by conditioning, hand-built test MRFs) have empty
+    /// origin lists and are left untouched by [`Mrf::reweight`].
+    origin_arena: Arc<[RuleOrigin]>,
     /// Atoms whose clause set cannot be patched incrementally because a
     /// clause over them merged to exactly weight 0 and was dropped.
     opaque_atoms: Arc<[bool]>,
@@ -342,6 +370,95 @@ impl Mrf {
         self.provenance[ci]
     }
 
+    /// The rule origins of clause `ci`, sorted by rule index (see
+    /// [`RuleOrigin`]). Empty for clauses built without attribution.
+    #[inline]
+    pub fn clause_origins(&self, ci: usize) -> &[RuleOrigin] {
+        &self.origin_arena[self.origin_start[ci] as usize..self.origin_start[ci + 1] as usize]
+    }
+
+    /// Rebuilds the weight-dependent columns (weight, packed violation,
+    /// provenance) under a new per-rule weight vector, sharing every
+    /// structural arena (literals, occurrences, origins, opacity) with
+    /// `self` — O(clauses) instead of a re-ground, and in-flight readers
+    /// of `self` are undisturbed because nothing is mutated.
+    ///
+    /// Each clause's new weight is the merge of its origins'
+    /// contributions (`Soft(share · w_rule)`; `Hard`/`NegHard` absorb,
+    /// mirroring grounding-time duplicate merging). Clauses with empty
+    /// origin lists keep their current weight verbatim.
+    ///
+    /// Non-finite learned weights are re-normalized through the same
+    /// hardening path as [`MrfBuilder::finish`]: `Soft(+∞)` becomes
+    /// `Hard`, `Soft(−∞)` becomes `NegHard`, and `NaN` (including a
+    /// `+∞ + −∞` merge) becomes the neutral `Soft(0.0)` — a NaN or ∞
+    /// must never reach the branchless flip loop's violation column.
+    /// Since the clause set is fixed, a cancelled-to-zero merge cannot
+    /// be dropped the way `finish` drops it; the neutral clause stays,
+    /// with zero violation cost either way.
+    ///
+    /// `base_cost` is kept as-is: it holds constants folded from
+    /// groundings that evidence decided *at grounding time*, under the
+    /// weights in force then. Those constants are paid identically by
+    /// every world, so they never affect the MAP argmax, marginals, or
+    /// learning gradients — only the absolute cost readout.
+    ///
+    /// Errors if an origin references a rule index past
+    /// `rule_weights.len()`.
+    pub fn reweight(&self, rule_weights: &[Weight]) -> Result<Mrf, String> {
+        let num_clauses = self.num_clauses();
+        let mut weights = Vec::with_capacity(num_clauses);
+        let mut violation = Vec::with_capacity(num_clauses);
+        let mut provenance = Vec::with_capacity(num_clauses);
+        for ci in 0..num_clauses {
+            let origins = self.clause_origins(ci);
+            if origins.is_empty() {
+                weights.push(self.weights[ci]);
+                violation.push(self.violation[ci]);
+                provenance.push(self.provenance[ci]);
+                continue;
+            }
+            let mut merged: Option<Weight> = None;
+            let mut prov = ClauseProvenance::default();
+            for o in origins {
+                let rule = rule_weights.get(o.rule as usize).ok_or_else(|| {
+                    format!(
+                        "clause {ci} originates from rule {} but only {} weights were given",
+                        o.rule,
+                        rule_weights.len()
+                    )
+                })?;
+                let contribution = match harden_weight(*rule) {
+                    Weight::Soft(v) => harden_weight(Weight::Soft(v * o.share)),
+                    hard => hard,
+                };
+                prov.absorb(contribution);
+                merged = Some(match merged {
+                    Some(m) => merge_weights(m, contribution),
+                    None => contribution,
+                });
+            }
+            let weight = harden_weight(merged.expect("nonempty origins"));
+            violation.push(PackedViolation::of(weight));
+            weights.push(weight);
+            provenance.push(prov);
+        }
+        Ok(Mrf {
+            num_atoms: self.num_atoms,
+            lit_start: Arc::clone(&self.lit_start),
+            lit_arena: Arc::clone(&self.lit_arena),
+            weights: weights.into(),
+            violation: violation.into(),
+            provenance: provenance.into(),
+            occ_start: Arc::clone(&self.occ_start),
+            occ_arena: Arc::clone(&self.occ_arena),
+            origin_start: Arc::clone(&self.origin_start),
+            origin_arena: Arc::clone(&self.origin_arena),
+            opaque_atoms: Arc::clone(&self.opaque_atoms),
+            base_cost: self.base_cost,
+        })
+    }
+
     /// Whether `atom` touched a clause whose merged weight cancelled to
     /// exactly zero (such clauses are dropped, so evidence clamping the
     /// atom cannot account for their constants — re-ground instead).
@@ -420,7 +537,12 @@ impl Mrf {
                 // Clause literals are sorted by packed value; the remap
                 // permutes atom ids, so re-establish the invariant.
                 lit_buf.sort_unstable();
-                columns.push(&lit_buf, self.weights[ci], self.provenance[ci]);
+                columns.push(
+                    &lit_buf,
+                    self.weights[ci],
+                    self.provenance[ci],
+                    self.clause_origins(ci),
+                );
                 origin.push(ci as u32);
             }
         }
@@ -449,6 +571,8 @@ impl Mrf {
             lit_arena: Arc::clone(&self.lit_arena),
             weights: Arc::clone(&self.weights),
             provenance: Arc::clone(&self.provenance),
+            origin_start: Arc::clone(&self.origin_start),
+            origin_arena: Arc::clone(&self.origin_arena),
             opaque_atoms: Arc::clone(&self.opaque_atoms),
             base_cost: self.base_cost,
         }
@@ -468,6 +592,8 @@ impl Mrf {
             lit_arena,
             weights,
             provenance,
+            origin_start,
+            origin_arena,
             opaque_atoms,
             base_cost,
         } = cols;
@@ -528,11 +654,11 @@ impl Mrf {
                     return Err(format!("clause {ci} is a tautology or repeats an atom"));
                 }
             }
-            if weights[ci].signum() == 0 {
-                return Err(format!(
-                    "clause {ci} has a sign-less weight (builder drops these)"
-                ));
-            }
+            // `Soft(0.0)` is allowed: `reweight` cannot drop a clause
+            // whose learned weights cancel (the structure is shared), so
+            // persisted relearned generations may carry neutral clauses.
+            // NaN is not: it is sign-less *and* non-finite, and the
+            // `is_finite` check below rejects it.
             if let Weight::Soft(w) = weights[ci] {
                 if !w.is_finite() {
                     return Err(format!(
@@ -551,6 +677,43 @@ impl Mrf {
         }
         if !base_cost.soft.is_finite() || base_cost.soft < 0.0 {
             return Err("base_cost soft component is not a finite non-negative value".into());
+        }
+        if origin_start.len() != num_clauses + 1 {
+            return Err(format!(
+                "origin_start has {} bounds for {} clauses",
+                origin_start.len(),
+                num_clauses
+            ));
+        }
+        if origin_start[0] != 0 {
+            return Err("origin_start does not begin at 0".into());
+        }
+        if origin_start[num_clauses] as usize != origin_arena.len() {
+            return Err(format!(
+                "origin_start ends at {} but the arena holds {} origins",
+                origin_start[num_clauses],
+                origin_arena.len()
+            ));
+        }
+        for ci in 0..num_clauses {
+            let (s, e) = (origin_start[ci], origin_start[ci + 1]);
+            if s > e {
+                return Err(format!("clause {ci} has descending origin bounds {s}..{e}"));
+            }
+            let origins = &origin_arena[s as usize..e as usize];
+            for pair in origins.windows(2) {
+                if pair[0].rule >= pair[1].rule {
+                    return Err(format!("clause {ci} origins not strictly sorted by rule"));
+                }
+            }
+            for o in origins {
+                if !o.share.is_finite() || o.share <= 0.0 {
+                    return Err(format!(
+                        "clause {ci} origin of rule {} has bad share {}",
+                        o.rule, o.share
+                    ));
+                }
+            }
         }
         // Derived columns: same construction as `ClauseColumns::assemble`.
         let violation: Vec<PackedViolation> =
@@ -580,6 +743,8 @@ impl Mrf {
             provenance,
             occ_start: occ_start.into(),
             occ_arena: occ_arena.into(),
+            origin_start,
+            origin_arena,
             opaque_atoms,
             base_cost,
         })
@@ -604,6 +769,10 @@ pub struct MrfColumns {
     pub weights: Arc<[Weight]>,
     /// Per-clause contribution split.
     pub provenance: Arc<[ClauseProvenance]>,
+    /// Rule-origin bounds, `num_clauses + 1` entries starting at 0.
+    pub origin_start: Arc<[u32]>,
+    /// Rule origins, clause by clause, sorted by rule index within each.
+    pub origin_arena: Arc<[RuleOrigin]>,
     /// Per-atom incremental-patch opacity flags.
     pub opaque_atoms: Arc<[bool]>,
     /// Constant cost from clauses already decided by evidence.
@@ -620,6 +789,8 @@ struct ClauseColumns {
     weights: Vec<Weight>,
     violation: Vec<PackedViolation>,
     provenance: Vec<ClauseProvenance>,
+    origin_ends: Vec<u32>,
+    origin_arena: Vec<RuleOrigin>,
 }
 
 impl ClauseColumns {
@@ -630,15 +801,25 @@ impl ClauseColumns {
             weights: Vec::with_capacity(clauses),
             violation: Vec::with_capacity(clauses),
             provenance: Vec::with_capacity(clauses),
+            origin_ends: Vec::with_capacity(clauses),
+            origin_arena: Vec::new(),
         }
     }
 
-    fn push(&mut self, lits: &[Lit], weight: Weight, provenance: ClauseProvenance) {
+    fn push(
+        &mut self,
+        lits: &[Lit],
+        weight: Weight,
+        provenance: ClauseProvenance,
+        origins: &[RuleOrigin],
+    ) {
         self.lit_arena.extend_from_slice(lits);
         self.lit_ends.push(self.lit_arena.len() as u32);
         self.violation.push(PackedViolation::of(weight));
         self.weights.push(weight);
         self.provenance.push(provenance);
+        self.origin_arena.extend_from_slice(origins);
+        self.origin_ends.push(self.origin_arena.len() as u32);
     }
 
     /// Finalizes the columns into an [`Mrf`], building the occurrence
@@ -659,6 +840,9 @@ impl ClauseColumns {
         let mut lit_start = Vec::with_capacity(self.lit_ends.len() + 1);
         lit_start.push(0u32);
         lit_start.extend_from_slice(&self.lit_ends);
+        let mut origin_start = Vec::with_capacity(self.origin_ends.len() + 1);
+        origin_start.push(0u32);
+        origin_start.extend_from_slice(&self.origin_ends);
 
         let mut occ_start = vec![0u32; num_atoms + 1];
         for l in &self.lit_arena {
@@ -685,6 +869,8 @@ impl ClauseColumns {
             provenance: self.provenance.into(),
             occ_start: occ_start.into(),
             occ_arena: occ_arena.into(),
+            origin_start: origin_start.into(),
+            origin_arena: self.origin_arena.into(),
             opaque_atoms: opaque_atoms.into(),
             base_cost,
         }
@@ -701,6 +887,10 @@ pub struct MrfBuilder {
     num_atoms: usize,
     clauses: Vec<GroundClause>,
     provenance: Vec<ClauseProvenance>,
+    /// Per-clause rule attribution (parallel to `clauses`); empty for
+    /// clauses added without an origin. Duplicate merges union the lists
+    /// (sorted by rule index, shares summed).
+    origins: Vec<Vec<RuleOrigin>>,
     index: FxHashMap<Box<[Lit]>, u32>,
     /// Atoms pre-flagged opaque via [`MrfBuilder::mark_opaque`].
     opaque: Vec<AtomId>,
@@ -732,20 +922,53 @@ impl MrfBuilder {
     /// contributes constant cost (positive weight: always violated).
     pub fn add_clause(&mut self, lits: Vec<Lit>, weight: Weight) {
         let provenance = ClauseProvenance::of(weight);
-        self.add_clause_with_provenance(lits, weight, provenance);
+        self.add_clause_with_origins(lits, weight, provenance, &[]);
+    }
+
+    /// [`MrfBuilder::add_clause`] attributed to one program rule with
+    /// multiplicity 1 — the grounders' path. Duplicate groundings of the
+    /// same rule merge into one clause whose origin share counts the
+    /// multiplicity, which is exactly the per-rule sufficient-statistic
+    /// coefficient weight learning needs.
+    pub fn add_clause_from_rule(&mut self, lits: Vec<Lit>, weight: Weight, rule: u32) {
+        let provenance = ClauseProvenance::of(weight);
+        self.add_clause_with_origins(lits, weight, provenance, &[RuleOrigin { rule, share: 1.0 }]);
+    }
+
+    /// Adds a ground clause, returning the builder index it landed at
+    /// (`None` for tautologies and empty clauses, which produce no
+    /// clause). The index is *pre-drop*: [`MrfBuilder::finish_mapped`]
+    /// translates it to the final clause index, or `None` if the clause
+    /// was dropped at finish time. The scheduler's conditioned sub-MRFs
+    /// use this to map sub-clauses back to global clause ids.
+    pub fn add_clause_tracked(&mut self, lits: Vec<Lit>, weight: Weight) -> Option<u32> {
+        let provenance = ClauseProvenance::of(weight);
+        self.add_clause_inner(lits, weight, provenance, &[])
     }
 
     /// Adds a ground clause carrying an explicit contribution split —
     /// the incremental re-grounder's path, which rebuilds an MRF from
     /// already-merged clauses and must not collapse their provenance
     /// into the merged weight (that would make a *second* patch lose the
-    /// negative/hard constants the first one preserved).
-    pub fn add_clause_with_provenance(
+    /// negative/hard constants the first one preserved). `origins`
+    /// likewise carries forward already-merged rule attribution.
+    pub fn add_clause_with_origins(
         &mut self,
         lits: Vec<Lit>,
         weight: Weight,
         provenance: ClauseProvenance,
+        origins: &[RuleOrigin],
     ) {
+        self.add_clause_inner(lits, weight, provenance, origins);
+    }
+
+    fn add_clause_inner(
+        &mut self,
+        lits: Vec<Lit>,
+        weight: Weight,
+        provenance: ClauseProvenance,
+        origins: &[RuleOrigin],
+    ) -> Option<u32> {
         if lits.is_empty() {
             // An empty disjunction is false: violated iff weight > 0.
             match weight {
@@ -757,10 +980,10 @@ impl MrfBuilder {
                 }
                 _ => {}
             }
-            return;
+            return None;
         }
         let Some(clause) = GroundClause::new(lits, weight) else {
-            return; // tautology
+            return None; // tautology
         };
         for l in clause.lits.iter() {
             self.num_atoms = self.num_atoms.max(l.atom() as usize + 1);
@@ -770,12 +993,16 @@ impl MrfBuilder {
                 let existing = &mut self.clauses[i as usize];
                 existing.weight = merge_weights(existing.weight, clause.weight);
                 self.provenance[i as usize].combine(provenance);
+                merge_origins(&mut self.origins[i as usize], origins);
+                Some(i)
             }
             None => {
-                self.index
-                    .insert(clause.lits.clone(), self.clauses.len() as u32);
+                let i = self.clauses.len() as u32;
+                self.index.insert(clause.lits.clone(), i);
                 self.provenance.push(provenance);
+                self.origins.push(origins.to_vec());
                 self.clauses.push(clause);
+                Some(i)
             }
         }
     }
@@ -794,13 +1021,29 @@ impl MrfBuilder {
     /// flagged opaque for the incremental re-grounder
     /// ([`Mrf::patch_opaque`]).
     pub fn finish(self) -> Mrf {
+        self.finish_mapped().0
+    }
+
+    /// [`MrfBuilder::finish`] that also returns the builder-index →
+    /// final-clause-index map (`None` for clauses dropped because their
+    /// merged weight cancelled). Pair with
+    /// [`MrfBuilder::add_clause_tracked`] to follow a clause through the
+    /// merge-and-drop pipeline.
+    pub fn finish_mapped(self) -> (Mrf, Vec<Option<u32>>) {
         let mut opaque_atoms: Vec<bool> = vec![false; self.num_atoms];
         for a in &self.opaque {
             opaque_atoms[*a as usize] = true;
         }
         let literals: usize = self.clauses.iter().map(|c| c.lits.len()).sum();
         let mut columns = ClauseColumns::with_capacity(self.clauses.len(), literals);
-        for (c, p) in self.clauses.into_iter().zip(self.provenance) {
+        let mut map: Vec<Option<u32>> = Vec::with_capacity(self.clauses.len());
+        let mut kept = 0u32;
+        for ((c, p), o) in self
+            .clauses
+            .into_iter()
+            .zip(self.provenance)
+            .zip(self.origins)
+        {
             // Sign-less weights carry no violation polarity and can never
             // contribute cost (`Weight::violated_when` is false both
             // ways): exact 0.0 from cancelling merges, and NaN from a
@@ -810,6 +1053,7 @@ impl MrfBuilder {
                 for l in c.lits.iter() {
                     opaque_atoms[l.atom() as usize] = true;
                 }
+                map.push(None);
                 continue;
             }
             // A soft weight that reached ±∞ (overflowing literal, or a
@@ -822,9 +1066,14 @@ impl MrfBuilder {
                 Weight::Soft(w) if w == f64::NEG_INFINITY => Weight::NegHard,
                 w => w,
             };
-            columns.push(&c.lits, weight, p);
+            columns.push(&c.lits, weight, p, &o);
+            map.push(Some(kept));
+            kept += 1;
         }
-        columns.assemble(self.num_atoms, opaque_atoms, self.base_cost)
+        (
+            columns.assemble(self.num_atoms, opaque_atoms, self.base_cost),
+            map,
+        )
     }
 }
 
@@ -834,6 +1083,32 @@ fn merge_weights(a: Weight, b: Weight) -> Weight {
         (Weight::Soft(x), Weight::Soft(y)) => Weight::Soft(x + y),
         (Weight::Hard, _) | (_, Weight::Hard) => Weight::Hard,
         (Weight::NegHard, _) | (_, Weight::NegHard) => Weight::NegHard,
+    }
+}
+
+/// Merges `extra` rule origins into the sorted list `into`, summing the
+/// shares of origins attributed to the same rule. Both inputs are sorted
+/// by rule index; the result stays sorted.
+fn merge_origins(into: &mut Vec<RuleOrigin>, extra: &[RuleOrigin]) {
+    for o in extra {
+        match into.binary_search_by_key(&o.rule, |e| e.rule) {
+            Ok(i) => into[i].share += o.share,
+            Err(i) => into.insert(i, *o),
+        }
+    }
+}
+
+/// The finish-time weight-hardening map, shared by [`MrfBuilder::finish`]
+/// and [`Mrf::reweight`]: soft ±∞ *is* the hard semantics, and NaN (which
+/// has no polarity, so it can never contribute cost) normalizes to the
+/// neutral `Soft(0.0)`. Guarantees no non-finite magnitude ever reaches
+/// the branchless flip loop's violation column.
+fn harden_weight(w: Weight) -> Weight {
+    match w {
+        Weight::Soft(v) if v == f64::INFINITY => Weight::Hard,
+        Weight::Soft(v) if v == f64::NEG_INFINITY => Weight::NegHard,
+        Weight::Soft(v) if v.is_nan() => Weight::Soft(0.0),
+        w => w,
     }
 }
 
@@ -1052,8 +1327,11 @@ mod tests {
         b.add_clause(vec![Lit::pos(1)], Weight::Soft(-0.5));
         b.add_clause(vec![Lit::pos(2)], Weight::Hard);
         b.add_clause(vec![], Weight::Soft(2.0));
-        b.add_clause(vec![Lit::pos(3)], Weight::Soft(1.0));
+        b.add_clause_from_rule(vec![Lit::pos(3)], Weight::Soft(1.0), 7);
         b.add_clause(vec![Lit::pos(3)], Weight::Soft(-1.0)); // drops → atom 3 opaque
+        b.add_clause_from_rule(vec![Lit::pos(4)], Weight::Soft(0.4), 2);
+        b.add_clause_from_rule(vec![Lit::pos(4)], Weight::Soft(0.4), 2);
+        b.add_clause_from_rule(vec![Lit::pos(4)], Weight::Soft(0.1), 0);
         let m = b.finish();
         let m2 = Mrf::from_columns(m.export_columns()).expect("round-trip");
         assert_eq!(m2.num_atoms(), m.num_atoms());
@@ -1064,6 +1342,7 @@ mod tests {
             assert_eq!(m2.clause_weight(ci), m.clause_weight(ci));
             assert_eq!(m2.violation_cost(ci), m.violation_cost(ci));
             assert_eq!(m2.provenance(ci), m.provenance(ci));
+            assert_eq!(m2.clause_origins(ci), m.clause_origins(ci));
             for satisfied in [false, true] {
                 assert_eq!(
                     m2.clause_violated_when(ci, satisfied),
@@ -1092,8 +1371,43 @@ mod tests {
         bad.lit_start = vec![0u32, 5].into(); // bound past arena end
         assert!(Mrf::from_columns(bad).is_err());
 
+        // `Soft(0.0)` is legal on load: relearned generations can carry
+        // neutral clauses whose learned weights cancelled (`reweight`
+        // cannot drop them — the structure is shared).
+        let mut neutral = good.clone();
+        neutral.weights = vec![Weight::Soft(0.0)].into();
+        assert!(Mrf::from_columns(neutral).is_ok());
+
         let mut bad = good.clone();
-        bad.weights = vec![Weight::Soft(0.0)].into(); // sign-less weight
+        bad.weights = vec![Weight::Soft(f64::NAN)].into(); // non-finite
+        assert!(Mrf::from_columns(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.origin_start = vec![0u32, 2].into(); // bound past arena end
+        assert!(Mrf::from_columns(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.origin_start = vec![0u32, 2].into();
+        bad.origin_arena = vec![
+            RuleOrigin {
+                rule: 3,
+                share: 1.0,
+            },
+            RuleOrigin {
+                rule: 3,
+                share: 1.0,
+            },
+        ]
+        .into(); // duplicate rule ids must have merged
+        assert!(Mrf::from_columns(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.origin_start = vec![0u32, 1].into();
+        bad.origin_arena = vec![RuleOrigin {
+            rule: 0,
+            share: 0.0,
+        }]
+        .into(); // shares must be positive
         assert!(Mrf::from_columns(bad).is_err());
 
         let mut bad = good.clone();
@@ -1105,6 +1419,117 @@ mod tests {
         assert!(Mrf::from_columns(bad).is_err());
 
         assert!(Mrf::from_columns(good).is_ok());
+    }
+
+    #[test]
+    fn builder_merges_origin_shares_sorted_by_rule() {
+        let mut b = MrfBuilder::new();
+        b.add_clause_from_rule(vec![Lit::pos(0), Lit::pos(1)], Weight::Soft(0.5), 4);
+        b.add_clause_from_rule(vec![Lit::pos(0), Lit::pos(1)], Weight::Soft(0.5), 4);
+        b.add_clause_from_rule(vec![Lit::pos(1), Lit::pos(0)], Weight::Soft(0.25), 1);
+        let m = b.finish();
+        assert_eq!(m.num_clauses(), 1);
+        assert_eq!(m.clause_weight(0), Weight::Soft(1.25));
+        assert_eq!(
+            m.clause_origins(0),
+            &[
+                RuleOrigin {
+                    rule: 1,
+                    share: 1.0
+                },
+                RuleOrigin {
+                    rule: 4,
+                    share: 2.0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn finish_mapped_tracks_clauses_through_merge_and_drop() {
+        let mut b = MrfBuilder::new();
+        let a = b.add_clause_tracked(vec![Lit::pos(0)], Weight::Soft(1.0));
+        let dup = b.add_clause_tracked(vec![Lit::pos(0)], Weight::Soft(2.0));
+        let dropped = b.add_clause_tracked(vec![Lit::pos(1)], Weight::Soft(1.0));
+        b.add_clause(vec![Lit::pos(1)], Weight::Soft(-1.0)); // cancels
+        let kept = b.add_clause_tracked(vec![Lit::pos(2)], Weight::Soft(0.5));
+        assert!(b
+            .add_clause_tracked(vec![Lit::pos(3), Lit::neg(3)], Weight::Soft(1.0))
+            .is_none()); // tautology
+        assert!(b.add_clause_tracked(vec![], Weight::Soft(1.0)).is_none());
+        assert_eq!(a, dup, "duplicates land at the same builder index");
+        let (m, map) = b.finish_mapped();
+        assert_eq!(m.num_clauses(), 2);
+        assert_eq!(map[a.unwrap() as usize], Some(0));
+        assert_eq!(map[dropped.unwrap() as usize], None);
+        assert_eq!(map[kept.unwrap() as usize], Some(1));
+    }
+
+    #[test]
+    fn reweight_rebuilds_weight_columns_and_shares_structure() {
+        let mut b = MrfBuilder::new();
+        b.add_clause_from_rule(vec![Lit::pos(0), Lit::neg(1)], Weight::Soft(1.0), 0);
+        b.add_clause_from_rule(vec![Lit::pos(1)], Weight::Soft(1.0), 1);
+        b.add_clause_from_rule(vec![Lit::pos(1)], Weight::Soft(1.0), 1); // share 2
+        b.add_clause_from_rule(vec![Lit::pos(2)], Weight::Hard, 2);
+        b.add_clause(vec![Lit::neg(2), Lit::pos(0)], Weight::Soft(0.75)); // no origin
+        let m = b.finish();
+        let m2 = m
+            .reweight(&[Weight::Soft(3.0), Weight::Soft(-0.5), Weight::Hard])
+            .expect("reweight");
+
+        // Structural arenas are shared, not copied.
+        assert!(Arc::ptr_eq(&m.lit_arena, &m2.lit_arena));
+        assert!(Arc::ptr_eq(&m.occ_arena, &m2.occ_arena));
+        assert!(Arc::ptr_eq(&m.origin_arena, &m2.origin_arena));
+        assert!(Arc::ptr_eq(&m.opaque_atoms, &m2.opaque_atoms));
+
+        // Weight columns follow the per-rule weights × origin shares.
+        assert_eq!(m2.clause_weight(0), Weight::Soft(3.0));
+        assert_eq!(m2.clause_weight(1), Weight::Soft(-1.0)); // −0.5 × share 2
+        assert_eq!(m2.clause_weight(2), Weight::Hard);
+        assert_eq!(m2.clause_weight(3), Weight::Soft(0.75)); // untouched
+        assert_eq!(m2.violation_cost(1), Cost::soft(1.0));
+        assert!(m2.clause_violated_when(1, true)); // negative: violated when satisfied
+
+        // The source MRF is undisturbed.
+        assert_eq!(m.clause_weight(0), Weight::Soft(1.0));
+        assert_eq!(m.clause_weight(1), Weight::Soft(2.0));
+
+        // Too-short weight vectors error instead of misattributing.
+        assert!(m.reweight(&[Weight::Soft(1.0)]).is_err());
+    }
+
+    #[test]
+    fn reweight_hardens_non_finite_learned_weights() {
+        // Satellite regression: NaN/±∞ learned weights must pass through
+        // the finish-time hardening path, never reaching the violation
+        // column (the branchless flip loop multiplies it by 0 or 1, and
+        // 0 × ∞ = NaN would poison every cost delta).
+        let mut b = MrfBuilder::new();
+        b.add_clause_from_rule(vec![Lit::pos(0)], Weight::Soft(1.0), 0);
+        b.add_clause_from_rule(vec![Lit::pos(1)], Weight::Soft(1.0), 1);
+        b.add_clause_from_rule(vec![Lit::pos(2)], Weight::Soft(1.0), 2);
+        let m = b.finish();
+        let m2 = m
+            .reweight(&[
+                Weight::Soft(f64::INFINITY),
+                Weight::Soft(f64::NEG_INFINITY),
+                Weight::Soft(f64::NAN),
+            ])
+            .expect("reweight");
+        assert_eq!(m2.clause_weight(0), Weight::Hard);
+        assert_eq!(m2.violation_cost(0), Cost { hard: 1, soft: 0.0 });
+        assert_eq!(m2.clause_weight(1), Weight::NegHard);
+        assert_eq!(m2.violation_cost(1), Cost { hard: 1, soft: 0.0 });
+        // NaN normalizes to the neutral Soft(0.0): zero cost either way.
+        assert_eq!(m2.clause_weight(2), Weight::Soft(0.0));
+        assert_eq!(m2.violation_cost(2), Cost::ZERO);
+        for ci in 0..m2.num_clauses() {
+            assert!(m2.violation_cost(ci).soft.is_finite());
+        }
+        // And the reweighted generation still round-trips the columns.
+        assert!(Mrf::from_columns(m2.export_columns()).is_ok());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod unionfind;
 pub use clause::{ClauseRef, GroundClause};
 pub use components::ComponentSet;
 pub use cost::Cost;
-pub use graph::{ClauseProvenance, Clauses, Mrf, MrfBuilder, MrfColumns, Occurrence};
+pub use graph::{ClauseProvenance, Clauses, Mrf, MrfBuilder, MrfColumns, Occurrence, RuleOrigin};
 pub use lit::{AtomId, Lit};
 pub use partition::Partitioning;
 pub use unionfind::UnionFind;

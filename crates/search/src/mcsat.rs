@@ -85,8 +85,19 @@ impl<'a> McSat<'a> {
 
     /// Runs MC-SAT and returns the per-atom marginal probabilities.
     pub fn marginals(&mut self, params: &McSatParams) -> Vec<f64> {
+        self.marginals_with_clause_stats(params).0
+    }
+
+    /// [`McSat::marginals`] that additionally returns, per clause, the
+    /// fraction of post-burn-in samples in which the clause was
+    /// satisfied — the `E[nᵢ]` sufficient statistic weight learning
+    /// reads. The extra counting consumes no randomness, so the atom
+    /// marginals are bit-identical to a plain [`McSat::marginals`] run
+    /// with the same seed.
+    pub fn marginals_with_clause_stats(&mut self, params: &McSatParams) -> (Vec<f64>, Vec<f64>) {
         let n = self.mrf.num_atoms();
         let mut counts = vec![0u64; n];
+        let mut sat_counts = vec![0u64; self.mrf.num_clauses()];
         // Initial state: satisfy the hard clauses with WalkSAT.
         let mut state = {
             let mut ws = WalkSat::new(self.mrf, self.rng.gen());
@@ -110,12 +121,20 @@ impl<'a> McSat<'a> {
                 for (a, &t) in state.iter().enumerate() {
                     counts[a] += u64::from(t);
                 }
+                for (ci, c) in self.mrf.clauses().iter().enumerate() {
+                    sat_counts[ci] += u64::from(c.satisfied(&state));
+                }
             }
         }
-        counts
+        let probs = counts
             .into_iter()
             .map(|c| c as f64 / params.samples as f64)
-            .collect()
+            .collect();
+        let clause_sat = sat_counts
+            .into_iter()
+            .map(|c| c as f64 / params.samples as f64)
+            .collect();
+        (probs, clause_sat)
     }
 
     /// The MC-SAT slice: every satisfied hard clause, plus each satisfied
@@ -147,6 +166,11 @@ impl<'a> McSat<'a> {
         params: &McSatParams,
     ) -> Vec<bool> {
         let n = self.mrf.num_atoms();
+        if n == 0 {
+            // An empty MRF has exactly one (empty) world; there is
+            // nothing to sample and `gen_range(0..0)` below would panic.
+            return fallback;
+        }
         // Build a hard-constraint MRF over the selected clauses.
         let mut b = MrfBuilder::new();
         b.reserve_atoms(n);

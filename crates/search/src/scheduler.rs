@@ -193,6 +193,13 @@ pub struct MarginalSamples {
     /// `P(atom = true)` per atom id (0.5 for atoms outside every
     /// partition).
     pub probs: Vec<f64>,
+    /// `P(clause satisfied)` per global clause id, under the same
+    /// conditioned sampling that produced `probs` — the `E[nᵢ]`
+    /// sufficient statistic weight learning reads. Cut clauses satisfied
+    /// externally at the conditioning state count 1.0; a cut clause
+    /// sampled by several partitions keeps the estimate of the first
+    /// partition in schedule order (deterministic for any thread count).
+    pub clause_sat: Vec<f64>,
     /// Total WalkSAT/SampleSAT flips across all samplers (and the MAP
     /// conditioning run, when cut clauses require one).
     pub flips: u64,
@@ -457,28 +464,58 @@ impl<'a> Scheduler<'a> {
             map_mode.truth
         };
         let mut marginals = vec![0.5f64; self.mrf.num_atoms()];
+        let mut clause_sat = vec![f64::NAN; self.mrf.num_clauses()];
         for bin in &self.schedule.bins {
             let jobs = &bin.items;
-            let run_unit = |ui: usize| -> (Vec<f64>, u64) {
+            let run_unit = |ui: usize| -> (Vec<f64>, Vec<(u32, f64)>, u64) {
                 let unit = &self.schedule.units[ui];
                 let atoms = &self.schedule.parts.atoms[unit.part];
-                let (sub, _) = self.condition_unit(unit.part, atoms, &condition_state);
+                let cu = self.condition_unit_tracked(unit.part, atoms, &condition_state);
                 let seed = derive_seed(params.seed, unit.part, 0);
-                let mut mc = McSat::new(&sub, seed).expect("weights validated non-negative above");
-                let probs = mc.marginals(params);
-                (probs, mc.flips())
+                let mut mc =
+                    McSat::new(&cu.sub, seed).expect("weights validated non-negative above");
+                let (probs, sub_sat) = mc.marginals_with_clause_stats(params);
+                let mut sat: Vec<(u32, f64)> = Vec::new();
+                for (fi, contrib) in cu.contributors.iter().enumerate() {
+                    for &ci in contrib {
+                        sat.push((ci, sub_sat[fi]));
+                    }
+                }
+                for &ci in &cu.external_sat {
+                    sat.push((ci, 1.0));
+                }
+                for &(ci, satisfied) in &cu.residual {
+                    sat.push((ci, f64::from(u8::from(satisfied))));
+                }
+                (probs, sat, mc.flips())
             };
             let locals = self.pool_map(jobs, run_unit);
-            for (&ui, (local, unit_flips)) in jobs.iter().zip(locals) {
+            for (&ui, (local, sat, unit_flips)) in jobs.iter().zip(locals) {
                 let atoms = &self.schedule.parts.atoms[self.schedule.units[ui].part];
                 for (i, &a) in atoms.iter().enumerate() {
                     marginals[a as usize] = local[i];
                 }
+                // First write wins: a cut clause is sampled once per
+                // touching partition, and schedule order is fixed.
+                for (ci, p) in sat {
+                    if clause_sat[ci as usize].is_nan() {
+                        clause_sat[ci as usize] = p;
+                    }
+                }
                 flips += unit_flips;
+            }
+        }
+        // Every clause lives in some scheduled partition, but stay total:
+        // anything unwritten falls back to its truth at the conditioning
+        // state.
+        for (ci, p) in clause_sat.iter_mut().enumerate() {
+            if p.is_nan() {
+                *p = f64::from(u8::from(self.mrf.clause(ci).satisfied(&condition_state)));
             }
         }
         Ok(MarginalSamples {
             probs: marginals,
+            clause_sat,
             flips,
         })
     }
@@ -575,12 +612,43 @@ impl<'a> Scheduler<'a> {
     /// satisfied literal drop out for the pass; other cut clauses lose
     /// their external literals.
     fn condition_unit(&self, pi: usize, atoms: &[AtomId], global: &[bool]) -> (Mrf, Vec<bool>) {
+        let cu = self.condition_unit_tracked(pi, atoms, global);
+        (cu.sub, cu.init)
+    }
+
+    /// [`Scheduler::condition_unit`] that also maps every global clause
+    /// of the partition to its fate in the sub-MRF, so per-sub-clause
+    /// sampler statistics can be attributed back to global clause ids.
+    fn condition_unit_tracked(
+        &self,
+        pi: usize,
+        atoms: &[AtomId],
+        global: &[bool],
+    ) -> ConditionedUnit {
         let mut dense: FxHashMap<AtomId, AtomId> = FxHashMap::default();
         for (i, &a) in atoms.iter().enumerate() {
             dense.insert(a, i as AtomId);
         }
         let mut b = MrfBuilder::new();
         b.reserve_atoms(atoms.len());
+        // Contributing global clauses per *builder* index (distinct cut
+        // clauses can collapse onto one sub-clause once their external
+        // literals drop), plus clauses the sub-MRF cannot represent.
+        let mut by_builder: Vec<Vec<u32>> = Vec::new();
+        let mut external_sat: Vec<u32> = Vec::new();
+        let mut residual: Vec<(u32, bool)> = Vec::new();
+        let mut track = |slot: Option<u32>, ci: u32, by_builder: &mut Vec<Vec<u32>>| match slot {
+            Some(bi) => {
+                if bi as usize == by_builder.len() {
+                    by_builder.push(vec![ci]);
+                } else {
+                    by_builder[bi as usize].push(ci);
+                }
+            }
+            // Empty after conditioning (every literal external and
+            // false): constant for the pass, never satisfiable.
+            None => residual.push((ci, false)),
+        };
         for &ci in &self.schedule.parts.internal_clauses[pi] {
             let c = self.mrf.clause(ci as usize);
             let lits: Vec<Lit> = c
@@ -588,7 +656,8 @@ impl<'a> Scheduler<'a> {
                 .iter()
                 .map(|l| Lit::new(dense[&l.atom()], l.is_positive()))
                 .collect();
-            b.add_clause(lits, c.weight);
+            let slot = b.add_clause_tracked(lits, c.weight);
+            track(slot, ci, &mut by_builder);
         }
         for &ci in &self.schedule.cut_by_part[pi] {
             let c = self.mrf.clause(ci as usize);
@@ -607,14 +676,52 @@ impl<'a> Scheduler<'a> {
                 }
             }
             if satisfied_externally {
+                external_sat.push(ci);
                 continue; // fixed for this pass
             }
-            b.add_clause(lits, c.weight);
+            let slot = b.add_clause_tracked(lits, c.weight);
+            track(slot, ci, &mut by_builder);
         }
-        let sub = b.finish();
+        let (sub, map) = b.finish_mapped();
+        let mut contributors: Vec<Vec<u32>> = vec![Vec::new(); sub.num_clauses()];
+        for (bi, contrib) in by_builder.into_iter().enumerate() {
+            match map[bi] {
+                Some(fi) => contributors[fi as usize] = contrib,
+                // Merged weight cancelled at finish: the sampler never
+                // sees the clause. Fall back to its (deterministic)
+                // truth at the conditioning state.
+                None => {
+                    for ci in contrib {
+                        let sat = self.mrf.clause(ci as usize).satisfied(global);
+                        residual.push((ci, sat));
+                    }
+                }
+            }
+        }
         let init: Vec<bool> = atoms.iter().map(|&a| global[a as usize]).collect();
-        (sub, init)
+        ConditionedUnit {
+            sub,
+            init,
+            contributors,
+            external_sat,
+            residual,
+        }
     }
+}
+
+/// A partition's conditioned sub-MRF plus the bookkeeping that maps
+/// sampler statistics back to global clause ids (see
+/// [`Scheduler::condition_unit_tracked`]).
+struct ConditionedUnit {
+    sub: Mrf,
+    init: Vec<bool>,
+    /// Global clause ids feeding each final sub-clause.
+    contributors: Vec<Vec<u32>>,
+    /// Cut clauses satisfied externally at the conditioning state.
+    external_sat: Vec<u32>,
+    /// Clauses the sub-MRF cannot represent (conditioned to a constant,
+    /// or merged weight cancelled), with their truth at the state.
+    residual: Vec<(u32, bool)>,
 }
 
 /// Derives the RNG seed of one partition pass. Depends only on the base
@@ -893,6 +1000,13 @@ mod tests {
         let expected = 1f64.exp() / (1.0 + 1f64.exp());
         for (i, &pi) in p.probs.iter().enumerate() {
             assert!((pi - expected).abs() < 0.1, "atom {i}: {pi:.3}");
+        }
+        // A positive unit clause is satisfied exactly when its atom is
+        // true, so the clause-satisfaction column must match the atom
+        // marginal bit for bit.
+        assert_eq!(p.clause_sat.len(), m.num_clauses());
+        for (ci, &ps) in p.clause_sat.iter().enumerate() {
+            assert_eq!(ps, p.probs[ci], "clause {ci}");
         }
         assert!(p.flips > 0, "samplers should report their work");
     }

@@ -40,13 +40,22 @@
 //! `--explain-schedule` does the same for the inference scheduler.
 //! `--threads` and `--budget` are accepted as aliases of `--parallel`
 //! and `--mem-budget`.
+//!
+//! `--learn LABELS.db` switches to weight learning: the labels file
+//! (evidence syntax over the query predicates) becomes the training
+//! world, the engine grounds once eagerly, and `--learn-iters`
+//! iterations of `--learner vp` (voted perceptron, MAP-based) or
+//! `--learner dn` (diagonal Newton, marginal-based) fit the soft rule
+//! weights on that fixed grounding. The output is the learned weight
+//! per rule; the per-iteration gradient trace goes to stderr.
 
 use std::io::BufRead;
 use std::process::ExitCode;
 use tuffy::{
-    Architecture, JoinAlgorithmPolicy, JoinOrderPolicy, McSatParams, PartitionStrategy, Query,
-    Session, Tuffy, TuffyConfig, WalkSatParams,
+    Architecture, GroundingMode, JoinAlgorithmPolicy, JoinOrderPolicy, McSatParams,
+    PartitionStrategy, Query, Session, Tuffy, TuffyConfig, WalkSatParams,
 };
+use tuffy_learn::{DiagonalNewton, Learner, TrainingSet, VotedPerceptron, WeightLearner};
 use tuffy_serve::client::{Client, RetryPolicy, WireAnswer};
 use tuffy_serve::wire::{WireQuery, WireQueryKind};
 
@@ -73,6 +82,15 @@ struct Args {
     use_stats: bool,
     ground_threads: usize,
     mem_budget_bytes: usize,
+    learn: Option<String>,
+    learner: LearnerKind,
+    learn_iters: usize,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum LearnerKind {
+    VotedPerceptron,
+    DiagonalNewton,
 }
 
 fn usage() -> &'static str {
@@ -83,7 +101,8 @@ fn usage() -> &'static str {
      \x20       [--arch hybrid|inmemory|rdbms] [--explain] [--explain-schedule]\n\
      \x20       [--join-order auto|program] [--join-algo auto|nl]\n\
      \x20       [--no-pushdown] [--no-stats] [--ground-threads N]\n\
-     \x20       [--mem-budget-bytes N]"
+     \x20       [--mem-budget-bytes N]\n\
+     \x20       [--learn <labels.db>] [--learner vp|dn] [--learn-iters N]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -110,6 +129,9 @@ fn parse_args() -> Result<Args, String> {
         use_stats: true,
         ground_threads: 0,
         mem_budget_bytes: 0,
+        learn: None,
+        learner: LearnerKind::VotedPerceptron,
+        learn_iters: 10,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -195,6 +217,19 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown architecture `{other}`")),
                 };
             }
+            "--learn" => args.learn = Some(value("--learn")?),
+            "--learner" => {
+                args.learner = match value("--learner")?.as_str() {
+                    "vp" | "perceptron" => LearnerKind::VotedPerceptron,
+                    "dn" | "newton" => LearnerKind::DiagonalNewton,
+                    other => return Err(format!("unknown learner `{other}` (vp|dn)")),
+                };
+            }
+            "--learn-iters" => {
+                args.learn_iters = value("--learn-iters")?
+                    .parse()
+                    .map_err(|e| format!("--learn-iters: {e}"))?;
+            }
             "-h" | "--help" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -205,6 +240,9 @@ fn parse_args() -> Result<Args, String> {
         }
         if args.explain || args.explain_schedule {
             return Err("--explain requires a local engine, not --connect".to_string());
+        }
+        if args.learn.is_some() {
+            return Err("--learn requires a local engine, not --connect".to_string());
         }
     } else if args.program.is_empty() {
         return Err(format!("missing -i <prog.mln>\n{}", usage()));
@@ -602,6 +640,9 @@ fn run() -> Result<(), String> {
         },
         ..Default::default()
     };
+    if let Some(labels_path) = &args.learn {
+        return run_learn(&args, &program_src, &evidence_src, labels_path, config);
+    }
     let tuffy = Tuffy::from_sources(&program_src, &evidence_src)
         .map_err(|e| e.to_string())?
         .with_config(config);
@@ -642,6 +683,105 @@ fn run() -> Result<(), String> {
         repl(&mut session, &args)?;
     }
     Ok(())
+}
+
+/// The `--learn` path: the labels file becomes the training world and
+/// the CLI fits the soft rule weights on one fixed grounding, printing
+/// the learned weight per rule.
+fn run_learn(
+    args: &Args,
+    program_src: &str,
+    evidence_src: &str,
+    labels_path: &str,
+    config: TuffyConfig,
+) -> Result<(), String> {
+    let labels_src =
+        std::fs::read_to_string(labels_path).map_err(|e| format!("{labels_path}: {e}"))?;
+    let mut program = tuffy_mln::parser::parse_program(program_src).map_err(|e| e.to_string())?;
+    let evidence =
+        tuffy_mln::parser::parse_evidence(&mut program, evidence_src).map_err(|e| e.to_string())?;
+    let labels =
+        tuffy_mln::parser::parse_evidence(&mut program, &labels_src).map_err(|e| e.to_string())?;
+    let labels: Vec<_> = labels.iter().cloned().collect();
+
+    // A learning engine must materialize the query atoms it learns
+    // about: with the labels withheld from evidence, lazy closure would
+    // have nothing to activate.
+    let config = TuffyConfig {
+        grounding: GroundingMode::Eager,
+        ..config
+    };
+    let engine = Tuffy::from_parts(program, evidence)
+        .with_config(config)
+        .build_engine()
+        .map_err(|e| e.to_string())?;
+    let snapshot = engine.snapshot();
+    eprintln!(
+        "grounded {} clauses over {} atoms in {:?}",
+        snapshot.grounding().mrf.num_clauses(),
+        snapshot.grounding().registry.len(),
+        snapshot.grounding().stats.wall
+    );
+    let training = TrainingSet::from_labels(&snapshot, &labels);
+    if training.labeled() == 0 {
+        return Err(format!(
+            "{labels_path}: no label resolved to a query atom of the grounding"
+        ));
+    }
+    eprintln!(
+        "training world: {} of {} labels resolved over {} query atoms (unlabeled atoms \
+         default false)",
+        training.labeled(),
+        labels.len(),
+        training.world().len(),
+    );
+
+    let fit_config = Learner {
+        iters: args.learn_iters,
+        search: WalkSatParams {
+            max_flips: args.flips,
+            seed: args.seed,
+            ..Default::default()
+        },
+        mcsat: McSatParams {
+            seed: args.seed,
+            ..Default::default()
+        },
+    };
+    let learner: Box<dyn WeightLearner> = match args.learner {
+        LearnerKind::VotedPerceptron => Box::new(VotedPerceptron::default()),
+        LearnerKind::DiagonalNewton => Box::new(DiagonalNewton::default()),
+    };
+    let started = std::time::Instant::now();
+    let fit = fit_config
+        .fit(&engine, &training, learner.as_ref())
+        .map_err(|e| e.to_string())?;
+    for it in &fit.trace {
+        eprintln!("learn iter {}: |gradient| = {:.4}", it.iter, it.grad_norm);
+    }
+    eprintln!(
+        "learned {} rule weight(s) with {} in {:?}; groundings performed: {}",
+        fit.weights.iter().filter(|w| !w.is_hard()).count(),
+        learner.name(),
+        started.elapsed(),
+        engine.groundings_performed(),
+    );
+
+    let mut out = String::new();
+    for (i, (w, rule)) in fit
+        .weights
+        .iter()
+        .zip(engine.program().rules.iter())
+        .enumerate()
+    {
+        let rendered = match w {
+            tuffy::Weight::Soft(v) => format!("{v:.6}"),
+            tuffy::Weight::Hard => "hard".to_string(),
+            tuffy::Weight::NegHard => "neg-hard".to_string(),
+        };
+        out.push_str(&format!("rule {i} (line {}): {rendered}\n", rule.line));
+    }
+    emit(args, &out)
 }
 
 fn main() -> ExitCode {

@@ -24,7 +24,7 @@ use tuffy_mln::{
     Atom, EvidenceSet, Formula, GroundAtom, Literal, MlnProgram, PredicateDecl, PredicateId, Rule,
     Symbol, SymbolTable, Term, TypeId, Var, Weight,
 };
-use tuffy_mrf::{ClauseProvenance, Cost, Lit, Mrf, MrfColumns};
+use tuffy_mrf::{ClauseProvenance, Cost, Lit, Mrf, MrfColumns, RuleOrigin};
 use tuffy_rdbms::{IoStats, SpillStats};
 
 use crate::bytes::{ByteReader, ByteWriter};
@@ -590,6 +590,13 @@ fn encode_mrf(cols: &MrfColumns) -> Vec<u8> {
     }
     w.put_u64(cols.base_cost.hard);
     w.put_f64(cols.base_cost.soft);
+    // Rule-origin CSR: bounds, then (rule, share) pairs.
+    w.put_u32_slice(&cols.origin_start);
+    w.put_u64(cols.origin_arena.len() as u64);
+    for o in cols.origin_arena.iter() {
+        w.put_u32(o.rule);
+        w.put_f64(o.share);
+    }
     w.finish()
 }
 
@@ -626,6 +633,15 @@ fn decode_mrf(bytes: &[u8]) -> Result<Mrf, StoreError> {
         hard: r.get_u64()?,
         soft: r.get_f64()?,
     };
+    let origin_start: Vec<u32> = r.get_u32_vec()?;
+    let n_origins = r.get_len()?;
+    let mut origin_arena = Vec::with_capacity(n_origins.min(1 << 24));
+    for _ in 0..n_origins {
+        origin_arena.push(RuleOrigin {
+            rule: r.get_u32()?,
+            share: r.get_f64()?,
+        });
+    }
     r.expect_end()?;
     Mrf::from_columns(MrfColumns {
         num_atoms,
@@ -633,6 +649,8 @@ fn decode_mrf(bytes: &[u8]) -> Result<Mrf, StoreError> {
         lit_arena: lit_arena.into(),
         weights: weights.into(),
         provenance: provenance.into(),
+        origin_start: origin_start.into(),
+        origin_arena: origin_arena.into(),
         opaque_atoms: opaque_atoms.into(),
         base_cost,
     })
@@ -806,6 +824,12 @@ mod tests {
         assert_eq!(c1.opaque_atoms, c2.opaque_atoms);
         assert_eq!(c1.base_cost.hard, c2.base_cost.hard);
         assert_eq!(c1.base_cost.soft.to_bits(), c2.base_cost.soft.to_bits());
+        assert_eq!(c1.origin_start, c2.origin_start);
+        assert_eq!(c1.origin_arena.len(), c2.origin_arena.len());
+        for (o1, o2) in c1.origin_arena.iter().zip(c2.origin_arena.iter()) {
+            assert_eq!(o1.rule, o2.rule);
+            assert_eq!(o1.share.to_bits(), o2.share.to_bits());
+        }
 
         // Stats and config survive verbatim.
         assert_eq!(result.stats.clauses, loaded.result.stats.clauses);
